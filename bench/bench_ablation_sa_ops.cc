@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation study of the five SA operators (a design-choice study DESIGN.md
+ * calls out): run the LP SPM exploration on a chiplet architecture with
+ * individual operator classes disabled and report the final E*D cost
+ * relative to the full operator set. The paper argues all five are needed
+ * for the closure property (every point reachable); this quantifies how
+ * much each class contributes in practice.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/engine.hh"
+#include "src/mapping/operators.hh"
+
+using namespace gemini;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Ablation — contribution of the five SA operators",
+        "Sec. V-B1 operator design (closure argument)");
+
+    const bool smoke = benchutil::effortLevel() == 0;
+    const dnn::Graph model =
+        smoke ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
+              : dnn::zoo::tinyTransformer(256, 512, 8, 1);
+    const arch::ArchConfig arch = arch::simbaArch();
+    const std::int64_t batch = smoke ? 4 : 64;
+    const int iters = benchutil::scaled(300, 12000, 60000);
+
+    struct Case
+    {
+        std::string name;
+        unsigned mask;
+    };
+    std::vector<Case> cases = {{"all five operators", 0x1F}};
+    for (int op = 0; op < mapping::kNumSaOperators; ++op) {
+        cases.push_back({std::string("without ") +
+                             mapping::saOperatorName(
+                                 static_cast<mapping::SaOperator>(op)),
+                         0x1Fu & ~(1u << op)});
+    }
+    cases.push_back({"OP1 only (partitions)", 0x01});
+    cases.push_back({"OP2+OP3 only (placement swaps)", 0x06});
+
+    benchutil::ConsoleTable table({"operator set", "final E*D", "vs full",
+                                   "accepted", "improved"});
+    double full_cost = 0.0;
+    for (const Case &c : cases) {
+        mapping::MappingOptions o = benchutil::mappingOptions(batch, true);
+        o.sa.iterations = iters;
+        o.sa.operatorMask = c.mask;
+        mapping::MappingEngine engine(model, arch, o);
+        const mapping::MappingResult r = engine.run();
+        const double cost = r.total.totalEnergy() * r.total.delay;
+        if (full_cost == 0.0)
+            full_cost = cost;
+        table.addRow(c.name, cost, cost / full_cost, r.saStats.accepted,
+                     r.saStats.improved);
+    }
+    table.print();
+    std::printf("\nvalues > 1 in 'vs full' mean the ablated operator set "
+                "found a worse scheme than the full five-operator SA.\n");
+    return 0;
+}

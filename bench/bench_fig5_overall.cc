@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fig. 5 reproduction: overall comparison of S-Arch+T-Map (baseline),
+ * S-Arch+G-Map and G-Arch+G-Map across the five paper DNNs at batch 64
+ * (throughput) and batch 1 (latency), with delay and per-component energy
+ * breakdowns normalized to the baseline, plus the MC comparison and the
+ * headline geometric-mean improvements (paper: 1.98x performance, 1.41x
+ * energy efficiency, +14.3% MC).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "src/arch/presets.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/mapping/engine.hh"
+
+using namespace gemini;
+
+namespace {
+
+struct Scheme
+{
+    std::string name;
+    arch::ArchConfig arch;
+    bool runSa;
+};
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader("Fig. 5 — overall comparison: architecture + "
+                           "mapping co-exploration",
+                           "Fig. 5 / Sec. VI-B1 (1.98x perf, 1.41x energy "
+                           "eff., +14.3% MC)");
+
+    const std::vector<Scheme> schemes = {
+        {"S-Arch+T-Map", arch::simbaArch(), false},
+        {"S-Arch+G-Map", arch::simbaArch(), true},
+        {"G-Arch+G-Map", arch::gArch72(), true},
+    };
+    const std::vector<std::int64_t> batches =
+        benchutil::effortLevel() == 0 ? std::vector<std::int64_t>{4}
+                                      : std::vector<std::int64_t>{64, 1};
+    auto workloads = benchutil::paperWorkloads();
+
+    benchutil::ConsoleTable table(
+        {"DNN", "batch", "scheme", "delay(ms)", "norm-D", "energy(J)",
+         "norm-E", "E:intra", "E:noc", "E:d2d", "E:dram"});
+
+    double log_perf = 0.0, log_eff = 0.0;
+    int samples = 0;
+    for (const auto &[wl_name, graph] : workloads) {
+        for (std::int64_t batch : batches) {
+            double base_d = 0.0, base_e = 0.0;
+            for (const auto &scheme : schemes) {
+                mapping::MappingEngine engine(
+                    graph, scheme.arch,
+                    benchutil::mappingOptions(batch, scheme.runSa));
+                const mapping::MappingResult r = engine.run();
+                const double d = r.total.delay;
+                const double e = r.total.totalEnergy();
+                if (scheme.name == "S-Arch+T-Map") {
+                    base_d = d;
+                    base_e = e;
+                }
+                if (scheme.name == "G-Arch+G-Map") {
+                    log_perf += std::log(base_d / d);
+                    log_eff += std::log(base_e / e);
+                    ++samples;
+                }
+                table.addRow(wl_name, std::to_string(batch), scheme.name,
+                             d * 1e3, d / base_d, e, e / base_e,
+                             r.total.intraTileEnergy, r.total.nocEnergy,
+                             r.total.d2dEnergy, r.total.dramEnergy);
+            }
+        }
+    }
+    table.print();
+
+    // ---- MC comparison (workload independent) ----
+    cost::McEvaluator mc;
+    const cost::CostBreakdown s_mc = mc.evaluate(arch::simbaArch());
+    const cost::CostBreakdown g_mc = mc.evaluate(arch::gArch72());
+    std::printf("\nMC breakdown ($):\n");
+    benchutil::ConsoleTable mct({"arch", "total", "chiplet-manufacturing",
+                                 "dram", "substrate", "d2d-area-frac"});
+    mct.addRow("S-Arch", s_mc.total(), s_mc.silicon(), s_mc.dram,
+               s_mc.package, s_mc.d2dAreaFraction);
+    mct.addRow("G-Arch", g_mc.total(), g_mc.silicon(), g_mc.dram,
+               g_mc.package, g_mc.d2dAreaFraction);
+    mct.print();
+
+    const double perf = std::exp(log_perf / samples);
+    const double eff = std::exp(log_eff / samples);
+    std::printf("\nHEADLINE (geomean over %d DNN x batch points)\n", samples);
+    std::printf("  G-Arch+G-Map vs S-Arch+T-Map: %.2fx performance, %.2fx "
+                "energy efficiency, %+.1f%% MC\n",
+                perf, eff, (g_mc.total() / s_mc.total() - 1.0) * 100.0);
+    std::printf("  paper: 1.98x performance, 1.41x energy efficiency, "
+                "+14.3%% MC\n");
+    std::printf("  explored G-Arch: %s  (paper: (2, 36, 144GB/s, 32GB/s, "
+                "16GB/s, 2MB, 1024))\n",
+                arch::gArch72().toString().c_str());
+    return 0;
+}

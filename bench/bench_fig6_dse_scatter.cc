@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Fig. 6 reproduction: EDP and MC of the architecture candidates of the
+ * 128 TOPs (and, at higher effort, 512 TOPs) design space on Transformer
+ * at batch 64, grouped (a) by chiplet count and (b) by core count, each
+ * normalized to the best architecture under MC*E*D. Emits the scatter data
+ * as CSV (fig6_<tops>tops.csv) and prints per-category medians plus the
+ * four objective winners.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "src/common/csv.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/dse.hh"
+
+using namespace gemini;
+
+namespace {
+
+void
+runScatter(double tops, const dse::DseAxes &axes)
+{
+    dnn::Graph model = benchutil::effortLevel() == 0
+                           ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
+                           : dnn::zoo::transformerBase();
+
+    dse::DseOptions opt;
+    opt.axes = axes;
+    opt.models = {&model};
+    opt.mapping = benchutil::mappingOptions(
+        benchutil::effortLevel() == 0 ? 4 : 64, true);
+    opt.mapping.sa.iterations = benchutil::scaled(100, 800, 6000);
+    opt.maxCandidates = static_cast<std::size_t>(
+        benchutil::scaled(24, 220, 0));
+
+    const dse::DseResult result = dse::runDse(opt);
+    const dse::DseRecord &best = result.best();
+    const double edp0 = best.edp();
+    const double mc0 = best.mc.total();
+
+    CsvTable csv({"chiplets", "cores", "mac_per_core", "glb_kib",
+                  "noc_gbps", "d2d_gbps", "norm_edp", "norm_mc",
+                  "feasible"});
+    std::map<int, std::vector<double>> edp_by_chiplet, edp_by_core;
+    for (const auto &rec : result.records) {
+        csv.addRow(rec.arch.chipletCount(), rec.arch.coreCount(),
+                   rec.arch.macsPerCore, rec.arch.glbKiB,
+                   rec.arch.nocBwGBps, rec.arch.d2dBwGBps,
+                   rec.edp() / edp0, rec.mc.total() / mc0,
+                   rec.feasible ? 1 : 0);
+        if (rec.feasible) {
+            edp_by_chiplet[rec.arch.chipletCount()].push_back(rec.edp() /
+                                                              edp0);
+            edp_by_core[rec.arch.coreCount()].push_back(rec.edp() / edp0);
+        }
+    }
+    const std::string path =
+        "fig6_" + std::to_string(static_cast<int>(tops)) + "tops.csv";
+    csv.writeFile(path);
+    std::printf("\n-- %.0f TOPs: %zu candidates evaluated, scatter -> %s\n",
+                tops, result.records.size(), path.c_str());
+
+    auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v.empty() ? 0.0 : v[v.size() / 2];
+    };
+    std::printf("(a) EDP vs chiplet count (normalized medians):\n");
+    benchutil::ConsoleTable ta({"chiplets", "candidates", "median EDP",
+                                "best EDP"});
+    for (auto &[chiplets, v] : edp_by_chiplet)
+        ta.addRow(chiplets, v.size(), median(v),
+                  *std::min_element(v.begin(), v.end()));
+    ta.print();
+    std::printf("(b) EDP vs core count (normalized medians):\n");
+    benchutil::ConsoleTable tb({"cores", "candidates", "median EDP",
+                                "best EDP"});
+    for (auto &[cores, v] : edp_by_core)
+        tb.addRow(cores, v.size(), median(v),
+                  *std::min_element(v.begin(), v.end()));
+    tb.print();
+
+    std::printf("objective winners:\n");
+    struct Obj
+    {
+        const char *name;
+        double a, b, g;
+    };
+    for (const Obj &o : {Obj{"min E (a=0,b=1,g=0)", 0, 1, 0},
+                         Obj{"min D (a=0,b=0,g=1)", 0, 0, 1},
+                         Obj{"min MC (a=1,b=0,g=0)", 1, 0, 0},
+                         Obj{"min MC*E*D", 1, 1, 1}}) {
+        const int idx = result.bestUnder(o.a, o.b, o.g);
+        if (idx >= 0)
+            std::printf("  %-22s -> %s [%d chiplets]\n", o.name,
+                        result.records[static_cast<std::size_t>(idx)]
+                            .arch.toString()
+                            .c_str(),
+                        result.records[static_cast<std::size_t>(idx)]
+                            .arch.chipletCount());
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 6 — EDP/MC of the design space by chiplet and core count",
+        "Fig. 6 / Sec. VII-A (optimal chiplet count 1-4; EDP U-shape in "
+        "core count; MC rises with cores)");
+    if (benchutil::effortLevel() == 0) {
+        dse::DseAxes tiny;
+        tiny.topsTarget = 1.0;
+        tiny.xCuts = {1, 2};
+        tiny.yCuts = {1, 2};
+        tiny.dramGBpsPerTops = {2.0};
+        tiny.nocGBps = {16, 32};
+        tiny.d2dRatio = {0.5};
+        tiny.glbKiB = {256, 512};
+        tiny.macsPerCore = {256, 512};
+        runScatter(1.0, tiny);
+        return 0;
+    }
+    runScatter(128.0, dse::DseAxes::paper128());
+    if (benchutil::effortLevel() >= 2)
+        runScatter(512.0, dse::DseAxes::paper512());
+    return 0;
+}

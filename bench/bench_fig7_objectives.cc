@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Fig. 7 reproduction: the optimal 128 TOPs architectures under the four
+ * optimization objectives (min E, min D, min MC, min MC*E*D) with their
+ * energy/MC/delay breakdowns normalized to the MC*E*D winner, plus the
+ * paper's supporting analysis: DRAM access and average concurrently
+ * processed layers versus core count (the "longer pipeline is not always
+ * better" insight of Sec. VII-A2).
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/dse.hh"
+#include "src/mapping/engine.hh"
+
+using namespace gemini;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 7 — optimal architectures under four objectives",
+        "Fig. 7 / Sec. VII-A2 (cores of winners; DRAM-access vs cores; "
+        "avg pipelined layers)");
+
+    const bool smoke = benchutil::effortLevel() == 0;
+    dnn::Graph model = smoke ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
+                             : dnn::zoo::transformerBase();
+    const std::int64_t batch = smoke ? 4 : 64;
+
+    dse::DseOptions opt;
+    if (smoke) {
+        opt.axes.topsTarget = 1.0;
+        opt.axes.xCuts = {1, 2};
+        opt.axes.yCuts = {1};
+        opt.axes.dramGBpsPerTops = {2.0};
+        opt.axes.nocGBps = {32};
+        opt.axes.d2dRatio = {0.5};
+        opt.axes.glbKiB = {256, 512};
+        opt.axes.macsPerCore = {256, 512};
+    } else {
+        opt.axes = dse::DseAxes::paper128();
+    }
+    opt.models = {&model};
+    opt.mapping = benchutil::mappingOptions(batch, true);
+    opt.mapping.sa.iterations = benchutil::scaled(100, 800, 6000);
+    opt.maxCandidates =
+        static_cast<std::size_t>(benchutil::scaled(12, 200, 0));
+
+    const dse::DseResult result = dse::runDse(opt);
+
+    struct Obj
+    {
+        const char *name;
+        double a, b, g;
+    };
+    const Obj objectives[] = {{"min D", 0, 0, 1},
+                              {"min E", 0, 1, 0},
+                              {"min MC", 1, 0, 0},
+                              {"min MC*E*D", 1, 1, 1}};
+
+    const int ref_idx = result.bestUnder(1, 1, 1);
+    const auto &ref = result.records[static_cast<std::size_t>(ref_idx)];
+
+    benchutil::ConsoleTable table(
+        {"objective", "winning arch", "cores", "norm D", "norm E",
+         "norm MC", "DRAM bytes", "avg layers in flight"});
+    for (const Obj &o : objectives) {
+        const int idx = result.bestUnder(o.a, o.b, o.g);
+        if (idx < 0)
+            continue;
+        const auto &rec = result.records[static_cast<std::size_t>(idx)];
+        // Re-run the mapping to recover the group structure for the
+        // average concurrently-processed-layer metric.
+        mapping::MappingEngine engine(model, rec.arch, opt.mapping);
+        const mapping::MappingResult r = engine.run();
+        double layer_sum = 0.0;
+        for (const auto &grp : r.mapping.groups)
+            layer_sum +=
+                static_cast<double>(grp.layers.size() * grp.layers.size());
+        const double avg_in_flight =
+            layer_sum / static_cast<double>(model.size());
+        table.addRow(o.name, rec.arch.toString(), rec.arch.coreCount(),
+                     rec.delayGeo / ref.delayGeo,
+                     rec.energyGeo / ref.energyGeo,
+                     rec.mc.total() / ref.mc.total(),
+                     rec.perModel[0].dramBytes, avg_in_flight);
+    }
+    table.print();
+
+    // ---- DRAM access vs core count (Fig. 7 left) ----
+    std::printf("\nDRAM access vs core count (best candidate per core "
+                "count, normalized to fewest-core config):\n");
+    std::map<int, const dse::DseRecord *> best_by_cores;
+    for (const auto &rec : result.records) {
+        if (!rec.feasible)
+            continue;
+        auto &slot = best_by_cores[rec.arch.coreCount()];
+        if (!slot || rec.objective < slot->objective)
+            slot = &rec;
+    }
+    benchutil::ConsoleTable dram_t({"cores", "arch", "DRAM bytes",
+                                    "norm DRAM", "norm EDP"});
+    double dram0 = 0.0;
+    const double edp0 = ref.edp();
+    for (const auto &[cores, rec] : best_by_cores) {
+        if (dram0 == 0.0)
+            dram0 = rec->perModel[0].dramBytes;
+        dram_t.addRow(cores, rec->arch.toString(),
+                      rec->perModel[0].dramBytes,
+                      rec->perModel[0].dramBytes / dram0,
+                      rec->edp() / edp0);
+    }
+    dram_t.print();
+    std::printf("\npaper shape: DRAM access falls as cores grow (48%% from "
+                "8->16 cores, ~19%% from 16->32), EDP is U-shaped, and the "
+                "average pipelined-layer count saturates.\n");
+    return 0;
+}

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Fig. 8 reproduction — chiplet granularity and "reuse a single chiplet
+ * for multiple accelerators" (Sec. VII-B):
+ *   (a) MC breakdown, compute-die yield and total silicon area for 1..36
+ *       chiplet partitions of the 72 TOPs G-Arch at two D2D bandwidths;
+ *   (b) MC versus chiplet count for the 72/128/512 TOPs best archs;
+ *   (c) the four construction schemes for 128 & 512 TOPs accelerators:
+ *       Simba chiplets, the other power level's chiplet, the jointly
+ *       explored chiplet (Joint Optimal) and the per-target Optimal.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hh"
+#include "src/arch/presets.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/dse.hh"
+#include "src/dse/joint_reuse.hh"
+
+using namespace gemini;
+
+namespace {
+
+/** All (xcut, ycut) partitions of the G-Arch 6x6 mesh. */
+std::vector<std::pair<int, int>>
+gridCuts()
+{
+    return {{1, 1}, {2, 1}, {2, 2}, {3, 3}, {6, 3}, {6, 6}};
+}
+
+void
+partA()
+{
+    std::printf("\n(a) MC / yield / area vs chiplet count, 72 TOPs G-Arch "
+                "base\n");
+    cost::McEvaluator mc;
+    benchutil::ConsoleTable t({"chiplets", "d2d GB/s", "MC total",
+                               "silicon", "dram", "substrate", "die mm^2",
+                               "yield", "total area", "d2d frac"});
+    for (double d2d : {16.0, 32.0}) {
+        for (auto [xc, yc] : gridCuts()) {
+            arch::ArchConfig a = arch::gArch72();
+            a.xCut = xc;
+            a.yCut = yc;
+            a.d2dBwGBps = d2d;
+            const cost::CostBreakdown bd = mc.evaluate(a);
+            t.addRow(a.chipletCount(), d2d, bd.total(), bd.silicon(),
+                     bd.dram, bd.package, bd.computeDieAreaMm2,
+                     bd.computeDieYield, bd.totalSiliconAreaMm2,
+                     bd.d2dAreaFraction);
+        }
+    }
+    t.print();
+    std::printf("paper shape: moderate partitioning trims MC; beyond ~4-9 "
+                "chiplets the D2D area and assembly yield push MC back "
+                "up.\n");
+}
+
+void
+partB()
+{
+    std::printf("\n(b) MC vs chiplet count at three computing powers\n");
+    cost::McEvaluator mc;
+    benchutil::ConsoleTable t({"TOPS", "chiplets", "MC total", "norm MC"});
+    for (double tops : {72.0, 128.0, 512.0}) {
+        arch::ArchConfig base = arch::gArch72();
+        // Scale the mesh to the power target with the G-Arch core design.
+        const int cores = static_cast<int>(
+            std::lround(tops * 1000.0 / (2.0 * base.macsPerCore)));
+        int grid_x = 6, grid_y = 6;
+        for (int x = 1; x * x <= cores; ++x) {
+            if (cores % x == 0 && cores / x <= 2 * x) {
+                grid_y = x;
+                grid_x = cores / x;
+            }
+        }
+        base.xCores = grid_x;
+        base.yCores = grid_y;
+        base.dramBwGBps = 2.0 * tops;
+        double norm0 = 0.0;
+        for (auto [xc, yc] : gridCuts()) {
+            arch::ArchConfig a = base;
+            a.xCut = xc;
+            a.yCut = yc;
+            if (!a.validate().empty())
+                continue;
+            const double total = mc.evaluate(a).total();
+            if (norm0 == 0.0)
+                norm0 = total;
+            t.addRow(tops, a.chipletCount(), total, total / norm0);
+        }
+    }
+    t.print();
+}
+
+void
+partC()
+{
+    std::printf("\n(c) Four construction schemes per power target\n");
+    const bool smoke = benchutil::effortLevel() == 0;
+    dnn::Graph model = smoke ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
+                             : dnn::zoo::transformerBase();
+
+    dse::DseOptions opt;
+    opt.models = {&model};
+    opt.mapping = benchutil::mappingOptions(smoke ? 4 : 64, true);
+    opt.mapping.sa.iterations = benchutil::scaled(80, 300, 4000);
+    // The 512 TOPs candidates have 256-core meshes; cap the DP effort so
+    // the construction study stays laptop-scale at effort <= 1.
+    opt.mapping.maxGroupLayers = benchutil::scaled(4, 8, 12);
+    opt.mapping.batchUnits = benchutil::effortLevel() >= 2
+                                 ? std::vector<std::int64_t>{}
+                                 : std::vector<std::int64_t>{1, 8};
+
+    const double lo_tops = smoke ? 1.0 : 128.0;
+    const double hi_tops = smoke ? 2.0 : 512.0;
+
+    // Per-target optima from (pruned) per-target DSEs.
+    dse::DseAxes axes_lo, axes_hi;
+    if (smoke) {
+        axes_lo.topsTarget = lo_tops;
+        axes_lo.xCuts = {1, 2};
+        axes_lo.yCuts = {1};
+        axes_lo.dramGBpsPerTops = {2.0};
+        axes_lo.nocGBps = {32};
+        axes_lo.d2dRatio = {0.5};
+        axes_lo.glbKiB = {256, 512};
+        axes_lo.macsPerCore = {256};
+        axes_hi = axes_lo;
+        axes_hi.topsTarget = hi_tops;
+    } else {
+        axes_lo = dse::DseAxes::paper128();
+        axes_hi = dse::DseAxes::paper512();
+    }
+    dse::DseOptions lo_opt = opt;
+    lo_opt.axes = axes_lo;
+    lo_opt.maxCandidates =
+        static_cast<std::size_t>(benchutil::scaled(8, 36, 600));
+    dse::DseOptions hi_opt = opt;
+    hi_opt.axes = axes_hi;
+    hi_opt.maxCandidates =
+        static_cast<std::size_t>(benchutil::scaled(8, 24, 600));
+
+    const dse::DseResult lo = dse::runDse(lo_opt);
+    const dse::DseResult hi = dse::runDse(hi_opt);
+
+    // Joint exploration over the low-power axes at both levels.
+    dse::DseOptions joint_opt = opt;
+    joint_opt.maxCandidates =
+        static_cast<std::size_t>(benchutil::scaled(6, 16, 400));
+    const auto joint =
+        dse::runJointDse(axes_lo, {lo_tops, hi_tops}, joint_opt);
+
+    struct Row
+    {
+        const char *scheme;
+        dse::DseRecord rec;
+    };
+    auto report = [&](double tops, const dse::DseRecord &optimal,
+                      const std::vector<Row> &rows) {
+        // Normalize to the best MC*E*D observed among the shown schemes:
+        // at low effort the "Optimal" comes from a candidate subsample, so
+        // a scaled foreign chiplet can occasionally edge past it (full
+        // grids at GEMINI_BENCH_EFFORT=2 restore the paper's ordering).
+        const dse::DseRecord *best = &optimal;
+        auto med_of = [](const dse::DseRecord &r) {
+            return r.mc.total() * r.energyGeo * r.delayGeo;
+        };
+        for (const Row &row : rows)
+            if (med_of(row.rec) < med_of(*best))
+                best = &row.rec;
+        std::printf("\n  %.0f TOPs accelerator (normalized to the best "
+                    "shown scheme):\n",
+                    tops);
+        benchutil::ConsoleTable t({"construction", "arch", "norm E",
+                                   "norm D", "norm MC", "norm MC*E*D"});
+        const double ref = med_of(*best);
+        for (const Row &row : rows) {
+            t.addRow(row.scheme, row.rec.arch.toString(),
+                     row.rec.energyGeo / best->energyGeo,
+                     row.rec.delayGeo / best->delayGeo,
+                     row.rec.mc.total() / best->mc.total(),
+                     med_of(row.rec) / ref);
+        }
+        t.print();
+    };
+
+    // Simba-chiplet construction: one 1024-MAC 1MB core per chiplet.
+    auto simba_at = [&](double tops) {
+        arch::ArchConfig s = arch::simbaArch();
+        return dse::scaleArchToTops(s, tops);
+    };
+    const dse::DseRecord lo_best = lo.best();
+    const dse::DseRecord hi_best = hi.best();
+
+    report(lo_tops, lo_best,
+           {{"Simba chiplets",
+             dse::evaluateCandidate(simba_at(lo_tops), opt)},
+            {"chiplet of best high-TOPS arch",
+             dse::evaluateCandidate(
+                 dse::scaleArchToTops(hi_best.arch, lo_tops), opt)},
+            {"Joint Optimal",
+             dse::evaluateCandidate(
+                 dse::scaleArchToTops(joint.front().baseArch, lo_tops),
+                 opt)},
+            {"Optimal", lo_best}});
+    report(hi_tops, hi_best,
+           {{"Simba chiplets",
+             dse::evaluateCandidate(simba_at(hi_tops), opt)},
+            {"chiplets of best low-TOPS arch",
+             dse::evaluateCandidate(
+                 dse::scaleArchToTops(lo_best.arch, hi_tops), opt)},
+            {"Joint Optimal",
+             dse::evaluateCandidate(
+                 dse::scaleArchToTops(joint.front().baseArch, hi_tops),
+                 opt)},
+            {"Optimal", hi_best}});
+
+    std::printf("\npaper shape: Simba chiplets scale worst (8.4x MC*E*D at "
+                "512 TOPs); cross-reused chiplets are better but still "
+                "poor; the Joint Optimal lands within ~34%% of the "
+                "per-target Optimal.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Fig. 8 — chiplet granularity & single-chiplet reuse",
+        "Fig. 8 / Sec. VII-B");
+    partA();
+    partB();
+    partC();
+    return 0;
+}

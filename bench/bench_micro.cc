@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Google-benchmark micro benchmarks of the framework's hot paths: the
+ * intra-core exhaustive search (cold and memoized), the group analyzer,
+ * one SA iteration, NoC routing, and the MC evaluator. These are the
+ * loops whose throughput determines DSE wall-clock (the paper's DSEs run
+ * 38 min - 6.6 h on an 80-100 thread server).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "src/arch/presets.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/dnn/zoo.hh"
+#include "src/eval/energy_model.hh"
+#include "src/intracore/explorer.hh"
+#include "src/mapping/analyzer.hh"
+#include "src/mapping/engine.hh"
+#include "src/mapping/sa.hh"
+#include "src/mapping/stripe.hh"
+#include "src/noc/noc_model.hh"
+
+using namespace gemini;
+
+namespace {
+
+void
+BM_IntracoreSearchCold(benchmark::State &state)
+{
+    std::int64_t salt = 0;
+    for (auto _ : state) {
+        intracore::Explorer ex(1024, 2 << 20, 1.0);
+        intracore::Tile t;
+        t.b = 1;
+        t.k = 64 + (salt++ % 8); // defeat memoization across iterations
+        t.h = t.w = 14;
+        t.cPerGroup = 256;
+        t.r = t.s = 3;
+        benchmark::DoNotOptimize(ex.evaluate(t).cycles);
+    }
+}
+BENCHMARK(BM_IntracoreSearchCold);
+
+void
+BM_IntracoreSearchMemoized(benchmark::State &state)
+{
+    intracore::Explorer ex(1024, 2 << 20, 1.0);
+    intracore::Tile t;
+    t.b = 1;
+    t.k = 64;
+    t.h = t.w = 14;
+    t.cPerGroup = 256;
+    t.r = t.s = 3;
+    ex.evaluate(t);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ex.evaluate(t).cycles);
+}
+BENCHMARK(BM_IntracoreSearchMemoized);
+
+void
+BM_AnalyzeGroup(benchmark::State &state)
+{
+    const dnn::Graph g = dnn::zoo::tinyTransformer(64, 128, 4, 1);
+    const arch::ArchConfig a = arch::gArch72();
+    noc::NocModel noc(a);
+    intracore::Explorer ex(a.macsPerCore, a.glbBytes(), a.freqGHz);
+    mapping::Analyzer an(g, a, noc, ex);
+    std::vector<LayerId> layers;
+    for (std::size_t i = 0; i < std::min<std::size_t>(g.size(), 10); ++i)
+        layers.push_back(static_cast<LayerId>(i));
+    const auto group = mapping::stripeMapping(g, a, layers, 4);
+    auto lookup = [](LayerId) { return kDramInterleaved; };
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            an.analyzeGroup(group, 64, lookup).coreEnergyPerUnit);
+    }
+}
+BENCHMARK(BM_AnalyzeGroup);
+
+void
+BM_SaIteration(benchmark::State &state)
+{
+    const dnn::Graph g = dnn::zoo::tinyTransformer(64, 128, 4, 1);
+    const arch::ArchConfig a = arch::gArch72();
+    mapping::MappingOptions o;
+    o.batch = 64;
+    o.runSa = false;
+    mapping::MappingEngine engine(g, a, o);
+    mapping::MappingResult init = engine.run();
+    // Amortized per-iteration SA cost, measured over 64-iteration runs.
+    for (auto _ : state) {
+        state.PauseTiming();
+        mapping::LpMapping m = init.mapping;
+        mapping::SaOptions so;
+        so.iterations = 64;
+        state.ResumeTiming();
+        noc::NocModel noc(a);
+        intracore::Explorer ex(a.macsPerCore, a.glbBytes(), a.freqGHz);
+        eval::EnergyModel em(a);
+        mapping::Analyzer an(g, a, noc, ex);
+        mapping::SaEngine sa(g, a, an, em);
+        benchmark::DoNotOptimize(sa.optimize(m, so).size());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SaIteration);
+
+void
+BM_NocMulticast(benchmark::State &state)
+{
+    const arch::ArchConfig a = arch::gArch72();
+    noc::NocModel noc(a);
+    std::vector<noc::NodeId> dsts;
+    for (CoreId c = 0; c < a.coreCount(); c += 3)
+        dsts.push_back(noc.coreNode(c));
+    for (auto _ : state) {
+        noc::TrafficMap map;
+        noc.multicast(map, noc.dramNode(0), dsts, 1024.0);
+        benchmark::DoNotOptimize(map.totalBytes());
+    }
+}
+BENCHMARK(BM_NocMulticast);
+
+void
+BM_McEvaluate(benchmark::State &state)
+{
+    cost::McEvaluator mc;
+    const arch::ArchConfig a = arch::simbaArch();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mc.evaluate(a).total());
+}
+BENCHMARK(BM_McEvaluate);
+
+void
+BM_FullMappingTinyNet(benchmark::State &state)
+{
+    const dnn::Graph g = dnn::zoo::tinyResidual();
+    const arch::ArchConfig a = arch::tinyArch();
+    for (auto _ : state) {
+        mapping::MappingOptions o;
+        o.batch = 4;
+        o.sa.iterations = 200;
+        mapping::MappingEngine engine(g, a, o);
+        benchmark::DoNotOptimize(engine.run().total.delay);
+    }
+}
+BENCHMARK(BM_FullMappingTinyNet);
+
+} // namespace
+
+BENCHMARK_MAIN();

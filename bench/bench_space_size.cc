@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Sec. IV-B reproduction: the optimization-space size of the layer-centric
+ * LP SPM encoding (lower bound) against the Tangram heuristic's upper
+ * bound N * p(M), for the core counts and layer counts the paper's
+ * supplementary tables cover.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "src/mapping/space.hh"
+
+using namespace gemini;
+
+int
+main()
+{
+    benchutil::printHeader("Sec. IV-B — LP SPM optimization-space size",
+                           "Sec. IV-B space calculation (ours vs Tangram)");
+
+    benchutil::ConsoleTable table({"cores M", "layers N",
+                                   "log10|Gemini space| (lower bound)",
+                                   "log10|Tangram space| (upper bound)",
+                                   "ratio (orders of magnitude)"});
+    for (int m : {16, 36, 64, 120, 256}) {
+        for (int n : {2, 4, 8, 12}) {
+            if (n > m)
+                continue;
+            const double ours = mapping::log10SpaceSize(m, n);
+            const double tangram = mapping::log10TangramSpace(m, n);
+            table.addRow(m, n, ours, tangram, ours - tangram);
+        }
+    }
+    table.print();
+    std::printf("\nThe encoding's space exceeds the stripe heuristic's by "
+                "tens to hundreds of orders of magnitude, matching the "
+                "paper's Sec. IV-B claim.\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Table I reproduction: the DSE parameter lists for the 72/128/512 TOPs
+ * targets, the derived core grids per MAC/Core choice, and the number of
+ * valid architecture candidates after the XCut/YCut divisibility rule.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "src/dse/candidates.hh"
+
+using namespace gemini;
+
+namespace {
+
+void
+printAxes(const char *name, const dse::DseAxes &axes)
+{
+    std::printf("\n%s (target %.0f TOPs)\n", name, axes.topsTarget);
+    benchutil::ConsoleTable grid({"MAC/Core", "cores", "grid", "TOPS"});
+    for (int macs : axes.macsPerCore) {
+        int x = 0, y = 0;
+        dse::chooseCoreGrid(axes.topsTarget, macs, axes.xCuts, axes.yCuts,
+                            x, y);
+        grid.addRow(macs, x * y,
+                    std::to_string(x) + "x" + std::to_string(y),
+                    2.0 * x * y * macs / 1000.0);
+    }
+    grid.print();
+
+    auto join = [](const auto &v) {
+        std::string s;
+        for (const auto &x : v)
+            s += (s.empty() ? "" : ", ") + std::to_string(x);
+        return s;
+    };
+    std::printf("  XCut/YCut: {%s}\n", join(axes.xCuts).c_str());
+    std::printf("  DRAM BW:   {%s} GB/s per TOPs\n",
+                join(axes.dramGBpsPerTops).c_str());
+    std::printf("  NoC BW:    {%s} GB/s\n", join(axes.nocGBps).c_str());
+    std::printf("  D2D BW:    {NoC/4, NoC/2, NoC}\n");
+    std::printf("  GBUF/Core: {%s} KB\n", join(axes.glbKiB).c_str());
+    std::printf("  MAC/Core:  {%s}\n", join(axes.macsPerCore).c_str());
+    std::printf("  valid candidates after cut-divisibility filter: %zu\n",
+                dse::enumerateCandidates(axes).size());
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader("Table I — DSE parameters and candidate counts",
+                           "Table I / Sec. VI-A1");
+    printAxes("72 TOPs DSE", dse::DseAxes::paper72());
+    printAxes("128 TOPs DSE", dse::DseAxes::paper128());
+    printAxes("512 TOPs DSE", dse::DseAxes::paper512());
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Sec. VI-B2 reproduction: the folded-torus universality check — the
+ * Gemini-explored torus architecture + mapping against a monolithic
+ * 120-core Grayskull-parameter accelerator (T-Arch) with Tangram mapping
+ * (paper: 1.74x performance, 1.13x energy efficiency, -40.1% MC).
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "src/arch/presets.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/engine.hh"
+
+using namespace gemini;
+
+int
+main()
+{
+    benchutil::printHeader(
+        "Sec. VI-B2 — folded torus: G-Arch+G-Map vs T-Arch+T-Map",
+        "Sec. VI-B2 (1.74x perf, 1.13x energy eff., -40.1% MC)");
+
+    const bool smoke = benchutil::effortLevel() == 0;
+    const std::int64_t batch = smoke ? 4 : 64;
+    // The 120-core T-Arch makes the DP pre-pass expensive; effort <= 1
+    // uses the two structurally extreme workloads (residual CNN +
+    // attention), effort 2 the full Fig. 5 suite.
+    auto workloads = benchutil::paperWorkloads();
+    if (benchutil::effortLevel() == 1 && workloads.size() > 2) {
+        decltype(workloads) pruned;
+        pruned.push_back(std::move(workloads.front())); // RN-50
+        pruned.push_back(std::move(workloads.back()));  // TF
+        workloads.swap(pruned);
+    }
+
+    const arch::ArchConfig t_arch = arch::tArchGrayskull();
+    const arch::ArchConfig g_arch = arch::gArchTorus();
+
+    benchutil::ConsoleTable table({"DNN", "scheme", "delay(ms)",
+                                   "energy(J)", "perf x", "eff x"});
+    double log_perf = 0.0, log_eff = 0.0;
+    int n = 0;
+    for (const auto &[name, graph] : workloads) {
+        mapping::MappingEngine t_engine(
+            graph, t_arch, benchutil::mappingOptions(batch, false));
+        const mapping::MappingResult t = t_engine.run();
+        mapping::MappingEngine g_engine(
+            graph, g_arch, benchutil::mappingOptions(batch, true));
+        const mapping::MappingResult g = g_engine.run();
+        table.addRow(name, "T-Arch+T-Map", t.total.delay * 1e3,
+                     t.total.totalEnergy(), 1.0, 1.0);
+        table.addRow(name, "G-Arch+G-Map", g.total.delay * 1e3,
+                     g.total.totalEnergy(), t.total.delay / g.total.delay,
+                     t.total.totalEnergy() / g.total.totalEnergy());
+        log_perf += std::log(t.total.delay / g.total.delay);
+        log_eff += std::log(t.total.totalEnergy() / g.total.totalEnergy());
+        ++n;
+    }
+    table.print();
+
+    cost::McEvaluator mc;
+    const double t_mc = mc.evaluate(t_arch).total();
+    const double g_mc = mc.evaluate(g_arch).total();
+
+    // Second MC estimate for T-Arch: our template area model prices an
+    // NVDLA-style core, but Grayskull's Tensix is a general-purpose core
+    // (five RISC-V CPUs per tile) — the published die is ~620 mm^2 at
+    // 12 nm for 120 cores. Re-cost T-Arch with the per-core fixed area
+    // raised to match that public die size.
+    cost::CostParams grayskull = mc.params();
+    const double template_core =
+        mc.coreAreaMm2(t_arch.macsPerCore, t_arch.glbKiB);
+    grayskull.coreFixedAreaMm2 +=
+        620.0 / t_arch.coreCount() - template_core;
+    const double t_mc_real =
+        cost::McEvaluator(grayskull).evaluate(t_arch).total();
+
+    std::printf("\nG-Arch (torus): %s\n", g_arch.toString().c_str());
+    std::printf("T-Arch:         %s [monolithic 120-core folded torus]\n",
+                t_arch.toString().c_str());
+    std::printf("geomean: %.2fx performance, %.2fx energy efficiency "
+                "(paper: 1.74x, 1.13x)\n",
+                std::exp(log_perf / n), std::exp(log_eff / n));
+    std::printf("MC: %+.1f%% with template-derived T-Arch area, %+.1f%% "
+                "with Grayskull's published 620 mm^2 die (paper: -40.1%%; "
+                "the two estimates bracket it — see EXPERIMENTS.md)\n",
+                (g_mc / t_mc - 1.0) * 100.0,
+                (g_mc / t_mc_real - 1.0) * 100.0);
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: map ResNet-50 onto the paper's explored 72 TOPs G-Arch and
+ * print the evaluation. This is the 60-second tour of the public API:
+ * pick a model from the zoo, pick (or build) an ArchConfig, run the
+ * MappingEngine, read the breakdown, and price the chip with the MC
+ * evaluator.
+ */
+
+#include <cstdio>
+
+#include "src/arch/presets.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/engine.hh"
+
+using namespace gemini;
+
+int
+main()
+{
+    // 1. A workload from the model zoo (see dnn::zoo::available()).
+    const dnn::Graph model = dnn::zoo::resnet50();
+    std::printf("model: %s, %.2f GMACs/sample, %zu layers\n",
+                model.name().c_str(), model.totalMacs() / 1e9,
+                model.size());
+
+    // 2. An architecture: the paper's explored G-Arch
+    //    (2 chiplets, 36 cores, 144 GB/s DRAM, 32/16 GB/s NoC/D2D,
+    //     2 MB GLB, 1024 MACs per core).
+    const arch::ArchConfig arch = arch::gArch72();
+    std::printf("arch:  %s = %.1f TOPS, %d chiplets\n",
+                arch.toString().c_str(), arch.tops(),
+                arch.chipletCount());
+
+    // 3. Map it: DP graph partition -> SA spatial-mapping exploration.
+    mapping::MappingOptions options;
+    options.batch = 64;       // throughput scenario (MLPerf-style)
+    options.sa.iterations = 4000;
+    mapping::MappingEngine engine(model, arch, options);
+    const mapping::MappingResult result = engine.run();
+
+    // 4. Read the evaluation.
+    std::printf("\nmapping: %zu layer groups, SA accepted %d/%d moves\n",
+                result.mapping.groups.size(), result.saStats.accepted,
+                result.saStats.proposed);
+    std::printf("delay: %.3f ms for batch %ld (%.1f inf/s)\n",
+                result.total.delay * 1e3, static_cast<long>(options.batch),
+                options.batch / result.total.delay);
+    std::printf("energy: %.4f J  (intra-tile %.4f, noc %.4f, d2d %.4f, "
+                "dram %.4f)\n",
+                result.total.totalEnergy(), result.total.intraTileEnergy,
+                result.total.nocEnergy, result.total.d2dEnergy,
+                result.total.dramEnergy);
+
+    // 5. Price it.
+    cost::McEvaluator mc;
+    std::printf("monetary cost: %s\n",
+                cost::McEvaluator::describe(mc.evaluate(arch)).c_str());
+    return 0;
+}

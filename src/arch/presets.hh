@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Named architecture presets used in the paper's evaluation (Sec. VI-A4).
+ */
+
+#ifndef GEMINI_ARCH_PRESETS_HH
+#define GEMINI_ARCH_PRESETS_HH
+
+#include "src/arch/arch_config.hh"
+
+namespace gemini::arch {
+
+/**
+ * S-Arch: the Simba baseline — 36 chiplets of one NVDLA-style core each
+ * (6x6 mesh, XCut=YCut=6), 72 TOPs, 1 MB GLB/core, DRAM 2 GB/s per TOPs
+ * via two IO dies (the paper equips the Simba test chip with DRAM).
+ */
+ArchConfig simbaArch();
+
+/**
+ * G-Arch (72 TOPs): the architecture Gemini's DSE finds —
+ * (2, 36, 144GB/s, 32GB/s, 16GB/s, 2MB, 1024).
+ */
+ArchConfig gArch72();
+
+/**
+ * T-Arch: monolithic 120-core accelerator with Tenstorrent Grayskull
+ * parameters (12x10 core array, folded torus, 1 MB GLB/core), Sec. VI-B2.
+ */
+ArchConfig tArchGrayskull();
+
+/**
+ * The folded-torus architecture Gemini finds against T-Arch:
+ * (6, 60, 480GB/s, 64GB/s, 32GB/s, 2MB, 2048).
+ */
+ArchConfig gArchTorus();
+
+/** A 4-core single-chiplet toy config for tests and the quickstart. */
+ArchConfig tinyArch();
+
+} // namespace gemini::arch
+
+#endif // GEMINI_ARCH_PRESETS_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Technology constants of the 12 nm default process: unit energies for
+ * compute/storage/interconnect and the core's microarchitectural ratios.
+ * The paper publishes its cost-model formulas but not every constant; each
+ * value here carries the public source or calibration rationale it was
+ * taken from (see also DESIGN.md "Modeling notes").
+ */
+
+#ifndef GEMINI_ARCH_TECH_PARAMS_HH
+#define GEMINI_ARCH_TECH_PARAMS_HH
+
+namespace gemini::arch {
+
+/**
+ * Unit energies (all in joules) and core microarchitecture ratios.
+ * Defaults model TSMC 12 nm at 1 GHz with 8-bit arithmetic, matching the
+ * paper's default process and the Simba/GRS link technology.
+ */
+struct TechParams
+{
+    // ---- compute ----
+
+    /** Energy of one 8-bit MAC incl. its operand register reads. */
+    double macJ = 0.30e-12;
+
+    /** Energy of one vector-unit op (activation, pooling compare...). */
+    double vecOpJ = 0.15e-12;
+
+    // ---- storage ----
+
+    /** GLB (multi-bank SRAM, 0.25-8 MB) access energy per byte. */
+    double glbJPerByte = 1.0e-12;
+
+    /** PE-local operand buffer access energy per byte. */
+    double bufJPerByte = 0.3e-12;
+
+    // ---- interconnect ----
+
+    /**
+     * On-chip NoC energy per byte per hop (router + wire). The paper cites
+     * "<0.1 pJ/bit" for on-chip lines; 0.08 pJ/bit == 0.64 pJ/byte.
+     */
+    double nocHopJPerByte = 0.64e-12;
+
+    /**
+     * D2D link energy per byte (clock-forwarded GRS, the paper's default
+     * D2D model): ~1 pJ/bit == 8 pJ/byte [Poulton et al. JSSC'19].
+     */
+    double d2dJPerByte = 8.0e-12;
+
+    /** DRAM access energy per byte (GDDR6 incl. PHY): ~6 pJ/bit. */
+    double dramJPerByte = 48.0e-12;
+
+    // ---- core microarchitecture ratios ----
+
+    /**
+     * Input-channel lanes of the NVDLA-style MAC array (the atomic-C
+     * dimension); K lanes are macsPerCore / lanesC.
+     */
+    int lanesC = 64;
+
+    /** Vector-unit lanes as a fraction of the MAC count (macs/16). */
+    int vecLaneDivisor = 16;
+
+    /** GLB read/write port width in bytes/cycle per MAC (macs/8 bytes). */
+    double glbBytesPerCyclePerMac = 0.125;
+
+    /** Weight operand buffer bytes per MAC (1024 MACs -> 32 KiB). */
+    double wbufBytesPerMac = 32.0;
+
+    /** Input operand buffer bytes per MAC. */
+    double ibufBytesPerMac = 8.0;
+
+    /** Accumulator buffer bytes per MAC (32-bit psums). */
+    double abufBytesPerMac = 12.0;
+};
+
+} // namespace gemini::arch
+
+#endif // GEMINI_ARCH_TECH_PARAMS_HH

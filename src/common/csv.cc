@@ -1,0 +1,83 @@
+#include "src/common/csv.hh"
+
+namespace gemini {
+
+namespace {
+
+/** Quote a cell if it contains CSV-special characters. */
+std::string
+escapeCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace
+
+CsvTable::CsvTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+CsvTable::beginRow()
+{
+    flushCurrent();
+}
+
+std::size_t
+CsvTable::rowCount() const
+{
+    return rows_.size() + (current_.empty() ? 0 : 1);
+}
+
+void
+CsvTable::flushCurrent() const
+{
+    if (!current_.empty()) {
+        rows_.push_back(current_);
+        current_.clear();
+    }
+}
+
+std::string
+CsvTable::toString() const
+{
+    flushCurrent();
+    std::string out;
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+        if (i)
+            out += ',';
+        out += escapeCell(headers_[i]);
+    }
+    out += '\n';
+    for (const auto &row : rows_) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out += ',';
+            out += escapeCell(row[i]);
+        }
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+CsvTable::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << toString();
+    return static_cast<bool>(f);
+}
+
+} // namespace gemini

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal CSV writer used by the benchmark harnesses to export figure data
+ * (e.g. Fig. 6 scatter series and Fig. 9 heatmaps).
+ */
+
+#ifndef GEMINI_COMMON_CSV_HH
+#define GEMINI_COMMON_CSV_HH
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace gemini {
+
+/**
+ * Buffered CSV table: collect rows in memory, then write to a file or
+ * stream. Values are stringified on insertion.
+ */
+class CsvTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit CsvTable(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls append cells to it. */
+    void beginRow();
+
+    /** Append one cell to the current row. */
+    template <typename T>
+    void
+    add(const T &value)
+    {
+        std::ostringstream oss;
+        oss << value;
+        current_.push_back(oss.str());
+    }
+
+    /** Convenience: append a whole row of streamable values. */
+    template <typename... Ts>
+    void
+    addRow(const Ts &...values)
+    {
+        beginRow();
+        (add(values), ...);
+    }
+
+    /** Number of completed + in-progress rows. */
+    std::size_t rowCount() const;
+
+    /** Serialize (headers + rows) as CSV text. */
+    std::string toString() const;
+
+    /** Write the CSV to a file; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    void flushCurrent() const;
+
+    std::vector<std::string> headers_;
+    mutable std::vector<std::vector<std::string>> rows_;
+    mutable std::vector<std::string> current_;
+};
+
+} // namespace gemini
+
+#endif // GEMINI_COMMON_CSV_HH

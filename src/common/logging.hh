@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Error-reporting helpers in the gem5 style.
+ *
+ * panic() is for conditions that indicate a bug in this library itself and
+ * aborts; fatal() is for user errors (bad configuration, invalid arguments)
+ * and exits cleanly with a non-zero status; warn()/inform() report status
+ * without stopping.
+ */
+
+#ifndef GEMINI_COMMON_LOGGING_HH
+#define GEMINI_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gemini {
+
+namespace detail {
+
+/** Compose a log line and emit it on stderr. */
+inline void
+emitLog(const char *level, const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "[%s] %s:%d: %s\n", level, file, line, msg.c_str());
+}
+
+/** Fold a sequence of stream-able values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+
+} // namespace gemini
+
+/** Report an internal invariant violation (a library bug) and abort. */
+#define GEMINI_PANIC(...)                                                    \
+    do {                                                                     \
+        ::gemini::detail::emitLog("panic", __FILE__, __LINE__,               \
+                                  ::gemini::detail::concat(__VA_ARGS__));    \
+        std::abort();                                                        \
+    } while (0)
+
+/** Report an unrecoverable user/configuration error and exit(1). */
+#define GEMINI_FATAL(...)                                                    \
+    do {                                                                     \
+        ::gemini::detail::emitLog("fatal", __FILE__, __LINE__,               \
+                                  ::gemini::detail::concat(__VA_ARGS__));    \
+        std::exit(1);                                                        \
+    } while (0)
+
+/** Report a suspicious-but-survivable condition. */
+#define GEMINI_WARN(...)                                                     \
+    ::gemini::detail::emitLog("warn", __FILE__, __LINE__,                    \
+                              ::gemini::detail::concat(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define GEMINI_ASSERT(cond, ...)                                             \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            GEMINI_PANIC("assertion failed: ", #cond, " ",                   \
+                         ::gemini::detail::concat(__VA_ARGS__));             \
+        }                                                                    \
+    } while (0)
+
+#endif // GEMINI_COMMON_LOGGING_HH

@@ -1,0 +1,106 @@
+#include "src/common/rng.hh"
+
+#include <cmath>
+
+namespace gemini {
+
+namespace {
+
+/** splitmix64 step used to expand the user seed into four state words. */
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &w : s_)
+        w = splitmix64(sm);
+    // All-zero state is the one invalid state for xoshiro; seed==specific
+    // values could in principle produce it, so guard.
+    if (!(s_[0] | s_[1] | s_[2] | s_[3]))
+        s_[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::int64_t
+Rng::nextInt(std::int64_t bound)
+{
+    GEMINI_ASSERT(bound > 0, "nextInt bound must be positive, got ", bound);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t ub = static_cast<std::uint64_t>(bound);
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % ub;
+    std::uint64_t draw;
+    do {
+        draw = next();
+    } while (draw >= limit);
+    return static_cast<std::int64_t>(draw % ub);
+}
+
+std::int64_t
+Rng::nextRange(std::int64_t lo, std::int64_t hi)
+{
+    GEMINI_ASSERT(lo <= hi, "nextRange lo>hi: ", lo, ">", hi);
+    return lo + nextInt(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 random mantissa bits.
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::size_t
+Rng::nextWeighted(const std::vector<double> &weights)
+{
+    GEMINI_ASSERT(!weights.empty(), "nextWeighted on empty weights");
+    double total = 0.0;
+    for (double w : weights) {
+        GEMINI_ASSERT(w >= 0.0, "negative weight ", w);
+        total += w;
+    }
+    GEMINI_ASSERT(total > 0.0, "nextWeighted requires a positive weight sum");
+    double draw = nextDouble() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        draw -= weights[i];
+        if (draw < 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+} // namespace gemini

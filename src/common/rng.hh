@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * The SA engine must be reproducible under a fixed seed across platforms, so
+ * we avoid std::mt19937's distribution objects (whose outputs are not
+ * guaranteed identical across standard libraries) and implement the few
+ * distributions we need directly.
+ */
+
+#ifndef GEMINI_COMMON_RNG_HH
+#define GEMINI_COMMON_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.hh"
+
+namespace gemini {
+
+/**
+ * Small, fast, deterministic RNG with helper draws used by the SA engine.
+ */
+class Rng
+{
+  public:
+    /** Seed with any 64-bit value; the state is expanded via splitmix64. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) — bound must be positive. */
+    std::int64_t nextInt(std::int64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability p of true. */
+    bool nextBool(double p);
+
+    /**
+     * Draw an index in [0, weights.size()) with probability proportional to
+     * weights[i]. Weights must be non-negative with a positive sum.
+     */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(nextInt(
+                static_cast<std::int64_t>(i)));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace gemini
+
+#endif // GEMINI_COMMON_RNG_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Constants of the Monetary Cost Evaluator (Sec. V-C). The paper publishes
+ * the formulas and several constants (yield 0.9 per 40 mm^2 unit at 12 nm,
+ * GDDR6 $3.5 per 32 GB/s die, 0.005 $/mm^2 fan-out substrate, tiered
+ * high-density substrate pricing, the empirical substrate scaling factor);
+ * the area coefficients are calibrated so the published qualitative facts
+ * hold (S-Arch spends ~40% of computing-chiplet area on D2D interfaces —
+ * Sec. VI-B1).
+ */
+
+#ifndef GEMINI_COST_COST_PARAMS_HH
+#define GEMINI_COST_COST_PARAMS_HH
+
+#include <vector>
+
+namespace gemini::cost {
+
+/** One pricing tier of the high-density organic substrate. */
+struct SubstrateTier
+{
+    double maxAreaMm2;       ///< tier applies below this substrate area
+    double dollarPerMm2;
+};
+
+struct CostParams
+{
+    // ---- silicon ----
+
+    /** 12 nm good-wafer cost amortized per mm^2 (pre-yield). */
+    double siliconDollarPerMm2 = 0.12;
+
+    /** Yield of one unit area (the paper: 0.9 at 12 nm). */
+    double yieldUnit = 0.9;
+
+    /** Unit area of the yield model (the paper: 40 mm^2). */
+    double unitAreaMm2 = 40.0;
+
+    // ---- area model (12 nm) ----
+
+    /** PE-array area per 8-bit MAC (1024 MACs ~= 0.51 mm^2). */
+    double macAreaMm2 = 0.0005;
+
+    /** SRAM macro area per MiB of GLB. */
+    double glbAreaMm2PerMiB = 1.3;
+
+    /** Router + DMA + control overhead per core. */
+    double coreFixedAreaMm2 = 0.15;
+
+    /** D2D PHY+controller area: base + bandwidth-proportional part. */
+    double d2dAreaBaseMm2 = 0.05;
+    double d2dAreaPerGBps = 0.025;
+
+    /** IO chiplet: fixed controller area + DRAM PHY per GB/s. */
+    double ioChipletFixedMm2 = 8.0;
+    double ioPhyAreaPerGBps = 0.03;
+
+    // ---- DRAM ----
+
+    /** Bandwidth of one DRAM die (GDDR6: 32 GB/s). */
+    double dramUnitBwGBps = 32.0;
+
+    /** Price of one DRAM die (the paper: $3.5). */
+    double dramDiePrice = 3.5;
+
+    // ---- packaging ----
+
+    /** Substrate area = total silicon area x this empirical factor. */
+    double substrateScale = 4.0;
+
+    /** Assembly/bonding yield per die placed on the substrate. */
+    double packageYieldPerDie = 0.99;
+
+    /** Fan-out substrate $/mm^2 for monolithic chips (the paper: 0.005). */
+    double monolithicSubstrateDollarPerMm2 = 0.005;
+
+    /**
+     * Tiered $/mm^2 of the high-density organic substrate needed once
+     * chiplets are used; larger substrates need more layers.
+     */
+    std::vector<SubstrateTier> chipletSubstrateTiers{
+        {1000.0, 0.010},
+        {2000.0, 0.015},
+        {4000.0, 0.020},
+        {1e18, 0.030},
+    };
+};
+
+} // namespace gemini::cost
+
+#endif // GEMINI_COST_COST_PARAMS_HH

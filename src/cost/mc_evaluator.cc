@@ -1,0 +1,119 @@
+#include "src/cost/mc_evaluator.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.hh"
+#include "src/common/math_util.hh"
+
+namespace gemini::cost {
+
+McEvaluator::McEvaluator(CostParams params) : params_(std::move(params))
+{
+    GEMINI_ASSERT(!params_.chipletSubstrateTiers.empty(),
+                  "substrate tiers must be configured");
+}
+
+double
+McEvaluator::coreAreaMm2(int macs_per_core, int glb_kib) const
+{
+    return params_.macAreaMm2 * macs_per_core +
+           params_.glbAreaMm2PerMiB * (glb_kib / 1024.0) +
+           params_.coreFixedAreaMm2;
+}
+
+double
+McEvaluator::d2dAreaMm2(double d2d_bw_gbps) const
+{
+    return params_.d2dAreaBaseMm2 + params_.d2dAreaPerGBps * d2d_bw_gbps;
+}
+
+double
+McEvaluator::dieYield(double area_mm2) const
+{
+    return std::pow(params_.yieldUnit, area_mm2 / params_.unitAreaMm2);
+}
+
+Dollars
+McEvaluator::siliconDollars(double area_mm2) const
+{
+    return area_mm2 / dieYield(area_mm2) * params_.siliconDollarPerMm2;
+}
+
+CostBreakdown
+McEvaluator::evaluate(const arch::ArchConfig &cfg) const
+{
+    GEMINI_ASSERT(cfg.validate().empty(), "invalid arch for MC evaluation");
+    CostBreakdown bd;
+
+    const bool monolithic = cfg.chipletCount() == 1;
+    const int cores_per_chiplet =
+        cfg.chipletCoresX() * cfg.chipletCoresY();
+    const double core_area = coreAreaMm2(cfg.macsPerCore, cfg.glbKiB);
+
+    // ---- computing chiplets ----
+    double d2d_area = 0.0;
+    if (!monolithic)
+        d2d_area = cfg.d2dPerChiplet() * d2dAreaMm2(cfg.d2dBwGBps);
+    double compute_die = cores_per_chiplet * core_area + d2d_area;
+
+    // A monolithic chip carries the DRAM PHY and IO controller on-die.
+    const double io_phy_area =
+        params_.ioChipletFixedMm2 +
+        params_.ioPhyAreaPerGBps * cfg.dramBwGBps / cfg.dramCount;
+    int total_dies = cfg.chipletCount();
+    double io_die_area = 0.0;
+    if (monolithic) {
+        compute_die += io_phy_area * cfg.dramCount;
+    } else {
+        // IO chiplets also carry D2D ports toward the mesh edge rows.
+        io_die_area = io_phy_area +
+                      cfg.yCores * d2dAreaMm2(cfg.d2dBwGBps);
+        total_dies += cfg.dramCount;
+    }
+
+    bd.computeDieAreaMm2 = compute_die;
+    bd.computeDieYield = dieYield(compute_die);
+    bd.d2dAreaFraction = d2d_area > 0.0 ? d2d_area / compute_die : 0.0;
+    bd.computeSilicon = cfg.chipletCount() * siliconDollars(compute_die);
+    bd.ioSilicon =
+        monolithic ? 0.0 : cfg.dramCount * siliconDollars(io_die_area);
+    bd.totalSiliconAreaMm2 = cfg.chipletCount() * compute_die +
+                             (monolithic ? 0.0
+                                         : cfg.dramCount * io_die_area);
+
+    // ---- DRAM ----
+    const auto dram_dies = static_cast<int>(std::ceil(
+        cfg.dramBwGBps / params_.dramUnitBwGBps));
+    bd.dram = dram_dies * params_.dramDiePrice;
+
+    // ---- packaging ----
+    const double substrate_area =
+        bd.totalSiliconAreaMm2 * params_.substrateScale;
+    double dollar_per_mm2 = params_.monolithicSubstrateDollarPerMm2;
+    if (!monolithic) {
+        for (const auto &tier : params_.chipletSubstrateTiers) {
+            dollar_per_mm2 = tier.dollarPerMm2;
+            if (substrate_area < tier.maxAreaMm2)
+                break;
+        }
+    }
+    const double package_yield =
+        std::pow(params_.packageYieldPerDie, total_dies);
+    bd.package = substrate_area * dollar_per_mm2 / package_yield;
+    return bd;
+}
+
+std::string
+McEvaluator::describe(const CostBreakdown &bd)
+{
+    std::ostringstream oss;
+    oss << "$" << bd.total() << " (compute $" << bd.computeSilicon
+        << ", io $" << bd.ioSilicon << ", dram $" << bd.dram
+        << ", package $" << bd.package << "; die " << bd.computeDieAreaMm2
+        << " mm^2, yield " << bd.computeDieYield << ", d2d "
+        << bd.d2dAreaFraction * 100.0 << "%)";
+    return oss.str();
+}
+
+} // namespace gemini::cost

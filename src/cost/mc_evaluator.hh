@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Monetary Cost Evaluator (Sec. V-C): chiplet silicon cost with
+ * area-dependent yield, DRAM die cost, and packaging/substrate cost. MC
+ * depends only on the architecture parameters, never on the workload.
+ */
+
+#ifndef GEMINI_COST_MC_EVALUATOR_HH
+#define GEMINI_COST_MC_EVALUATOR_HH
+
+#include <string>
+
+#include "src/arch/arch_config.hh"
+#include "src/common/types.hh"
+#include "src/cost/cost_params.hh"
+
+namespace gemini::cost {
+
+/** Full MC breakdown of one architecture (the Fig. 5/8 categories). */
+struct CostBreakdown
+{
+    Dollars computeSilicon = 0.0; ///< computing chiplets (yield-adjusted)
+    Dollars ioSilicon = 0.0;      ///< IO chiplets (zero when monolithic)
+    Dollars dram = 0.0;
+    Dollars package = 0.0;        ///< substrate + assembly yield
+
+    // Area diagnostics (Fig. 8(a) reports yield and total area).
+    double computeDieAreaMm2 = 0.0; ///< one computing chiplet
+    double totalSiliconAreaMm2 = 0.0;
+    double computeDieYield = 1.0;
+    double d2dAreaFraction = 0.0;   ///< D2D share of one computing chiplet
+
+    Dollars
+    total() const
+    {
+        return computeSilicon + ioSilicon + dram + package;
+    }
+
+    /** "Chiplet manufacturing" in the paper's MC breakdown figures. */
+    Dollars silicon() const { return computeSilicon + ioSilicon; }
+};
+
+/**
+ * Evaluates the production cost of an architecture candidate.
+ */
+class McEvaluator
+{
+  public:
+    explicit McEvaluator(CostParams params = {});
+
+    const CostParams &params() const { return params_; }
+
+    /** Logic + SRAM area of one computing core. */
+    double coreAreaMm2(int macs_per_core, int glb_kib) const;
+
+    /** Area of one D2D interface at the given per-link bandwidth. */
+    double d2dAreaMm2(double d2d_bw_gbps) const;
+
+    /** Die yield under the paper's Y_unit^(A/A_unit) model. */
+    double dieYield(double area_mm2) const;
+
+    /** Yield-adjusted silicon dollars for one die of the given area. */
+    Dollars siliconDollars(double area_mm2) const;
+
+    /** Full MC evaluation of an architecture. */
+    CostBreakdown evaluate(const arch::ArchConfig &cfg) const;
+
+    /** One-line summary for reports. */
+    static std::string describe(const CostBreakdown &bd);
+
+  private:
+    CostParams params_;
+};
+
+} // namespace gemini::cost
+
+#endif // GEMINI_COST_MC_EVALUATOR_HH

@@ -1,0 +1,186 @@
+#include "src/dnn/graph.hh"
+
+#include <sstream>
+
+#include "src/common/logging.hh"
+
+namespace gemini::dnn {
+
+Graph::Graph(std::string name, std::int64_t input_c, std::int64_t input_h,
+             std::int64_t input_w)
+    : name_(std::move(name)), inputC_(input_c), inputH_(input_h),
+      inputW_(input_w)
+{
+    GEMINI_ASSERT(input_c > 0 && input_h > 0 && input_w > 0,
+                  "graph input dims must be positive");
+}
+
+LayerId
+Graph::add(Layer layer)
+{
+    GEMINI_ASSERT(!finalized_, "cannot add layers after finalize()");
+    const LayerId id = static_cast<LayerId>(layers_.size());
+    for (LayerId in : layer.inputs) {
+        if (in < 0 || in >= id)
+            GEMINI_FATAL("layer ", layer.name, " references invalid input ",
+                         in);
+    }
+
+    // Record per-input channel widths (used by Concat projection).
+    layer.inputChannels.clear();
+    for (LayerId in : layer.inputs)
+        layer.inputChannels.push_back(layers_[in].k);
+    if (layer.inputs.empty())
+        layer.inputChannels.push_back(inputC_);
+
+    // Cross-check the declared ifmap against the producers.
+    std::int64_t pc = 0, ph = 0, pw = 0;
+    if (layer.inputs.empty()) {
+        pc = inputC_;
+        ph = inputH_;
+        pw = inputW_;
+    } else {
+        const Layer &first = layers_[layer.inputs.front()];
+        ph = first.h;
+        pw = first.w;
+        if (layer.kind == LayerKind::Concat) {
+            for (LayerId in : layer.inputs)
+                pc += layers_[in].k;
+        } else {
+            pc = first.k;
+        }
+    }
+    if (layer.kind == LayerKind::Matmul) {
+        // Operand A defines (c, ih); operand B's shape is validated below.
+        const Layer &a = layers_[layer.inputs.at(0)];
+        const Layer &b = layers_[layer.inputs.at(1)];
+        if (layer.c != a.k || layer.ih != a.h)
+            GEMINI_FATAL("matmul ", layer.name,
+                         " operand A shape mismatch: expected c=", a.k,
+                         " ih=", a.h, ", declared c=", layer.c,
+                         " ih=", layer.ih);
+        const std::int64_t want_b_c = layer.transposeB ? layer.c : layer.k;
+        if (b.k != want_b_c || b.h != layer.ih2())
+            GEMINI_FATAL("matmul ", layer.name,
+                         " operand B shape mismatch: have (", b.k, ",", b.h,
+                         "), want (", want_b_c, ",", layer.ih2(), ")");
+    } else {
+        if (layer.c != pc || layer.ih != ph || layer.iw != pw)
+            GEMINI_FATAL("layer ", layer.name, " declared ifmap (", layer.c,
+                         ",", layer.ih, ",", layer.iw,
+                         ") does not match producers (", pc, ",", ph, ",", pw,
+                         ")");
+    }
+
+    const std::string err = layer.checkValid();
+    if (!err.empty())
+        GEMINI_FATAL("invalid layer: ", err);
+
+    layers_.push_back(std::move(layer));
+    consumers_.emplace_back();
+    for (LayerId in : layers_.back().inputs)
+        consumers_[in].push_back(id);
+    return id;
+}
+
+void
+Graph::finalize()
+{
+    GEMINI_ASSERT(!finalized_, "finalize() called twice");
+    GEMINI_ASSERT(!layers_.empty(), "cannot finalize an empty graph");
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        if (consumers_[i].empty())
+            layers_[i].isOutput = true;
+    }
+    finalized_ = true;
+}
+
+const Layer &
+Graph::layer(LayerId id) const
+{
+    GEMINI_ASSERT(id >= 0 && static_cast<std::size_t>(id) < layers_.size(),
+                  "layer id out of range: ", id);
+    return layers_[id];
+}
+
+const std::vector<LayerId> &
+Graph::consumers(LayerId id) const
+{
+    GEMINI_ASSERT(id >= 0 && static_cast<std::size_t>(id) < layers_.size(),
+                  "layer id out of range: ", id);
+    return consumers_[id];
+}
+
+bool
+Graph::readsExternalInput(LayerId id) const
+{
+    return layer(id).inputs.empty();
+}
+
+void
+Graph::producerShape(LayerId id, std::int64_t &c, std::int64_t &h,
+                     std::int64_t &w) const
+{
+    if (id < 0) {
+        c = inputC_;
+        h = inputH_;
+        w = inputW_;
+        return;
+    }
+    const Layer &l = layer(id);
+    c = l.k;
+    h = l.h;
+    w = l.w;
+}
+
+OpCount
+Graph::totalMacs() const
+{
+    OpCount total = 0;
+    for (const auto &l : layers_)
+        total += l.macsPerSample();
+    return total;
+}
+
+Bytes
+Graph::totalWeightBytes() const
+{
+    Bytes total = 0;
+    for (const auto &l : layers_)
+        total += l.weightBytes();
+    return total;
+}
+
+std::string
+Graph::summary() const
+{
+    std::ostringstream oss;
+    oss << name_ << ": " << layers_.size() << " layers, input (" << inputC_
+        << "," << inputH_ << "," << inputW_ << "), "
+        << totalMacs() / 1.0e9 << " GMACs/sample, "
+        << totalWeightBytes() / 1.0e6 << " MB weights\n";
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+        const Layer &l = layers_[i];
+        oss << "  [" << i << "] " << layerKindName(l.kind) << " " << l.name
+            << " out(" << l.k << "," << l.h << "," << l.w << ") in(" << l.c
+            << "," << l.ih << "," << l.iw << ")";
+        if (l.kind == LayerKind::Conv || l.kind == LayerKind::Pool) {
+            oss << " k" << l.r << "x" << l.s << "s" << l.strideH;
+            if (l.groups > 1)
+                oss << " g" << l.groups;
+        }
+        if (!l.inputs.empty()) {
+            oss << " <-";
+            for (LayerId in : l.inputs)
+                oss << " " << in;
+        } else {
+            oss << " <- INPUT";
+        }
+        if (l.isOutput)
+            oss << " [OUT]";
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+} // namespace gemini::dnn

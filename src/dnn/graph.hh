@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The DNN DAG: an append-only list of layers in topological order, with
+ * consumer tracking, whole-network statistics and validation. This is the
+ * input object of the Gemini mapping engine (the paper's "Model Parser"
+ * output).
+ */
+
+#ifndef GEMINI_DNN_GRAPH_HH
+#define GEMINI_DNN_GRAPH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/dnn/layer.hh"
+
+namespace gemini::dnn {
+
+/**
+ * A directed acyclic graph of layers. Layers are stored in the order they
+ * were added, which is by construction a topological order (a layer may only
+ * reference already-added producers).
+ */
+class Graph
+{
+  public:
+    /**
+     * @param name     model name for reports
+     * @param input_c  external input channels
+     * @param input_h  external input height
+     * @param input_w  external input width
+     */
+    Graph(std::string name, std::int64_t input_c, std::int64_t input_h,
+          std::int64_t input_w);
+
+    /**
+     * Append a layer. Its `inputs` must reference existing layer ids; an
+     * empty `inputs` list means the layer reads the external DNN input.
+     * Fills in `inputChannels` and cross-checks shape arithmetic against
+     * the producers; calls GEMINI_FATAL on inconsistency.
+     *
+     * @return the id of the new layer
+     */
+    LayerId add(Layer layer);
+
+    /**
+     * Finish construction: mark sink layers as network outputs and run a
+     * final validation sweep. Must be called once before the graph is used
+     * by the mapping engine.
+     */
+    void finalize();
+
+    const std::string &name() const { return name_; }
+    std::int64_t inputC() const { return inputC_; }
+    std::int64_t inputH() const { return inputH_; }
+    std::int64_t inputW() const { return inputW_; }
+
+    /** Number of layers. */
+    std::size_t size() const { return layers_.size(); }
+
+    const Layer &layer(LayerId id) const;
+    const std::vector<Layer> &layers() const { return layers_; }
+
+    /** Ids of layers that consume `id`'s ofmap. */
+    const std::vector<LayerId> &consumers(LayerId id) const;
+
+    /** True if the layer reads the external network input. */
+    bool readsExternalInput(LayerId id) const;
+
+    /** Shape of producer `id`'s ofmap, or the external input for id < 0. */
+    void producerShape(LayerId id, std::int64_t &c, std::int64_t &h,
+                       std::int64_t &w) const;
+
+    /** Whole-network MACs per batch sample. */
+    OpCount totalMacs() const;
+
+    /** Whole-network weight footprint in bytes. */
+    Bytes totalWeightBytes() const;
+
+    /** One-line-per-layer human-readable description. */
+    std::string summary() const;
+
+    bool finalized() const { return finalized_; }
+
+  private:
+    std::string name_;
+    std::int64_t inputC_, inputH_, inputW_;
+    std::vector<Layer> layers_;
+    std::vector<std::vector<LayerId>> consumers_;
+    bool finalized_ = false;
+};
+
+} // namespace gemini::dnn
+
+#endif // GEMINI_DNN_GRAPH_HH

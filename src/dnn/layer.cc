@@ -1,0 +1,312 @@
+#include "src/dnn/layer.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/logging.hh"
+
+namespace gemini::dnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "Conv";
+      case LayerKind::FC: return "FC";
+      case LayerKind::Pool: return "Pool";
+      case LayerKind::Eltwise: return "Eltwise";
+      case LayerKind::Concat: return "Concat";
+      case LayerKind::Matmul: return "Matmul";
+      case LayerKind::Softmax: return "Softmax";
+      case LayerKind::LayerNorm: return "LayerNorm";
+    }
+    return "?";
+}
+
+std::int64_t
+Layer::ifmapVolume() const
+{
+    if (kind == LayerKind::Matmul) {
+        // Two activation operands; see requiredInput() for the layout.
+        const std::int64_t in0 = c * ih * iw;
+        const std::int64_t in1 =
+            (transposeB ? c : k) * ih2();
+        return in0 + in1;
+    }
+    return c * ih * iw;
+}
+
+std::int64_t
+Layer::weightCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::FC:
+        return k * (c / groups) * r * s;
+      default:
+        return 0;
+    }
+}
+
+Bytes
+Layer::weightBytes() const
+{
+    if (!hasWeights())
+        return 0;
+    // 8-bit weights plus a 32-bit bias/BN-scale pair per output channel.
+    return weightCount() + 4 * k;
+}
+
+OpCount
+Layer::macsPerSample() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::FC:
+        return ofmapVolume() * (c / groups) * r * s;
+      case LayerKind::Matmul:
+        return ofmapVolume() * transposedInner();
+      default:
+        return 0;
+    }
+}
+
+OpCount
+Layer::vectorOpsPerSample() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::FC:
+      case LayerKind::Matmul:
+        // Fused bias / BN / activation on the vector unit.
+        return ofmapVolume();
+      case LayerKind::Pool:
+        return ofmapVolume() * r * s;
+      case LayerKind::Eltwise:
+        return ofmapVolume() *
+               static_cast<OpCount>(std::max<std::size_t>(inputs.size(), 2));
+      case LayerKind::Concat:
+        return ofmapVolume();
+      case LayerKind::Softmax:
+      case LayerKind::LayerNorm:
+        // exp/max/sum/normalize passes.
+        return 4 * ofmapVolume();
+    }
+    return 0;
+}
+
+bool
+Layer::hasWeights() const
+{
+    return kind == LayerKind::Conv || kind == LayerKind::FC;
+}
+
+namespace {
+
+/** Expand a channel range to the enclosing whole-group boundaries. */
+void
+expandToGroups(std::int64_t lo, std::int64_t hi, std::int64_t per_group,
+               std::int64_t &out_lo, std::int64_t &out_hi)
+{
+    out_lo = (lo / per_group) * per_group;
+    out_hi = ((hi + per_group - 1) / per_group) * per_group;
+}
+
+} // namespace
+
+Region
+Layer::requiredInput(std::size_t input_idx, const Region &out) const
+{
+    GEMINI_ASSERT(input_idx < std::max<std::size_t>(inputs.size(), 1),
+                  "requiredInput index out of range for layer ", name);
+    Region in;
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::FC:
+      case LayerKind::Pool: {
+        // Receptive-field projection with clamping into the ifmap.
+        in.h0 = out.h0 * strideH - padH;
+        in.h1 = (out.h1 - 1) * strideH - padH + r;
+        in.w0 = out.w0 * strideW - padW;
+        in.w1 = (out.w1 - 1) * strideW - padW + s;
+        if (kind == LayerKind::Pool) {
+            // Channels map 1:1 through pooling.
+            in.c0 = out.c0;
+            in.c1 = out.c1;
+        } else if (groups == 1) {
+            in.c0 = 0;
+            in.c1 = c;
+        } else {
+            // Grouped conv: k-range selects groups; each group consumes its
+            // own c/groups channel slice.
+            const std::int64_t k_per_g = k / groups;
+            const std::int64_t c_per_g = c / groups;
+            const std::int64_t g0 = out.c0 / k_per_g;
+            const std::int64_t g1 = (out.c1 + k_per_g - 1) / k_per_g;
+            in.c0 = g0 * c_per_g;
+            in.c1 = g1 * c_per_g;
+        }
+        return in.clampTo(c, ih, iw);
+      }
+      case LayerKind::Eltwise:
+        // All operands are consumed point-for-point.
+        return out;
+      case LayerKind::Concat: {
+        // Input input_idx owns channel slice [off, off + width).
+        std::int64_t off = 0;
+        for (std::size_t i = 0; i < input_idx; ++i)
+            off += inputChannels[i];
+        const std::int64_t width = inputChannels[input_idx];
+        Region r_in = out;
+        r_in.c0 = std::max<std::int64_t>(out.c0 - off, 0);
+        r_in.c1 = std::min<std::int64_t>(out.c1 - off, width);
+        if (r_in.c1 <= r_in.c0)
+            return {0, 0, 0, 0, 0, 0};
+        return r_in;
+      }
+      case LayerKind::Matmul: {
+        const std::int64_t n_per_head = k / heads;
+        std::int64_t head_c0, head_c1;
+        expandToGroups(out.c0, out.c1, n_per_head, head_c0, head_c1);
+        const std::int64_t h0_head = head_c0 / n_per_head;
+        const std::int64_t h1_head = head_c1 / n_per_head;
+        if (input_idx == 0) {
+            // Operand A, stored (heads * M) x Lq: the touched heads' full
+            // inner-dim slices, for the output token rows only.
+            const std::int64_t m_per_head = c / heads;
+            in.c0 = h0_head * m_per_head;
+            in.c1 = h1_head * m_per_head;
+            in.h0 = out.h0;
+            in.h1 = out.h1;
+            in.w0 = 0;
+            in.w1 = iw;
+            return in;
+        }
+        if (transposeB) {
+            // Operand B stored (heads * M) x N; output columns index B's
+            // token rows. A k-range confined to one head touches exactly
+            // those rows; a range spanning heads conservatively takes all.
+            const std::int64_t m_per_head = c / heads;
+            in.c0 = h0_head * m_per_head;
+            in.c1 = h1_head * m_per_head;
+            if (h1_head - h0_head == 1) {
+                in.h0 = out.c0 - h0_head * n_per_head;
+                in.h1 = out.c1 - h0_head * n_per_head;
+            } else {
+                in.h0 = 0;
+                in.h1 = n_per_head;
+            }
+            in.w0 = 0;
+            in.w1 = 1;
+            return in;
+        }
+        // Operand B stored (heads * N) x M; output channels map 1:1 onto
+        // B's channels, and the whole inner dim (B's token rows) is needed.
+        in.c0 = out.c0;
+        in.c1 = out.c1;
+        in.h0 = 0;
+        in.h1 = ih2();
+        in.w0 = 0;
+        in.w1 = 1;
+        return in;
+      }
+      case LayerKind::Softmax: {
+        // Normalization runs over each head's full column range.
+        const std::int64_t per_head = k / heads;
+        expandToGroups(out.c0, out.c1, per_head, in.c0, in.c1);
+        in.h0 = out.h0;
+        in.h1 = out.h1;
+        in.w0 = out.w0;
+        in.w1 = out.w1;
+        return in;
+      }
+      case LayerKind::LayerNorm:
+        // Per-token statistics need every channel of the touched tokens.
+        in.c0 = 0;
+        in.c1 = c;
+        in.h0 = out.h0;
+        in.h1 = out.h1;
+        in.w0 = out.w0;
+        in.w1 = out.w1;
+        return in;
+    }
+    GEMINI_PANIC("unhandled layer kind in requiredInput");
+}
+
+std::string
+Layer::checkValid() const
+{
+    std::ostringstream err;
+    auto fail = [&](auto &&...msg) {
+        ((err << msg), ...);
+        return err.str();
+    };
+    if (k <= 0 || h <= 0 || w <= 0)
+        return fail(name, ": non-positive ofmap dims");
+    if (c <= 0 || ih <= 0 || iw <= 0)
+        return fail(name, ": non-positive ifmap dims");
+    if (r <= 0 || s <= 0 || strideH <= 0 || strideW <= 0)
+        return fail(name, ": non-positive window/stride");
+    if (padH < 0 || padW < 0)
+        return fail(name, ": negative padding");
+    switch (kind) {
+      case LayerKind::Conv:
+      case LayerKind::FC:
+        if (groups < 1 || c % groups || k % groups)
+            return fail(name, ": groups must divide c and k");
+        if (h != (ih + 2 * padH - r) / strideH + 1)
+            return fail(name, ": conv height arithmetic mismatch");
+        if (w != (iw + 2 * padW - s) / strideW + 1)
+            return fail(name, ": conv width arithmetic mismatch");
+        break;
+      case LayerKind::Pool:
+        if (c != k)
+            return fail(name, ": pool must preserve channels");
+        if (h != (ih + 2 * padH - r) / strideH + 1)
+            return fail(name, ": pool height arithmetic mismatch");
+        if (w != (iw + 2 * padW - s) / strideW + 1)
+            return fail(name, ": pool width arithmetic mismatch");
+        break;
+      case LayerKind::Eltwise:
+        if (inputs.size() < 2)
+            return fail(name, ": eltwise needs >=2 inputs");
+        if (c != k || ih != h || iw != w)
+            return fail(name, ": eltwise must preserve shape");
+        break;
+      case LayerKind::Concat: {
+        if (inputs.size() < 2)
+            return fail(name, ": concat needs >=2 inputs");
+        if (inputChannels.size() != inputs.size())
+            return fail(name, ": concat inputChannels not recorded");
+        std::int64_t sum = 0;
+        for (auto ch : inputChannels)
+            sum += ch;
+        if (sum != k || c != k || ih != h || iw != w)
+            return fail(name, ": concat channel bookkeeping broken");
+        break;
+      }
+      case LayerKind::Matmul:
+        if (inputs.size() != 2)
+            return fail(name, ": matmul needs exactly 2 inputs");
+        if (heads < 1 || c % heads || k % heads)
+            return fail(name, ": heads must divide both channel dims");
+        if (w != 1 || iw != 1)
+            return fail(name, ": matmul layers are token-major (w == 1)");
+        break;
+      case LayerKind::Softmax:
+        if (heads < 1 || k % heads)
+            return fail(name, ": heads must divide channels");
+        [[fallthrough]];
+      case LayerKind::LayerNorm:
+        if (c != k || ih != h || iw != w)
+            return fail(name, ": normalization must preserve shape");
+        break;
+    }
+    // External-input layers record one entry (the network input width).
+    if (!inputChannels.empty() &&
+        inputChannels.size() != std::max<std::size_t>(inputs.size(), 1))
+        return fail(name, ": inputChannels size mismatch");
+    return {};
+}
+
+} // namespace gemini::dnn

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The Layer node of a DNN DAG, together with the dependency-projection math
+ * that the LP SPM analyzer relies on: given an output region of this layer,
+ * which region of each input feature map is required to compute it?
+ */
+
+#ifndef GEMINI_DNN_LAYER_HH
+#define GEMINI_DNN_LAYER_HH
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/dnn/tensor.hh"
+
+namespace gemini::dnn {
+
+/**
+ * Operator kinds supported by the cost model. Batch-norm / bias / activation
+ * are assumed fused into the producing Conv/FC (executed on the vector unit,
+ * as in the paper's core template) and are accounted as vector ops.
+ */
+enum class LayerKind
+{
+    Conv,      ///< (grouped) convolution; groups==c makes it depthwise
+    FC,        ///< fully connected / 1x1 GEMM over tokens or a flat vector
+    Pool,      ///< max/avg pooling (no weights, vector unit)
+    Eltwise,   ///< elementwise combine of >=2 same-shape inputs
+    Concat,    ///< channel-wise concatenation (pure data movement)
+    Matmul,    ///< activation x activation GEMM (attention scores / context)
+    Softmax,   ///< row-wise softmax over the within-head column dim
+    LayerNorm, ///< per-token normalization over channels
+};
+
+/** Human-readable kind name (for reports and graph dumps). */
+const char *layerKindName(LayerKind kind);
+
+/**
+ * One node of the DNN DAG.
+ *
+ * Geometry convention: the ofmap of every layer is a (k x h x w) map per
+ * batch sample; the ifmap is (c x ih x iw). GEMM-shaped operators are
+ * expressed in the same coordinates (tokens on the h axis, features on the
+ * channel axis), which is exactly how the paper's encoding treats them: the
+ * Partition attribute always splits the 4-D output cube (H, W, B, K).
+ */
+struct Layer
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+
+    /** Producer layers; empty means this layer reads the DNN input. */
+    std::vector<LayerId> inputs;
+
+    // Ofmap geometry (per sample).
+    std::int64_t k = 0; ///< output channels
+    std::int64_t h = 0; ///< output height (tokens for GEMM-shaped layers)
+    std::int64_t w = 0; ///< output width
+
+    // Ifmap geometry (per sample). For multi-input layers, c is the total
+    // channel count across inputs (Concat/Eltwise/Matmul document their own
+    // interpretation below).
+    std::int64_t c = 0;  ///< input channels
+    std::int64_t ih = 0; ///< input height
+    std::int64_t iw = 0; ///< input width
+
+    // Convolution / pooling window.
+    std::int64_t r = 1, s = 1;           ///< kernel height/width
+    std::int64_t strideH = 1, strideW = 1;
+    std::int64_t padH = 0, padW = 0;
+
+    /** Channel groups for grouped/depthwise conv (divides both c and k). */
+    std::int64_t groups = 1;
+
+    /**
+     * Attention heads for Matmul/Softmax layers. For Matmul the output
+     * channel axis is laid out head-major: k = heads * colsPerHead.
+     */
+    std::int64_t heads = 1;
+
+    /**
+     * Matmul operand-B orientation. With transposeB (attention scores
+     * Q @ K^T), operand B is stored like operand A — (heads*M) channels by
+     * N token rows — and the output columns index B's rows. Without it
+     * (attention context A @ V), B is stored (heads*N) channels by M rows
+     * and output channels map 1:1 onto B's channels. The inner dimension M
+     * is always c / heads (operand A's per-head channel count).
+     */
+    bool transposeB = false;
+
+    /**
+     * Per-input channel widths, in input order. Required for Concat (the
+     * channel offsets) and recorded by the graph builder for every
+     * multi-input layer.
+     */
+    std::vector<std::int64_t> inputChannels;
+
+    /** True for layers whose output leaves the DNN (classifier logits...). */
+    bool isOutput = false;
+
+    // ------------------------------------------------------------------
+    // Derived quantities
+    // ------------------------------------------------------------------
+
+    /** Ofmap elements per batch sample. */
+    std::int64_t ofmapVolume() const { return k * h * w; }
+
+    /** Ifmap elements per batch sample (sum over all inputs). */
+    std::int64_t ifmapVolume() const;
+
+    /** Weight parameter count (0 for weight-less kinds). */
+    std::int64_t weightCount() const;
+
+    /** Weight footprint in bytes (8-bit weights + 32-bit bias per k). */
+    Bytes weightBytes() const;
+
+    /** MAC operations per batch sample (0 for vector-only kinds). */
+    OpCount macsPerSample() const;
+
+    /** Vector-unit operations per batch sample (pool/eltwise/act/norm). */
+    OpCount vectorOpsPerSample() const;
+
+    /** True if this layer kind carries trainable weights. */
+    bool hasWeights() const;
+
+    /** Matmul inner dimension M (operand A's per-head channels). */
+    std::int64_t transposedInner() const { return c / heads; }
+
+    /** Matmul operand-B token-row count. */
+    std::int64_t
+    ih2() const
+    {
+        return transposeB ? k / heads : c / heads;
+    }
+
+    /**
+     * Project an output region onto input `input_idx`, returning the region
+     * of that producer's ofmap that must be available. Conv/Pool expand by
+     * the receptive field; Concat offsets channels; Matmul/Softmax follow
+     * the head-major layout documented in DESIGN.md.
+     */
+    Region requiredInput(std::size_t input_idx, const Region &out) const;
+
+    /**
+     * Sanity-check internal consistency (dims positive, groups divide
+     * channels, window arithmetic matches ih/iw...). Returns an error
+     * message, or an empty string when valid.
+     */
+    std::string checkValid() const;
+};
+
+} // namespace gemini::dnn
+
+#endif // GEMINI_DNN_LAYER_HH

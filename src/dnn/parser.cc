@@ -1,0 +1,286 @@
+#include "src/dnn/parser.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn {
+
+namespace {
+
+/** Parse failure carrying the offending line for the error message. */
+struct ParseError
+{
+    int line;
+    std::string reason;
+};
+
+/** Tokenized directive: opcode, layer name, key=value attributes. */
+struct Directive
+{
+    std::string op;
+    std::string name;
+    std::map<std::string, std::string> attrs;
+};
+
+bool
+tokenize(const std::string &line, int line_no, Directive &out,
+         ParseError &err)
+{
+    std::istringstream iss(line);
+    std::vector<std::string> tokens;
+    std::string tok;
+    while (iss >> tok) {
+        if (tok[0] == '#')
+            break;
+        tokens.push_back(tok);
+    }
+    if (tokens.empty())
+        return false; // blank/comment line: caller skips
+    if (tokens.size() < 2) {
+        err = {line_no, "directive needs an opcode and a name"};
+        out.op = "!error";
+        return true;
+    }
+    out.op = tokens[0];
+    out.name = tokens[1];
+    if (out.op == "model")
+        return true; // positional dims parsed by the model branch
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        const auto eq = tokens[i].find('=');
+        if (eq == std::string::npos || eq == 0) {
+            err = {line_no, "expected key=value, got '" + tokens[i] + "'"};
+            out.op = "!error";
+            return true;
+        }
+        out.attrs[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+    }
+    return true;
+}
+
+/** "NxM" or "N" into a pair. */
+bool
+parsePair(const std::string &value, std::int64_t &a, std::int64_t &b)
+{
+    const auto x = value.find('x');
+    try {
+        if (x == std::string::npos) {
+            a = b = std::stoll(value);
+        } else {
+            a = std::stoll(value.substr(0, x));
+            b = std::stoll(value.substr(x + 1));
+        }
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+/** Required integer attribute. */
+bool
+intAttr(const Directive &d, const std::string &key, std::int64_t &out)
+{
+    auto it = d.attrs.find(key);
+    if (it == d.attrs.end())
+        return false;
+    try {
+        out = std::stoll(it->second);
+    } catch (...) {
+        return false;
+    }
+    return true;
+}
+
+/** Split a comma list of layer references. */
+std::vector<std::string>
+splitRefs(const std::string &value)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : value) {
+        if (c == ',') {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+} // namespace
+
+std::optional<Graph>
+parseModel(const std::string &text, std::string *error)
+{
+    auto fail = [error](int line, const std::string &reason)
+        -> std::optional<Graph> {
+        if (error)
+            *error = "line " + std::to_string(line) + ": " + reason;
+        return std::nullopt;
+    };
+
+    std::istringstream stream(text);
+    std::string line;
+    int line_no = 0;
+
+    std::optional<GraphBuilder> builder;
+    std::map<std::string, LayerId> names;
+
+    auto resolve = [&](const std::string &ref, LayerId &id) {
+        if (ref == "input") {
+            id = GraphBuilder::kInput;
+            return true;
+        }
+        auto it = names.find(ref);
+        if (it == names.end())
+            return false;
+        id = it->second;
+        return true;
+    };
+
+    while (std::getline(stream, line)) {
+        ++line_no;
+        Directive d;
+        ParseError err{line_no, ""};
+        if (!tokenize(line, line_no, d, err))
+            continue;
+        if (d.op == "!error")
+            return fail(err.line, err.reason);
+
+        if (d.op == "model") {
+            if (builder)
+                return fail(line_no, "duplicate model directive");
+            // name then three dims as positional-ish attrs: we accept
+            // "model <name> <c> <h> <w>" via a re-tokenize.
+            std::istringstream iss(line);
+            std::string kw, name;
+            std::int64_t c = 0, h = 0, w = 0;
+            if (!(iss >> kw >> name >> c >> h >> w) || c <= 0 || h <= 0 ||
+                w <= 0)
+                return fail(line_no,
+                            "expected: model <name> <c> <h> <w>");
+            builder.emplace(name, c, h, w);
+            continue;
+        }
+        if (!builder)
+            return fail(line_no, "first directive must be 'model'");
+        if (names.count(d.name) || d.name == "input")
+            return fail(line_no, "duplicate layer name '" + d.name + "'");
+
+        auto need_in = [&](std::size_t min_refs,
+                           std::vector<LayerId> &ids) -> bool {
+            auto it = d.attrs.find("in");
+            if (it == d.attrs.end())
+                return false;
+            for (const std::string &ref : splitRefs(it->second)) {
+                LayerId id;
+                if (!resolve(ref, id))
+                    return false;
+                ids.push_back(id);
+            }
+            return ids.size() >= min_refs;
+        };
+
+        LayerId id = -1;
+        if (d.op == "conv") {
+            std::vector<LayerId> in;
+            std::int64_t k, stride, groups = 1;
+            std::int64_t kh = 0, kw = 0, ph = 0, pw = 0;
+            auto kern = d.attrs.find("kernel");
+            auto pad = d.attrs.find("pad");
+            if (!need_in(1, in) || !intAttr(d, "k", k) ||
+                kern == d.attrs.end() ||
+                !parsePair(kern->second, kh, kw) ||
+                !intAttr(d, "stride", stride) || pad == d.attrs.end() ||
+                !parsePair(pad->second, ph, pw))
+                return fail(line_no, "conv needs in/k/kernel/stride/pad");
+            intAttr(d, "groups", groups);
+            id = builder->conv(d.name, in[0], k, kh, kw, stride, ph, pw,
+                               groups);
+        } else if (d.op == "fc") {
+            std::vector<LayerId> in;
+            std::int64_t k;
+            if (!need_in(1, in) || !intAttr(d, "k", k))
+                return fail(line_no, "fc needs in/k");
+            id = builder->fc(d.name, in[0], k);
+        } else if (d.op == "pool") {
+            std::vector<LayerId> in;
+            std::int64_t kernel, stride, pad;
+            if (!need_in(1, in) || !intAttr(d, "kernel", kernel) ||
+                !intAttr(d, "stride", stride) || !intAttr(d, "pad", pad))
+                return fail(line_no, "pool needs in/kernel/stride/pad");
+            id = builder->pool(d.name, in[0], kernel, stride, pad);
+        } else if (d.op == "gap") {
+            std::vector<LayerId> in;
+            if (!need_in(1, in))
+                return fail(line_no, "gap needs in");
+            id = builder->globalPool(d.name, in[0]);
+        } else if (d.op == "eltwise" || d.op == "concat") {
+            std::vector<LayerId> in;
+            if (!need_in(2, in))
+                return fail(line_no, d.op + " needs in=<a>,<b>[,...]");
+            if (d.op == "eltwise") {
+                // GraphBuilder takes an initializer_list; forward the
+                // common two/three-input cases.
+                if (in.size() == 2)
+                    id = builder->eltwise(d.name, {in[0], in[1]});
+                else if (in.size() == 3)
+                    id = builder->eltwise(d.name, {in[0], in[1], in[2]});
+                else
+                    return fail(line_no, "eltwise supports 2-3 inputs");
+            } else {
+                id = builder->concat(d.name, in);
+            }
+        } else if (d.op == "matmul") {
+            std::vector<LayerId> in;
+            std::int64_t heads, transpose;
+            if (!need_in(2, in) || in.size() != 2 ||
+                !intAttr(d, "heads", heads) ||
+                !intAttr(d, "transpose", transpose))
+                return fail(line_no,
+                            "matmul needs in=<a>,<b> heads= transpose=");
+            id = builder->matmul(d.name, in[0], in[1], heads,
+                                 transpose != 0);
+        } else if (d.op == "softmax") {
+            std::vector<LayerId> in;
+            std::int64_t heads;
+            if (!need_in(1, in) || !intAttr(d, "heads", heads))
+                return fail(line_no, "softmax needs in/heads");
+            id = builder->softmax(d.name, in[0], heads);
+        } else if (d.op == "layernorm") {
+            std::vector<LayerId> in;
+            if (!need_in(1, in))
+                return fail(line_no, "layernorm needs in");
+            id = builder->layerNorm(d.name, in[0]);
+        } else {
+            return fail(line_no, "unknown directive '" + d.op + "'");
+        }
+        names[d.name] = id;
+    }
+    if (!builder)
+        return fail(line_no, "empty description (no model directive)");
+    if (names.empty())
+        return fail(line_no, "model has no layers");
+    return builder->finish();
+}
+
+std::optional<Graph>
+parseModelFile(const std::string &path, std::string *error)
+{
+    std::ifstream f(path);
+    if (!f) {
+        if (error)
+            *error = "cannot open file: " + path;
+        return std::nullopt;
+    }
+    std::ostringstream oss;
+    oss << f.rdbuf();
+    return parseModel(oss.str(), error);
+}
+
+} // namespace gemini::dnn

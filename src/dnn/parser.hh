@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The Model Parser (Fig. 4's input stage): reads a line-based DNN
+ * description and builds a dnn::Graph through the GraphBuilder, so models
+ * can be supplied as files instead of C++ builders.
+ *
+ * Format (one directive per line; '#' starts a comment):
+ *
+ *   model <name> <in_channels> <in_height> <in_width>
+ *   conv      <name> in=<ref> k=<int> kernel=<int>[x<int>] stride=<int>
+ *             pad=<int>[x<int>] [groups=<int>]
+ *   fc        <name> in=<ref> k=<int>
+ *   pool      <name> in=<ref> kernel=<int> stride=<int> pad=<int>
+ *   gap       <name> in=<ref>
+ *   eltwise   <name> in=<ref>,<ref>[,...]
+ *   concat    <name> in=<ref>,<ref>[,...]
+ *   matmul    <name> in=<refA>,<refB> heads=<int> transpose=<0|1>
+ *   softmax   <name> in=<ref> heads=<int>
+ *   layernorm <name> in=<ref>
+ *
+ * <ref> is a previously declared layer name, or `input` for the network
+ * input. The first non-comment line must be the `model` directive.
+ */
+
+#ifndef GEMINI_DNN_PARSER_HH
+#define GEMINI_DNN_PARSER_HH
+
+#include <optional>
+#include <string>
+
+#include "src/dnn/graph.hh"
+
+namespace gemini::dnn {
+
+/**
+ * Parse a model description from text.
+ *
+ * @param text  the whole description
+ * @param error receives a "line N: reason" message on failure (optional)
+ * @return the finalized graph, or nullopt on any syntax/semantic error
+ */
+std::optional<Graph> parseModel(const std::string &text,
+                                std::string *error = nullptr);
+
+/** Parse a model description from a file. */
+std::optional<Graph> parseModelFile(const std::string &path,
+                                    std::string *error = nullptr);
+
+} // namespace gemini::dnn
+
+#endif // GEMINI_DNN_PARSER_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tensor-region primitives. A Region is an axis-aligned box in a layer's
+ * ofmap coordinate space (channels x height x width); the batch dimension is
+ * handled separately by the mapping layer because it always maps 1:1 through
+ * every operator.
+ */
+
+#ifndef GEMINI_DNN_TENSOR_HH
+#define GEMINI_DNN_TENSOR_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+
+namespace gemini::dnn {
+
+/**
+ * Half-open box [c0,c1) x [h0,h1) x [w0,w1) in feature-map coordinates.
+ */
+struct Region
+{
+    std::int64_t c0 = 0, c1 = 0;
+    std::int64_t h0 = 0, h1 = 0;
+    std::int64_t w0 = 0, w1 = 0;
+
+    /** Full region of a (c, h, w) feature map. */
+    static Region
+    full(std::int64_t c, std::int64_t h, std::int64_t w)
+    {
+        return {0, c, 0, h, 0, w};
+    }
+
+    std::int64_t channels() const { return c1 - c0; }
+    std::int64_t height() const { return h1 - h0; }
+    std::int64_t width() const { return w1 - w0; }
+
+    /** Number of elements (per batch sample). */
+    std::int64_t
+    volume() const
+    {
+        if (empty())
+            return 0;
+        return channels() * height() * width();
+    }
+
+    bool
+    empty() const
+    {
+        return c1 <= c0 || h1 <= h0 || w1 <= w0;
+    }
+
+    /** Intersection with another region (possibly empty). */
+    Region
+    intersect(const Region &o) const
+    {
+        return {std::max(c0, o.c0), std::min(c1, o.c1),
+                std::max(h0, o.h0), std::min(h1, o.h1),
+                std::max(w0, o.w0), std::min(w1, o.w1)};
+    }
+
+    /** Clamp all coordinates into the full map of dims (c, h, w). */
+    Region
+    clampTo(std::int64_t c, std::int64_t h, std::int64_t w) const
+    {
+        return intersect(full(c, h, w));
+    }
+
+    bool
+    operator==(const Region &o) const
+    {
+        return c0 == o.c0 && c1 == o.c1 && h0 == o.h0 && h1 == o.h1 &&
+               w0 == o.w0 && w1 == o.w1;
+    }
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Region &r)
+{
+    return os << "c[" << r.c0 << "," << r.c1 << ")h[" << r.h0 << "," << r.h1
+              << ")w[" << r.w0 << "," << r.w1 << ")";
+}
+
+} // namespace gemini::dnn
+
+#endif // GEMINI_DNN_TENSOR_HH

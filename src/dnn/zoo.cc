@@ -1,0 +1,291 @@
+#include "src/dnn/zoo.hh"
+
+#include "src/common/logging.hh"
+
+namespace gemini::dnn {
+
+GraphBuilder::GraphBuilder(std::string name, std::int64_t c, std::int64_t h,
+                           std::int64_t w)
+    : graph_(std::move(name), c, h, w)
+{
+}
+
+void
+GraphBuilder::shapeOf(LayerId id, std::int64_t &c, std::int64_t &h,
+                      std::int64_t &w) const
+{
+    graph_.producerShape(id, c, h, w);
+}
+
+LayerId
+GraphBuilder::conv(const std::string &name, LayerId in, std::int64_t k,
+                   std::int64_t kernel_h, std::int64_t kernel_w,
+                   std::int64_t stride, std::int64_t pad_h, std::int64_t pad_w,
+                   std::int64_t groups)
+{
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    if (in != kInput)
+        l.inputs = {in};
+    l.c = c;
+    l.ih = ih;
+    l.iw = iw;
+    l.k = k;
+    l.r = kernel_h;
+    l.s = kernel_w;
+    l.strideH = l.strideW = stride;
+    l.padH = pad_h;
+    l.padW = pad_w;
+    l.groups = groups;
+    l.h = (ih + 2 * pad_h - kernel_h) / stride + 1;
+    l.w = (iw + 2 * pad_w - kernel_w) / stride + 1;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::conv(const std::string &name, LayerId in, std::int64_t k,
+                   std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+                   std::int64_t groups)
+{
+    return conv(name, in, k, kernel, kernel, stride, pad, pad, groups);
+}
+
+LayerId
+GraphBuilder::depthwise(const std::string &name, LayerId in,
+                        std::int64_t kernel, std::int64_t stride,
+                        std::int64_t pad)
+{
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    return conv(name, in, c, kernel, stride, pad, c);
+}
+
+LayerId
+GraphBuilder::pointwise(const std::string &name, LayerId in, std::int64_t k)
+{
+    return conv(name, in, k, 1, 1, 0);
+}
+
+LayerId
+GraphBuilder::fc(const std::string &name, LayerId in, std::int64_t k)
+{
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::FC;
+    if (in != kInput)
+        l.inputs = {in};
+    l.c = c;
+    l.ih = ih;
+    l.iw = iw;
+    l.k = k;
+    l.h = ih;
+    l.w = iw;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::pool(const std::string &name, LayerId in, std::int64_t kernel,
+                   std::int64_t stride, std::int64_t pad)
+{
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Pool;
+    if (in != kInput)
+        l.inputs = {in};
+    l.c = c;
+    l.ih = ih;
+    l.iw = iw;
+    l.k = c;
+    l.r = l.s = kernel;
+    l.strideH = l.strideW = stride;
+    l.padH = l.padW = pad;
+    l.h = (ih + 2 * pad - kernel) / stride + 1;
+    l.w = (iw + 2 * pad - kernel) / stride + 1;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::globalPool(const std::string &name, LayerId in)
+{
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    GEMINI_ASSERT(ih == iw, "globalPool expects a square fmap in ",
+                  graph_.name());
+    return pool(name, in, ih, ih, 0);
+}
+
+LayerId
+GraphBuilder::eltwise(const std::string &name,
+                      std::initializer_list<LayerId> ins)
+{
+    GEMINI_ASSERT(ins.size() >= 2, "eltwise needs >=2 inputs");
+    std::int64_t c, h, w;
+    shapeOf(*ins.begin(), c, h, w);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Eltwise;
+    l.inputs.assign(ins.begin(), ins.end());
+    l.c = c;
+    l.ih = h;
+    l.iw = w;
+    l.k = c;
+    l.h = h;
+    l.w = w;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::concat(const std::string &name,
+                     std::initializer_list<LayerId> ins)
+{
+    return concat(name, std::vector<LayerId>(ins));
+}
+
+LayerId
+GraphBuilder::concat(const std::string &name, const std::vector<LayerId> &ins)
+{
+    GEMINI_ASSERT(ins.size() >= 2, "concat needs >=2 inputs");
+    std::int64_t c_total = 0, h = 0, w = 0;
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+        std::int64_t c, hh, ww;
+        shapeOf(ins[i], c, hh, ww);
+        c_total += c;
+        if (i == 0) {
+            h = hh;
+            w = ww;
+        }
+    }
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Concat;
+    l.inputs = ins;
+    l.c = c_total;
+    l.ih = h;
+    l.iw = w;
+    l.k = c_total;
+    l.h = h;
+    l.w = w;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::matmul(const std::string &name, LayerId a, LayerId b,
+                     std::int64_t heads, bool transpose_b)
+{
+    std::int64_t ca, ha, wa, cb, hb, wb;
+    shapeOf(a, ca, ha, wa);
+    shapeOf(b, cb, hb, wb);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Matmul;
+    l.inputs = {a, b};
+    l.heads = heads;
+    l.transposeB = transpose_b;
+    l.c = ca;
+    l.ih = ha;
+    l.iw = 1;
+    // Scores: out columns per head come from B's token rows; context:
+    // out channels are B's channels.
+    l.k = transpose_b ? heads * hb : cb;
+    l.h = ha;
+    l.w = 1;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::softmax(const std::string &name, LayerId in, std::int64_t heads)
+{
+    std::int64_t c, h, w;
+    shapeOf(in, c, h, w);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Softmax;
+    l.inputs = {in};
+    l.heads = heads;
+    l.c = c;
+    l.ih = h;
+    l.iw = w;
+    l.k = c;
+    l.h = h;
+    l.w = w;
+    return graph_.add(std::move(l));
+}
+
+LayerId
+GraphBuilder::layerNorm(const std::string &name, LayerId in)
+{
+    std::int64_t c, h, w;
+    shapeOf(in, c, h, w);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::LayerNorm;
+    l.inputs = {in};
+    l.c = c;
+    l.ih = h;
+    l.iw = w;
+    l.k = c;
+    l.h = h;
+    l.w = w;
+    return graph_.add(std::move(l));
+}
+
+Graph
+GraphBuilder::finish()
+{
+    graph_.finalize();
+    return std::move(graph_);
+}
+
+namespace zoo {
+
+std::vector<std::string>
+available()
+{
+    return {"resnet50", "resnext50", "googlenet", "inception_resnet_v1",
+            "pnasnet", "transformer", "transformer_large", "vgg16",
+            "mobilenet_v2", "tiny_conv", "tiny_residual", "tiny_inception",
+            "tiny_transformer"};
+}
+
+Graph
+byName(const std::string &name)
+{
+    if (name == "resnet50")
+        return resnet50();
+    if (name == "resnext50")
+        return resnext50();
+    if (name == "googlenet")
+        return googlenet();
+    if (name == "inception_resnet_v1")
+        return inceptionResnetV1();
+    if (name == "pnasnet")
+        return pnasnet();
+    if (name == "transformer")
+        return transformerBase();
+    if (name == "transformer_large")
+        return transformerLarge();
+    if (name == "vgg16")
+        return vgg16();
+    if (name == "mobilenet_v2")
+        return mobilenetV2();
+    if (name == "tiny_conv")
+        return tinyConvChain();
+    if (name == "tiny_residual")
+        return tinyResidual();
+    if (name == "tiny_inception")
+        return tinyInception();
+    if (name == "tiny_transformer")
+        return tinyTransformer();
+    GEMINI_FATAL("unknown model name: ", name);
+}
+
+} // namespace zoo
+
+} // namespace gemini::dnn

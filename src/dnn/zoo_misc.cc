@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Additional workloads beyond the paper's five: VGG-16 (the classic
+ * weight-heavy sequential CNN — a stress test for weight residency and
+ * DRAM bandwidth) and MobileNetV2 (inverted residuals — a depthwise-heavy
+ * regime where the PE-array utilization model matters). Useful extra
+ * points for architecture DSE studies.
+ */
+
+#include <string>
+
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn::zoo {
+
+namespace {
+
+/** MobileNetV2 inverted residual block. */
+LayerId
+invertedResidual(GraphBuilder &b, const std::string &p, LayerId in,
+                 std::int64_t in_ch, std::int64_t out_ch,
+                 std::int64_t stride, std::int64_t expand)
+{
+    LayerId x = in;
+    if (expand != 1)
+        x = b.pointwise(p + ".expand", x, in_ch * expand);
+    x = b.depthwise(p + ".dw", x, 3, stride, 1);
+    x = b.pointwise(p + ".project", x, out_ch);
+    if (stride == 1 && in_ch == out_ch)
+        x = b.eltwise(p + ".add", {in, x});
+    return x;
+}
+
+} // namespace
+
+Graph
+vgg16()
+{
+    GraphBuilder b("vgg16", 3, 224, 224);
+    LayerId x = GraphBuilder::kInput;
+    const struct
+    {
+        int convs;
+        std::int64_t ch;
+    } stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+    int idx = 1;
+    for (const auto &st : stages) {
+        for (int i = 0; i < st.convs; ++i)
+            x = b.conv("conv" + std::to_string(idx++), x, st.ch, 3, 1, 1);
+        x = b.pool("pool" + std::to_string(idx - 1), x, 2, 2, 0);
+    }
+    // fc6 consumes the flattened 7x7x512 map — expressed exactly as a
+    // 7x7 valid convolution to (4096,1,1); it alone holds ~103M params.
+    x = b.conv("fc6", x, 4096, 7, 1, 0);
+    x = b.fc("fc7", x, 4096);
+    b.fc("fc8", x, 1000);
+    return b.finish();
+}
+
+Graph
+mobilenetV2()
+{
+    GraphBuilder b("mobilenet_v2", 3, 224, 224);
+    LayerId x = b.conv("stem", GraphBuilder::kInput, 32, 3, 2, 1);
+    // (expansion, out channels, repeats, first stride) per the paper.
+    const struct
+    {
+        std::int64_t t, c;
+        int n;
+        std::int64_t s;
+    } cfg[] = {{1, 16, 1, 1},  {6, 24, 2, 2},  {6, 32, 3, 2},
+               {6, 64, 4, 2},  {6, 96, 3, 1},  {6, 160, 3, 2},
+               {6, 320, 1, 1}};
+    std::int64_t in_ch = 32;
+    int idx = 0;
+    for (const auto &st : cfg) {
+        for (int i = 0; i < st.n; ++i) {
+            const std::int64_t stride = (i == 0) ? st.s : 1;
+            x = invertedResidual(b, "ir" + std::to_string(idx++), x, in_ch,
+                                 st.c, stride, st.t);
+            in_ch = st.c;
+        }
+    }
+    x = b.pointwise("head", x, 1280);
+    x = b.globalPool("gap", x);
+    b.fc("fc", x, 1000);
+    return b.finish();
+}
+
+} // namespace gemini::dnn::zoo

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * PNASNet-5 builder (Liu et al.). The discovered PNASNet-5 cell is
+ * reproduced structurally: five blocks, each summing two operations drawn
+ * from {separable 3x3/5x5/7x7, max-pool 3x3, 1x1 conv}, whose outputs are
+ * concatenated. Separable convolutions are the standard NASNet-family
+ * stack (depthwise -> pointwise, twice). The stage depth is configurable
+ * (see DESIGN.md: the published Large model stacks more repeats of the
+ * identical cell; the cost-model behaviour is preserved).
+ */
+
+#include <string>
+
+#include "src/common/logging.hh"
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn::zoo {
+
+namespace {
+
+/** NASNet separable conv: dw(k,stride) -> pw -> dw(k,1) -> pw. */
+LayerId
+sep(GraphBuilder &b, const std::string &p, LayerId in, std::int64_t f,
+    std::int64_t kernel, std::int64_t stride)
+{
+    LayerId x = b.depthwise(p + ".dw1", in, kernel, stride, kernel / 2);
+    x = b.pointwise(p + ".pw1", x, f);
+    x = b.depthwise(p + ".dw2", x, kernel, 1, kernel / 2);
+    return b.pointwise(p + ".pw2", x, f);
+}
+
+/** Max-pool branch that also matches channel width via a 1x1 conv. */
+LayerId
+poolBranch(GraphBuilder &b, const std::string &p, LayerId in, std::int64_t f,
+           std::int64_t stride)
+{
+    LayerId x = b.pool(p + ".max", in, 3, stride, 1);
+    std::int64_t c, h, w;
+    b.shapeOf(x, c, h, w);
+    if (c != f)
+        x = b.pointwise(p + ".match", x, f);
+    return x;
+}
+
+/**
+ * One PNASNet-5 cell.
+ *
+ * @param left    h_{i-2} (earlier cell output)
+ * @param right   h_{i-1} (previous cell output)
+ * @param f       per-block filter count; cell output has 5f channels
+ * @param stride  2 for reduction cells
+ */
+LayerId
+cell(GraphBuilder &b, const std::string &p, LayerId left, LayerId right,
+     std::int64_t f, std::int64_t stride)
+{
+    // Squeeze both inputs to f channels; if `left` is at a coarser
+    // resolution than `right` (the cell after a reduction), the squeeze
+    // also downsamples (factorized-reduction approximation).
+    std::int64_t lc, lh, lw, rc, rh, rw;
+    b.shapeOf(left, lc, lh, lw);
+    b.shapeOf(right, rc, rh, rw);
+    const std::int64_t left_stride = (lh > rh) ? 2 : 1;
+    LayerId l = b.conv(p + ".sqL", left, f, 1, left_stride, 0);
+    LayerId r = b.conv(p + ".sqR", right, f, 1, 1, 0);
+
+    LayerId b0 = b.eltwise(p + ".b0", {sep(b, p + ".b0.sep5", l, f, 5,
+                                           stride),
+                                       poolBranch(b, p + ".b0", l, f,
+                                                  stride)});
+    LayerId b1 = b.eltwise(p + ".b1", {sep(b, p + ".b1.sep7", r, f, 7,
+                                           stride),
+                                       poolBranch(b, p + ".b1", r, f,
+                                                  stride)});
+    LayerId b2 = b.eltwise(p + ".b2", {sep(b, p + ".b2.sep5", r, f, 5,
+                                           stride),
+                                       sep(b, p + ".b2.sep3", r, f, 3,
+                                           stride)});
+    LayerId b3 = b.eltwise(p + ".b3", {sep(b, p + ".b3.sep3", b2, f, 3, 1),
+                                       poolBranch(b, p + ".b3", r, f,
+                                                  stride)});
+    LayerId b4_right = (stride == 1)
+                           ? b.pointwise(p + ".b4.pw", r, f)
+                           : b.conv(p + ".b4.pw", r, f, 1, stride, 0);
+    LayerId b4 = b.eltwise(p + ".b4", {sep(b, p + ".b4.sep3", l, f, 3,
+                                           stride),
+                                       b4_right});
+    return b.concat(p + ".cat", {b0, b1, b2, b3, b4});
+}
+
+} // namespace
+
+Graph
+pnasnet(int cells_per_stage)
+{
+    GEMINI_ASSERT(cells_per_stage >= 1, "need at least one cell per stage");
+    GraphBuilder b("pnasnet", 3, 331, 331);
+    LayerId stem = b.conv("stem", GraphBuilder::kInput, 96, 3, 2, 0);
+
+    int idx = 0;
+    auto name = [&idx] { return "cell" + std::to_string(idx++); };
+
+    // Two reduction stem cells (as in PNASNet-5-Large).
+    LayerId prev = stem;
+    LayerId cur = cell(b, name(), stem, stem, 54, 2);
+    LayerId next = cell(b, name(), prev, cur, 108, 2);
+    prev = cur;
+    cur = next;
+
+    std::int64_t f = 216;
+    for (int stage = 0; stage < 3; ++stage) {
+        for (int i = 0; i < cells_per_stage; ++i) {
+            next = cell(b, name(), prev, cur, f, 1);
+            prev = cur;
+            cur = next;
+        }
+        if (stage < 2) {
+            next = cell(b, name(), prev, cur, f * 2, 2);
+            prev = cur;
+            cur = next;
+            f *= 2;
+        }
+    }
+
+    LayerId gap = b.globalPool("avgpool", cur);
+    b.fc("fc", gap, 1000);
+    return b.finish();
+}
+
+} // namespace gemini::dnn::zoo

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * ResNet-50 and ResNeXt-50 (32x4d) graph builders. Batch-norm and ReLU are
+ * fused into the producing convolutions (vector-unit post-processing, as in
+ * the paper's core template), so the graphs contain Conv / Pool / Eltwise /
+ * FC nodes only.
+ */
+
+#include <string>
+
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn::zoo {
+
+namespace {
+
+/**
+ * Standard bottleneck residual block.
+ *
+ * @param width   mid-block channel width
+ * @param out_ch  output channels (4x planes)
+ * @param stride  spatial stride applied in the 3x3 conv
+ * @param groups  cardinality (1 for ResNet, 32 for ResNeXt)
+ * @param project true when the shortcut needs a 1x1 projection conv
+ */
+LayerId
+bottleneck(GraphBuilder &b, const std::string &prefix, LayerId in,
+           std::int64_t width, std::int64_t out_ch, std::int64_t stride,
+           std::int64_t groups, bool project)
+{
+    LayerId x = b.conv(prefix + ".conv1", in, width, 1, 1, 0);
+    x = b.conv(prefix + ".conv2", x, width, 3, stride, 1, groups);
+    x = b.conv(prefix + ".conv3", x, out_ch, 1, 1, 0);
+    LayerId shortcut = in;
+    if (project)
+        shortcut = b.conv(prefix + ".proj", in, out_ch, 1, stride, 0);
+    return b.eltwise(prefix + ".add", {x, shortcut});
+}
+
+/**
+ * Build the shared ResNet-50 skeleton. ResNeXt-50 32x4d differs only in the
+ * bottleneck width (2x planes instead of planes) and cardinality.
+ */
+Graph
+buildResnet(const std::string &name, std::int64_t groups,
+            std::int64_t width_factor_num, std::int64_t width_factor_den)
+{
+    GraphBuilder b(name, 3, 224, 224);
+    LayerId x = b.conv("conv1", GraphBuilder::kInput, 64, 7, 2, 3);
+    x = b.pool("maxpool", x, 3, 2, 1);
+
+    struct Stage
+    {
+        std::int64_t planes;
+        int blocks;
+        std::int64_t stride;
+    };
+    const Stage stages[] = {
+        {64, 3, 1}, {128, 4, 2}, {256, 6, 2}, {512, 3, 2}};
+
+    int stage_idx = 2;
+    for (const auto &st : stages) {
+        const std::int64_t width =
+            st.planes * width_factor_num / width_factor_den;
+        const std::int64_t out_ch = st.planes * 4;
+        for (int blk = 0; blk < st.blocks; ++blk) {
+            const std::string prefix =
+                "layer" + std::to_string(stage_idx - 1) + "." +
+                std::to_string(blk);
+            const std::int64_t stride = (blk == 0) ? st.stride : 1;
+            const bool project = (blk == 0);
+            x = bottleneck(b, prefix, x, width, out_ch, stride, groups,
+                           project);
+        }
+        ++stage_idx;
+    }
+
+    x = b.globalPool("avgpool", x);
+    b.fc("fc", x, 1000);
+    return b.finish();
+}
+
+} // namespace
+
+Graph
+resnet50()
+{
+    return buildResnet("resnet50", 1, 1, 1);
+}
+
+Graph
+resnext50()
+{
+    // 32x4d: width = planes * (4 * 32) / 64 = planes * 2, cardinality 32.
+    return buildResnet("resnext50_32x4d", 32, 2, 1);
+}
+
+} // namespace gemini::dnn::zoo

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Small synthetic graphs for unit tests, property tests and the quickstart
+ * example. They exercise every structural feature the large models use
+ * (chains, residuals, multi-branch concat) at sizes that map onto a handful
+ * of cores in microseconds.
+ */
+
+#include <string>
+
+#include "src/common/logging.hh"
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn::zoo {
+
+Graph
+tinyConvChain(int depth)
+{
+    GEMINI_ASSERT(depth >= 1, "tinyConvChain needs depth >= 1");
+    GraphBuilder b("tiny_conv", 16, 32, 32);
+    LayerId x = GraphBuilder::kInput;
+    for (int i = 0; i < depth; ++i)
+        x = b.conv("conv" + std::to_string(i), x, 32, 3, 1, 1);
+    b.globalPool("gap", x);
+    return b.finish();
+}
+
+Graph
+tinyResidual()
+{
+    GraphBuilder b("tiny_residual", 16, 32, 32);
+    LayerId stem = b.conv("stem", GraphBuilder::kInput, 32, 3, 1, 1);
+    LayerId x = b.conv("conv1", stem, 32, 3, 1, 1);
+    x = b.conv("conv2", x, 64, 3, 2, 1);
+    LayerId proj = b.conv("proj", stem, 64, 1, 2, 0);
+    LayerId add = b.eltwise("add", {x, proj});
+    b.conv("head", add, 64, 3, 1, 1);
+    return b.finish();
+}
+
+Graph
+tinyInception()
+{
+    GraphBuilder b("tiny_inception", 16, 28, 28);
+    LayerId stem = b.conv("stem", GraphBuilder::kInput, 32, 3, 1, 1);
+    LayerId b1 = b.conv("b1", stem, 16, 1, 1, 0);
+    LayerId b2 = b.conv("b2a", stem, 8, 1, 1, 0);
+    b2 = b.conv("b2b", b2, 16, 3, 1, 1);
+    LayerId b3 = b.pool("b3a", stem, 3, 1, 1);
+    b3 = b.conv("b3b", b3, 16, 1, 1, 0);
+    LayerId cat = b.concat("cat", {b1, b2, b3});
+    b.conv("head", cat, 48, 3, 1, 1);
+    return b.finish();
+}
+
+} // namespace gemini::dnn::zoo

@@ -1,0 +1,110 @@
+#include "src/dse/dse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.hh"
+#include "src/common/thread_pool.hh"
+
+namespace gemini::dse {
+
+const DseRecord &
+DseResult::best() const
+{
+    GEMINI_ASSERT(bestIndex >= 0 &&
+                      static_cast<std::size_t>(bestIndex) < records.size(),
+                  "DSE produced no feasible candidate");
+    return records[static_cast<std::size_t>(bestIndex)];
+}
+
+namespace {
+
+double
+objectiveOf(const DseRecord &r, double alpha, double beta, double gamma)
+{
+    return std::pow(r.mc.total(), alpha) * std::pow(r.energyGeo, beta) *
+           std::pow(r.delayGeo, gamma);
+}
+
+} // namespace
+
+int
+DseResult::bestUnder(double alpha, double beta, double gamma) const
+{
+    int best = -1;
+    double best_obj = 0.0;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        if (!records[i].feasible)
+            continue;
+        const double obj = objectiveOf(records[i], alpha, beta, gamma);
+        if (best < 0 || obj < best_obj) {
+            best = static_cast<int>(i);
+            best_obj = obj;
+        }
+    }
+    return best;
+}
+
+DseRecord
+evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
+{
+    GEMINI_ASSERT(!options.models.empty(), "DSE needs at least one model");
+    DseRecord rec;
+    rec.arch = cfg;
+    rec.mc = cost::McEvaluator(options.costParams).evaluate(cfg);
+
+    double log_delay = 0.0;
+    double log_energy = 0.0;
+    for (const dnn::Graph *model : options.models) {
+        mapping::MappingEngine engine(*model, cfg, options.mapping);
+        const mapping::MappingResult result = engine.run();
+        rec.perModel.push_back(result.total);
+        rec.feasible = rec.feasible && result.total.feasible();
+        log_delay += std::log(result.total.delay);
+        log_energy += std::log(result.total.totalEnergy());
+    }
+    const double n = static_cast<double>(options.models.size());
+    rec.delayGeo = std::exp(log_delay / n);
+    rec.energyGeo = std::exp(log_energy / n);
+    rec.objective =
+        objectiveOf(rec, options.alpha, options.beta, options.gamma);
+    return rec;
+}
+
+DseResult
+runDse(const DseOptions &options)
+{
+    std::vector<arch::ArchConfig> candidates =
+        enumerateCandidates(options.axes);
+    GEMINI_ASSERT(!candidates.empty(), "axis lists produced no candidates");
+
+    if (options.maxCandidates > 0 &&
+        candidates.size() > options.maxCandidates) {
+        // Deterministic stride subsampling keeps every axis populated
+        // because the enumeration order interleaves all axes.
+        std::vector<arch::ArchConfig> picked;
+        picked.reserve(options.maxCandidates);
+        const double stride = static_cast<double>(candidates.size()) /
+                              static_cast<double>(options.maxCandidates);
+        for (std::size_t i = 0; i < options.maxCandidates; ++i) {
+            picked.push_back(
+                candidates[static_cast<std::size_t>(i * stride)]);
+        }
+        candidates.swap(picked);
+    }
+
+    DseResult result;
+    result.records.resize(candidates.size());
+    ThreadPool pool(options.threads == 0
+                        ? 0
+                        : static_cast<std::size_t>(options.threads));
+    pool.parallelFor(candidates.size(), [&](std::size_t i) {
+        result.records[i] = evaluateCandidate(candidates[i], options);
+    });
+
+    result.bestIndex =
+        result.bestUnder(options.alpha, options.beta, options.gamma);
+    return result;
+}
+
+} // namespace gemini::dse

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The DSE driver (Sec. V-A): exhaustively explores architecture candidates
+ * with the objective MC^alpha * E^beta * D^gamma, where E and D are the
+ * geometric means of the mapping-engine results across the input DNNs and
+ * MC comes from the Monetary Cost Evaluator. Candidates are independent,
+ * so the runner fans out over a thread pool (the paper uses 80-100
+ * threads).
+ */
+
+#ifndef GEMINI_DSE_DSE_HH
+#define GEMINI_DSE_DSE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cost/mc_evaluator.hh"
+#include "src/dnn/graph.hh"
+#include "src/dse/candidates.hh"
+#include "src/eval/breakdown.hh"
+#include "src/mapping/engine.hh"
+
+namespace gemini::dse {
+
+/** Options of one DSE run. */
+struct DseOptions
+{
+    DseAxes axes;
+
+    /** Models to co-optimize for (the paper defaults to Transformer). */
+    std::vector<const dnn::Graph *> models;
+
+    /** Objective exponents MC^alpha * E^beta * D^gamma. */
+    double alpha = 1.0;
+    double beta = 1.0;
+    double gamma = 1.0;
+
+    /** Mapping-engine knobs applied per candidate (batch, SA budget...). */
+    mapping::MappingOptions mapping;
+
+    cost::CostParams costParams;
+
+    /** Worker threads (0 = hardware concurrency). */
+    int threads = 0;
+
+    /**
+     * Evaluate at most this many candidates (0 = all), subsampled with a
+     * deterministic stride so every axis stays represented. Benches use
+     * this to keep runtimes laptop-friendly.
+     */
+    std::size_t maxCandidates = 0;
+};
+
+/** Result of one candidate evaluation. */
+struct DseRecord
+{
+    arch::ArchConfig arch;
+    cost::CostBreakdown mc;
+    Seconds delayGeo = 0.0; ///< geometric mean over models
+    Joules energyGeo = 0.0; ///< geometric mean over models
+    double objective = 0.0; ///< MC^a * E^b * D^g
+    bool feasible = true;
+    std::vector<eval::EvalBreakdown> perModel;
+
+    double edp() const { return energyGeo * delayGeo; }
+};
+
+/** All evaluated candidates plus the winner. */
+struct DseResult
+{
+    std::vector<DseRecord> records;
+    int bestIndex = -1;
+
+    const DseRecord &best() const;
+
+    /** Index of the best record under different exponents (Fig. 6/7). */
+    int bestUnder(double alpha, double beta, double gamma) const;
+};
+
+/** Evaluate a single candidate (exposed for tests and Fig. 8). */
+DseRecord evaluateCandidate(const arch::ArchConfig &cfg,
+                            const DseOptions &options);
+
+/** Run the full exploration. */
+DseResult runDse(const DseOptions &options);
+
+} // namespace gemini::dse
+
+#endif // GEMINI_DSE_DSE_HH

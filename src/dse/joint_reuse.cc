@@ -1,0 +1,112 @@
+#include "src/dse/joint_reuse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.hh"
+#include "src/common/thread_pool.hh"
+
+namespace gemini::dse {
+
+arch::ArchConfig
+scaleArchToTops(const arch::ArchConfig &base, double tops_target)
+{
+    GEMINI_ASSERT(base.validate().empty(), "invalid base arch");
+    const double per_chiplet_tops = base.tops() / base.chipletCount();
+    const int want = std::max(1, static_cast<int>(std::lround(
+                                     tops_target / per_chiplet_tops)));
+
+    // Re-arrange `want` chiplets into a package grid: hit the power target
+    // as closely as possible, preferring near-square arrangements (aspect
+    // <= 2) and nudging the count only when nothing reasonable exists.
+    int best_xc = want, best_yc = 1;
+    double best_dist = 1e18, best_aspect = 1e18;
+    const int lo = std::max(1, static_cast<int>(std::floor(want * 0.88)));
+    const int hi = static_cast<int>(std::ceil(want * 1.12));
+    for (int n = lo; n <= hi; ++n) {
+        for (int a = 1; a * a <= n; ++a) {
+            if (n % a)
+                continue;
+            const int b = n / a;
+            const double aspect = static_cast<double>(b) / a;
+            if (aspect > 2.0 && n > 2)
+                continue;
+            const double dist = std::abs(n - want);
+            if (dist < best_dist - 1e-9 ||
+                (std::abs(dist - best_dist) <= 1e-9 &&
+                 aspect < best_aspect)) {
+                best_dist = dist;
+                best_aspect = aspect;
+                best_xc = b;
+                best_yc = a;
+            }
+        }
+    }
+    if (best_dist > 1e17) {
+        // No aspect-bounded arrangement in the window: fall back to the
+        // plain 1 x want strip.
+        best_xc = want;
+        best_yc = 1;
+    }
+
+    arch::ArchConfig out = base;
+    out.name = base.name + "-scaled";
+    out.xCut = best_xc;
+    out.yCut = best_yc;
+    out.xCores = base.chipletCoresX() * best_xc;
+    out.yCores = base.chipletCoresY() * best_yc;
+    // Constant DRAM GB/s per TOPs across the family.
+    const double dram_per_tops = base.dramBwGBps / base.tops();
+    out.dramBwGBps = dram_per_tops * out.tops();
+    GEMINI_ASSERT(out.validate().empty(), "scaled arch invalid");
+    return out;
+}
+
+std::vector<JointCandidate>
+runJointDse(const DseAxes &base_axes, const std::vector<double> &tops_levels,
+            const DseOptions &options)
+{
+    GEMINI_ASSERT(!tops_levels.empty(), "need at least one power level");
+    std::vector<arch::ArchConfig> bases = enumerateCandidates(base_axes);
+    if (options.maxCandidates > 0 && bases.size() > options.maxCandidates) {
+        std::vector<arch::ArchConfig> picked;
+        const double stride = static_cast<double>(bases.size()) /
+                              static_cast<double>(options.maxCandidates);
+        for (std::size_t i = 0; i < options.maxCandidates; ++i)
+            picked.push_back(bases[static_cast<std::size_t>(i * stride)]);
+        bases.swap(picked);
+    }
+
+    std::vector<JointCandidate> out(bases.size());
+    ThreadPool pool(options.threads == 0
+                        ? 0
+                        : static_cast<std::size_t>(options.threads));
+    pool.parallelFor(bases.size(), [&](std::size_t i) {
+        JointCandidate cand;
+        cand.baseArch = bases[i];
+        cand.objectiveProduct = 1.0;
+        for (double tops : tops_levels) {
+            JointLevel level;
+            level.tops = tops;
+            const arch::ArchConfig scaled =
+                scaleArchToTops(bases[i], tops);
+            level.record = evaluateCandidate(scaled, options);
+            cand.feasible = cand.feasible && level.record.feasible;
+            cand.objectiveProduct *= level.record.mc.total() *
+                                     level.record.energyGeo *
+                                     level.record.delayGeo;
+            cand.levels.push_back(std::move(level));
+        }
+        out[i] = std::move(cand);
+    });
+
+    std::sort(out.begin(), out.end(),
+              [](const JointCandidate &a, const JointCandidate &b) {
+                  if (a.feasible != b.feasible)
+                      return a.feasible;
+                  return a.objectiveProduct < b.objectiveProduct;
+              });
+    return out;
+}
+
+} // namespace gemini::dse

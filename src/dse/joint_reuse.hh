@@ -1,0 +1,58 @@
+/**
+ * @file
+ * "Reuse a single chiplet for multiple accelerators" (Sec. VII-B): scale an
+ * architecture to a different computing power by replicating its computing
+ * chiplet, and jointly explore one chiplet design across several power
+ * targets with the product of per-target MC * E * D as the objective.
+ */
+
+#ifndef GEMINI_DSE_JOINT_REUSE_HH
+#define GEMINI_DSE_JOINT_REUSE_HH
+
+#include <vector>
+
+#include "src/dse/dse.hh"
+
+namespace gemini::dse {
+
+/**
+ * Build a higher/lower-power accelerator out of `base`'s computing chiplet:
+ * the chiplet's core grid, MAC/GLB and link bandwidths are frozen; the
+ * chiplet count is scaled to approximate `tops_target` and re-arranged into
+ * a near-square package; DRAM bandwidth scales with the power (constant
+ * GB/s per TOPs). Returns validate()=="" configs only.
+ */
+arch::ArchConfig scaleArchToTops(const arch::ArchConfig &base,
+                                 double tops_target);
+
+/** One power level of a joint exploration. */
+struct JointLevel
+{
+    double tops = 0.0;
+    DseRecord record; ///< evaluation of the scaled architecture
+};
+
+/** Result of evaluating one base chiplet across all power targets. */
+struct JointCandidate
+{
+    arch::ArchConfig baseArch; ///< the architecture the chiplet comes from
+    std::vector<JointLevel> levels;
+    double objectiveProduct = 0.0; ///< product of per-level MC*E*D
+    bool feasible = true;
+};
+
+/**
+ * Joint DSE: evaluate each candidate of the lowest-power axis set at every
+ * power target (by chiplet replication) and return all candidates with
+ * their MC*E*D products, best first.
+ *
+ * @param base_axes   axis lists of the lowest power target
+ * @param tops_levels all power targets (must include base_axes.topsTarget)
+ */
+std::vector<JointCandidate>
+runJointDse(const DseAxes &base_axes, const std::vector<double> &tops_levels,
+            const DseOptions &options);
+
+} // namespace gemini::dse
+
+#endif // GEMINI_DSE_JOINT_REUSE_HH

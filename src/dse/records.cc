@@ -1,0 +1,32 @@
+#include "src/dse/records.hh"
+
+namespace gemini::dse {
+
+CsvTable
+recordsTable(const DseResult &result)
+{
+    CsvTable csv({"arch", "chiplets", "cores", "mac_per_core", "glb_kib",
+                  "noc_gbps", "d2d_gbps", "dram_gbps", "topology",
+                  "mc_total", "mc_silicon", "mc_dram", "mc_package",
+                  "delay_geo_s", "energy_geo_j", "objective", "feasible",
+                  "best"});
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+        const DseRecord &r = result.records[i];
+        csv.addRow(r.arch.toString(), r.arch.chipletCount(),
+                   r.arch.coreCount(), r.arch.macsPerCore, r.arch.glbKiB,
+                   r.arch.nocBwGBps, r.arch.d2dBwGBps, r.arch.dramBwGBps,
+                   arch::topologyName(r.arch.topology), r.mc.total(),
+                   r.mc.silicon(), r.mc.dram, r.mc.package, r.delayGeo,
+                   r.energyGeo, r.objective, r.feasible ? 1 : 0,
+                   static_cast<int>(i) == result.bestIndex ? 1 : 0);
+    }
+    return csv;
+}
+
+bool
+writeRecordsCsv(const DseResult &result, const std::string &path)
+{
+    return recordsTable(result).writeFile(path);
+}
+
+} // namespace gemini::dse

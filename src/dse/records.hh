@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Exploration-record export: the paper's DSE emits a result.csv per run
+ * (Appendix E); this writes the equivalent table for a DseResult so runs
+ * can be compared/plotted outside the framework.
+ */
+
+#ifndef GEMINI_DSE_RECORDS_HH
+#define GEMINI_DSE_RECORDS_HH
+
+#include <string>
+
+#include "src/common/csv.hh"
+#include "src/dse/dse.hh"
+
+namespace gemini::dse {
+
+/** Build the result table (one row per evaluated candidate). */
+CsvTable recordsTable(const DseResult &result);
+
+/**
+ * Write result.csv-style output.
+ * @return false on I/O failure.
+ */
+bool writeRecordsCsv(const DseResult &result, const std::string &path);
+
+} // namespace gemini::dse
+
+#endif // GEMINI_DSE_RECORDS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Evaluation result types: the energy/delay breakdown categories reported
+ * throughout the paper's figures (delay; network/router, D2D, intra-tile
+ * and DRAM energy).
+ */
+
+#ifndef GEMINI_EVAL_BREAKDOWN_HH
+#define GEMINI_EVAL_BREAKDOWN_HH
+
+#include <string>
+
+#include "src/common/types.hh"
+
+namespace gemini::eval {
+
+/**
+ * Energy/delay evaluation of one layer group (or a whole mapping when
+ * aggregated with operator+=).
+ */
+struct EvalBreakdown
+{
+    Seconds delay = 0.0;
+
+    Joules intraTileEnergy = 0.0; ///< MACs, vector ops, GLB and local bufs
+    Joules nocEnergy = 0.0;       ///< on-chip router+wire energy
+    Joules d2dEnergy = 0.0;       ///< D2D link energy
+    Joules dramEnergy = 0.0;      ///< DRAM access energy
+
+    /** Total DRAM bytes moved (reported in the Fig. 7 analysis). */
+    double dramBytes = 0.0;
+
+    /** Hop-weighted NoC bytes (on-chip + D2D), for Fig. 9 stats. */
+    double hopBytes = 0.0;
+    double d2dHopBytes = 0.0;
+
+    /**
+     * Largest per-core GLB oversubscription ratio (0 when every core's
+     * working set fits). Schemes with overflow are cost-penalized so the
+     * SA steers away from them, and flagged infeasible in DSE reports.
+     */
+    double glbOverflow = 0.0;
+
+    Joules
+    totalEnergy() const
+    {
+        return intraTileEnergy + nocEnergy + d2dEnergy + dramEnergy;
+    }
+
+    bool feasible() const { return glbOverflow <= 0.0; }
+
+    /** Energy-delay product. */
+    double edp() const { return totalEnergy() * delay; }
+
+    EvalBreakdown &
+    operator+=(const EvalBreakdown &o)
+    {
+        delay += o.delay;
+        intraTileEnergy += o.intraTileEnergy;
+        nocEnergy += o.nocEnergy;
+        d2dEnergy += o.d2dEnergy;
+        dramEnergy += o.dramEnergy;
+        dramBytes += o.dramBytes;
+        hopBytes += o.hopBytes;
+        d2dHopBytes += o.d2dHopBytes;
+        if (o.glbOverflow > glbOverflow)
+            glbOverflow = o.glbOverflow;
+        return *this;
+    }
+};
+
+} // namespace gemini::eval
+
+#endif // GEMINI_EVAL_BREAKDOWN_HH

@@ -1,0 +1,38 @@
+#include "src/eval/energy_model.hh"
+
+#include "src/common/logging.hh"
+
+namespace gemini::eval {
+
+EnergyModel::EnergyModel(const arch::ArchConfig &cfg,
+                         const arch::TechParams &tech)
+    : cfg_(cfg), tech_(tech)
+{
+    GEMINI_ASSERT(cfg.validate().empty(), "invalid arch for EnergyModel");
+}
+
+Joules
+EnergyModel::onChipJ(double bytes) const
+{
+    return bytes * tech_.nocHopJPerByte;
+}
+
+Joules
+EnergyModel::d2dJ(double bytes) const
+{
+    return bytes * tech_.d2dJPerByte;
+}
+
+Joules
+EnergyModel::dramJ(double bytes) const
+{
+    return bytes * tech_.dramJPerByte;
+}
+
+double
+EnergyModel::dramStackBps() const
+{
+    return cfg_.dramBwGBps * 1.0e9 / cfg_.dramCount;
+}
+
+} // namespace gemini::eval

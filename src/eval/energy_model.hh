@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Energy model of Sec. V-B2: per-component unit energies applied to the
+ * operation counts the analyzer produces. NoC router energy is treated as
+ * a constant per flit/byte (the paper argues input buffer + crossbar
+ * dominate and are traffic-pattern independent, citing Orion); D2D links
+ * follow the clock-forwarded model (energy proportional to communication
+ * volume, as for the baseline's GRS links).
+ */
+
+#ifndef GEMINI_EVAL_ENERGY_MODEL_HH
+#define GEMINI_EVAL_ENERGY_MODEL_HH
+
+#include "src/arch/arch_config.hh"
+#include "src/arch/tech_params.hh"
+#include "src/common/types.hh"
+
+namespace gemini::eval {
+
+/**
+ * Converts traffic/access volumes into joules and exposes the DRAM timing
+ * parameters the delay model needs.
+ */
+class EnergyModel
+{
+  public:
+    EnergyModel(const arch::ArchConfig &cfg,
+                const arch::TechParams &tech = {});
+
+    const arch::TechParams &tech() const { return tech_; }
+
+    /** Energy of hop-weighted on-chip NoC traffic. */
+    Joules onChipJ(double bytes) const;
+
+    /** Energy of hop-weighted D2D traffic. */
+    Joules d2dJ(double bytes) const;
+
+    /** Energy of DRAM accesses. */
+    Joules dramJ(double bytes) const;
+
+    /** Per-DRAM-stack bandwidth in bytes/second (total BW / D). */
+    double dramStackBps() const;
+
+    const arch::ArchConfig &config() const { return cfg_; }
+
+  private:
+    arch::ArchConfig cfg_;
+    arch::TechParams tech_;
+};
+
+} // namespace gemini::eval
+
+#endif // GEMINI_EVAL_ENERGY_MODEL_HH

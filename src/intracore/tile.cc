@@ -1,0 +1,30 @@
+#include "src/intracore/tile.hh"
+
+#include <functional>
+
+namespace gemini::intracore {
+
+std::size_t
+TileHash::operator()(const Tile &t) const
+{
+    // FNV-1a over the member words; cheap and stable.
+    std::size_t h = 1469598103934665603ull;
+    auto mix = [&h](std::int64_t v) {
+        h ^= static_cast<std::size_t>(v);
+        h *= 1099511628211ull;
+    };
+    mix(t.b);
+    mix(t.k);
+    mix(t.h);
+    mix(t.w);
+    mix(t.cPerGroup);
+    mix(t.r);
+    mix(t.s);
+    mix(t.strideH);
+    mix(t.strideW);
+    mix(t.macWork ? 1 : 0);
+    mix(static_cast<std::int64_t>(t.vecOpFactor * 16.0));
+    return h;
+}
+
+} // namespace gemini::intracore

@@ -1,0 +1,344 @@
+#include "src/mapping/analyzer.hh"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "src/common/logging.hh"
+
+namespace gemini::mapping {
+
+namespace {
+
+/** One partitioned workload: a core plus its ofmap slice and tile cost. */
+struct Piece
+{
+    CoreId core;
+    WorkRegion wr;
+    double inputBytes = 0.0;  ///< gathered ifmap bytes per unit
+    double outputBytes = 0.0; ///< produced ofmap bytes per unit
+};
+
+/** Key for grouping identical data requests into one multicast. */
+using RegionKey =
+    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+               std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+
+RegionKey
+keyOf(const dnn::Region &r, std::int64_t b0, std::int64_t b1)
+{
+    return {r.c0, r.c1, r.h0, r.h1, r.w0, r.w1, b0, b1};
+}
+
+} // namespace
+
+Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
+                   const noc::NocModel &noc, intracore::Explorer &explorer)
+    : graph_(graph), arch_(arch), noc_(noc), explorer_(explorer)
+{
+    GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
+}
+
+GroupAnalysis
+Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
+                       const OfmapDramLookup &ofmap_dram_of) const
+{
+    GroupAnalysis out;
+    out.dramBytesPerUnit.assign(arch_.dramCount, 0.0);
+    GEMINI_ASSERT(batch % group.batchUnit == 0,
+                  "batch unit must divide batch");
+    out.numUnits = batch / group.batchUnit;
+
+    const std::size_t n_layers = group.layers.size();
+
+    // ---- Pass 1: partitioned workloads, tiles, stage times --------------
+    std::vector<std::vector<Piece>> pieces(n_layers);
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const dnn::Layer &layer = graph_.layer(group.layers[li]);
+        const MappingScheme &ms = group.schemes[li];
+        double stage_seconds = 0.0;
+        pieces[li].reserve(ms.coreGroup.size());
+        for (std::size_t i = 0; i < ms.coreGroup.size(); ++i) {
+            Piece p;
+            p.core = ms.coreGroup[i];
+            p.wr = workRegionOf(layer, ms.part, group.batchUnit,
+                                workIndexOf(ms.part,
+                                            static_cast<std::int64_t>(i)));
+            p.outputBytes = static_cast<double>(p.wr.volume());
+
+            intracore::Tile tile;
+            tile.b = p.wr.b1 - p.wr.b0;
+            tile.k = p.wr.region.channels();
+            tile.h = p.wr.region.height();
+            tile.w = p.wr.region.width();
+            tile.vecOpFactor =
+                static_cast<double>(layer.vectorOpsPerSample()) /
+                static_cast<double>(layer.ofmapVolume());
+            switch (layer.kind) {
+              case dnn::LayerKind::Conv:
+              case dnn::LayerKind::FC:
+                tile.macWork = true;
+                tile.cPerGroup = layer.c / layer.groups;
+                tile.r = layer.r;
+                tile.s = layer.s;
+                tile.strideH = layer.strideH;
+                tile.strideW = layer.strideW;
+                break;
+              case dnn::LayerKind::Matmul:
+                tile.macWork = true;
+                tile.cPerGroup = layer.transposedInner();
+                break;
+              default:
+                tile.macWork = false;
+                break;
+            }
+            const intracore::CoreCost &cost = explorer_.evaluate(tile);
+            out.coreEnergyPerUnit += cost.energyJ;
+            stage_seconds =
+                std::max(stage_seconds, explorer_.seconds(cost.cycles));
+            pieces[li].push_back(p);
+        }
+        out.maxStageSeconds = std::max(out.maxStageSeconds, stage_seconds);
+    }
+
+    // ---- Helpers for DRAM-sourced / DRAM-bound flows --------------------
+    auto dram_read = [&](DramSel sel, double bytes,
+                         const std::vector<noc::NodeId> &dsts) {
+        if (bytes <= 0.0 || dsts.empty())
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.multicast(out.traffic, noc_.dramNode(d), dsts, share);
+                out.dramBytesPerUnit[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.multicast(out.traffic, noc_.dramNode(sel - 1), dsts, bytes);
+            out.dramBytesPerUnit[sel - 1] += bytes;
+        }
+    };
+    auto dram_write = [&](DramSel sel, double bytes, CoreId src) {
+        if (bytes <= 0.0)
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.unicast(out.traffic, noc_.coreNode(src),
+                             noc_.dramNode(d), share);
+                out.dramBytesPerUnit[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.unicast(out.traffic, noc_.coreNode(src),
+                         noc_.dramNode(sel - 1), bytes);
+            out.dramBytesPerUnit[sel - 1] += bytes;
+        }
+    };
+
+    // ---- Pass 2: activation flows (in-group NoC + cross-group DRAM) -----
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const LayerId layer_id = group.layers[li];
+        const dnn::Layer &layer = graph_.layer(layer_id);
+        const MappingScheme &ms = group.schemes[li];
+
+        const std::size_t n_inputs = std::max<std::size_t>(
+            layer.inputs.size(), 1); // external input counts as one
+        for (std::size_t j = 0; j < n_inputs; ++j) {
+            const bool external = layer.inputs.empty();
+            const LayerId producer = external ? -1 : layer.inputs[j];
+            const int pi = external ? -1 : group.indexOf(producer);
+
+            if (pi >= 0) {
+                // In-group dependency: the destination cores fetch the
+                // overlap of their required region with each producer
+                // piece; identical requests from one source multicast.
+                for (const Piece &pp : pieces[pi]) {
+                    std::map<RegionKey, std::pair<double,
+                                                  std::vector<noc::NodeId>>>
+                        mcast;
+                    for (const Piece &cp : pieces[li]) {
+                        const dnn::Region rq =
+                            layer.requiredInput(j, cp.wr.region);
+                        const dnn::Region ov = rq.intersect(pp.wr.region);
+                        const std::int64_t b0 =
+                            std::max(cp.wr.b0, pp.wr.b0);
+                        const std::int64_t b1 =
+                            std::min(cp.wr.b1, pp.wr.b1);
+                        if (ov.empty() || b1 <= b0)
+                            continue;
+                        const double bytes =
+                            static_cast<double>(ov.volume() * (b1 - b0));
+                        if (cp.core == pp.core)
+                            continue; // local GLB read
+                        auto &entry = mcast[keyOf(ov, b0, b1)];
+                        entry.first = bytes;
+                        entry.second.push_back(noc_.coreNode(cp.core));
+                    }
+                    for (const auto &[key, flow] : mcast)
+                        noc_.multicast(out.traffic, noc_.coreNode(pp.core),
+                                       flow.second, flow.first);
+                }
+                // Consumers still buffer the full required region.
+                for (Piece &cp : pieces[li]) {
+                    const dnn::Region rq =
+                        layer.requiredInput(j, cp.wr.region);
+                    const dnn::Region ov =
+                        rq.intersect(dnn::Region::full(
+                            graph_.layer(producer).k,
+                            graph_.layer(producer).h,
+                            graph_.layer(producer).w));
+                    cp.inputBytes += static_cast<double>(
+                        ov.volume() * (cp.wr.b1 - cp.wr.b0));
+                }
+            } else {
+                // External input or a producer mapped in another group:
+                // read from DRAM; identical regions share one multicast.
+                const DramSel src = external
+                                        ? ms.fd.ifmap
+                                        : ofmap_dram_of(producer);
+                std::int64_t pc, ph, pw;
+                graph_.producerShape(producer, pc, ph, pw);
+                std::map<RegionKey,
+                         std::pair<double, std::vector<noc::NodeId>>>
+                    mcast;
+                for (Piece &cp : pieces[li]) {
+                    dnn::Region rq = layer.requiredInput(j, cp.wr.region);
+                    rq = rq.clampTo(pc, ph, pw);
+                    if (rq.empty())
+                        continue;
+                    const double bytes = static_cast<double>(
+                        rq.volume() * (cp.wr.b1 - cp.wr.b0));
+                    cp.inputBytes += bytes;
+                    auto &entry = mcast[keyOf(rq, cp.wr.b0, cp.wr.b1)];
+                    entry.first = bytes;
+                    entry.second.push_back(noc_.coreNode(cp.core));
+                }
+                for (const auto &[key, flow] : mcast)
+                    dram_read(src, flow.first, flow.second);
+            }
+        }
+    }
+
+    // ---- Pass 3: weights (multicast per k-slice, amortized if resident) -
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const dnn::Layer &layer = graph_.layer(group.layers[li]);
+        if (!layer.hasWeights())
+            continue;
+        const MappingScheme &ms = group.schemes[li];
+
+        // Cores sharing the same k-chunk receive identical weight slices.
+        std::map<std::int64_t, std::pair<double, std::vector<noc::NodeId>>>
+            by_k;
+        std::vector<double> weight_bytes_of(pieces[li].size(), 0.0);
+        for (std::size_t i = 0; i < pieces[li].size(); ++i) {
+            const Piece &p = pieces[li][i];
+            const std::int64_t klen = p.wr.region.channels();
+            const double wbytes =
+                static_cast<double>(klen * (layer.c / layer.groups) *
+                                    layer.r * layer.s) +
+                4.0 * klen; // 32-bit bias/scale per output channel
+            weight_bytes_of[i] = wbytes;
+            auto &entry = by_k[p.wr.region.c0];
+            entry.first = wbytes;
+            entry.second.push_back(noc_.coreNode(p.core));
+        }
+
+        // Residency: if the slice plus double-buffered activations fits in
+        // the GLB, weights load once per group execution (amortized over
+        // the batch units); otherwise they re-stream every unit.
+        double worst_need = 0.0;
+        bool resident = true;
+        for (std::size_t i = 0; i < pieces[li].size(); ++i) {
+            const Piece &p = pieces[li][i];
+            const double need = weight_bytes_of[i] +
+                                2.0 * (p.inputBytes + p.outputBytes);
+            worst_need = std::max(worst_need, need);
+            if (need > static_cast<double>(arch_.glbBytes()))
+                resident = false;
+        }
+        const double factor =
+            resident ? 1.0 / static_cast<double>(out.numUnits) : 1.0;
+        for (const auto &[k0, flow] : by_k)
+            dram_read(ms.fd.weight, flow.first * factor, flow.second);
+        (void)worst_need;
+    }
+
+    // ---- Pass 4: managed ofmap stores ------------------------------------
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const MappingScheme &ms = group.schemes[li];
+        if (ms.fd.ofmap == kDramUnmanaged)
+            continue;
+        for (const Piece &p : pieces[li])
+            dram_write(ms.fd.ofmap, static_cast<double>(p.wr.volume()),
+                       p.core);
+    }
+
+    // ---- Pass 5: GLB pressure --------------------------------------------
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const dnn::Layer &layer = graph_.layer(group.layers[li]);
+        for (const Piece &p : pieces[li]) {
+            // Double-buffered input/output tiles; weights checked above.
+            double need = 2.0 * (p.inputBytes + p.outputBytes);
+            if (layer.hasWeights()) {
+                const std::int64_t klen = p.wr.region.channels();
+                const double wbytes = static_cast<double>(
+                    klen * (layer.c / layer.groups) * layer.r * layer.s);
+                // Streaming weights still need a staging buffer slice.
+                need += std::min(wbytes,
+                                 static_cast<double>(arch_.glbBytes()) / 4);
+            }
+            const double ratio =
+                need / static_cast<double>(arch_.glbBytes()) - 1.0;
+            out.glbOverflow = std::max(out.glbOverflow, ratio);
+        }
+    }
+    out.glbOverflow = std::max(out.glbOverflow, 0.0);
+
+    // ---- Pass 6: pipeline depth -------------------------------------------
+    std::vector<int> depth(n_layers, 1);
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        for (LayerId in : graph_.layer(group.layers[li]).inputs) {
+            const int pi = group.indexOf(in);
+            if (pi >= 0)
+                depth[li] = std::max(depth[li], depth[pi] + 1);
+        }
+        out.pipelineDepth = std::max(out.pipelineDepth, depth[li]);
+    }
+    return out;
+}
+
+eval::EvalBreakdown
+Analyzer::evaluate(const GroupAnalysis &a,
+                   const eval::EnergyModel &energy) const
+{
+    eval::EvalBreakdown r;
+    const noc::TrafficStats stats = noc_.summarize(a.traffic);
+
+    double dram_seconds = 0.0;
+    double dram_bytes = 0.0;
+    for (double bytes : a.dramBytesPerUnit) {
+        dram_seconds =
+            std::max(dram_seconds, bytes / energy.dramStackBps());
+        dram_bytes += bytes;
+    }
+
+    const double bottleneck = std::max(
+        {a.maxStageSeconds, stats.maxLinkSeconds, dram_seconds});
+    const double units = static_cast<double>(a.numUnits);
+    r.delay = (units + a.pipelineDepth - 1) * bottleneck;
+
+    r.intraTileEnergy = a.coreEnergyPerUnit * units;
+    r.nocEnergy = energy.onChipJ(stats.onChipBytes) * units;
+    r.d2dEnergy = energy.d2dJ(stats.d2dBytes) * units;
+    r.dramEnergy = energy.dramJ(dram_bytes) * units;
+    r.dramBytes = dram_bytes * units;
+    r.hopBytes = (stats.onChipBytes + stats.d2dBytes) * units;
+    r.d2dHopBytes = stats.d2dBytes * units;
+    r.glbOverflow = a.glbOverflow;
+    return r;
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The LP SPM Analyzer + Evaluator glue (Sec. V-B): parses an encoded layer
+ * group mapping into per-core workload tiles and explicit data flows,
+ * accumulates NoC/D2D/DRAM traffic (with multicast deduplication), invokes
+ * the intra-core exploration engine for every partitioned workload, and
+ * produces the energy/delay evaluation the SA controller optimizes.
+ */
+
+#ifndef GEMINI_MAPPING_ANALYZER_HH
+#define GEMINI_MAPPING_ANALYZER_HH
+
+#include <functional>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/dnn/graph.hh"
+#include "src/eval/breakdown.hh"
+#include "src/eval/energy_model.hh"
+#include "src/intracore/explorer.hh"
+#include "src/mapping/encoding.hh"
+#include "src/noc/noc_model.hh"
+
+namespace gemini::mapping {
+
+/**
+ * Steady-state (per batch unit) analysis of one layer group. One-time
+ * weight loads are amortized over the unit count so every field scales
+ * uniformly with pipeline progress.
+ */
+struct GroupAnalysis
+{
+    /** Per-link bytes moved per batch unit. */
+    noc::TrafficMap traffic;
+
+    /** Per-DRAM-stack bytes (read + write) per batch unit. */
+    std::vector<double> dramBytesPerUnit;
+
+    /** Slowest layer-stage compute time per unit (seconds). */
+    double maxStageSeconds = 0.0;
+
+    /** Sum of intra-core energies per unit (MAC + vec + GLB + buffers). */
+    double coreEnergyPerUnit = 0.0;
+
+    /** Longest dependency chain inside the group (pipeline depth). */
+    int pipelineDepth = 1;
+
+    /** batch / batchUnit. */
+    std::int64_t numUnits = 1;
+
+    /** Worst per-core GLB oversubscription ratio (0 = everything fits). */
+    double glbOverflow = 0.0;
+};
+
+/**
+ * Resolves the DRAM (FD.OF) where an out-of-group producer stored its
+ * ofmap. Receives the producer layer id; kDramInterleaved is a valid
+ * answer.
+ */
+using OfmapDramLookup = std::function<DramSel(LayerId)>;
+
+/**
+ * Stateless-per-call analyzer bound to one (graph, arch) pair. The
+ * intra-core explorer it holds memoizes tile costs across calls, which is
+ * what makes the SA loop cheap.
+ */
+class Analyzer
+{
+  public:
+    Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
+             const noc::NocModel &noc, intracore::Explorer &explorer);
+
+    /**
+     * Analyze one group of an LMS. `ofmap_dram_of` must resolve FD.OF for
+     * producers mapped in other groups (cross-group flows read the DRAM
+     * the producer wrote, per Sec. IV-A).
+     */
+    GroupAnalysis analyzeGroup(const LayerGroupMapping &group,
+                               std::int64_t batch,
+                               const OfmapDramLookup &ofmap_dram_of) const;
+
+    /** Pipeline fill/drain + steady-state evaluation (Sec. V-B2). */
+    eval::EvalBreakdown evaluate(const GroupAnalysis &analysis,
+                                 const eval::EnergyModel &energy) const;
+
+    const noc::NocModel &noc() const { return noc_; }
+
+  private:
+    const dnn::Graph &graph_;
+    arch::ArchConfig arch_;
+    const noc::NocModel &noc_;
+    intracore::Explorer &explorer_;
+};
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_ANALYZER_HH

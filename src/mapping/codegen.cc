@@ -1,0 +1,276 @@
+#include "src/mapping/codegen.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "src/common/logging.hh"
+
+namespace gemini::mapping {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::LoadWeight: return "LOAD.W";
+      case Opcode::LoadIfmap: return "LOAD.I";
+      case Opcode::Recv: return "RECV";
+      case Opcode::Compute: return "COMPUTE";
+      case Opcode::Send: return "SEND";
+      case Opcode::Store: return "STORE";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString(const dnn::Graph &graph) const
+{
+    std::ostringstream oss;
+    oss << opcodeName(op) << " " << graph.layer(layer).name;
+    switch (op) {
+      case Opcode::LoadWeight:
+      case Opcode::LoadIfmap:
+      case Opcode::Store:
+        oss << " dram=" << (dram == kDramInterleaved
+                                ? std::string("interleaved")
+                                : std::to_string(dram))
+            << " bytes=" << bytes;
+        break;
+      case Opcode::Recv:
+        oss << " from=core" << peer << " bytes=" << bytes;
+        break;
+      case Opcode::Send:
+        oss << " to=core" << peer << " bytes=" << bytes;
+        break;
+      case Opcode::Compute:
+        oss << " macs=" << macs << " out_bytes=" << bytes;
+        break;
+    }
+    return oss.str();
+}
+
+double
+CoreProgram::totalSendBytes() const
+{
+    double total = 0.0;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::Send)
+            total += i.bytes;
+    return total;
+}
+
+double
+CoreProgram::totalRecvBytes() const
+{
+    double total = 0.0;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::Recv)
+            total += i.bytes;
+    return total;
+}
+
+double
+CoreProgram::totalDramBytes() const
+{
+    double total = 0.0;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::LoadWeight || i.op == Opcode::LoadIfmap ||
+            i.op == Opcode::Store)
+            total += i.bytes;
+    return total;
+}
+
+OpCount
+CoreProgram::totalMacs() const
+{
+    OpCount total = 0;
+    for (const auto &i : instructions)
+        if (i.op == Opcode::Compute)
+            total += i.macs;
+    return total;
+}
+
+const CoreProgram *
+GroupProgram::findCore(CoreId core) const
+{
+    for (const auto &p : cores)
+        if (p.core == core)
+            return &p;
+    return nullptr;
+}
+
+std::string
+GroupProgram::toString(const dnn::Graph &graph,
+                       const arch::ArchConfig &arch) const
+{
+    std::ostringstream oss;
+    for (const auto &p : cores) {
+        oss << "core " << p.core << " (" << arch.coreX(p.core) << ","
+            << arch.coreY(p.core) << "):\n";
+        for (const auto &i : p.instructions)
+            oss << "  " << i.toString(graph) << "\n";
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** Workload piece of one core within the group. */
+struct Piece
+{
+    CoreId core;
+    WorkRegion wr;
+};
+
+std::vector<std::vector<Piece>>
+buildPieces(const dnn::Graph &graph, const LayerGroupMapping &group)
+{
+    std::vector<std::vector<Piece>> pieces(group.layers.size());
+    for (std::size_t li = 0; li < group.layers.size(); ++li) {
+        const dnn::Layer &layer = graph.layer(group.layers[li]);
+        const MappingScheme &ms = group.schemes[li];
+        for (std::size_t i = 0; i < ms.coreGroup.size(); ++i) {
+            pieces[li].push_back(
+                {ms.coreGroup[i],
+                 workRegionOf(layer, ms.part, group.batchUnit,
+                              workIndexOf(ms.part,
+                                          static_cast<std::int64_t>(i)))});
+        }
+    }
+    return pieces;
+}
+
+} // namespace
+
+GroupProgram
+generateProgram(const dnn::Graph &graph, const arch::ArchConfig &arch,
+                const LayerGroupMapping &group,
+                const OfmapDramLookup &ofmap_dram_of)
+{
+    GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
+    GroupProgram out;
+    out.batchUnit = group.batchUnit;
+
+    std::map<CoreId, CoreProgram> programs;
+    auto prog = [&programs](CoreId core) -> CoreProgram & {
+        CoreProgram &p = programs[core];
+        p.core = core;
+        return p;
+    };
+
+    const auto pieces = buildPieces(graph, group);
+
+    // Instructions are emitted layer by layer in group (topological)
+    // order: inputs (LOAD/RECV), then COMPUTE, with the producer-side
+    // SENDs attached to the producing layer so each core's stream is in
+    // dataflow order.
+    for (std::size_t li = 0; li < group.layers.size(); ++li) {
+        const LayerId layer_id = group.layers[li];
+        const dnn::Layer &layer = graph.layer(layer_id);
+        const MappingScheme &ms = group.schemes[li];
+
+        // --- weights ---
+        if (layer.hasWeights()) {
+            for (const Piece &p : pieces[li]) {
+                const std::int64_t klen = p.wr.region.channels();
+                Instruction ins;
+                ins.op = Opcode::LoadWeight;
+                ins.layer = layer_id;
+                ins.dram = ms.fd.weight;
+                ins.bytes = static_cast<double>(
+                    klen * (layer.c / layer.groups) * layer.r * layer.s +
+                    4 * klen);
+                prog(p.core).instructions.push_back(ins);
+            }
+        }
+
+        // --- activations in ---
+        const std::size_t n_inputs =
+            std::max<std::size_t>(layer.inputs.size(), 1);
+        for (std::size_t j = 0; j < n_inputs; ++j) {
+            const bool external = layer.inputs.empty();
+            const LayerId producer = external ? -1 : layer.inputs[j];
+            const int pi = external ? -1 : group.indexOf(producer);
+            for (const Piece &cp : pieces[li]) {
+                dnn::Region rq = layer.requiredInput(j, cp.wr.region);
+                if (pi >= 0) {
+                    // In-group: RECV from each producer piece owning a
+                    // slice of the required region (SEND mirrored below).
+                    for (const Piece &pp : pieces[static_cast<std::size_t>(
+                             pi)]) {
+                        const dnn::Region ov =
+                            rq.intersect(pp.wr.region);
+                        const std::int64_t b0 =
+                            std::max(cp.wr.b0, pp.wr.b0);
+                        const std::int64_t b1 =
+                            std::min(cp.wr.b1, pp.wr.b1);
+                        if (ov.empty() || b1 <= b0 || cp.core == pp.core)
+                            continue;
+                        const double bytes =
+                            static_cast<double>(ov.volume() * (b1 - b0));
+                        Instruction recv;
+                        recv.op = Opcode::Recv;
+                        recv.layer = layer_id;
+                        recv.peer = pp.core;
+                        recv.bytes = bytes;
+                        prog(cp.core).instructions.push_back(recv);
+                        Instruction send;
+                        send.op = Opcode::Send;
+                        send.layer = layer_id;
+                        send.peer = cp.core;
+                        send.bytes = bytes;
+                        prog(pp.core).instructions.push_back(send);
+                    }
+                } else {
+                    std::int64_t pc, ph, pw;
+                    graph.producerShape(producer, pc, ph, pw);
+                    rq = rq.clampTo(pc, ph, pw);
+                    if (rq.empty())
+                        continue;
+                    Instruction load;
+                    load.op = Opcode::LoadIfmap;
+                    load.layer = layer_id;
+                    load.dram = external ? ms.fd.ifmap
+                                         : ofmap_dram_of(producer);
+                    load.bytes = static_cast<double>(
+                        rq.volume() * (cp.wr.b1 - cp.wr.b0));
+                    prog(cp.core).instructions.push_back(load);
+                }
+            }
+        }
+
+        // --- compute ---
+        for (const Piece &p : pieces[li]) {
+            Instruction ins;
+            ins.op = Opcode::Compute;
+            ins.layer = layer_id;
+            const double frac =
+                static_cast<double>(p.wr.volume()) /
+                static_cast<double>(layer.ofmapVolume() * group.batchUnit);
+            ins.macs = static_cast<OpCount>(
+                static_cast<double>(layer.macsPerSample()) *
+                group.batchUnit * frac);
+            ins.bytes = static_cast<double>(p.wr.volume());
+            prog(p.core).instructions.push_back(ins);
+        }
+
+        // --- managed store ---
+        if (ms.fd.ofmap != kDramUnmanaged) {
+            for (const Piece &p : pieces[li]) {
+                Instruction ins;
+                ins.op = Opcode::Store;
+                ins.layer = layer_id;
+                ins.dram = ms.fd.ofmap;
+                ins.bytes = static_cast<double>(p.wr.volume());
+                prog(p.core).instructions.push_back(ins);
+            }
+        }
+    }
+
+    out.cores.reserve(programs.size());
+    for (auto &[core, program] : programs)
+        out.cores.push_back(std::move(program));
+    return out;
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Instruction generation (the "Instruction Gen." output stage of Fig. 4):
+ * lowers an analyzed LP spatial mapping into per-core statically-compiled
+ * instruction streams of the kind the template's control unit executes
+ * (Sec. III: "managing computation tasks based on statically-compiled
+ * instructions ... and the reception and transmission of data").
+ *
+ * The stream is behavioural, not a cycle-accurate ISA: one instruction per
+ * data movement or compute step of a steady-state batch unit, with
+ * matching SEND/RECV pairs across cores. It is what a firmware backend
+ * would consume, and it doubles as a consistency oracle for the analyzer
+ * (tests check conservation between the instruction streams and the
+ * traffic model).
+ */
+
+#ifndef GEMINI_MAPPING_CODEGEN_HH
+#define GEMINI_MAPPING_CODEGEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/common/types.hh"
+#include "src/dnn/graph.hh"
+#include "src/mapping/analyzer.hh" // OfmapDramLookup
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/** Instruction opcodes of the behavioural core program. */
+enum class Opcode
+{
+    LoadWeight, ///< fetch a weight slice from a DRAM
+    LoadIfmap,  ///< fetch an ifmap region from a DRAM
+    Recv,       ///< receive a region from a peer core
+    Compute,    ///< run the PE array / vector unit over the local tile
+    Send,       ///< send a produced region to a peer core
+    Store,      ///< write the produced region to a DRAM
+};
+
+const char *opcodeName(Opcode op);
+
+/** One instruction of a core's steady-state program. */
+struct Instruction
+{
+    Opcode op = Opcode::Compute;
+    LayerId layer = -1;   ///< the layer this step belongs to
+
+    /** Peer core for Send/Recv; -1 otherwise. */
+    CoreId peer = -1;
+
+    /**
+     * DRAM selector for loads and stores (1-based; kDramInterleaved for
+     * interleaved transfers); kDramUnmanaged otherwise.
+     */
+    DramSel dram = kDramUnmanaged;
+
+    /** Payload bytes (weights/regions) or MAC count for Compute. */
+    double bytes = 0.0;
+    OpCount macs = 0;
+
+    std::string toString(const dnn::Graph &graph) const;
+};
+
+/** The complete program of one core for one layer group. */
+struct CoreProgram
+{
+    CoreId core = -1;
+    std::vector<Instruction> instructions;
+
+    double totalSendBytes() const;
+    double totalRecvBytes() const;
+    double totalDramBytes() const;
+    OpCount totalMacs() const;
+};
+
+/** Programs of every participating core of one layer group. */
+struct GroupProgram
+{
+    std::int64_t batchUnit = 1;
+    std::vector<CoreProgram> cores; ///< only cores with instructions
+
+    const CoreProgram *findCore(CoreId core) const;
+
+    /** Render all programs as text (one block per core). */
+    std::string toString(const dnn::Graph &graph,
+                         const arch::ArchConfig &arch) const;
+};
+
+/**
+ * Generate the per-core steady-state programs of one layer group. Uses
+ * exactly the flow derivation of the analyzer (same region math), so a
+ * Send on core A always has a byte-matching Recv on core B.
+ *
+ * @param ofmap_dram_of resolves FD.OF of producers mapped in other groups
+ */
+GroupProgram generateProgram(const dnn::Graph &graph,
+                             const arch::ArchConfig &arch,
+                             const LayerGroupMapping &group,
+                             const OfmapDramLookup &ofmap_dram_of);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_CODEGEN_HH

@@ -1,0 +1,82 @@
+#include "src/mapping/engine.hh"
+
+#include "src/common/logging.hh"
+
+namespace gemini::mapping {
+
+MappingEngine::MappingEngine(const dnn::Graph &graph,
+                             const arch::ArchConfig &arch,
+                             MappingOptions options)
+    : graph_(graph), arch_(arch), options_(std::move(options)), noc_(arch),
+      explorer_(arch.macsPerCore, arch.glbBytes(), arch.freqGHz,
+                options_.tech),
+      energy_(arch, options_.tech),
+      analyzer_(graph, arch, noc_, explorer_),
+      sa_(graph, arch, analyzer_, energy_)
+{
+    const std::string err = arch.validate();
+    GEMINI_ASSERT(err.empty(), "invalid architecture: ", err);
+    GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
+    // Keep exponents in sync between the partitioner and the SA engine.
+    options_.sa.beta = options_.beta;
+    options_.sa.gamma = options_.gamma;
+}
+
+MappingResult
+MappingEngine::run()
+{
+    PartitionOptions popt;
+    popt.batch = options_.batch;
+    popt.maxGroupLayers = options_.maxGroupLayers;
+    popt.batchUnits = options_.batchUnits;
+    popt.beta = options_.beta;
+    popt.gamma = options_.gamma;
+
+    MappingResult result;
+    result.mapping = partitionGraph(graph_, arch_, analyzer_, energy_, popt);
+
+    const std::string err =
+        checkMappingValid(graph_, arch_, result.mapping);
+    GEMINI_ASSERT(err.empty(), "partitioner produced invalid mapping: ",
+                  err);
+
+    if (options_.runSa) {
+        result.groups =
+            sa_.optimize(result.mapping, options_.sa, &result.saStats);
+        const std::string err2 =
+            checkMappingValid(graph_, arch_, result.mapping);
+        GEMINI_ASSERT(err2.empty(), "SA produced invalid mapping: ", err2);
+    } else {
+        result.groups = sa_.evaluateAll(result.mapping);
+    }
+    for (const auto &g : result.groups)
+        result.total += g;
+    return result;
+}
+
+MappingResult
+MappingEngine::evaluateMapping(const LpMapping &mapping) const
+{
+    const std::string err = checkMappingValid(graph_, arch_, mapping);
+    GEMINI_ASSERT(err.empty(), "cannot evaluate invalid mapping: ", err);
+    MappingResult result;
+    result.mapping = mapping;
+    result.groups = sa_.evaluateAll(mapping);
+    for (const auto &g : result.groups)
+        result.total += g;
+    return result;
+}
+
+GroupAnalysis
+MappingEngine::analyzeGroup(const LpMapping &mapping,
+                            std::size_t group) const
+{
+    GEMINI_ASSERT(group < mapping.groups.size(), "group index out of range");
+    auto lookup = [&mapping](LayerId layer) {
+        return mapping.ofmapDramOf(layer);
+    };
+    return analyzer_.analyzeGroup(mapping.groups[group], mapping.batch,
+                                  lookup);
+}
+
+} // namespace gemini::mapping

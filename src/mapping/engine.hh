@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Mapping Engine facade (Fig. 4 right half): model parsing is done by
+ * dnn::Graph construction; this class chains the DP graph partitioner, the
+ * stripe initial solution, the SA-based LP SPM exploration and the
+ * evaluator, and reports energy/delay with full breakdowns. T-Map (the
+ * Tangram baseline) is the same pipeline with the SA stage disabled.
+ */
+
+#ifndef GEMINI_MAPPING_ENGINE_HH
+#define GEMINI_MAPPING_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/arch/tech_params.hh"
+#include "src/dnn/graph.hh"
+#include "src/eval/breakdown.hh"
+#include "src/eval/energy_model.hh"
+#include "src/intracore/explorer.hh"
+#include "src/mapping/analyzer.hh"
+#include "src/mapping/encoding.hh"
+#include "src/mapping/graph_partition.hh"
+#include "src/mapping/sa.hh"
+#include "src/noc/noc_model.hh"
+
+namespace gemini::mapping {
+
+/** All knobs of one mapping run. */
+struct MappingOptions
+{
+    std::int64_t batch = 64;
+
+    /** Objective exponents (E^beta * D^gamma, Sec. V-A). */
+    double beta = 1.0;
+    double gamma = 1.0;
+
+    /** false = stripe heuristic only (the T-Map baseline). */
+    bool runSa = true;
+
+    SaOptions sa;
+
+    /** DP partitioner knobs. */
+    int maxGroupLayers = 12;
+    std::vector<std::int64_t> batchUnits; // empty = auto
+
+    arch::TechParams tech;
+};
+
+/** Outcome of a mapping run. */
+struct MappingResult
+{
+    LpMapping mapping;
+    std::vector<eval::EvalBreakdown> groups;
+    eval::EvalBreakdown total;
+    SaStats saStats; ///< zeros when runSa was false
+
+    Seconds delay() const { return total.delay; }
+    Joules energy() const { return total.totalEnergy(); }
+};
+
+/**
+ * One engine per (graph, arch) pair. Reusable across runs; the intra-core
+ * memoization cache persists, so mapping the same network repeatedly (as
+ * the DSE does with different options) gets cheaper. Not thread-safe —
+ * DSE workers each construct their own engine.
+ */
+class MappingEngine
+{
+  public:
+    MappingEngine(const dnn::Graph &graph, const arch::ArchConfig &arch,
+                  MappingOptions options = {});
+
+    /** Partition, build the initial LMS, optionally run SA, evaluate. */
+    MappingResult run();
+
+    /** Evaluate a caller-supplied mapping without optimizing it. */
+    MappingResult evaluateMapping(const LpMapping &mapping) const;
+
+    /**
+     * Re-analyze one group of a mapping (exposes the per-link traffic for
+     * the Fig. 9 heatmaps).
+     */
+    GroupAnalysis analyzeGroup(const LpMapping &mapping,
+                               std::size_t group) const;
+
+    const noc::NocModel &noc() const { return noc_; }
+    const eval::EnergyModel &energyModel() const { return energy_; }
+    const arch::ArchConfig &arch() const { return arch_; }
+    const MappingOptions &options() const { return options_; }
+    intracore::Explorer &explorer() { return explorer_; }
+
+  private:
+    const dnn::Graph &graph_;
+    arch::ArchConfig arch_;
+    MappingOptions options_;
+    noc::NocModel noc_;
+    mutable intracore::Explorer explorer_;
+    eval::EnergyModel energy_;
+    mutable Analyzer analyzer_;
+    SaEngine sa_;
+};
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_ENGINE_HH

@@ -1,0 +1,159 @@
+#include "src/mapping/graph_partition.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.hh"
+#include "src/common/math_util.hh"
+#include "src/mapping/sa.hh"
+#include "src/mapping/stripe.hh"
+
+namespace gemini::mapping {
+
+std::vector<std::int64_t>
+defaultBatchUnits(std::int64_t batch)
+{
+    std::vector<std::int64_t> units;
+    for (std::int64_t d : divisorsOf(batch)) {
+        if (d <= 16)
+            units.push_back(d);
+    }
+    if (units.empty())
+        units.push_back(1);
+    return units;
+}
+
+namespace {
+
+/**
+ * Evaluate one contiguous segment [first, first+len) with one batch unit:
+ * build the stripe mapping and run the analyzer. Cross-group DRAM sources
+ * are approximated as interleaved during partitioning (the stripe
+ * heuristic's own default), which is exact for T-Map and a sound starting
+ * point for the SA refinement.
+ */
+eval::EvalBreakdown
+segmentEval(const dnn::Graph &graph, const arch::ArchConfig &arch,
+            Analyzer &analyzer, const eval::EnergyModel &energy,
+            std::size_t first, std::size_t len, std::int64_t batch,
+            std::int64_t batch_unit, LayerGroupMapping *out_group)
+{
+    std::vector<LayerId> layers(len);
+    for (std::size_t i = 0; i < len; ++i)
+        layers[i] = static_cast<LayerId>(first + i);
+    LayerGroupMapping group =
+        stripeMapping(graph, arch, layers, batch_unit);
+
+    auto lookup = [](LayerId) { return kDramInterleaved; };
+    const GroupAnalysis analysis =
+        analyzer.analyzeGroup(group, batch, lookup);
+    const eval::EvalBreakdown bd = analyzer.evaluate(analysis, energy);
+    if (out_group)
+        *out_group = std::move(group);
+    return bd;
+}
+
+/**
+ * Additive DP surrogate of the multiplicative objective E^beta * D^gamma.
+ * The true objective is a product of whole-network sums, which no additive
+ * DP can represent exactly; to first order, minimizing
+ * beta * E/E_ref + gamma * D/D_ref (with reference totals from a
+ * layer-sequential pre-pass) minimizes the product. GLB overflow applies
+ * the same quadratic penalty the SA cost uses.
+ */
+double
+segmentScore(const eval::EvalBreakdown &bd, double e_ref, double d_ref,
+             double beta, double gamma)
+{
+    const double penalty = (1.0 + bd.glbOverflow) * (1.0 + bd.glbOverflow);
+    return beta * bd.totalEnergy() * penalty / e_ref +
+           gamma * bd.delay * penalty / d_ref;
+}
+
+} // namespace
+
+LpMapping
+partitionGraph(const dnn::Graph &graph, const arch::ArchConfig &arch,
+               Analyzer &analyzer, const eval::EnergyModel &energy,
+               const PartitionOptions &options)
+{
+    GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
+    GEMINI_ASSERT(options.batch >= 1, "batch must be positive");
+
+    const std::size_t n = graph.size();
+    const std::size_t max_len = static_cast<std::size_t>(
+        std::max(1, std::min(options.maxGroupLayers, arch.coreCount())));
+    const std::vector<std::int64_t> units =
+        options.batchUnits.empty() ? defaultBatchUnits(options.batch)
+                                   : options.batchUnits;
+
+    // Layer-sequential pre-pass: reference totals that normalize the
+    // additive DP surrogate (see segmentScore).
+    double e_ref = 0.0, d_ref = 0.0;
+    for (std::size_t l = 0; l < n; ++l) {
+        const eval::EvalBreakdown bd =
+            segmentEval(graph, arch, analyzer, energy, l, 1, options.batch,
+                        units.front(), nullptr);
+        e_ref += bd.totalEnergy();
+        d_ref += bd.delay;
+    }
+    GEMINI_ASSERT(e_ref > 0.0 && d_ref > 0.0, "degenerate reference costs");
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    std::vector<double> best(n + 1, kInf);
+    std::vector<std::size_t> cut(n + 1, 0);        // segment start
+    std::vector<std::int64_t> unit_at(n + 1, 1);   // chosen batch unit
+    best[0] = 0.0;
+
+    for (std::size_t end = 1; end <= n; ++end) {
+        for (std::size_t len = 1;
+             len <= std::min(max_len, end); ++len) {
+            const std::size_t start = end - len;
+            if (best[start] == kInf)
+                continue;
+            for (std::int64_t bu : units) {
+                if (options.batch % bu != 0)
+                    continue;
+                const eval::EvalBreakdown bd = segmentEval(
+                    graph, arch, analyzer, energy, start, len,
+                    options.batch, bu, nullptr);
+                const double seg = segmentScore(bd, e_ref, d_ref,
+                                                options.beta,
+                                                options.gamma);
+                const double total = best[start] + seg;
+                if (total < best[end]) {
+                    best[end] = total;
+                    cut[end] = start;
+                    unit_at[end] = bu;
+                }
+            }
+        }
+    }
+    GEMINI_ASSERT(best[n] < kInf, "graph partition DP found no solution");
+
+    // Reconstruct the chosen segments front-to-back.
+    std::vector<std::pair<std::size_t, std::size_t>> segments; // [start,end)
+    std::vector<std::int64_t> seg_units;
+    for (std::size_t end = n; end > 0;) {
+        const std::size_t start = cut[end];
+        segments.emplace_back(start, end);
+        seg_units.push_back(unit_at[end]);
+        end = start;
+    }
+    std::reverse(segments.begin(), segments.end());
+    std::reverse(seg_units.begin(), seg_units.end());
+
+    LpMapping mapping;
+    mapping.batch = options.batch;
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+        LayerGroupMapping group;
+        segmentEval(graph, arch, analyzer, energy, segments[s].first,
+                    segments[s].second - segments[s].first, options.batch,
+                    seg_units[s], &group);
+        mapping.groups.push_back(std::move(group));
+    }
+    return mapping;
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The DP-based graph partition engine (Sec. V-B): splits the topologically
+ * ordered DNN into contiguous layer groups and selects the batch unit of
+ * every group, exactly the role Tangram's partitioner plays for both the
+ * baseline T-Map and Gemini's G-Map (the paper reuses it for fairness).
+ * Segments are scored with the stripe heuristic + evaluator.
+ */
+
+#ifndef GEMINI_MAPPING_GRAPH_PARTITION_HH
+#define GEMINI_MAPPING_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/energy_model.hh"
+#include "src/mapping/analyzer.hh"
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/** Knobs of the DP partitioner. */
+struct PartitionOptions
+{
+    std::int64_t batch = 64;
+
+    /** DP segment-length cap (also bounded by the core count). */
+    int maxGroupLayers = 12;
+
+    /**
+     * Batch-unit candidates per group; empty selects the divisors of
+     * `batch` up to 16 automatically.
+     */
+    std::vector<std::int64_t> batchUnits;
+
+    /** Objective exponents used to score segments. */
+    double beta = 1.0;
+    double gamma = 1.0;
+};
+
+/**
+ * Partition the graph into layer groups by dynamic programming over
+ * topological prefixes and build the stripe-heuristic LMS for every chosen
+ * segment (the SA engine then refines it).
+ */
+LpMapping partitionGraph(const dnn::Graph &graph,
+                         const arch::ArchConfig &arch, Analyzer &analyzer,
+                         const eval::EnergyModel &energy,
+                         const PartitionOptions &options);
+
+/** Default batch-unit candidate list: divisors of `batch`, capped. */
+std::vector<std::int64_t> defaultBatchUnits(std::int64_t batch);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_GRAPH_PARTITION_HH

@@ -1,0 +1,229 @@
+#include "src/mapping/operators.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+#include "src/common/math_util.hh"
+
+namespace gemini::mapping {
+
+const char *
+saOperatorName(SaOperator op)
+{
+    switch (op) {
+      case SaOperator::ChangePartition: return "OP1-part";
+      case SaOperator::SwapWithinLayer: return "OP2-swap-within";
+      case SaOperator::SwapAcrossLayers: return "OP3-swap-across";
+      case SaOperator::MoveCore: return "OP4-move-core";
+      case SaOperator::ChangeFlow: return "OP5-flow";
+    }
+    return "?";
+}
+
+Partition
+randomPartition(std::int64_t count, std::int64_t cap_h, std::int64_t cap_w,
+                std::int64_t cap_b, std::int64_t cap_k,
+                const Partition &current, Rng &rng)
+{
+    auto cands = factorizations4(count, {cap_h, cap_w, cap_b, cap_k});
+    if (cands.empty())
+        return {.h = 0, .w = 0, .b = 0, .k = 0};
+    if (cands.size() > 1) {
+        const Factor4 cur = {current.h, current.w, current.b, current.k};
+        std::erase(cands, cur);
+    }
+    const auto &pick =
+        cands[static_cast<std::size_t>(rng.nextInt(
+            static_cast<std::int64_t>(cands.size())))];
+    return {pick[0], pick[1], pick[2], pick[3]};
+}
+
+namespace {
+
+/** Caps of a layer's partition dims within a group. */
+void
+capsOf(const dnn::Layer &l, std::int64_t batch_unit, std::int64_t &h,
+       std::int64_t &w, std::int64_t &b, std::int64_t &k)
+{
+    h = l.h;
+    w = l.w;
+    b = batch_unit;
+    k = l.k;
+}
+
+OperatorEffect
+opChangePartition(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
+{
+    const std::size_t li =
+        static_cast<std::size_t>(rng.nextInt(
+            static_cast<std::int64_t>(g.layers.size())));
+    MappingScheme &ms = g.schemes[li];
+    std::int64_t ch, cw, cb, ck;
+    capsOf(graph.layer(g.layers[li]), g.batchUnit, ch, cw, cb, ck);
+    const Partition p = randomPartition(
+        static_cast<std::int64_t>(ms.coreGroup.size()), ch, cw, cb, ck,
+        ms.part, rng);
+    if (p.count() != static_cast<std::int64_t>(ms.coreGroup.size()) ||
+        p == ms.part) {
+        return {};
+    }
+    ms.part = p;
+    return {.applied = true};
+}
+
+OperatorEffect
+opSwapWithinLayer(LayerGroupMapping &g, Rng &rng)
+{
+    // Collect layers with at least two cores.
+    std::vector<std::size_t> eligible;
+    for (std::size_t i = 0; i < g.schemes.size(); ++i)
+        if (g.schemes[i].coreGroup.size() >= 2)
+            eligible.push_back(i);
+    if (eligible.empty())
+        return {};
+    auto &cg = g.schemes[eligible[static_cast<std::size_t>(rng.nextInt(
+                             static_cast<std::int64_t>(eligible.size())))]]
+                   .coreGroup;
+    const auto i = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cg.size())));
+    auto j = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cg.size() - 1)));
+    if (j >= i)
+        ++j;
+    std::swap(cg[i], cg[j]);
+    return {.applied = true};
+}
+
+OperatorEffect
+opSwapAcrossLayers(LayerGroupMapping &g, Rng &rng)
+{
+    if (g.layers.size() < 2)
+        return {};
+    const auto a = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(g.layers.size())));
+    auto b = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(g.layers.size() - 1)));
+    if (b >= a)
+        ++b;
+    auto &cga = g.schemes[a].coreGroup;
+    auto &cgb = g.schemes[b].coreGroup;
+    const auto i = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cga.size())));
+    const auto j = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cgb.size())));
+    std::swap(cga[i], cgb[j]);
+    return {.applied = true};
+}
+
+OperatorEffect
+opMoveCore(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
+{
+    if (g.layers.size() < 2)
+        return {};
+    std::vector<std::size_t> donors;
+    for (std::size_t i = 0; i < g.schemes.size(); ++i)
+        if (g.schemes[i].coreGroup.size() >= 2)
+            donors.push_back(i);
+    if (donors.empty())
+        return {};
+    const std::size_t donor =
+        donors[static_cast<std::size_t>(rng.nextInt(
+            static_cast<std::int64_t>(donors.size())))];
+    auto recipient = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(g.layers.size() - 1)));
+    if (recipient >= donor)
+        ++recipient;
+
+    auto &cg_d = g.schemes[donor].coreGroup;
+    auto &cg_r = g.schemes[recipient].coreGroup;
+
+    // Both new sizes must admit a partition before committing.
+    std::int64_t dh, dw, db, dk, rh, rw, rb, rk;
+    capsOf(graph.layer(g.layers[donor]), g.batchUnit, dh, dw, db, dk);
+    capsOf(graph.layer(g.layers[recipient]), g.batchUnit, rh, rw, rb, rk);
+    const auto n_d = static_cast<std::int64_t>(cg_d.size()) - 1;
+    const auto n_r = static_cast<std::int64_t>(cg_r.size()) + 1;
+    const Partition pd = randomPartition(n_d, dh, dw, db, dk,
+                                         g.schemes[donor].part, rng);
+    const Partition pr = randomPartition(n_r, rh, rw, rb, rk,
+                                         g.schemes[recipient].part, rng);
+    if (pd.count() != n_d || pr.count() != n_r)
+        return {};
+
+    const auto take = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cg_d.size())));
+    const CoreId core = cg_d[take];
+    cg_d.erase(cg_d.begin() + static_cast<std::ptrdiff_t>(take));
+    const auto put = static_cast<std::size_t>(
+        rng.nextInt(static_cast<std::int64_t>(cg_r.size()) + 1));
+    cg_r.insert(cg_r.begin() + static_cast<std::ptrdiff_t>(put), core);
+    g.schemes[donor].part = pd;
+    g.schemes[recipient].part = pr;
+    return {.applied = true};
+}
+
+OperatorEffect
+opChangeFlow(LayerGroupMapping &g, const arch::ArchConfig &arch, Rng &rng)
+{
+    // Collect the managed FD entries of the group.
+    struct Slot
+    {
+        std::size_t layer;
+        int field; // 0 = ifmap, 1 = weight, 2 = ofmap
+    };
+    std::vector<Slot> slots;
+    for (std::size_t i = 0; i < g.schemes.size(); ++i) {
+        const FlowOfData &fd = g.schemes[i].fd;
+        if (fd.ifmap >= 0)
+            slots.push_back({i, 0});
+        if (fd.weight >= 0)
+            slots.push_back({i, 1});
+        if (fd.ofmap >= 0)
+            slots.push_back({i, 2});
+    }
+    if (slots.empty())
+        return {};
+    const Slot slot = slots[static_cast<std::size_t>(rng.nextInt(
+        static_cast<std::int64_t>(slots.size())))];
+    FlowOfData &fd = g.schemes[slot.layer].fd;
+    DramSel &target = slot.field == 0
+                          ? fd.ifmap
+                          : (slot.field == 1 ? fd.weight : fd.ofmap);
+    // New value in [0, D] different from the current one.
+    auto fresh = static_cast<DramSel>(rng.nextInt(arch.dramCount));
+    if (fresh >= target)
+        ++fresh; // skip the current value in the [0, D] range
+    GEMINI_ASSERT(fresh >= 0 && fresh <= arch.dramCount,
+                  "flow redraw out of range");
+    target = fresh;
+    OperatorEffect eff{.applied = true};
+    if (slot.field == 2) {
+        eff.ofmapFlowChanged = true;
+        eff.ofmapLayer = g.layers[slot.layer];
+    }
+    return eff;
+}
+
+} // namespace
+
+OperatorEffect
+applyOperator(SaOperator op, LayerGroupMapping &group,
+              const dnn::Graph &graph, const arch::ArchConfig &arch,
+              Rng &rng)
+{
+    switch (op) {
+      case SaOperator::ChangePartition:
+        return opChangePartition(group, graph, rng);
+      case SaOperator::SwapWithinLayer:
+        return opSwapWithinLayer(group, rng);
+      case SaOperator::SwapAcrossLayers:
+        return opSwapAcrossLayers(group, rng);
+      case SaOperator::MoveCore:
+        return opMoveCore(group, graph, rng);
+      case SaOperator::ChangeFlow:
+        return opChangeFlow(group, arch, rng);
+    }
+    GEMINI_PANIC("unknown SA operator");
+}
+
+} // namespace gemini::mapping

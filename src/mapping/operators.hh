@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The five specially-designed SA operators of Sec. V-B1. Each transforms a
+ * layer-group mapping in place while preserving the structural validity
+ * rules; together they make every point of the LP SPM space reachable from
+ * every other (the paper's closure property), which the property tests
+ * verify statistically.
+ */
+
+#ifndef GEMINI_MAPPING_OPERATORS_HH
+#define GEMINI_MAPPING_OPERATORS_HH
+
+#include "src/arch/arch_config.hh"
+#include "src/common/rng.hh"
+#include "src/dnn/graph.hh"
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/** The five operators (numbering follows the paper). */
+enum class SaOperator
+{
+    ChangePartition, ///< OP1: re-draw one layer's Part under its caps
+    SwapWithinLayer, ///< OP2: swap two cores inside one CG
+    SwapAcrossLayers,///< OP3: exchange one core between two layers' CGs
+    MoveCore,        ///< OP4: move a core between CGs, re-draw both Parts
+    ChangeFlow,      ///< OP5: re-draw one managed FD entry in [0, D]
+};
+
+inline constexpr int kNumSaOperators = 5;
+
+const char *saOperatorName(SaOperator op);
+
+/** What an operator application touched (drives incremental re-eval). */
+struct OperatorEffect
+{
+    bool applied = false;    ///< false: no valid transformation was found
+    bool ofmapFlowChanged = false; ///< OP5 hit an FD.OF entry
+    LayerId ofmapLayer = -1; ///< the layer whose FD.OF changed
+};
+
+/**
+ * Apply `op` to `group` with randomness from `rng`. Returns applied=false
+ * (and leaves the group untouched) when the drawn transformation is
+ * impossible (e.g. OP2 on a group of single-core layers).
+ */
+OperatorEffect applyOperator(SaOperator op, LayerGroupMapping &group,
+                             const dnn::Graph &graph,
+                             const arch::ArchConfig &arch, Rng &rng);
+
+/**
+ * Draw a uniformly random valid Partition for `count` parts under the
+ * layer's caps, excluding `current` when more than one choice exists.
+ * Returns count()==0 if no factorization exists.
+ */
+Partition randomPartition(std::int64_t count, std::int64_t cap_h,
+                          std::int64_t cap_w, std::int64_t cap_b,
+                          std::int64_t cap_k, const Partition &current,
+                          Rng &rng);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_OPERATORS_HH

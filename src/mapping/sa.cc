@@ -1,0 +1,172 @@
+#include "src/mapping/sa.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.hh"
+#include "src/mapping/operators.hh"
+#include "src/mapping/space.hh"
+
+namespace gemini::mapping {
+
+SaEngine::SaEngine(const dnn::Graph &graph, const arch::ArchConfig &arch,
+                   Analyzer &analyzer, const eval::EnergyModel &energy)
+    : graph_(graph), arch_(arch), analyzer_(analyzer), energy_(energy)
+{
+}
+
+eval::EvalBreakdown
+SaEngine::analyzeOne(const LpMapping &mapping, std::size_t group) const
+{
+    auto lookup = [&mapping](LayerId layer) {
+        return mapping.ofmapDramOf(layer);
+    };
+    const GroupAnalysis analysis = analyzer_.analyzeGroup(
+        mapping.groups[group], mapping.batch, lookup);
+    return analyzer_.evaluate(analysis, energy_);
+}
+
+std::vector<eval::EvalBreakdown>
+SaEngine::evaluateAll(const LpMapping &mapping) const
+{
+    std::vector<eval::EvalBreakdown> out;
+    out.reserve(mapping.groups.size());
+    for (std::size_t g = 0; g < mapping.groups.size(); ++g)
+        out.push_back(analyzeOne(mapping, g));
+    return out;
+}
+
+double
+SaEngine::cost(const std::vector<eval::EvalBreakdown> &groups, double beta,
+               double gamma)
+{
+    double energy = 0.0;
+    double delay = 0.0;
+    for (const auto &g : groups) {
+        const double penalty = (1.0 + g.glbOverflow) * (1.0 + g.glbOverflow);
+        energy += g.totalEnergy() * penalty;
+        delay += g.delay * penalty;
+    }
+    return std::pow(energy, beta) * std::pow(delay, gamma);
+}
+
+std::vector<eval::EvalBreakdown>
+SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
+                   SaStats *stats)
+{
+    GEMINI_ASSERT(!mapping.groups.empty(), "cannot optimize empty mapping");
+    Rng rng(options.seed);
+
+    std::vector<eval::EvalBreakdown> evals = evaluateAll(mapping);
+    double current_cost = cost(evals, options.beta, options.gamma);
+
+    SaStats local;
+    local.initialCost = current_cost;
+
+    // Track the best state seen: Metropolis walks may end uphill, but the
+    // engine always returns the best explored scheme.
+    LpMapping best_mapping = mapping;
+    std::vector<eval::EvalBreakdown> best_evals = evals;
+    double best_cost = current_cost;
+
+    // Group-selection weights: proportional to the log-domain size of each
+    // group's optimization space (see DESIGN.md for why log: raw sizes are
+    // 10^100+ and would degenerate to always picking the largest group).
+    std::vector<double> weights(mapping.groups.size());
+    for (std::size_t g = 0; g < mapping.groups.size(); ++g) {
+        const auto &grp = mapping.groups[g];
+        const double lg = log10SpaceSize(
+            static_cast<std::int64_t>(grp.totalCores()),
+            static_cast<std::int64_t>(grp.layers.size()));
+        weights[g] = std::isfinite(lg) ? std::max(1.0, lg) : 1.0;
+    }
+
+    // Which groups read a given layer's ofmap from DRAM (for OP5 coupling).
+    auto consumer_groups_of = [&](LayerId layer) {
+        std::vector<std::size_t> out;
+        for (LayerId consumer : graph_.consumers(layer)) {
+            const int g = mapping.groupOf(consumer);
+            if (g >= 0)
+                out.push_back(static_cast<std::size_t>(g));
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    };
+
+    // Enabled-operator list (ablation support).
+    std::vector<SaOperator> ops;
+    for (int op = 0; op < kNumSaOperators; ++op)
+        if (options.operatorEnabled(op))
+            ops.push_back(static_cast<SaOperator>(op));
+    GEMINI_ASSERT(!ops.empty(), "operatorMask disables every SA operator");
+
+    const double t_ratio =
+        options.tEnd / std::max(options.tStart, 1e-12);
+    for (int iter = 0; iter < options.iterations; ++iter) {
+        const double progress =
+            options.iterations > 1
+                ? static_cast<double>(iter) / (options.iterations - 1)
+                : 1.0;
+        const double temp = options.tStart * std::pow(t_ratio, progress);
+
+        const std::size_t g = rng.nextWeighted(weights);
+        const SaOperator op = ops[static_cast<std::size_t>(
+            rng.nextInt(static_cast<std::int64_t>(ops.size())))];
+        ++local.proposed;
+
+        LayerGroupMapping saved = mapping.groups[g];
+        const OperatorEffect eff =
+            applyOperator(op, mapping.groups[g], graph_, arch_, rng);
+        if (!eff.applied) {
+            ++local.inapplicable;
+            continue;
+        }
+
+        // Incremental re-evaluation: the touched group, plus any groups
+        // whose DRAM source changed via an FD.OF redraw.
+        std::vector<std::size_t> touched{g};
+        if (eff.ofmapFlowChanged) {
+            for (std::size_t cg : consumer_groups_of(eff.ofmapLayer))
+                if (cg != g)
+                    touched.push_back(cg);
+        }
+        std::vector<eval::EvalBreakdown> saved_evals;
+        saved_evals.reserve(touched.size());
+        for (std::size_t t : touched) {
+            saved_evals.push_back(evals[t]);
+            evals[t] = analyzeOne(mapping, t);
+        }
+
+        const double new_cost = cost(evals, options.beta, options.gamma);
+        const double delta = (new_cost - current_cost) /
+                             std::max(current_cost, 1e-300);
+        bool accept = delta < 0.0;
+        if (!accept && temp > 0.0)
+            accept = rng.nextDouble() < std::exp(-delta / temp);
+
+        if (accept) {
+            ++local.accepted;
+            if (delta < 0.0)
+                ++local.improved;
+            current_cost = new_cost;
+            if (new_cost < best_cost) {
+                best_cost = new_cost;
+                best_mapping = mapping;
+                best_evals = evals;
+            }
+        } else {
+            mapping.groups[g] = std::move(saved);
+            for (std::size_t t = 0; t < touched.size(); ++t)
+                evals[touched[t]] = saved_evals[t];
+        }
+    }
+
+    mapping = std::move(best_mapping);
+    local.finalCost = best_cost;
+    if (stats)
+        *stats = local;
+    return best_evals;
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The SA controller of the LP SPM exploration engine (Sec. V-B1): selects a
+ * layer group with probability proportional to its (log-domain)
+ * optimization-space size, applies one of the five operators, re-analyzes
+ * the touched groups incrementally, and accepts by the Metropolis rule on
+ * the E^beta * D^gamma objective.
+ */
+
+#ifndef GEMINI_MAPPING_SA_HH
+#define GEMINI_MAPPING_SA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/eval/breakdown.hh"
+#include "src/eval/energy_model.hh"
+#include "src/mapping/analyzer.hh"
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/** SA hyper-parameters and the optimization objective exponents. */
+struct SaOptions
+{
+    int iterations = 4000;
+
+    /** Initial/final relative temperatures of the geometric schedule. */
+    double tStart = 0.2;
+    double tEnd = 1e-3;
+
+    /** Objective exponents: cost = E^beta * D^gamma (Sec. V-A). */
+    double beta = 1.0;
+    double gamma = 1.0;
+
+    std::uint64_t seed = 0x5EEDBA5Eu;
+
+    /**
+     * Operator enable mask (bit i enables OPi+1). All five by default;
+     * the ablation bench switches classes off to measure each operator's
+     * contribution. At least one bit must be set.
+     */
+    unsigned operatorMask = 0x1F;
+
+    bool
+    operatorEnabled(int op) const
+    {
+        return (operatorMask >> op) & 1u;
+    }
+};
+
+/** Outcome statistics of one SA run. */
+struct SaStats
+{
+    int proposed = 0;    ///< operator draws
+    int inapplicable = 0;///< draws that produced no valid transformation
+    int accepted = 0;    ///< accepted moves (incl. uphill)
+    int improved = 0;    ///< strictly-improving moves
+    double initialCost = 0.0;
+    double finalCost = 0.0;
+};
+
+/**
+ * SA-based LP SPM optimizer over a complete LpMapping. Groups are
+ * optimized jointly: every iteration perturbs one group but the objective
+ * is the whole-DNN E^beta * D^gamma, including cross-group FD.OF coupling.
+ */
+class SaEngine
+{
+  public:
+    SaEngine(const dnn::Graph &graph, const arch::ArchConfig &arch,
+             Analyzer &analyzer, const eval::EnergyModel &energy);
+
+    /**
+     * Evaluate every group of a mapping (no optimization). Used for the
+     * T-Map baseline and for final reporting.
+     */
+    std::vector<eval::EvalBreakdown>
+    evaluateAll(const LpMapping &mapping) const;
+
+    /** Optimize `mapping` in place; returns the final per-group evals. */
+    std::vector<eval::EvalBreakdown> optimize(LpMapping &mapping,
+                                              const SaOptions &options,
+                                              SaStats *stats = nullptr);
+
+    /**
+     * GLB-overflow-penalized scalar cost of aggregated breakdowns:
+     * (E * p)^beta * (D * p)^gamma with p = (1 + overflow)^2.
+     */
+    static double cost(const std::vector<eval::EvalBreakdown> &groups,
+                       double beta, double gamma);
+
+  private:
+    eval::EvalBreakdown analyzeOne(const LpMapping &mapping,
+                                   std::size_t group) const;
+
+    const dnn::Graph &graph_;
+    arch::ArchConfig arch_;
+    Analyzer &analyzer_;
+    const eval::EnergyModel &energy_;
+};
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_SA_HH

@@ -1,0 +1,38 @@
+#include "src/mapping/space.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.hh"
+#include "src/common/math_util.hh"
+
+namespace gemini::mapping {
+
+double
+log10SpaceSize(std::int64_t cores, std::int64_t layers)
+{
+    GEMINI_ASSERT(cores >= 1 && layers >= 1, "need positive cores/layers");
+    if (layers > cores)
+        return -std::numeric_limits<double>::infinity();
+    double log_sum = -std::numeric_limits<double>::infinity();
+    const double log4 = std::log10(4.0);
+    for (std::int64_t i = 0; i < layers; ++i) {
+        const double term = log10Binomial(layers, i) +
+                            log10Binomial(cores - layers - 1,
+                                          layers - i - 1) +
+                            static_cast<double>(layers - i) * log4;
+        log_sum = log10Add(log_sum, term);
+    }
+    return log10Factorial(cores) + log_sum;
+}
+
+double
+log10TangramSpace(std::int64_t cores, std::int64_t layers)
+{
+    GEMINI_ASSERT(cores >= 1 && layers >= 1, "need positive cores/layers");
+    GEMINI_ASSERT(cores <= 4096, "partition function table capped");
+    return std::log10(static_cast<double>(layers)) +
+           std::log10(partitionFunction(static_cast<int>(cores)));
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Optimization-space size calculations of Sec. IV-B: the lower bound of the
+ * LP SPM space defined by the layer-centric encoding, and the upper bound
+ * of the Tangram stripe heuristic (N * p(M)). Sizes are astronomically
+ * large, so everything is computed and returned in log10.
+ */
+
+#ifndef GEMINI_MAPPING_SPACE_HH
+#define GEMINI_MAPPING_SPACE_HH
+
+#include <cstdint>
+
+namespace gemini::mapping {
+
+/**
+ * log10 of the paper's conservative lower bound on the LP SPM space of
+ * mapping N layers onto M cores:
+ *
+ *   M! * sum_{i=0}^{N-1} C(N, i) * C(M-N-1, N-i-1) * 4^{N-i}
+ *
+ * (each addend distributes the M cores over the N ordered layers with i of
+ * them taking exactly one core, times 4 partition choices per multi-core
+ * layer).
+ */
+double log10SpaceSize(std::int64_t cores, std::int64_t layers);
+
+/** log10 of the Tangram heuristic's upper bound N * p(M). */
+double log10TangramSpace(std::int64_t cores, std::int64_t layers);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_SPACE_HH

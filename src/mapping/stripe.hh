@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The widely-adopted heuristic stripe-based SPM strategy (Tangram et al.,
+ * Sec. II-B/V-B1): FLOP-proportional core allocation, consecutive
+ * rectangle-shaped core groups in row-major order, spatial-first ofmap
+ * partitioning, and interleaved DRAM flows. Used both as the T-Map
+ * baseline and as the initial solution of the SA exploration.
+ */
+
+#ifndef GEMINI_MAPPING_STRIPE_HH
+#define GEMINI_MAPPING_STRIPE_HH
+
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/dnn/graph.hh"
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/**
+ * Build the stripe-heuristic LMS for one layer group: FLOP-proportional
+ * recursive bisection of the core mesh into rectangles with spatially
+ * aligned partitions.
+ *
+ * @param layers      ascending layer ids forming the group
+ * @param batch_unit  samples per pipeline stage
+ */
+LayerGroupMapping stripeMapping(const dnn::Graph &graph,
+                                const arch::ArchConfig &arch,
+                                const std::vector<LayerId> &layers,
+                                std::int64_t batch_unit);
+
+/**
+ * The naive 1-D variant: consecutive row-major core ids per layer (the
+ * literal "stripes" many heuristics use, and the congested baseline the
+ * paper's Fig. 9 heatmap shows). Kept for ablation — the default T-Map
+ * baseline in this library is the stronger rectangular stripeMapping().
+ */
+LayerGroupMapping naiveStripeMapping(const dnn::Graph &graph,
+                                     const arch::ArchConfig &arch,
+                                     const std::vector<LayerId> &layers,
+                                     std::int64_t batch_unit);
+
+/**
+ * Pick the stripe-preferred partition for `cores` parts under the caps
+ * (h, w, b, k): maximize the spatial split, preferring height stripes,
+ * then output channels, then batch. Returns count()==cores, or count()==1
+ * if no exact factorization exists (caller should shrink the core group).
+ */
+Partition stripePartition(std::int64_t cores, std::int64_t cap_h,
+                          std::int64_t cap_w, std::int64_t cap_b,
+                          std::int64_t cap_k);
+
+/**
+ * Largest core count <= `want` that admits a 4-way factorization under the
+ * caps (always >= 1).
+ */
+std::int64_t largestFeasibleCores(std::int64_t want, std::int64_t cap_h,
+                                  std::int64_t cap_w, std::int64_t cap_b,
+                                  std::int64_t cap_k);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_STRIPE_HH

@@ -1,0 +1,197 @@
+#include "src/noc/noc_model.hh"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/common/logging.hh"
+
+namespace gemini::noc {
+
+NocModel::NocModel(const arch::ArchConfig &cfg) : cfg_(cfg)
+{
+    const std::string err = cfg.validate();
+    GEMINI_ASSERT(err.empty(), "invalid arch for NocModel: ", err);
+}
+
+NodeId
+NocModel::dramNode(int dram) const
+{
+    GEMINI_ASSERT(dram >= 0 && dram < cfg_.dramCount, "bad dram id ", dram);
+    return cfg_.coreCount() + dram;
+}
+
+int
+NocModel::dramOf(NodeId n) const
+{
+    GEMINI_ASSERT(isDramNode(n), "node ", n, " is not a DRAM node");
+    return n - cfg_.coreCount();
+}
+
+int
+NocModel::dramEdgeX(int dram) const
+{
+    // Even DRAMs on the west IO chiplet, odd on the east.
+    return (dram % 2 == 0) ? 0 : cfg_.xCores - 1;
+}
+
+int
+NocModel::stepToward(int from, int to, int extent) const
+{
+    if (from == to)
+        return from;
+    if (cfg_.topology == arch::Topology::Mesh) {
+        return from + (to > from ? 1 : -1);
+    }
+    // Folded torus: move along the shorter ring direction; ties resolve to
+    // the increasing direction for determinism.
+    const int fwd = (to - from + extent) % extent;
+    const int bwd = (from - to + extent) % extent;
+    if (fwd <= bwd)
+        return (from + 1) % extent;
+    return (from - 1 + extent) % extent;
+}
+
+void
+NocModel::walkCoreToCore(CoreId src, CoreId dst,
+                         const std::function<void(NodeId, NodeId)> &fn) const
+{
+    // Dimension-order (X then Y) routing on both topologies.
+    int x = cfg_.coreX(src);
+    int y = cfg_.coreY(src);
+    const int tx = cfg_.coreX(dst);
+    const int ty = cfg_.coreY(dst);
+    while (x != tx) {
+        const int nx = stepToward(x, tx, cfg_.xCores);
+        fn(cfg_.coreAt(x, y), cfg_.coreAt(nx, y));
+        x = nx;
+    }
+    while (y != ty) {
+        const int ny = stepToward(y, ty, cfg_.yCores);
+        fn(cfg_.coreAt(x, y), cfg_.coreAt(x, ny));
+        y = ny;
+    }
+}
+
+void
+NocModel::forEachHop(NodeId src, NodeId dst,
+                     const std::function<void(NodeId, NodeId)> &fn) const
+{
+    if (src == dst)
+        return;
+    if (isDramNode(src) && isDramNode(dst)) {
+        GEMINI_PANIC("DRAM-to-DRAM routes are not meaningful");
+    }
+    if (isDramNode(src)) {
+        // Enter the mesh at the edge core on the destination's row, then
+        // travel horizontally (the port sits on that row already).
+        const int dram = dramOf(src);
+        const CoreId entry =
+            cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(dst));
+        fn(src, entry);
+        walkCoreToCore(entry, static_cast<CoreId>(dst), fn);
+        return;
+    }
+    if (isDramNode(dst)) {
+        const int dram = dramOf(dst);
+        const CoreId exit =
+            cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(src));
+        walkCoreToCore(static_cast<CoreId>(src), exit, fn);
+        fn(exit, dst);
+        return;
+    }
+    walkCoreToCore(static_cast<CoreId>(src), static_cast<CoreId>(dst), fn);
+}
+
+int
+NocModel::hopCount(NodeId src, NodeId dst) const
+{
+    int hops = 0;
+    forEachHop(src, dst, [&hops](NodeId, NodeId) { ++hops; });
+    return hops;
+}
+
+void
+NocModel::unicast(TrafficMap &map, NodeId src, NodeId dst, double bytes) const
+{
+    if (bytes <= 0.0)
+        return;
+    forEachHop(src, dst,
+               [&](NodeId a, NodeId b) { map.add(a, b, bytes); });
+}
+
+void
+NocModel::multicast(TrafficMap &map, NodeId src,
+                    const std::vector<NodeId> &dsts, double bytes) const
+{
+    if (bytes <= 0.0 || dsts.empty())
+        return;
+    // Union of the dimension-order unicast paths: shared prefixes (the
+    // horizontal trunk, the DRAM injection link) are charged exactly once,
+    // which models a multicast-capable router tree.
+    std::unordered_set<LinkKey> seen;
+    for (NodeId dst : dsts) {
+        forEachHop(src, dst, [&](NodeId a, NodeId b) {
+            if (seen.insert(makeLink(a, b)).second)
+                map.add(a, b, bytes);
+        });
+    }
+}
+
+LinkKind
+NocModel::linkKind(NodeId a, NodeId b) const
+{
+    if (isDramNode(a) || isDramNode(b)) {
+        // IO chiplets are separate dies, so their mesh attach links are
+        // D2D on multi-chiplet designs; a monolithic chip integrates the
+        // DRAM PHY on-die.
+        return cfg_.chipletCount() > 1 ? LinkKind::D2D : LinkKind::OnChip;
+    }
+    return cfg_.crossesChiplet(static_cast<CoreId>(a),
+                               static_cast<CoreId>(b))
+               ? LinkKind::D2D
+               : LinkKind::OnChip;
+}
+
+double
+NocModel::linkBandwidthBps(NodeId a, NodeId b) const
+{
+    const double gbps = linkKind(a, b) == LinkKind::D2D ? cfg_.d2dBwGBps
+                                                        : cfg_.nocBwGBps;
+    return gbps * 1.0e9;
+}
+
+TrafficStats
+NocModel::summarize(const TrafficMap &map) const
+{
+    TrafficStats stats;
+    for (const auto &[key, bytes] : map.links()) {
+        const NodeId a = linkFrom(key);
+        const NodeId b = linkTo(key);
+        if (linkKind(a, b) == LinkKind::D2D)
+            stats.d2dBytes += bytes;
+        else
+            stats.onChipBytes += bytes;
+        const double secs = bytes / linkBandwidthBps(a, b);
+        if (secs > stats.maxLinkSeconds) {
+            stats.maxLinkSeconds = secs;
+            stats.maxLink = key;
+        }
+    }
+    return stats;
+}
+
+std::string
+NocModel::nodeLabel(NodeId n) const
+{
+    std::ostringstream oss;
+    if (isDramNode(n)) {
+        oss << "DRAM#" << dramOf(n) + 1;
+    } else {
+        oss << "(" << cfg_.coreX(static_cast<CoreId>(n)) << ","
+            << cfg_.coreY(static_cast<CoreId>(n)) << ")";
+    }
+    return oss.str();
+}
+
+} // namespace gemini::noc

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Topology, routing and link-classification model for the hardware
+ * template's interconnect: XY routing on the mesh, shortest-wrap
+ * dimension-order routing on the folded torus, multicast as the union of
+ * unicast paths, and DRAM attach points on the west/east IO chiplets.
+ */
+
+#ifndef GEMINI_NOC_NOC_MODEL_HH
+#define GEMINI_NOC_NOC_MODEL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/common/types.hh"
+#include "src/noc/traffic_map.hh"
+
+namespace gemini::noc {
+
+/** Classification of a directed link for bandwidth/energy purposes. */
+enum class LinkKind
+{
+    OnChip, ///< regular mesh link inside one chiplet
+    D2D,    ///< crosses a chiplet boundary (incl. IO-chiplet attach links)
+};
+
+/** Aggregate statistics of a traffic map over a given NoC. */
+struct TrafficStats
+{
+    double onChipBytes = 0.0;  ///< hop-weighted on-chip bytes
+    double d2dBytes = 0.0;     ///< hop-weighted D2D bytes
+    double maxLinkSeconds = 0.0; ///< bottleneck link serialization time
+    LinkKey maxLink = 0;       ///< the bottleneck link
+};
+
+/**
+ * Routing and geometry over one ArchConfig. Node ids: cores 0..N-1
+ * (row-major), then DRAM pseudo-nodes N..N+D-1. DRAM d attaches on the
+ * west edge for even d and the east edge for odd d, with one port per mesh
+ * row (the paper's "DRAM controller connected to multiple routers").
+ */
+class NocModel
+{
+  public:
+    explicit NocModel(const arch::ArchConfig &cfg);
+
+    const arch::ArchConfig &config() const { return cfg_; }
+
+    NodeId coreNode(CoreId core) const { return core; }
+    NodeId dramNode(int dram) const;
+    bool isDramNode(NodeId n) const { return n >= cfg_.coreCount(); }
+    int dramOf(NodeId n) const;
+
+    /** Number of mesh + DRAM nodes. */
+    int nodeCount() const { return cfg_.coreCount() + cfg_.dramCount; }
+
+    /**
+     * Walk the hops of the route src -> dst in order. DRAM endpoints enter
+     * and leave the mesh at the edge core on the destination's (resp.
+     * source's) row.
+     */
+    void forEachHop(NodeId src, NodeId dst,
+                    const std::function<void(NodeId, NodeId)> &fn) const;
+
+    /** Number of hops (links) on the route src -> dst. */
+    int hopCount(NodeId src, NodeId dst) const;
+
+    /** Accumulate `bytes` on every link of the route. */
+    void unicast(TrafficMap &map, NodeId src, NodeId dst,
+                 double bytes) const;
+
+    /**
+     * Accumulate `bytes` on the union of the routes src -> each dst (an
+     * XY multicast tree on the mesh: shared prefixes are charged once).
+     */
+    void multicast(TrafficMap &map, NodeId src,
+                   const std::vector<NodeId> &dsts, double bytes) const;
+
+    /** Kind of the directed link (a, b); a/b must be route neighbours. */
+    LinkKind linkKind(NodeId a, NodeId b) const;
+
+    /** Peak bandwidth of the directed link in bytes/second. */
+    double linkBandwidthBps(NodeId a, NodeId b) const;
+
+    /** Aggregate per-kind bytes and the bottleneck link time. */
+    TrafficStats summarize(const TrafficMap &map) const;
+
+    /** "(x,y)" or "DRAM#d" label for heatmap exports. */
+    std::string nodeLabel(NodeId n) const;
+
+  private:
+    /** Edge column (0 or xCores-1) where a DRAM's ports sit. */
+    int dramEdgeX(int dram) const;
+
+    /** Step coordinate one hop toward `to` (mesh or shortest-wrap). */
+    int stepToward(int from, int to, int extent) const;
+
+    void walkCoreToCore(CoreId src, CoreId dst,
+                        const std::function<void(NodeId, NodeId)> &fn) const;
+
+    arch::ArchConfig cfg_;
+};
+
+} // namespace gemini::noc
+
+#endif // GEMINI_NOC_NOC_MODEL_HH

@@ -1,0 +1,43 @@
+#include "src/noc/traffic_map.hh"
+
+namespace gemini::noc {
+
+void
+TrafficMap::add(NodeId from, NodeId to, double bytes)
+{
+    if (bytes == 0.0)
+        return;
+    links_[makeLink(from, to)] += bytes;
+}
+
+double
+TrafficMap::at(NodeId from, NodeId to) const
+{
+    auto it = links_.find(makeLink(from, to));
+    return it == links_.end() ? 0.0 : it->second;
+}
+
+void
+TrafficMap::scale(double factor)
+{
+    for (auto &kv : links_)
+        kv.second *= factor;
+}
+
+void
+TrafficMap::addFrom(const TrafficMap &other, double factor)
+{
+    for (const auto &kv : other.links_)
+        links_[kv.first] += kv.second * factor;
+}
+
+double
+TrafficMap::totalBytes() const
+{
+    double total = 0.0;
+    for (const auto &kv : links_)
+        total += kv.second;
+    return total;
+}
+
+} // namespace gemini::noc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Per-link traffic accumulator. The LP SPM analyzer deposits the byte count
+ * of every producer->consumer / DRAM flow here (per pipeline batch unit);
+ * the evaluator then derives link times, energies and the Fig. 9 heatmap.
+ */
+
+#ifndef GEMINI_NOC_TRAFFIC_MAP_HH
+#define GEMINI_NOC_TRAFFIC_MAP_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace gemini::noc {
+
+/** Node index: cores first (row-major), then DRAM pseudo-nodes. */
+using NodeId = std::int32_t;
+
+/** Directed link key packing (from, to). */
+using LinkKey = std::uint64_t;
+
+inline LinkKey
+makeLink(NodeId from, NodeId to)
+{
+    return (static_cast<LinkKey>(static_cast<std::uint32_t>(from)) << 32) |
+           static_cast<std::uint32_t>(to);
+}
+
+inline NodeId
+linkFrom(LinkKey key)
+{
+    return static_cast<NodeId>(key >> 32);
+}
+
+inline NodeId
+linkTo(LinkKey key)
+{
+    return static_cast<NodeId>(key & 0xFFFFFFFFu);
+}
+
+/**
+ * Sparse map from directed link to accumulated bytes. Byte counts are
+ * doubles: interleaved DRAM flows split volumes fractionally.
+ */
+class TrafficMap
+{
+  public:
+    void add(NodeId from, NodeId to, double bytes);
+
+    /** Bytes accumulated on a link (0 when untouched). */
+    double at(NodeId from, NodeId to) const;
+
+    /** Multiply every link load (e.g. by pipeline unit count). */
+    void scale(double factor);
+
+    /** Element-wise accumulate another map into this one. */
+    void addFrom(const TrafficMap &other, double factor = 1.0);
+
+    void clear() { links_.clear(); }
+
+    bool empty() const { return links_.empty(); }
+    std::size_t linkCount() const { return links_.size(); }
+
+    /** Sum of bytes over all links (i.e. hop-weighted traffic volume). */
+    double totalBytes() const;
+
+    const std::unordered_map<LinkKey, double> &links() const
+    {
+        return links_;
+    }
+
+  private:
+    std::unordered_map<LinkKey, double> links_;
+};
+
+} // namespace gemini::noc
+
+#endif // GEMINI_NOC_TRAFFIC_MAP_HH

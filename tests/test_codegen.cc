@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Unit tests for the instruction generator: dataflow-order structure,
+ * SEND/RECV conservation, agreement with the analyzer's aggregate
+ * quantities, and rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/codegen.hh"
+#include "src/mapping/engine.hh"
+#include "src/mapping/stripe.hh"
+
+namespace gemini::mapping {
+namespace {
+
+class CodegenTest : public ::testing::Test
+{
+  protected:
+    CodegenTest() : graph_(dnn::zoo::tinyConvChain(3)), arch_(makeArch())
+    {
+    }
+
+    static arch::ArchConfig
+    makeArch()
+    {
+        arch::ArchConfig a = arch::tinyArch();
+        a.xCores = 3;
+        a.yCores = 2;
+        return a;
+    }
+
+    static DramSel
+    interleaved(LayerId)
+    {
+        return kDramInterleaved;
+    }
+
+    LayerGroupMapping
+    wholeGroup(std::int64_t bu = 1)
+    {
+        std::vector<LayerId> layers;
+        for (std::size_t i = 0; i < graph_.size(); ++i)
+            layers.push_back(static_cast<LayerId>(i));
+        return stripeMapping(graph_, arch_, layers, bu);
+    }
+
+    dnn::Graph graph_;
+    arch::ArchConfig arch_;
+};
+
+TEST_F(CodegenTest, EveryUsedCoreGetsAProgram)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    for (const auto &ms : g.schemes)
+        for (CoreId c : ms.coreGroup)
+            EXPECT_NE(prog.findCore(c), nullptr) << "core " << c;
+}
+
+TEST_F(CodegenTest, SendRecvBytesConserve)
+{
+    const LayerGroupMapping g = wholeGroup(2);
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    double send = 0.0, recv = 0.0;
+    for (const auto &p : prog.cores) {
+        send += p.totalSendBytes();
+        recv += p.totalRecvBytes();
+    }
+    EXPECT_GT(send, 0.0);
+    EXPECT_DOUBLE_EQ(send, recv);
+}
+
+TEST_F(CodegenTest, PairwiseSendRecvMatch)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    // For each (src, dst, layer): send bytes == recv bytes.
+    std::map<std::tuple<CoreId, CoreId, LayerId>, double> flows;
+    for (const auto &p : prog.cores) {
+        for (const auto &i : p.instructions) {
+            if (i.op == Opcode::Send)
+                flows[{p.core, i.peer, i.layer}] += i.bytes;
+            if (i.op == Opcode::Recv)
+                flows[{i.peer, p.core, i.layer}] -= i.bytes;
+        }
+    }
+    for (const auto &[key, residual] : flows)
+        EXPECT_DOUBLE_EQ(residual, 0.0);
+}
+
+TEST_F(CodegenTest, ComputeMacsMatchLayerTotals)
+{
+    const LayerGroupMapping g = wholeGroup(2);
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    std::map<LayerId, OpCount> macs;
+    for (const auto &p : prog.cores)
+        for (const auto &i : p.instructions)
+            if (i.op == Opcode::Compute)
+                macs[i.layer] += i.macs;
+    for (const auto &[layer, total] : macs) {
+        const OpCount expect =
+            graph_.layer(layer).macsPerSample() * g.batchUnit;
+        // Partition rounding keeps per-piece MACs within one output row.
+        EXPECT_NEAR(static_cast<double>(total),
+                    static_cast<double>(expect),
+                    static_cast<double>(expect) * 0.02 + 8.0);
+    }
+}
+
+TEST_F(CodegenTest, WeightLoadsForEveryConvCore)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    for (std::size_t li = 0; li < g.layers.size(); ++li) {
+        if (!graph_.layer(g.layers[li]).hasWeights())
+            continue;
+        for (CoreId c : g.schemes[li].coreGroup) {
+            const CoreProgram *p = prog.findCore(c);
+            ASSERT_NE(p, nullptr);
+            bool has_load = false;
+            for (const auto &i : p->instructions)
+                has_load |= (i.op == Opcode::LoadWeight &&
+                             i.layer == g.layers[li]);
+            EXPECT_TRUE(has_load);
+        }
+    }
+}
+
+TEST_F(CodegenTest, ManagedOfmapEmitsStores)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    // The sink layer (gap) must store; interior layers must not.
+    int stores = 0;
+    for (const auto &p : prog.cores)
+        for (const auto &i : p.instructions)
+            if (i.op == Opcode::Store)
+                ++stores;
+    EXPECT_GT(stores, 0);
+    for (const auto &p : prog.cores)
+        for (const auto &i : p.instructions)
+            if (i.op == Opcode::Store)
+                EXPECT_EQ(i.layer,
+                          static_cast<LayerId>(graph_.size() - 1));
+}
+
+TEST_F(CodegenTest, InstructionsAreInDataflowOrder)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    // Within one core's stream, a layer's COMPUTE comes after every
+    // LOAD/RECV of the same layer.
+    for (const auto &p : prog.cores) {
+        std::map<LayerId, bool> computed;
+        for (const auto &i : p.instructions) {
+            if (i.op == Opcode::Compute)
+                computed[i.layer] = true;
+            if (i.op == Opcode::Recv || i.op == Opcode::LoadIfmap ||
+                i.op == Opcode::LoadWeight)
+                EXPECT_FALSE(computed.count(i.layer))
+                    << "input after compute on core " << p.core;
+        }
+    }
+}
+
+TEST_F(CodegenTest, RendersEveryOpcode)
+{
+    const LayerGroupMapping g = wholeGroup();
+    const GroupProgram prog =
+        generateProgram(graph_, arch_, g, interleaved);
+    const std::string text = prog.toString(graph_, arch_);
+    EXPECT_NE(text.find("LOAD.W"), std::string::npos);
+    EXPECT_NE(text.find("LOAD.I"), std::string::npos);
+    EXPECT_NE(text.find("COMPUTE"), std::string::npos);
+    EXPECT_NE(text.find("STORE"), std::string::npos);
+}
+
+TEST_F(CodegenTest, CrossGroupLoadUsesProducerDram)
+{
+    // Single-layer group whose producer lives elsewhere: LOAD.I must use
+    // the DRAM the lookup resolves.
+    LayerGroupMapping g;
+    g.batchUnit = 1;
+    g.layers = {1};
+    MappingScheme ms;
+    ms.coreGroup = {0};
+    ms.fd = {kDramUnmanaged, kDramInterleaved, kDramInterleaved};
+    g.schemes = {ms};
+    const GroupProgram prog = generateProgram(
+        graph_, arch_, g, [](LayerId) -> DramSel { return 2; });
+    bool saw = false;
+    for (const auto &i : prog.cores.at(0).instructions) {
+        if (i.op == Opcode::LoadIfmap) {
+            EXPECT_EQ(i.dram, 2);
+            saw = true;
+        }
+    }
+    EXPECT_TRUE(saw);
+}
+
+TEST_F(CodegenTest, WorksOnSaOptimizedMappings)
+{
+    // End-to-end: generate programs for every group of an SA-optimized
+    // transformer mapping and check global conservation.
+    const dnn::Graph tf = dnn::zoo::tinyTransformer(32, 64, 4, 1);
+    MappingOptions o;
+    o.batch = 4;
+    o.sa.iterations = 300;
+    MappingEngine engine(tf, arch_, o);
+    const MappingResult r = engine.run();
+    for (const auto &grp : r.mapping.groups) {
+        const GroupProgram prog = generateProgram(
+            tf, arch_, grp, [&r](LayerId layer) {
+                return r.mapping.ofmapDramOf(layer);
+            });
+        double send = 0.0, recv = 0.0;
+        for (const auto &p : prog.cores) {
+            send += p.totalSendBytes();
+            recv += p.totalRecvBytes();
+        }
+        EXPECT_DOUBLE_EQ(send, recv);
+    }
+}
+
+} // namespace
+} // namespace gemini::mapping

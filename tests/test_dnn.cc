@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Unit tests for the DNN substrate: region algebra, layer math (MACs,
+ * weights, dependency projection), graph construction rules and the model
+ * zoo's published shape/parameter facts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/dnn/graph.hh"
+#include "src/dnn/layer.hh"
+#include "src/dnn/tensor.hh"
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn {
+namespace {
+
+// -------------------------------------------------------------- region --
+
+TEST(Region, VolumeAndEmptiness)
+{
+    const Region r{0, 4, 0, 3, 0, 2};
+    EXPECT_EQ(r.volume(), 24);
+    EXPECT_FALSE(r.empty());
+    const Region e{2, 2, 0, 3, 0, 2};
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.volume(), 0);
+}
+
+TEST(Region, IntersectBasic)
+{
+    const Region a{0, 4, 0, 4, 0, 4};
+    const Region b{2, 6, 1, 3, 0, 8};
+    const Region i = a.intersect(b);
+    EXPECT_EQ(i, (Region{2, 4, 1, 3, 0, 4}));
+}
+
+TEST(Region, IntersectDisjointIsEmpty)
+{
+    const Region a{0, 2, 0, 2, 0, 2};
+    const Region b{2, 4, 0, 2, 0, 2};
+    EXPECT_TRUE(a.intersect(b).empty());
+}
+
+TEST(Region, ClampTo)
+{
+    const Region r{-3, 100, -1, 5, 2, 9};
+    const Region c = r.clampTo(8, 4, 4);
+    EXPECT_EQ(c, (Region{0, 8, 0, 4, 2, 4}));
+}
+
+// --------------------------------------------------------------- layer --
+
+Layer
+makeConv(std::int64_t c, std::int64_t k, std::int64_t hw, std::int64_t r,
+         std::int64_t stride, std::int64_t pad, std::int64_t groups = 1)
+{
+    Layer l;
+    l.name = "conv";
+    l.kind = LayerKind::Conv;
+    l.c = c;
+    l.ih = hw;
+    l.iw = hw;
+    l.k = k;
+    l.r = l.s = r;
+    l.strideH = l.strideW = stride;
+    l.padH = l.padW = pad;
+    l.groups = groups;
+    l.h = (hw + 2 * pad - r) / stride + 1;
+    l.w = l.h;
+    return l;
+}
+
+TEST(Layer, ConvMacsAndWeights)
+{
+    const Layer l = makeConv(64, 128, 56, 3, 1, 1);
+    EXPECT_EQ(l.macsPerSample(),
+              128LL * 56 * 56 * 64 * 9); // k*h*w*c*r*s
+    EXPECT_EQ(l.weightCount(), 128LL * 64 * 9);
+    EXPECT_EQ(l.weightBytes(), 128LL * 64 * 9 + 4 * 128);
+}
+
+TEST(Layer, GroupedConvDividesMacs)
+{
+    const Layer g1 = makeConv(64, 64, 28, 3, 1, 1, 1);
+    const Layer g4 = makeConv(64, 64, 28, 3, 1, 1, 4);
+    EXPECT_EQ(g1.macsPerSample(), 4 * g4.macsPerSample());
+    EXPECT_EQ(g1.weightCount(), 4 * g4.weightCount());
+}
+
+TEST(Layer, DepthwiseConvIsGroupsEqualsC)
+{
+    const Layer dw = makeConv(32, 32, 16, 3, 1, 1, 32);
+    EXPECT_EQ(dw.macsPerSample(), 32LL * 16 * 16 * 9);
+}
+
+TEST(Layer, ConvRequiredInputHaloAndClamp)
+{
+    const Layer l = makeConv(16, 32, 8, 3, 1, 1);
+    // Interior tile: halo of 1 on each side.
+    const Region in = l.requiredInput(0, {0, 32, 2, 4, 2, 4});
+    EXPECT_EQ(in, (Region{0, 16, 1, 5, 1, 5}));
+    // Border tile: clamped at 0.
+    const Region edge = l.requiredInput(0, {0, 32, 0, 2, 0, 2});
+    EXPECT_EQ(edge, (Region{0, 16, 0, 3, 0, 3}));
+}
+
+TEST(Layer, StridedConvProjection)
+{
+    const Layer l = makeConv(8, 8, 8, 3, 2, 1); // out 4x4
+    const Region in = l.requiredInput(0, {0, 8, 1, 3, 1, 3});
+    // rows 1..2 out -> input rows [1*2-1, 2*2-1+3) = [1, 6)
+    EXPECT_EQ(in.h0, 1);
+    EXPECT_EQ(in.h1, 6);
+}
+
+TEST(Layer, GroupedConvChannelSlices)
+{
+    const Layer l = makeConv(64, 64, 8, 3, 1, 1, 4); // 16 k / 16 c per group
+    // k-range inside group 1 -> c slice [16, 32).
+    const Region in = l.requiredInput(0, {16, 32, 0, 8, 0, 8});
+    EXPECT_EQ(in.c0, 16);
+    EXPECT_EQ(in.c1, 32);
+    // k-range spanning groups 0-1 -> both slices.
+    const Region in2 = l.requiredInput(0, {8, 24, 0, 8, 0, 8});
+    EXPECT_EQ(in2.c0, 0);
+    EXPECT_EQ(in2.c1, 32);
+}
+
+TEST(Layer, PoolPreservesChannelsInProjection)
+{
+    Layer l;
+    l.kind = LayerKind::Pool;
+    l.c = l.k = 32;
+    l.ih = l.iw = 8;
+    l.r = l.s = 2;
+    l.strideH = l.strideW = 2;
+    l.h = l.w = 4;
+    const Region in = l.requiredInput(0, {4, 8, 0, 2, 0, 2});
+    EXPECT_EQ(in.c0, 4);
+    EXPECT_EQ(in.c1, 8);
+    EXPECT_EQ(in.h1, 4);
+}
+
+TEST(Layer, EltwisePointwiseProjection)
+{
+    Layer l;
+    l.kind = LayerKind::Eltwise;
+    l.inputs = {0, 1};
+    l.c = l.k = 16;
+    l.ih = l.h = 4;
+    l.iw = l.w = 4;
+    const Region out{2, 5, 1, 3, 0, 4};
+    EXPECT_EQ(l.requiredInput(0, out), out);
+    EXPECT_EQ(l.requiredInput(1, out), out);
+}
+
+TEST(Layer, ConcatChannelOffsets)
+{
+    Layer l;
+    l.kind = LayerKind::Concat;
+    l.inputs = {0, 1, 2};
+    l.inputChannels = {8, 16, 8};
+    l.c = l.k = 32;
+    l.ih = l.h = 4;
+    l.iw = l.w = 4;
+    // Output channels [10, 20) touch input1's [2, 12).
+    const Region in1 = l.requiredInput(1, {10, 20, 0, 4, 0, 4});
+    EXPECT_EQ(in1.c0, 2);
+    EXPECT_EQ(in1.c1, 12);
+    // ...and nothing from input0.
+    EXPECT_TRUE(l.requiredInput(0, {10, 20, 0, 4, 0, 4}).empty());
+    // ...and nothing from input2 (starts at 24).
+    EXPECT_TRUE(l.requiredInput(2, {10, 20, 0, 4, 0, 4}).empty());
+}
+
+TEST(Layer, FcConsumesAllChannels)
+{
+    Layer l;
+    l.kind = LayerKind::FC;
+    l.c = 512;
+    l.ih = 64;
+    l.iw = 1;
+    l.k = 2048;
+    l.h = 64;
+    l.w = 1;
+    const Region in = l.requiredInput(0, {100, 200, 10, 20, 0, 1});
+    EXPECT_EQ(in.c0, 0);
+    EXPECT_EQ(in.c1, 512);
+    EXPECT_EQ(in.h0, 10); // token rows map 1:1
+    EXPECT_EQ(in.h1, 20);
+}
+
+// Attention-score matmul: Q(heads*dk x L) @ K^T -> (heads*L x L).
+TEST(Layer, MatmulScoresProjection)
+{
+    Layer l;
+    l.kind = LayerKind::Matmul;
+    l.inputs = {0, 1};
+    l.heads = 4;
+    l.transposeB = true;
+    l.c = 64;  // 4 heads x dk=16
+    l.ih = 32; // Lq
+    l.iw = 1;
+    l.k = 4 * 32; // heads x Lk
+    l.h = 32;
+    l.w = 1;
+    EXPECT_EQ(l.transposedInner(), 16);
+    EXPECT_EQ(l.ih2(), 32);
+    EXPECT_EQ(l.macsPerSample(), 128LL * 32 * 16);
+
+    // k-range within head 1 (cols 8..16 of that head).
+    const Region a = l.requiredInput(0, {40, 48, 0, 8, 0, 1});
+    EXPECT_EQ(a.c0, 16); // head 1's dk slice of Q
+    EXPECT_EQ(a.c1, 32);
+    EXPECT_EQ(a.h0, 0);
+    EXPECT_EQ(a.h1, 8);
+    const Region b = l.requiredInput(1, {40, 48, 0, 8, 0, 1});
+    EXPECT_EQ(b.c0, 16); // head 1's dk slice of K
+    EXPECT_EQ(b.c1, 32);
+    EXPECT_EQ(b.h0, 8); // K token rows = score columns
+    EXPECT_EQ(b.h1, 16);
+}
+
+// Context matmul: A(heads*Lk x Lq) @ V(heads*dv x Lk) -> (heads*dv x Lq).
+TEST(Layer, MatmulContextProjection)
+{
+    Layer l;
+    l.kind = LayerKind::Matmul;
+    l.inputs = {0, 1};
+    l.heads = 4;
+    l.transposeB = false;
+    l.c = 4 * 32; // heads x Lk
+    l.ih = 32;    // Lq
+    l.iw = 1;
+    l.k = 64; // heads x dv=16
+    l.h = 32;
+    l.w = 1;
+    EXPECT_EQ(l.transposedInner(), 32);
+    EXPECT_EQ(l.ih2(), 32);
+
+    // Output channels [16, 32) = head 1's dv slice.
+    const Region a = l.requiredInput(0, {16, 32, 0, 4, 0, 1});
+    EXPECT_EQ(a.c0, 32); // head 1's score rows
+    EXPECT_EQ(a.c1, 64);
+    const Region b = l.requiredInput(1, {16, 32, 0, 4, 0, 1});
+    EXPECT_EQ(b.c0, 16); // identity channel mapping into V
+    EXPECT_EQ(b.c1, 32);
+    EXPECT_EQ(b.h0, 0); // all Lk rows of V
+    EXPECT_EQ(b.h1, 32);
+}
+
+TEST(Layer, SoftmaxExpandsToHeadBoundaries)
+{
+    Layer l;
+    l.kind = LayerKind::Softmax;
+    l.heads = 2;
+    l.c = l.k = 64; // 2 heads x 32 cols
+    l.ih = l.h = 16;
+    l.iw = l.w = 1;
+    const Region in = l.requiredInput(0, {40, 50, 3, 5, 0, 1});
+    EXPECT_EQ(in.c0, 32); // whole head 1
+    EXPECT_EQ(in.c1, 64);
+    EXPECT_EQ(in.h0, 3);
+    EXPECT_EQ(in.h1, 5);
+}
+
+TEST(Layer, LayerNormNeedsAllChannels)
+{
+    Layer l;
+    l.kind = LayerKind::LayerNorm;
+    l.c = l.k = 128;
+    l.ih = l.h = 8;
+    l.iw = l.w = 1;
+    const Region in = l.requiredInput(0, {5, 6, 2, 4, 0, 1});
+    EXPECT_EQ(in.c0, 0);
+    EXPECT_EQ(in.c1, 128);
+}
+
+TEST(Layer, CheckValidCatchesBadConvArithmetic)
+{
+    Layer l = makeConv(16, 16, 8, 3, 1, 1);
+    l.h = 5; // wrong
+    EXPECT_FALSE(l.checkValid().empty());
+}
+
+TEST(Layer, VectorOpCounts)
+{
+    const Layer conv = makeConv(16, 16, 8, 3, 1, 1);
+    EXPECT_EQ(conv.vectorOpsPerSample(), conv.ofmapVolume());
+    Layer sm;
+    sm.kind = LayerKind::Softmax;
+    sm.heads = 1;
+    sm.c = sm.k = 8;
+    sm.ih = sm.h = 4;
+    sm.iw = sm.w = 1;
+    EXPECT_EQ(sm.vectorOpsPerSample(), 4 * sm.ofmapVolume());
+}
+
+// --------------------------------------------------------------- graph --
+
+TEST(Graph, RejectsForwardReference)
+{
+    Graph g("t", 3, 8, 8);
+    Layer l;
+    l.kind = LayerKind::Conv;
+    l.inputs = {5}; // does not exist
+    l.c = 3;
+    l.ih = l.iw = 8;
+    l.k = 4;
+    l.h = l.w = 8;
+    l.r = l.s = 3;
+    l.padH = l.padW = 1;
+    EXPECT_DEATH_IF_SUPPORTED({ g.add(l); }, "");
+}
+
+TEST(Graph, TracksConsumersAndOutputs)
+{
+    Graph g = zoo::tinyResidual();
+    // "stem" feeds conv1 and proj.
+    EXPECT_EQ(g.consumers(0).size(), 2u);
+    int outputs = 0;
+    for (const auto &l : g.layers())
+        outputs += l.isOutput;
+    EXPECT_EQ(outputs, 1);
+}
+
+TEST(Graph, ProducerShapeOfExternalInput)
+{
+    Graph g = zoo::tinyConvChain(2);
+    std::int64_t c, h, w;
+    g.producerShape(-1, c, h, w);
+    EXPECT_EQ(c, 16);
+    EXPECT_EQ(h, 32);
+    EXPECT_EQ(w, 32);
+}
+
+TEST(Graph, SummaryMentionsEveryLayer)
+{
+    Graph g = zoo::tinyInception();
+    const std::string s = g.summary();
+    for (const auto &l : g.layers())
+        EXPECT_NE(s.find(l.name), std::string::npos) << l.name;
+}
+
+// ----------------------------------------------------------------- zoo --
+
+TEST(Zoo, ResNet50PublishedFacts)
+{
+    Graph g = zoo::resnet50();
+    // ~4.1 GMACs and ~25.5M params for ImageNet ResNet-50.
+    EXPECT_NEAR(g.totalMacs() / 1e9, 4.1, 0.3);
+    std::int64_t params = 0;
+    for (const auto &l : g.layers())
+        params += l.weightCount();
+    EXPECT_NEAR(params / 1e6, 25.5, 1.5);
+    // Final classifier shape.
+    const Layer &fc = g.layers().back();
+    EXPECT_EQ(fc.kind, LayerKind::FC);
+    EXPECT_EQ(fc.k, 1000);
+    EXPECT_EQ(fc.c, 2048);
+}
+
+TEST(Zoo, ResNeXt50PublishedFacts)
+{
+    Graph g = zoo::resnext50();
+    // ResNeXt-50 32x4d: ~4.2 GMACs, ~25M params.
+    EXPECT_NEAR(g.totalMacs() / 1e9, 4.2, 0.4);
+    bool has_grouped = false;
+    for (const auto &l : g.layers())
+        has_grouped |= (l.groups == 32);
+    EXPECT_TRUE(has_grouped);
+}
+
+TEST(Zoo, GoogLeNetPublishedFacts)
+{
+    Graph g = zoo::googlenet();
+    // ~1.5 GMACs, ~6.6M params (conv+fc only, aux heads excluded).
+    EXPECT_NEAR(g.totalMacs() / 1e9, 1.5, 0.2);
+    std::int64_t params = 0;
+    for (const auto &l : g.layers())
+        params += l.weightCount();
+    EXPECT_NEAR(params / 1e6, 6.6, 1.0);
+}
+
+TEST(Zoo, InceptionResnetHasResidualsAndConcats)
+{
+    Graph g = zoo::inceptionResnetV1();
+    int adds = 0, cats = 0;
+    for (const auto &l : g.layers()) {
+        adds += l.kind == LayerKind::Eltwise;
+        cats += l.kind == LayerKind::Concat;
+    }
+    EXPECT_EQ(adds, 20);  // 5 A + 10 B + 5 C blocks
+    EXPECT_EQ(cats, 22);  // block concats + 2 reduction concats
+}
+
+TEST(Zoo, PnasnetStructure)
+{
+    Graph g = zoo::pnasnet(1);
+    // Depthwise separable convs present.
+    bool has_dw = false;
+    for (const auto &l : g.layers())
+        has_dw |= (l.kind == LayerKind::Conv && l.groups == l.c && l.c > 1);
+    EXPECT_TRUE(has_dw);
+    // Scaling the stage count scales the graph.
+    EXPECT_GT(zoo::pnasnet(2).size(), g.size());
+}
+
+TEST(Zoo, TransformerBaseShapes)
+{
+    Graph g = zoo::transformerBase(128);
+    int matmuls = 0, softmaxes = 0, norms = 0;
+    for (const auto &l : g.layers()) {
+        matmuls += l.kind == LayerKind::Matmul;
+        softmaxes += l.kind == LayerKind::Softmax;
+        norms += l.kind == LayerKind::LayerNorm;
+    }
+    EXPECT_EQ(matmuls, 12);   // 2 per block x 6
+    EXPECT_EQ(softmaxes, 6);
+    EXPECT_EQ(norms, 12);
+    // Attention score layers have heads*L channels.
+    for (const auto &l : g.layers()) {
+        if (l.kind == LayerKind::Matmul && l.transposeB)
+            EXPECT_EQ(l.k, 8 * 128);
+    }
+}
+
+TEST(Zoo, TransformerLargeIsBigger)
+{
+    const Graph base = zoo::transformerBase(64);
+    const Graph large = zoo::transformerLarge(64);
+    EXPECT_GT(large.totalMacs(), 2 * base.totalMacs());
+}
+
+TEST(Zoo, Vgg16PublishedFacts)
+{
+    Graph g = zoo::vgg16();
+    // ~15.5 GMACs; ~138M params dominated by the FC layers.
+    EXPECT_NEAR(g.totalMacs() / 1e9, 15.5, 1.0);
+    std::int64_t params = 0, head_params = 0;
+    for (const auto &l : g.layers()) {
+        params += l.weightCount();
+        if (l.name.rfind("fc", 0) == 0) // the fc6/fc7/fc8 classifier head
+            head_params += l.weightCount();
+    }
+    EXPECT_NEAR(params / 1e6, 138.0, 8.0);
+    EXPECT_GT(head_params, params / 2);
+}
+
+TEST(Zoo, MobileNetV2PublishedFacts)
+{
+    Graph g = zoo::mobilenetV2();
+    // ~0.3 GMACs, ~3.5M params.
+    EXPECT_NEAR(g.totalMacs() / 1e9, 0.31, 0.06);
+    std::int64_t params = 0;
+    int depthwise = 0;
+    for (const auto &l : g.layers()) {
+        params += l.weightCount();
+        depthwise += (l.kind == LayerKind::Conv && l.groups == l.c &&
+                      l.c > 1);
+    }
+    EXPECT_NEAR(params / 1e6, 3.4, 0.7);
+    EXPECT_EQ(depthwise, 17); // one dw conv per inverted residual
+    // Final shape: 1280 -> 1000 classifier.
+    EXPECT_EQ(g.layers().back().c, 1280);
+}
+
+TEST(Zoo, RegistryRoundTrip)
+{
+    for (const auto &name : zoo::available()) {
+        if (name == "pnasnet" || name == "inception_resnet_v1")
+            continue; // skip the big builders here for test speed
+        const Graph g = zoo::byName(name);
+        EXPECT_GT(g.size(), 0u) << name;
+        EXPECT_TRUE(g.finalized());
+    }
+}
+
+TEST(Zoo, AllGraphsValidateLayerwise)
+{
+    for (const Graph &g :
+         {zoo::tinyConvChain(3), zoo::tinyResidual(), zoo::tinyInception(),
+          zoo::tinyTransformer(32, 32, 2, 1)}) {
+        for (const auto &l : g.layers())
+            EXPECT_EQ(l.checkValid(), "") << g.name() << ":" << l.name;
+    }
+}
+
+} // namespace
+} // namespace gemini::dnn

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the DSE driver: candidate enumeration against Table I,
+ * core-grid selection, objective computation, subsampling, threading, and
+ * the chiplet-reuse scaling of Sec. VII-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/candidates.hh"
+#include "src/dse/dse.hh"
+#include "src/dse/joint_reuse.hh"
+#include "src/dse/records.hh"
+
+namespace gemini::dse {
+namespace {
+
+TEST(CoreGrid, PaperArrangements)
+{
+    int x = 0, y = 0;
+    // 72 TOPs / 1024 MACs -> 36 cores as 6x6 (the paper's example).
+    chooseCoreGrid(72.0, 1024, {1, 2, 3, 6}, {1, 2, 3, 6}, x, y);
+    EXPECT_EQ(x * y, 36);
+    EXPECT_EQ(x, 6);
+    EXPECT_EQ(y, 6);
+    // 72 TOPs / 2048 -> 18 cores as 6x3.
+    chooseCoreGrid(72.0, 2048, {1, 2, 3, 6}, {1, 2, 3, 6}, x, y);
+    EXPECT_EQ(x * y, 18);
+    EXPECT_EQ(std::max(x, y), 6);
+    EXPECT_EQ(std::min(x, y), 3);
+    // 128 TOPs / 1024 -> 64 cores (8x8).
+    chooseCoreGrid(128.0, 1024, {1, 2, 4, 8}, {1, 2, 4, 8}, x, y);
+    EXPECT_EQ(x * y, 64);
+    // 512 TOPs / 1024 -> 256 cores (16x16).
+    chooseCoreGrid(512.0, 1024, {1, 2, 4, 8}, {1, 2, 4, 8}, x, y);
+    EXPECT_EQ(x * y, 256);
+}
+
+TEST(CoreGrid, TopsWithinTolerance)
+{
+    for (int macs : {512, 1024, 2048, 4096, 8192}) {
+        int x = 0, y = 0;
+        chooseCoreGrid(128.0, macs, {1, 2, 4, 8}, {1, 2, 4, 8}, x, y);
+        const double tops = 2.0 * x * y * macs / 1000.0;
+        EXPECT_NEAR(tops, 128.0, 128.0 * 0.16) << macs;
+    }
+}
+
+TEST(Candidates, AllValidAndDistinct)
+{
+    DseAxes axes = DseAxes::paper72();
+    // Shrink the axes for test speed but keep every dimension active.
+    axes.nocGBps = {16, 32};
+    axes.glbKiB = {512, 2048};
+    axes.macsPerCore = {1024, 2048};
+    const auto cands = enumerateCandidates(axes);
+    EXPECT_GT(cands.size(), 50u);
+    // toString() collapses (XCut, YCut) into a chiplet count, so build the
+    // uniqueness key from the full geometry.
+    std::set<std::string> seen;
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.validate(), "");
+        EXPECT_NEAR(c.tops(), 72.0, 72.0 * 0.16);
+        seen.insert(c.toString() + "x" + std::to_string(c.xCut) + "y" +
+                    std::to_string(c.yCut));
+    }
+    EXPECT_EQ(seen.size(), cands.size()); // no duplicates
+}
+
+TEST(Candidates, InvalidCutsAreDropped)
+{
+    DseAxes axes = DseAxes::paper72();
+    axes.nocGBps = {32};
+    axes.glbKiB = {1024};
+    axes.macsPerCore = {2048}; // 18 cores -> 6x3 grid
+    const auto cands = enumerateCandidates(axes);
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.xCores % c.xCut, 0);
+        EXPECT_EQ(c.yCores % c.yCut, 0);
+        // YCut 6 cannot divide the 3-row dimension.
+        EXPECT_NE(c.yCut, 6);
+    }
+}
+
+TEST(Candidates, MonolithicSkipsD2dVariants)
+{
+    DseAxes axes = DseAxes::paper72();
+    axes.nocGBps = {32};
+    axes.glbKiB = {1024};
+    axes.macsPerCore = {1024};
+    axes.dramGBpsPerTops = {1.0};
+    const auto cands = enumerateCandidates(axes);
+    int monolithic = 0;
+    for (const auto &c : cands)
+        monolithic += (c.chipletCount() == 1);
+    // Exactly one monolithic candidate (not one per D2D ratio).
+    EXPECT_EQ(monolithic, 1);
+}
+
+class DseRunTest : public ::testing::Test
+{
+  protected:
+    DseRunTest() : model_(dnn::zoo::tinyConvChain(3))
+    {
+        axes_.topsTarget = 1.0; // tiny: 2 cores x 256 MACs
+        axes_.xCuts = {1, 2};
+        axes_.yCuts = {1};
+        axes_.dramGBpsPerTops = {2.0};
+        axes_.nocGBps = {16, 32};
+        axes_.d2dRatio = {0.5};
+        axes_.glbKiB = {256, 512};
+        axes_.macsPerCore = {256};
+
+        options_.axes = axes_;
+        options_.models = {&model_};
+        options_.mapping.batch = 2;
+        options_.mapping.sa.iterations = 60;
+        options_.mapping.maxGroupLayers = 4;
+        options_.threads = 2;
+    }
+
+    dnn::Graph model_;
+    DseAxes axes_;
+    DseOptions options_;
+};
+
+TEST_F(DseRunTest, EvaluatesAllCandidatesAndPicksBest)
+{
+    const DseResult r = runDse(options_);
+    EXPECT_GT(r.records.size(), 3u);
+    const DseRecord &best = r.best();
+    for (const auto &rec : r.records) {
+        EXPECT_GT(rec.mc.total(), 0.0);
+        EXPECT_GT(rec.delayGeo, 0.0);
+        EXPECT_GT(rec.energyGeo, 0.0);
+        if (rec.feasible)
+            EXPECT_LE(best.objective, rec.objective);
+    }
+}
+
+TEST_F(DseRunTest, ObjectiveExponentsChangeWinner)
+{
+    const DseResult r = runDse(options_);
+    // MC-only and D-only objectives must both be answerable.
+    const int mc_best = r.bestUnder(1.0, 0.0, 0.0);
+    const int d_best = r.bestUnder(0.0, 0.0, 1.0);
+    ASSERT_GE(mc_best, 0);
+    ASSERT_GE(d_best, 0);
+    const auto &mc_rec = r.records[static_cast<std::size_t>(mc_best)];
+    for (const auto &rec : r.records) {
+        if (rec.feasible)
+            EXPECT_LE(mc_rec.mc.total(), rec.mc.total() * 1.0001);
+    }
+}
+
+TEST_F(DseRunTest, SubsamplingBoundsWork)
+{
+    options_.maxCandidates = 3;
+    const DseResult r = runDse(options_);
+    EXPECT_EQ(r.records.size(), 3u);
+}
+
+TEST_F(DseRunTest, GeometricMeanOverTwoModels)
+{
+    const dnn::Graph second = dnn::zoo::tinyResidual();
+    options_.models = {&model_, &second};
+    options_.maxCandidates = 2;
+    const DseResult r = runDse(options_);
+    for (const auto &rec : r.records) {
+        ASSERT_EQ(rec.perModel.size(), 2u);
+        const double geo = std::sqrt(rec.perModel[0].delay *
+                                     rec.perModel[1].delay);
+        EXPECT_NEAR(rec.delayGeo, geo, geo * 1e-9);
+    }
+}
+
+TEST_F(DseRunTest, RecordsCsvExport)
+{
+    options_.maxCandidates = 4;
+    const dse::DseResult r = runDse(options_);
+    const CsvTable table = recordsTable(r);
+    EXPECT_EQ(table.rowCount(), r.records.size());
+    const std::string text = table.toString();
+    // Header columns and the winner flag are present.
+    EXPECT_NE(text.find("objective"), std::string::npos);
+    EXPECT_NE(text.find("best"), std::string::npos);
+    const std::string path = "/tmp/gemini_dse_records_test.csv";
+    EXPECT_TRUE(writeRecordsCsv(r, path));
+}
+
+// ------------------------------------------------------------- reuse ---
+
+TEST(JointReuse, ScalePreservesChipletDesign)
+{
+    const arch::ArchConfig base = arch::gArch72(); // 2 chiplets, 72 TOPs
+    const arch::ArchConfig big = scaleArchToTops(base, 288.0);
+    EXPECT_EQ(big.chipletCoresX(), base.chipletCoresX());
+    EXPECT_EQ(big.chipletCoresY(), base.chipletCoresY());
+    EXPECT_EQ(big.macsPerCore, base.macsPerCore);
+    EXPECT_EQ(big.glbKiB, base.glbKiB);
+    EXPECT_NEAR(big.tops(), 288.0, 288.0 * 0.15);
+    // DRAM GB/s per TOPs preserved.
+    EXPECT_NEAR(big.dramBwGBps / big.tops(),
+                base.dramBwGBps / base.tops(), 1e-9);
+}
+
+TEST(JointReuse, ScaleDownToSingleChiplet)
+{
+    const arch::ArchConfig base = arch::gArch72();
+    const arch::ArchConfig half = scaleArchToTops(base, 36.0);
+    EXPECT_EQ(half.chipletCount(), 1);
+    EXPECT_TRUE(half.validate().empty());
+}
+
+TEST(JointReuse, JointDseRanksByProduct)
+{
+    dnn::Graph model = dnn::zoo::tinyConvChain(2);
+    DseAxes axes;
+    axes.topsTarget = 1.0;
+    axes.xCuts = {1, 2};
+    axes.yCuts = {1};
+    axes.dramGBpsPerTops = {2.0};
+    axes.nocGBps = {32};
+    axes.d2dRatio = {0.5};
+    axes.glbKiB = {512};
+    axes.macsPerCore = {256};
+
+    DseOptions opt;
+    opt.models = {&model};
+    opt.mapping.batch = 2;
+    opt.mapping.sa.iterations = 40;
+    opt.threads = 2;
+
+    const auto cands = runJointDse(axes, {1.0, 2.0}, opt);
+    ASSERT_GE(cands.size(), 2u);
+    for (std::size_t i = 1; i < cands.size(); ++i) {
+        if (cands[i - 1].feasible == cands[i].feasible)
+            EXPECT_LE(cands[i - 1].objectiveProduct,
+                      cands[i].objectiveProduct);
+        ASSERT_EQ(cands[i].levels.size(), 2u);
+    }
+}
+
+} // namespace
+} // namespace gemini::dse

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the eval module: breakdown accumulation arithmetic and
+ * the energy model's unit conversions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/presets.hh"
+#include "src/eval/breakdown.hh"
+#include "src/eval/energy_model.hh"
+
+namespace gemini::eval {
+namespace {
+
+TEST(Breakdown, TotalsAndEdp)
+{
+    EvalBreakdown b;
+    b.delay = 2.0;
+    b.intraTileEnergy = 1.0;
+    b.nocEnergy = 0.5;
+    b.d2dEnergy = 0.25;
+    b.dramEnergy = 0.25;
+    EXPECT_DOUBLE_EQ(b.totalEnergy(), 2.0);
+    EXPECT_DOUBLE_EQ(b.edp(), 4.0);
+    EXPECT_TRUE(b.feasible());
+}
+
+TEST(Breakdown, AccumulateSumsComponents)
+{
+    EvalBreakdown a, b;
+    a.delay = 1.0;
+    a.intraTileEnergy = 2.0;
+    a.dramBytes = 10.0;
+    a.hopBytes = 5.0;
+    b.delay = 3.0;
+    b.nocEnergy = 4.0;
+    b.d2dHopBytes = 7.0;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.delay, 4.0);
+    EXPECT_DOUBLE_EQ(a.totalEnergy(), 6.0);
+    EXPECT_DOUBLE_EQ(a.dramBytes, 10.0);
+    EXPECT_DOUBLE_EQ(a.d2dHopBytes, 7.0);
+}
+
+TEST(Breakdown, AccumulateTakesWorstOverflow)
+{
+    EvalBreakdown a, b;
+    a.glbOverflow = 0.2;
+    b.glbOverflow = 0.7;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.glbOverflow, 0.7);
+    EXPECT_FALSE(a.feasible());
+    EvalBreakdown c;
+    c += a;
+    EXPECT_DOUBLE_EQ(c.glbOverflow, 0.7);
+}
+
+TEST(EnergyModel, UnitConversions)
+{
+    const arch::ArchConfig cfg = arch::gArch72();
+    arch::TechParams tech;
+    EnergyModel em(cfg, tech);
+    EXPECT_DOUBLE_EQ(em.onChipJ(1e12), 1e12 * tech.nocHopJPerByte);
+    EXPECT_DOUBLE_EQ(em.d2dJ(1.0), tech.d2dJPerByte);
+    EXPECT_DOUBLE_EQ(em.dramJ(1.0), tech.dramJPerByte);
+    // D2D bytes cost more than a single on-chip hop, DRAM dominates both.
+    EXPECT_GT(em.d2dJ(1.0), em.onChipJ(1.0));
+    EXPECT_GT(em.dramJ(1.0), em.d2dJ(1.0));
+}
+
+TEST(EnergyModel, DramStackBandwidthSplitsTotal)
+{
+    arch::ArchConfig cfg = arch::gArch72();
+    cfg.dramBwGBps = 144.0;
+    cfg.dramCount = 2;
+    EnergyModel em(cfg);
+    EXPECT_DOUBLE_EQ(em.dramStackBps(), 72.0e9);
+    cfg.dramCount = 4;
+    EnergyModel em4(cfg);
+    EXPECT_DOUBLE_EQ(em4.dramStackBps(), 36.0e9);
+}
+
+} // namespace
+} // namespace gemini::eval

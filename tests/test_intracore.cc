@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the intra-core exploration engine: tile math, search
+ * feasibility, physical sanity of the chosen schemes (roofline bounds,
+ * traffic lower bounds) and memoization behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/intracore/explorer.hh"
+#include "src/intracore/tile.hh"
+
+namespace gemini::intracore {
+namespace {
+
+Tile
+convTile(std::int64_t b, std::int64_t k, std::int64_t hw, std::int64_t c,
+         std::int64_t r)
+{
+    Tile t;
+    t.b = b;
+    t.k = k;
+    t.h = hw;
+    t.w = hw;
+    t.cPerGroup = c;
+    t.r = t.s = r;
+    return t;
+}
+
+TEST(Tile, MacAndVecCounts)
+{
+    const Tile t = convTile(2, 16, 8, 32, 3);
+    EXPECT_EQ(t.outVolume(), 2 * 16 * 8 * 8);
+    EXPECT_EQ(t.macs(), t.outVolume() * 32 * 9);
+    EXPECT_DOUBLE_EQ(t.vecOps(), static_cast<double>(t.outVolume()));
+}
+
+TEST(Tile, VectorTileHasNoMacs)
+{
+    Tile t = convTile(1, 8, 4, 8, 3);
+    t.macWork = false;
+    t.vecOpFactor = 4.0;
+    EXPECT_EQ(t.macs(), 0);
+    EXPECT_DOUBLE_EQ(t.vecOps(), 4.0 * t.outVolume());
+}
+
+TEST(Tile, HashDistinguishesFields)
+{
+    TileHash h;
+    Tile a = convTile(1, 16, 8, 32, 3);
+    Tile b = a;
+    EXPECT_EQ(h(a), h(b));
+    b.k = 32;
+    EXPECT_NE(h(a), h(b));
+    Tile c = a;
+    c.macWork = false;
+    EXPECT_NE(h(a), h(c));
+}
+
+class ExplorerTest : public ::testing::Test
+{
+  protected:
+    Explorer explorer_{1024, 2 * 1024 * 1024, 1.0};
+};
+
+TEST_F(ExplorerTest, MacCyclesRoofline)
+{
+    // A big well-shaped tile must approach peak utilization: cycles close
+    // to macs / 1024.
+    const Tile t = convTile(1, 64, 16, 256, 3);
+    const CoreCost &c = explorer_.evaluate(t);
+    const double ideal = static_cast<double>(t.macs()) / 1024.0;
+    EXPECT_GE(c.cycles, ideal * 0.999);
+    EXPECT_LE(c.cycles, ideal * 3.0);
+}
+
+TEST_F(ExplorerTest, DepthwiseRunsAtLowUtilization)
+{
+    // Depthwise conv: cPerGroup=1, r=s=3 -> only 9 of 64 C lanes busy.
+    const Tile dw = convTile(1, 64, 16, 1, 3);
+    const CoreCost &c = explorer_.evaluate(dw);
+    const double ideal = static_cast<double>(dw.macs()) / 1024.0;
+    EXPECT_GT(c.cycles, ideal * 5.0); // 64/9 ~ 7.1x slowdown
+}
+
+TEST_F(ExplorerTest, GlbTrafficAtLeastCompulsory)
+{
+    const Tile t = convTile(1, 32, 8, 64, 3);
+    const CoreCost &c = explorer_.evaluate(t);
+    // Compulsory traffic: weights once + ofmap once (ifmap has halo).
+    const double weights = static_cast<double>(32 * 64 * 9);
+    const double ofmap = static_cast<double>(t.outVolume());
+    EXPECT_GE(c.glbBytes, weights + ofmap);
+}
+
+TEST_F(ExplorerTest, EnergyPositiveAndConsistent)
+{
+    const Tile t = convTile(1, 16, 8, 32, 1);
+    const CoreCost &c = explorer_.evaluate(t);
+    EXPECT_GT(c.energyJ, 0.0);
+    EXPECT_EQ(c.macs, t.macs());
+    // Energy at least the MAC floor.
+    EXPECT_GE(c.energyJ, c.macs * explorer_.tech().macJ);
+}
+
+TEST_F(ExplorerTest, MemoizationHits)
+{
+    const Tile t = convTile(1, 16, 8, 32, 3);
+    explorer_.evaluate(t);
+    const auto misses = explorer_.cacheMisses();
+    explorer_.evaluate(t);
+    explorer_.evaluate(t);
+    EXPECT_EQ(explorer_.cacheMisses(), misses);
+    EXPECT_GE(explorer_.cacheHits(), 2u);
+}
+
+TEST_F(ExplorerTest, VectorTileDelayScalesWithOps)
+{
+    Tile t = convTile(1, 64, 8, 1, 1);
+    t.macWork = false;
+    t.vecOpFactor = 2.0;
+    const CoreCost c1 = explorer_.evaluate(t);
+    t.vecOpFactor = 8.0;
+    const CoreCost c4 = explorer_.evaluate(t);
+    EXPECT_GT(c4.cycles, c1.cycles);
+    EXPECT_GT(c4.energyJ, c1.energyJ);
+    EXPECT_EQ(c1.macs, 0);
+}
+
+TEST_F(ExplorerTest, SecondsUsesFrequency)
+{
+    Explorer fast(1024, 2 * 1024 * 1024, 2.0);
+    EXPECT_DOUBLE_EQ(fast.seconds(2.0e9), 1.0);
+    EXPECT_DOUBLE_EQ(explorer_.seconds(1.0e9), 1.0);
+}
+
+TEST_F(ExplorerTest, ChosenTilesRespectDims)
+{
+    const Tile t = convTile(2, 48, 13, 96, 3);
+    const CoreCost &c = explorer_.evaluate(t);
+    EXPECT_GE(c.tileK, 1);
+    EXPECT_LE(c.tileK, t.k);
+    EXPECT_LE(c.tileC, t.cPerGroup);
+    EXPECT_LE(c.tileH, t.h);
+    EXPECT_LE(c.tileW, t.w);
+}
+
+TEST_F(ExplorerTest, BiggerTileCostsMore)
+{
+    const CoreCost small = explorer_.evaluate(convTile(1, 16, 8, 64, 3));
+    const CoreCost big = explorer_.evaluate(convTile(1, 64, 16, 64, 3));
+    EXPECT_GT(big.cycles, small.cycles);
+    EXPECT_GT(big.energyJ, small.energyJ);
+}
+
+TEST(ExplorerScaling, MoreMacsFasterOnBigTiles)
+{
+    Explorer small(512, 1 << 21, 1.0);
+    Explorer big(4096, 1 << 21, 1.0);
+    const Tile t = convTile(1, 128, 32, 256, 3);
+    const double cy_small = small.evaluate(t).cycles;
+    const double cy_big = big.evaluate(t).cycles;
+    EXPECT_LT(cy_big, cy_small);
+    // At most the 8x MAC ratio.
+    EXPECT_GE(cy_big, cy_small / 8.01);
+}
+
+TEST(ExplorerScaling, MatmulShapedTile)
+{
+    // FC-per-token tile (r=s=1, deep reduction): must be feasible and
+    // MAC-bound on a 1024-MAC core with a healthy GLB.
+    Explorer ex(1024, 1 << 21, 1.0);
+    Tile t;
+    t.b = 1;
+    t.k = 512;
+    t.h = 64;
+    t.w = 1;
+    t.cPerGroup = 512;
+    const CoreCost &c = ex.evaluate(t);
+    const double ideal = static_cast<double>(t.macs()) / 1024.0;
+    EXPECT_LT(c.cycles, ideal * 2.0);
+}
+
+TEST(ExplorerScaling, SmallerBuffersNeverBeatLargerOnEdp)
+{
+    // Shrinking the operand buffers shrinks the feasible scheme set, so
+    // the best energy-delay product can only get worse; and the scheme a
+    // cramped core picks must actually fit its buffers.
+    Explorer roomy(1024, 1 << 22, 1.0);
+    arch::TechParams cramped_tech;
+    cramped_tech.wbufBytesPerMac = 2.0; // 2 KiB weight buffer
+    cramped_tech.ibufBytesPerMac = 1.0;
+    Explorer cramped(1024, 1 << 22, 1.0, cramped_tech);
+    const Tile t = convTile(1, 64, 16, 256, 3);
+    const CoreCost r = roomy.evaluate(t);
+    const CoreCost c = cramped.evaluate(t);
+    EXPECT_LE(r.energyJ * r.cycles, c.energyJ * c.cycles * 1.0001);
+    EXPECT_LE(2.0 * c.tileK * c.tileC * t.r * t.s,
+              cramped_tech.wbufBytesPerMac * 1024);
+}
+
+TEST(LoopOrderNames, AllDistinct)
+{
+    EXPECT_STRNE(loopOrderName(LoopOrder::OutputStationary),
+                 loopOrderName(LoopOrder::WeightStationary));
+    EXPECT_STRNE(loopOrderName(LoopOrder::WeightStationary),
+                 loopOrderName(LoopOrder::InputStationary));
+}
+
+} // namespace
+} // namespace gemini::intracore

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit tests for the five SA operators: validity preservation, the exact
+ * transformations the paper describes, and reachability (OP4 sequences can
+ * take a CG to any size, per the Sec. V-B1 argument).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/operators.hh"
+#include "src/mapping/stripe.hh"
+
+namespace gemini::mapping {
+namespace {
+
+class OperatorTest : public ::testing::Test
+{
+  protected:
+    OperatorTest()
+        : graph_(dnn::zoo::tinyConvChain(3)), arch_(makeArch()), rng_(123)
+    {
+        std::vector<LayerId> layers;
+        for (std::size_t i = 0; i < graph_.size(); ++i)
+            layers.push_back(static_cast<LayerId>(i));
+        group_ = stripeMapping(graph_, arch_, layers, 2);
+    }
+
+    static arch::ArchConfig
+    makeArch()
+    {
+        arch::ArchConfig a = arch::tinyArch();
+        a.xCores = 4;
+        a.yCores = 3; // 12 cores
+        return a;
+    }
+
+    /** Multiset of all cores used by the group. */
+    std::multiset<CoreId>
+    coresUsed() const
+    {
+        std::multiset<CoreId> s;
+        for (const auto &ms : group_.schemes)
+            for (CoreId c : ms.coreGroup)
+                s.insert(c);
+        return s;
+    }
+
+    dnn::Graph graph_;
+    arch::ArchConfig arch_;
+    Rng rng_;
+    LayerGroupMapping group_;
+};
+
+TEST_F(OperatorTest, Op1ChangesOnlyPartition)
+{
+    const auto before_cores = coresUsed();
+    bool changed = false;
+    for (int i = 0; i < 50 && !changed; ++i) {
+        LayerGroupMapping snapshot = group_;
+        const OperatorEffect eff = applyOperator(
+            SaOperator::ChangePartition, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        changed = true;
+        EXPECT_EQ(coresUsed(), before_cores);
+        // Exactly one layer's Part differs; CGs and FDs are untouched.
+        int diffs = 0;
+        for (std::size_t l = 0; l < group_.schemes.size(); ++l) {
+            EXPECT_EQ(group_.schemes[l].coreGroup,
+                      snapshot.schemes[l].coreGroup);
+            EXPECT_EQ(group_.schemes[l].fd, snapshot.schemes[l].fd);
+            if (!(group_.schemes[l].part == snapshot.schemes[l].part))
+                ++diffs;
+        }
+        EXPECT_EQ(diffs, 1);
+    }
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, Op2PermutesOneCoreGroup)
+{
+    bool changed = false;
+    for (int i = 0; i < 50 && !changed; ++i) {
+        LayerGroupMapping snapshot = group_;
+        const OperatorEffect eff = applyOperator(
+            SaOperator::SwapWithinLayer, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        changed = true;
+        for (std::size_t l = 0; l < group_.schemes.size(); ++l) {
+            auto a = group_.schemes[l].coreGroup;
+            auto b = snapshot.schemes[l].coreGroup;
+            std::sort(a.begin(), a.end());
+            std::sort(b.begin(), b.end());
+            EXPECT_EQ(a, b); // same core set, possibly different order
+        }
+    }
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, Op3ExchangesCoresAcrossLayers)
+{
+    const auto before = coresUsed();
+    bool changed = false;
+    for (int i = 0; i < 50 && !changed; ++i) {
+        LayerGroupMapping snapshot = group_;
+        const OperatorEffect eff = applyOperator(
+            SaOperator::SwapAcrossLayers, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        // CG sizes unchanged, global core multiset unchanged.
+        for (std::size_t l = 0; l < group_.schemes.size(); ++l)
+            EXPECT_EQ(group_.schemes[l].coreGroup.size(),
+                      snapshot.schemes[l].coreGroup.size());
+        EXPECT_EQ(coresUsed(), before);
+        changed = true;
+    }
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, Op4MovesOneCore)
+{
+    bool moved = false;
+    for (int i = 0; i < 200 && !moved; ++i) {
+        LayerGroupMapping snapshot = group_;
+        const OperatorEffect eff = applyOperator(
+            SaOperator::MoveCore, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        std::size_t grew = 0, shrank = 0;
+        for (std::size_t l = 0; l < group_.schemes.size(); ++l) {
+            const auto now = group_.schemes[l].coreGroup.size();
+            const auto was = snapshot.schemes[l].coreGroup.size();
+            grew += now == was + 1;
+            shrank += now + 1 == was;
+            // Partition still matches the CG size.
+            EXPECT_EQ(group_.schemes[l].part.count(),
+                      static_cast<std::int64_t>(now));
+        }
+        EXPECT_EQ(grew, 1u);
+        EXPECT_EQ(shrank, 1u);
+        moved = true;
+    }
+    EXPECT_TRUE(moved);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, Op5RedrawsManagedFlow)
+{
+    bool changed = false;
+    for (int i = 0; i < 50 && !changed; ++i) {
+        LayerGroupMapping snapshot = group_;
+        const OperatorEffect eff = applyOperator(
+            SaOperator::ChangeFlow, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        changed = true;
+        int diffs = 0;
+        for (std::size_t l = 0; l < group_.schemes.size(); ++l) {
+            const auto &now = group_.schemes[l].fd;
+            const auto &was = snapshot.schemes[l].fd;
+            diffs += (now.ifmap != was.ifmap) + (now.weight != was.weight) +
+                     (now.ofmap != was.ofmap);
+        }
+        EXPECT_EQ(diffs, 1);
+    }
+    EXPECT_TRUE(changed);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, Op5ReportsOfmapCoupling)
+{
+    bool saw_ofmap = false, saw_other = false;
+    for (int i = 0; i < 300; ++i) {
+        const OperatorEffect eff = applyOperator(
+            SaOperator::ChangeFlow, group_, graph_, arch_, rng_);
+        if (!eff.applied)
+            continue;
+        if (eff.ofmapFlowChanged) {
+            saw_ofmap = true;
+            EXPECT_GE(eff.ofmapLayer, 0);
+        } else {
+            saw_other = true;
+        }
+    }
+    EXPECT_TRUE(saw_ofmap);
+    EXPECT_TRUE(saw_other);
+}
+
+TEST_F(OperatorTest, Op4ReachesMinimalAndMaximalSizes)
+{
+    // The paper's closure argument: repeated OP4 can take CG sizes from 1
+    // to M-N+1. Drive the RNG and track extremes.
+    std::size_t min_seen = 99, max_seen = 0;
+    for (int i = 0; i < 3000; ++i) {
+        applyOperator(SaOperator::MoveCore, group_, graph_, arch_, rng_);
+        for (const auto &ms : group_.schemes) {
+            min_seen = std::min(min_seen, ms.coreGroup.size());
+            max_seen = std::max(max_seen, ms.coreGroup.size());
+        }
+    }
+    EXPECT_EQ(min_seen, 1u);
+    // 12 cores, 4 layers: some layer can grow well past its initial share.
+    EXPECT_GE(max_seen, 6u);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, group_, 4), "");
+}
+
+TEST_F(OperatorTest, RandomPartitionRespectsCapsAndExcludesCurrent)
+{
+    Rng rng(7);
+    const Partition current{.h = 2, .w = 1, .b = 1, .k = 2};
+    for (int i = 0; i < 100; ++i) {
+        const Partition p = randomPartition(4, 4, 4, 2, 4, current, rng);
+        EXPECT_EQ(p.count(), 4);
+        EXPECT_LE(p.h, 4);
+        EXPECT_LE(p.b, 2);
+        EXPECT_FALSE(p == current);
+    }
+}
+
+TEST_F(OperatorTest, RandomPartitionImpossibleReturnsZero)
+{
+    Rng rng(7);
+    const Partition p = randomPartition(7, 2, 2, 2, 2, {}, rng);
+    EXPECT_EQ(p.count(), 0);
+}
+
+TEST_F(OperatorTest, SingleLayerGroupLimitsOperators)
+{
+    LayerGroupMapping solo = stripeMapping(graph_, arch_, {0}, 1);
+    Rng rng(5);
+    // OP3/OP4 need two layers.
+    EXPECT_FALSE(applyOperator(SaOperator::SwapAcrossLayers, solo, graph_,
+                               arch_, rng)
+                     .applied);
+    EXPECT_FALSE(
+        applyOperator(SaOperator::MoveCore, solo, graph_, arch_, rng)
+            .applied);
+    // OP2 works (the layer holds many cores).
+    EXPECT_TRUE(applyOperator(SaOperator::SwapWithinLayer, solo, graph_,
+                              arch_, rng)
+                    .applied);
+}
+
+TEST(OperatorNames, AllDistinct)
+{
+    std::set<std::string> names;
+    for (int i = 0; i < kNumSaOperators; ++i)
+        names.insert(saOperatorName(static_cast<SaOperator>(i)));
+    EXPECT_EQ(names.size(), 5u);
+}
+
+} // namespace
+} // namespace gemini::mapping

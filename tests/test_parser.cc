@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the model parser: every directive kind, shape inference
+ * agreement with the GraphBuilder, and the error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/dnn/parser.hh"
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn {
+namespace {
+
+TEST(Parser, MinimalConvChain)
+{
+    const char *text = R"(
+# a comment
+model tiny 3 32 32
+conv c1 in=input k=16 kernel=3 stride=1 pad=1
+conv c2 in=c1 k=32 kernel=3 stride=2 pad=1
+gap  g1 in=c2
+fc   f1 in=g1 k=10
+)";
+    std::string err;
+    auto g = parseModel(text, &err);
+    ASSERT_TRUE(g.has_value()) << err;
+    EXPECT_EQ(g->size(), 4u);
+    EXPECT_EQ(g->name(), "tiny");
+    EXPECT_EQ(g->layer(1).h, 16); // 32 stride-2 -> 16
+    EXPECT_EQ(g->layer(3).k, 10);
+    EXPECT_TRUE(g->finalized());
+}
+
+TEST(Parser, NonSquareKernelAndGroups)
+{
+    const char *text = R"(
+model t 8 16 16
+conv a in=input k=8 kernel=1x7 stride=1 pad=0x3
+conv b in=a k=8 kernel=3 stride=1 pad=1 groups=8
+)";
+    std::string err;
+    auto g = parseModel(text, &err);
+    ASSERT_TRUE(g.has_value()) << err;
+    EXPECT_EQ(g->layer(0).r, 1);
+    EXPECT_EQ(g->layer(0).s, 7);
+    EXPECT_EQ(g->layer(0).padW, 3);
+    EXPECT_EQ(g->layer(1).groups, 8);
+}
+
+TEST(Parser, BranchAndJoinDirectives)
+{
+    const char *text = R"(
+model t 8 8 8
+conv a in=input k=8 kernel=3 stride=1 pad=1
+conv b in=a k=8 kernel=3 stride=1 pad=1
+eltwise add in=a,b
+pool p in=add kernel=2 stride=2 pad=0
+conv c in=a k=4 kernel=1 stride=1 pad=0
+conv d in=a k=4 kernel=1 stride=1 pad=0
+concat cat in=c,d
+)";
+    std::string err;
+    auto g = parseModel(text, &err);
+    ASSERT_TRUE(g.has_value()) << err;
+    EXPECT_EQ(g->layer(2).kind, LayerKind::Eltwise);
+    EXPECT_EQ(g->layer(6).kind, LayerKind::Concat);
+    EXPECT_EQ(g->layer(6).k, 8);
+}
+
+TEST(Parser, AttentionDirectives)
+{
+    const char *text = R"(
+model t 64 16 1
+fc q in=input k=64
+fc k in=input k=64
+fc v in=input k=64
+matmul qk in=q,k heads=4 transpose=1
+softmax sm in=qk heads=4
+matmul av in=sm,v heads=4 transpose=0
+layernorm ln in=av
+)";
+    std::string err;
+    auto g = parseModel(text, &err);
+    ASSERT_TRUE(g.has_value()) << err;
+    EXPECT_EQ(g->layer(3).kind, LayerKind::Matmul);
+    EXPECT_TRUE(g->layer(3).transposeB);
+    EXPECT_EQ(g->layer(3).k, 4 * 16);
+    EXPECT_FALSE(g->layer(5).transposeB);
+    EXPECT_EQ(g->layer(6).kind, LayerKind::LayerNorm);
+}
+
+TEST(Parser, ParsedGraphMatchesBuilderTwin)
+{
+    // The same network written via the file format and via the builder
+    // API must agree on every derived quantity.
+    const char *text = R"(
+model twin 16 32 32
+conv c0 in=input k=32 kernel=3 stride=1 pad=1
+conv c1 in=c0 k=32 kernel=3 stride=1 pad=1
+conv c2 in=c1 k=32 kernel=3 stride=1 pad=1
+conv c3 in=c2 k=32 kernel=3 stride=1 pad=1
+gap g in=c3
+)";
+    auto parsed = parseModel(text);
+    ASSERT_TRUE(parsed.has_value());
+    const Graph built = zoo::tinyConvChain(4);
+    ASSERT_EQ(parsed->size(), built.size());
+    EXPECT_EQ(parsed->totalMacs(), built.totalMacs());
+    EXPECT_EQ(parsed->totalWeightBytes(), built.totalWeightBytes());
+}
+
+TEST(Parser, ErrorUnknownDirective)
+{
+    std::string err;
+    auto g = parseModel("model t 1 4 4\nfrobnicate x in=input\n", &err);
+    EXPECT_FALSE(g.has_value());
+    EXPECT_NE(err.find("line 2"), std::string::npos);
+    EXPECT_NE(err.find("unknown directive"), std::string::npos);
+}
+
+TEST(Parser, ErrorUnresolvedReference)
+{
+    std::string err;
+    auto g = parseModel(
+        "model t 1 4 4\nconv a in=missing k=1 kernel=1 stride=1 pad=0\n",
+        &err);
+    EXPECT_FALSE(g.has_value());
+}
+
+TEST(Parser, ErrorDuplicateName)
+{
+    std::string err;
+    auto g = parseModel("model t 1 4 4\n"
+                        "conv a in=input k=1 kernel=1 stride=1 pad=0\n"
+                        "conv a in=a k=1 kernel=1 stride=1 pad=0\n",
+                        &err);
+    EXPECT_FALSE(g.has_value());
+    EXPECT_NE(err.find("duplicate layer name"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingModelHeader)
+{
+    std::string err;
+    auto g = parseModel("conv a in=input k=1 kernel=1 stride=1 pad=0\n",
+                        &err);
+    EXPECT_FALSE(g.has_value());
+    EXPECT_NE(err.find("model"), std::string::npos);
+}
+
+TEST(Parser, ErrorMissingAttribute)
+{
+    std::string err;
+    auto g = parseModel("model t 1 4 4\nconv a in=input kernel=3\n", &err);
+    EXPECT_FALSE(g.has_value());
+}
+
+TEST(Parser, ErrorBadModelDims)
+{
+    std::string err;
+    auto g = parseModel("model t 0 4 4\n", &err);
+    EXPECT_FALSE(g.has_value());
+}
+
+TEST(Parser, ErrorEmptyInput)
+{
+    std::string err;
+    auto g = parseModel("\n# nothing here\n", &err);
+    EXPECT_FALSE(g.has_value());
+}
+
+TEST(Parser, FileRoundTrip)
+{
+    const std::string path = "/tmp/gemini_parser_test.dnn";
+    {
+        std::ofstream f(path);
+        f << "model t 3 8 8\n"
+          << "conv a in=input k=4 kernel=3 stride=1 pad=1\n";
+    }
+    std::string err;
+    auto g = parseModelFile(path, &err);
+    ASSERT_TRUE(g.has_value()) << err;
+    EXPECT_EQ(g->size(), 1u);
+    auto missing = parseModelFile("/nonexistent/file.dnn", &err);
+    EXPECT_FALSE(missing.has_value());
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace gemini::dnn

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the SA engine: cost function behaviour, determinism under
+ * seeds, monotone improvement over the stripe baseline, and incremental
+ * re-evaluation consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/engine.hh"
+
+namespace gemini::mapping {
+namespace {
+
+MappingOptions
+fastOptions(int iters, bool run_sa = true)
+{
+    MappingOptions o;
+    o.batch = 4;
+    o.runSa = run_sa;
+    o.sa.iterations = iters;
+    o.sa.seed = 99;
+    o.maxGroupLayers = 8;
+    return o;
+}
+
+TEST(SaCost, PenalizesOverflow)
+{
+    eval::EvalBreakdown ok;
+    ok.delay = 1.0;
+    ok.intraTileEnergy = 1.0;
+    eval::EvalBreakdown bad = ok;
+    bad.glbOverflow = 1.0; // 2x penalty on E and D
+    EXPECT_DOUBLE_EQ(SaEngine::cost({ok}, 1.0, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(SaEngine::cost({bad}, 1.0, 1.0), 16.0);
+}
+
+TEST(SaCost, ExponentsWeightObjective)
+{
+    eval::EvalBreakdown b;
+    b.delay = 2.0;
+    b.intraTileEnergy = 3.0;
+    EXPECT_DOUBLE_EQ(SaEngine::cost({b}, 1.0, 0.0), 3.0);
+    EXPECT_DOUBLE_EQ(SaEngine::cost({b}, 0.0, 1.0), 2.0);
+    EXPECT_DOUBLE_EQ(SaEngine::cost({b}, 1.0, 2.0), 12.0);
+}
+
+TEST(SaCost, SumsAcrossGroups)
+{
+    eval::EvalBreakdown a, b;
+    a.delay = 1.0;
+    a.intraTileEnergy = 2.0;
+    b.delay = 3.0;
+    b.dramEnergy = 4.0;
+    EXPECT_DOUBLE_EQ(SaEngine::cost({a, b}, 1.0, 1.0), 6.0 * 4.0);
+}
+
+TEST(SaEngineRun, ImprovesOverStripeBaseline)
+{
+    const dnn::Graph g = dnn::zoo::tinyResidual();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingEngine baseline(g, a, fastOptions(0, /*run_sa=*/false));
+    const MappingResult base = baseline.run();
+
+    MappingEngine tuned(g, a, fastOptions(1500));
+    const MappingResult opt = tuned.run();
+
+    const double base_cost = base.total.totalEnergy() * base.total.delay;
+    const double opt_cost = opt.total.totalEnergy() * opt.total.delay;
+    EXPECT_LE(opt_cost, base_cost * 1.0001);
+    EXPECT_GT(opt.saStats.proposed, 0);
+    EXPECT_GE(opt.saStats.accepted, opt.saStats.improved);
+}
+
+TEST(SaEngineRun, DeterministicUnderSeed)
+{
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingEngine e1(g, a, fastOptions(400));
+    MappingEngine e2(g, a, fastOptions(400));
+    const MappingResult r1 = e1.run();
+    const MappingResult r2 = e2.run();
+    EXPECT_DOUBLE_EQ(r1.total.delay, r2.total.delay);
+    EXPECT_DOUBLE_EQ(r1.total.totalEnergy(), r2.total.totalEnergy());
+    EXPECT_EQ(r1.saStats.accepted, r2.saStats.accepted);
+}
+
+TEST(SaEngineRun, DifferentSeedsExploreDifferently)
+{
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions o1 = fastOptions(400);
+    MappingOptions o2 = fastOptions(400);
+    o2.sa.seed = 12345;
+    MappingEngine e1(g, a, o1);
+    MappingEngine e2(g, a, o2);
+    const SaStats s1 = e1.run().saStats;
+    const SaStats s2 = e2.run().saStats;
+    EXPECT_NE(s1.accepted, s2.accepted);
+}
+
+TEST(SaEngineRun, FinalCostMatchesReEvaluation)
+{
+    // The incrementally-maintained cost must equal a from-scratch
+    // re-evaluation of the final mapping (guards the OP5 coupling logic).
+    const dnn::Graph g = dnn::zoo::tinyConvChain(5);
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions opts = fastOptions(800);
+    opts.maxGroupLayers = 3; // force multiple groups (cross-group flows)
+    MappingEngine engine(g, a, opts);
+    const MappingResult r = engine.run();
+
+    const MappingResult check = engine.evaluateMapping(r.mapping);
+    EXPECT_NEAR(check.total.delay, r.total.delay,
+                1e-12 * std::abs(r.total.delay));
+    EXPECT_NEAR(check.total.totalEnergy(), r.total.totalEnergy(),
+                1e-9 * r.total.totalEnergy());
+}
+
+TEST(SaEngineRun, OperatorMaskRestrictsMoves)
+{
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+    // OP1-only: core groups of the final mapping must be exactly the
+    // initial ones (no placement operator ever ran).
+    MappingOptions base = fastOptions(0, false);
+    MappingEngine init_engine(g, a, base);
+    const MappingResult init = init_engine.run();
+
+    MappingOptions only_part = fastOptions(500);
+    only_part.sa.operatorMask = 0x01; // OP1
+    MappingEngine engine(g, a, only_part);
+    const MappingResult r = engine.run();
+    ASSERT_EQ(r.mapping.groups.size(), init.mapping.groups.size());
+    for (std::size_t gi = 0; gi < r.mapping.groups.size(); ++gi) {
+        for (std::size_t l = 0; l < r.mapping.groups[gi].schemes.size();
+             ++l) {
+            EXPECT_EQ(r.mapping.groups[gi].schemes[l].coreGroup,
+                      init.mapping.groups[gi].schemes[l].coreGroup);
+            EXPECT_EQ(r.mapping.groups[gi].schemes[l].fd,
+                      init.mapping.groups[gi].schemes[l].fd);
+        }
+    }
+}
+
+TEST(SaEngineRun, EmptyOperatorMaskPanics)
+{
+    const dnn::Graph g = dnn::zoo::tinyConvChain(2);
+    arch::ArchConfig a = arch::tinyArch();
+    MappingOptions o = fastOptions(10);
+    o.sa.operatorMask = 0;
+    MappingEngine engine(g, a, o);
+    EXPECT_DEATH_IF_SUPPORTED({ engine.run(); }, "");
+}
+
+TEST(SaEngineRun, StatsAreConsistent)
+{
+    const dnn::Graph g = dnn::zoo::tinyResidual();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+    MappingEngine engine(g, a, fastOptions(300));
+    const MappingResult r = engine.run();
+    EXPECT_LE(r.saStats.improved, r.saStats.accepted);
+    EXPECT_LE(r.saStats.accepted + r.saStats.inapplicable,
+              r.saStats.proposed);
+    EXPECT_LE(r.saStats.finalCost, r.saStats.initialCost * 1.0001);
+}
+
+} // namespace
+} // namespace gemini::mapping

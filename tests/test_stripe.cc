@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the stripe-heuristic mapper (the Tangram-style baseline):
+ * feasible partitions, FLOP-proportional allocation, consecutive core
+ * assignment, and correct FD defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/arch/presets.hh"
+#include "src/dnn/zoo.hh"
+#include "src/mapping/encoding.hh"
+#include "src/mapping/stripe.hh"
+
+namespace gemini::mapping {
+namespace {
+
+TEST(StripePartition, ExactFactorizations)
+{
+    const Partition p = stripePartition(6, 8, 8, 1, 16);
+    EXPECT_EQ(p.count(), 6);
+    // Spatial-first: h*w should cover all 6.
+    EXPECT_EQ(p.h * p.w, 6);
+    EXPECT_EQ(p.b, 1);
+    EXPECT_EQ(p.k, 1);
+}
+
+TEST(StripePartition, PrefersHeightStripes)
+{
+    const Partition p = stripePartition(4, 16, 16, 4, 16);
+    EXPECT_EQ(p.h, 4);
+    EXPECT_EQ(p.w, 1);
+}
+
+TEST(StripePartition, FallsBackToChannels)
+{
+    // Spatial dims too small: channels must take the split.
+    const Partition p = stripePartition(8, 2, 1, 1, 64);
+    EXPECT_EQ(p.count(), 8);
+    EXPECT_EQ(p.h * p.w * p.b, 2);
+    EXPECT_EQ(p.k, 4);
+}
+
+TEST(StripePartition, ImpossibleReturnsEmpty)
+{
+    // 7 parts but no dimension admits 7.
+    const Partition p = stripePartition(7, 4, 4, 2, 4);
+    EXPECT_EQ(p.count(), 1); // default-constructed
+}
+
+TEST(LargestFeasibleCores, ShrinksToFit)
+{
+    // want=7 under caps (4,4,2,4): 7 infeasible, 6 = 2x3... h*w*b*k=6
+    // feasible (e.g. h=2,w=3? w cap 4 ok).
+    EXPECT_EQ(largestFeasibleCores(7, 4, 4, 2, 4), 6);
+    EXPECT_EQ(largestFeasibleCores(1, 1, 1, 1, 1), 1);
+    // Plenty of room: unchanged.
+    EXPECT_EQ(largestFeasibleCores(12, 64, 64, 8, 64), 12);
+}
+
+class StripeMappingTest : public ::testing::Test
+{
+  protected:
+    StripeMappingTest()
+        : graph_(dnn::zoo::tinyResidual()), arch_(arch::tinyArch())
+    {
+        arch_.xCores = 3;
+        arch_.yCores = 2; // 6 cores
+    }
+
+    dnn::Graph graph_;
+    arch::ArchConfig arch_;
+};
+
+TEST_F(StripeMappingTest, ProducesValidGroup)
+{
+    std::vector<LayerId> layers;
+    for (std::size_t i = 0; i < graph_.size(); ++i)
+        layers.push_back(static_cast<LayerId>(i));
+    const LayerGroupMapping g = stripeMapping(graph_, arch_, layers, 2);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, g, 4), "");
+}
+
+TEST_F(StripeMappingTest, CoreGroupsAreRectangles)
+{
+    // The heuristic assigns each layer a consecutive, rectangle-shaped
+    // core region (Sec. II-B): the bounding box of every CG must have
+    // exactly |CG| cores when the group is unshrunk.
+    const LayerGroupMapping g =
+        stripeMapping(graph_, arch_, {0, 1, 2}, 1);
+    for (const auto &ms : g.schemes) {
+        int min_x = 1 << 30, max_x = -1, min_y = 1 << 30, max_y = -1;
+        for (CoreId c : ms.coreGroup) {
+            min_x = std::min(min_x, arch_.coreX(c));
+            max_x = std::max(max_x, arch_.coreX(c));
+            min_y = std::min(min_y, arch_.coreY(c));
+            max_y = std::max(max_y, arch_.coreY(c));
+        }
+        const std::size_t bbox = static_cast<std::size_t>(
+            (max_x - min_x + 1) * (max_y - min_y + 1));
+        EXPECT_GE(bbox, ms.coreGroup.size());
+        // The region never spans more cores than its bounding box, and
+        // the cores fill the box front-to-back (row-major).
+        EXPECT_LE(ms.coreGroup.size(), bbox);
+    }
+}
+
+TEST_F(StripeMappingTest, HeavyLayersGetMoreCores)
+{
+    // conv2 (64ch stride-2 3x3 over 32ch) is much heavier than proj (1x1).
+    std::vector<LayerId> layers{0, 1, 2, 3, 4, 5};
+    const LayerGroupMapping g = stripeMapping(graph_, arch_, layers, 1);
+    std::size_t conv1_cores = 0, proj_cores = 0;
+    for (std::size_t i = 0; i < g.layers.size(); ++i) {
+        if (graph_.layer(g.layers[i]).name == "conv1")
+            conv1_cores = g.schemes[i].coreGroup.size();
+        if (graph_.layer(g.layers[i]).name == "proj")
+            proj_cores = g.schemes[i].coreGroup.size();
+    }
+    EXPECT_GE(conv1_cores, proj_cores);
+}
+
+TEST_F(StripeMappingTest, FdDefaults)
+{
+    const LayerGroupMapping g =
+        stripeMapping(graph_, arch_, {0, 1, 2}, 1);
+    // Layer 0 reads the external input.
+    EXPECT_EQ(g.schemes[0].fd.ifmap, kDramInterleaved);
+    EXPECT_EQ(g.schemes[0].fd.weight, kDramInterleaved);
+    // Layer 0 feeds proj (layer 3) outside this group: OF managed.
+    EXPECT_EQ(g.schemes[0].fd.ofmap, kDramInterleaved);
+    // Layer 1 feeds layer 2 in-group only: OF unmanaged.
+    EXPECT_EQ(g.schemes[1].fd.ofmap, kDramUnmanaged);
+    // Layer 2 feeds layer 4 outside: managed.
+    EXPECT_EQ(g.schemes[2].fd.ofmap, kDramInterleaved);
+}
+
+TEST_F(StripeMappingTest, SingleLayerUsesAllFeasibleCores)
+{
+    const LayerGroupMapping g = stripeMapping(graph_, arch_, {0}, 1);
+    EXPECT_EQ(g.schemes[0].coreGroup.size(), 6u);
+}
+
+TEST_F(StripeMappingTest, NaiveStripeIsValidAndConsecutive)
+{
+    std::vector<LayerId> layers;
+    for (std::size_t i = 0; i < graph_.size(); ++i)
+        layers.push_back(static_cast<LayerId>(i));
+    const LayerGroupMapping g =
+        naiveStripeMapping(graph_, arch_, layers, 2);
+    EXPECT_EQ(checkGroupValid(graph_, arch_, g, 4), "");
+    // The defining property of the naive variant: consecutive row-major
+    // core ids per layer.
+    CoreId next = 0;
+    for (const auto &ms : g.schemes) {
+        for (std::size_t i = 0; i < ms.coreGroup.size(); ++i)
+            EXPECT_EQ(ms.coreGroup[i], next + static_cast<CoreId>(i));
+        next += static_cast<CoreId>(ms.coreGroup.size());
+    }
+}
+
+TEST_F(StripeMappingTest, NaiveStripeMatchesRectFdRules)
+{
+    const LayerGroupMapping naive =
+        naiveStripeMapping(graph_, arch_, {0, 1, 2}, 1);
+    const LayerGroupMapping rect =
+        stripeMapping(graph_, arch_, {0, 1, 2}, 1);
+    ASSERT_EQ(naive.schemes.size(), rect.schemes.size());
+    for (std::size_t i = 0; i < naive.schemes.size(); ++i) {
+        EXPECT_EQ(naive.schemes[i].fd, rect.schemes[i].fd);
+    }
+}
+
+TEST(StripeMappingBig, Simba36CoresTransformerBlock)
+{
+    const dnn::Graph g = dnn::zoo::tinyTransformer(64, 64, 4, 1);
+    const arch::ArchConfig a = arch::simbaArch();
+    std::vector<LayerId> layers;
+    for (std::size_t i = 0; i < g.size(); ++i)
+        layers.push_back(static_cast<LayerId>(i));
+    const LayerGroupMapping group = stripeMapping(g, a, layers, 4);
+    EXPECT_EQ(checkGroupValid(g, a, group, 64), "");
+    EXPECT_LE(group.totalCores(), 36u);
+}
+
+} // namespace
+} // namespace gemini::mapping
