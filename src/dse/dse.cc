@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
 
 #include "src/common/logging.hh"
 #include "src/common/thread_pool.hh"
@@ -93,13 +94,35 @@ runDse(const DseOptions &options)
         candidates.swap(picked);
     }
 
+    // Shared thread budget: candidate-level parallelism times per-candidate
+    // SA-chain parallelism never exceeds the requested worker count, so
+    // multi-chain annealing inside the mapping engine cannot stack a pool
+    // on top of a fully-subscribed candidate pool.
+    const std::size_t budget =
+        options.threads > 0
+            ? static_cast<std::size_t>(options.threads)
+            : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    DseOptions opts = options;
+    std::size_t outer = budget;
+    const int chains = opts.mapping.sa.chains;
+    if (opts.mapping.runSa && chains > 1) {
+        // saThreads == 0 means "auto": give each candidate its chains in
+        // parallel. An explicit caller value is respected either way.
+        if (opts.mapping.saThreads == 0)
+            opts.mapping.saThreads = static_cast<int>(std::min<std::size_t>(
+                static_cast<std::size_t>(chains), budget));
+        outer = std::max<std::size_t>(
+            1, budget / static_cast<std::size_t>(std::max(
+                   1, opts.mapping.saThreads)));
+    } else if (opts.mapping.saThreads == 0) {
+        opts.mapping.saThreads = 1;
+    }
+
     DseResult result;
     result.records.resize(candidates.size());
-    ThreadPool pool(options.threads == 0
-                        ? 0
-                        : static_cast<std::size_t>(options.threads));
+    ThreadPool pool(outer);
     pool.parallelFor(candidates.size(), [&](std::size_t i) {
-        result.records[i] = evaluateCandidate(candidates[i], options);
+        result.records[i] = evaluateCandidate(candidates[i], opts);
     });
 
     result.bestIndex =

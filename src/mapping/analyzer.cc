@@ -1,7 +1,7 @@
 #include "src/mapping/analyzer.hh"
 
 #include <algorithm>
-#include <map>
+#include <bit>
 #include <tuple>
 
 #include "src/common/logging.hh"
@@ -9,15 +9,6 @@
 namespace gemini::mapping {
 
 namespace {
-
-/** One partitioned workload: a core plus its ofmap slice and tile cost. */
-struct Piece
-{
-    CoreId core;
-    WorkRegion wr;
-    double inputBytes = 0.0;  ///< gathered ifmap bytes per unit
-    double outputBytes = 0.0; ///< produced ofmap bytes per unit
-};
 
 /** Key for grouping identical data requests into one multicast. */
 using RegionKey =
@@ -30,6 +21,60 @@ keyOf(const dnn::Region &r, std::int64_t b0, std::int64_t b1)
     return {r.c0, r.c1, r.h0, r.h1, r.w0, r.w1, b0, b1};
 }
 
+/**
+ * One pending flow: a requested region (or weight k-chunk) plus the core
+ * that wants it. Identical keys coalesce into a single multicast; a flat
+ * sort-and-group replaces the per-call std::map of the original analyzer
+ * (this loop runs millions of times per SA run).
+ */
+struct FlowRequest
+{
+    RegionKey key;
+    double bytes = 0.0; ///< identical for every request with the same key
+    noc::NodeId node = 0;
+};
+
+/**
+ * Sort requests by key and emit once per distinct key, in ascending key
+ * order (the order the std::map-based original used). Ties break on the
+ * destination node, which is unique per request within one grouping, so
+ * the order is total and deterministic. Singleton groups — the common
+ * case, since partition pieces mostly request distinct regions — take
+ * emit_one, which skips the destination-vector machinery entirely.
+ */
+template <typename EmitOneFn, typename EmitManyFn>
+void
+emitGrouped(std::vector<FlowRequest> &requests,
+            std::vector<noc::NodeId> &dsts_scratch,
+            const EmitOneFn &emit_one, const EmitManyFn &emit_many)
+{
+    if (requests.empty())
+        return;
+    if (requests.size() == 1) {
+        emit_one(requests[0].bytes, requests[0].node);
+        return;
+    }
+    std::sort(requests.begin(), requests.end(),
+              [](const FlowRequest &a, const FlowRequest &b) {
+                  return a.key != b.key ? a.key < b.key : a.node < b.node;
+              });
+    std::size_t i = 0;
+    while (i < requests.size()) {
+        std::size_t j = i + 1;
+        while (j < requests.size() && requests[j].key == requests[i].key)
+            ++j;
+        if (j == i + 1) {
+            emit_one(requests[i].bytes, requests[i].node);
+        } else {
+            dsts_scratch.clear();
+            for (std::size_t k = i; k < j; ++k)
+                dsts_scratch.push_back(requests[k].node);
+            emit_many(requests[i].bytes, dsts_scratch);
+        }
+        i = j;
+    }
+}
+
 } // namespace
 
 Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
@@ -37,69 +82,179 @@ Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
     : graph_(graph), arch_(arch), noc_(noc), explorer_(explorer)
 {
     GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
+    const std::size_t n = static_cast<std::size_t>(noc_.nodeCount());
+    denseBytes_.assign(n * n, 0.0);
+}
+
+void
+Analyzer::setCacheCapacity(std::size_t entries)
+{
+    cacheCapacity_ = entries;
+    if (cache_.size() > cacheCapacity_)
+        cache_.clear();
+    if (tileCache_.size() > cacheCapacity_)
+        tileCache_.clear();
+    if (flowCache_.size() > cacheCapacity_)
+        flowCache_.clear();
+    if (evalCache_.size() > cacheCapacity_)
+        evalCache_.clear();
+}
+
+void
+Analyzer::clearCache()
+{
+    cache_.clear();
+    tileCache_.clear();
+    flowCache_.clear();
+    evalCache_.clear();
+}
+
+std::size_t
+Analyzer::GroupKeyHash::operator()(const GroupKey &key) const
+{
+    // FNV-1a over the word stream; exact equality is checked on the full
+    // key, so the hash only has to spread well.
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (std::int64_t w : key.words) {
+        h ^= static_cast<std::uint64_t>(w);
+        h *= 0x100000001B3ull;
+    }
+    return static_cast<std::size_t>(h);
+}
+
+const Analyzer::GroupKey &
+Analyzer::makeKey(const LayerGroupMapping &group, std::int64_t batch,
+                  const OfmapDramLookup &ofmap_dram_of) const
+{
+    GroupKey &key = groupProbe_;
+    key.words.clear();
+    key.words.push_back(batch);
+    key.words.push_back(group.batchUnit);
+    key.words.push_back(static_cast<std::int64_t>(group.layers.size()));
+    for (std::size_t li = 0; li < group.layers.size(); ++li) {
+        const LayerId id = group.layers[li];
+        const MappingScheme &ms = group.schemes[li];
+        key.words.push_back(id);
+        key.words.push_back(ms.part.h);
+        key.words.push_back(ms.part.w);
+        key.words.push_back(ms.part.b);
+        key.words.push_back(ms.part.k);
+        key.words.push_back(ms.fd.ifmap);
+        key.words.push_back(ms.fd.weight);
+        key.words.push_back(ms.fd.ofmap);
+        key.words.push_back(static_cast<std::int64_t>(ms.coreGroup.size()));
+        for (CoreId core : ms.coreGroup)
+            key.words.push_back(core);
+        // Cross-group inputs read the DRAM the producer wrote: the
+        // resolved selector is analysis input, so it must be key input.
+        for (LayerId producer : graph_.layer(id).inputs) {
+            if (group.indexOf(producer) < 0) {
+                key.words.push_back(~static_cast<std::int64_t>(producer));
+                key.words.push_back(ofmap_dram_of(producer));
+            }
+        }
+    }
+    return key;
 }
 
 GroupAnalysis
 Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
                        const OfmapDramLookup &ofmap_dram_of) const
 {
-    GroupAnalysis out;
-    out.dramBytesPerUnit.assign(arch_.dramCount, 0.0);
-    GEMINI_ASSERT(batch % group.batchUnit == 0,
-                  "batch unit must divide batch");
-    out.numUnits = batch / group.batchUnit;
+    if (cacheCapacity_ == 0)
+        return analyzeGroupImpl(group, batch, ofmap_dram_of);
 
-    const std::size_t n_layers = group.layers.size();
-
-    // ---- Pass 1: partitioned workloads, tiles, stage times --------------
-    std::vector<std::vector<Piece>> pieces(n_layers);
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        const dnn::Layer &layer = graph_.layer(group.layers[li]);
-        const MappingScheme &ms = group.schemes[li];
-        double stage_seconds = 0.0;
-        pieces[li].reserve(ms.coreGroup.size());
-        for (std::size_t i = 0; i < ms.coreGroup.size(); ++i) {
-            Piece p;
-            p.core = ms.coreGroup[i];
-            p.wr = workRegionOf(layer, ms.part, group.batchUnit,
-                                workIndexOf(ms.part,
-                                            static_cast<std::int64_t>(i)));
-            p.outputBytes = static_cast<double>(p.wr.volume());
-
-            intracore::Tile tile;
-            tile.b = p.wr.b1 - p.wr.b0;
-            tile.k = p.wr.region.channels();
-            tile.h = p.wr.region.height();
-            tile.w = p.wr.region.width();
-            tile.vecOpFactor =
-                static_cast<double>(layer.vectorOpsPerSample()) /
-                static_cast<double>(layer.ofmapVolume());
-            switch (layer.kind) {
-              case dnn::LayerKind::Conv:
-              case dnn::LayerKind::FC:
-                tile.macWork = true;
-                tile.cPerGroup = layer.c / layer.groups;
-                tile.r = layer.r;
-                tile.s = layer.s;
-                tile.strideH = layer.strideH;
-                tile.strideW = layer.strideW;
-                break;
-              case dnn::LayerKind::Matmul:
-                tile.macWork = true;
-                tile.cPerGroup = layer.transposedInner();
-                break;
-              default:
-                tile.macWork = false;
-                break;
-            }
-            const intracore::CoreCost &cost = explorer_.evaluate(tile);
-            out.coreEnergyPerUnit += cost.energyJ;
-            stage_seconds =
-                std::max(stage_seconds, explorer_.seconds(cost.cycles));
-            pieces[li].push_back(p);
-        }
-        out.maxStageSeconds = std::max(out.maxStageSeconds, stage_seconds);
+    const GroupKey &key = makeKey(group, batch, ofmap_dram_of);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+        ++cacheHits_;
+        return it->second;
     }
+    ++cacheMisses_;
+    GroupAnalysis analysis = analyzeGroupImpl(group, batch, ofmap_dram_of);
+    // Whole-group results are an order of magnitude bigger than fragments
+    // and revisits of an exact group state are comparatively rare, so the
+    // group cache gets a small slice of the entry budget (cheap wipes) —
+    // never more than the configured capacity itself.
+    const std::size_t group_bound = std::max(
+        cacheCapacity_ / 16, std::min<std::size_t>(cacheCapacity_, 64));
+    if (cache_.size() >= group_bound) {
+        cache_.clear();
+        ++cacheEvictions_;
+    }
+    // groupProbe_ survives analyzeGroupImpl (fragments use their own
+    // probe); the miss pays one key copy into the cache.
+    cache_.emplace(key, analysis);
+    return analysis;
+}
+
+Analyzer::LayerTiles
+Analyzer::computeLayerTiles(const dnn::Layer &layer,
+                            const MappingScheme &ms,
+                            std::int64_t batch_unit) const
+{
+    LayerTiles out;
+    out.regions.reserve(ms.coreGroup.size());
+    for (std::size_t i = 0; i < ms.coreGroup.size(); ++i) {
+        const WorkRegion wr =
+            workRegionOf(layer, ms.part, batch_unit,
+                         workIndexOf(ms.part, static_cast<std::int64_t>(i)));
+
+        intracore::Tile tile;
+        tile.b = wr.b1 - wr.b0;
+        tile.k = wr.region.channels();
+        tile.h = wr.region.height();
+        tile.w = wr.region.width();
+        tile.vecOpFactor = static_cast<double>(layer.vectorOpsPerSample()) /
+                           static_cast<double>(layer.ofmapVolume());
+        switch (layer.kind) {
+          case dnn::LayerKind::Conv:
+          case dnn::LayerKind::FC:
+            tile.macWork = true;
+            tile.cPerGroup = layer.c / layer.groups;
+            tile.r = layer.r;
+            tile.s = layer.s;
+            tile.strideH = layer.strideH;
+            tile.strideW = layer.strideW;
+            break;
+          case dnn::LayerKind::Matmul:
+            tile.macWork = true;
+            tile.cPerGroup = layer.transposedInner();
+            break;
+          default:
+            tile.macWork = false;
+            break;
+        }
+        const intracore::CoreCost &cost = explorer_.evaluate(tile);
+        out.energyPerUnit += cost.energyJ;
+        out.stageSeconds =
+            std::max(out.stageSeconds, explorer_.seconds(cost.cycles));
+        out.regions.push_back(wr);
+    }
+    return out;
+}
+
+Analyzer::LayerFlows
+Analyzer::computeLayerFlows(const LayerGroupMapping &group, std::size_t li,
+                            const std::vector<const LayerTiles *> &tiles,
+                            std::int64_t num_units,
+                            const OfmapDramLookup &ofmap_dram_of) const
+{
+    LayerFlows flows;
+    flows.dramBytes.assign(arch_.dramCount, 0.0);
+
+    // Flows accumulate as raw (link, bytes) pairs — no hashing — and the
+    // dense scratch merges duplicates afterwards. The sink is
+    // thread-local so its capacity survives across calls (fragment
+    // computation allocates nothing in steady state).
+    static thread_local noc::NocModel::LinkSink sink;
+    sink.clear();
+
+    const LayerId layer_id = group.layers[li];
+    const dnn::Layer &layer = graph_.layer(layer_id);
+    const MappingScheme &ms = group.schemes[li];
+    const LayerTiles &mine = *tiles[li];
+    const std::size_t n_pieces = mine.regions.size();
 
     // ---- Helpers for DRAM-sourced / DRAM-bound flows --------------------
     auto dram_read = [&](DramSel sel, double bytes,
@@ -109,14 +264,31 @@ Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
         if (sel == kDramInterleaved) {
             const double share = bytes / arch_.dramCount;
             for (int d = 0; d < arch_.dramCount; ++d) {
-                noc_.multicast(out.traffic, noc_.dramNode(d), dsts, share);
-                out.dramBytesPerUnit[d] += share;
+                noc_.multicastLinks(sink, noc_.dramNode(d), dsts, share);
+                flows.dramBytes[d] += share;
             }
         } else {
             GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
                           "bad DRAM selector ", sel);
-            noc_.multicast(out.traffic, noc_.dramNode(sel - 1), dsts, bytes);
-            out.dramBytesPerUnit[sel - 1] += bytes;
+            noc_.multicastLinks(sink, noc_.dramNode(sel - 1), dsts, bytes);
+            flows.dramBytes[sel - 1] += bytes;
+        }
+    };
+    // Single-destination DRAM read: the route span IS the multicast tree.
+    auto dram_read_one = [&](DramSel sel, double bytes, noc::NodeId dst) {
+        if (bytes <= 0.0)
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.unicastLinks(sink, noc_.dramNode(d), dst, share);
+                flows.dramBytes[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.unicastLinks(sink, noc_.dramNode(sel - 1), dst, bytes);
+            flows.dramBytes[sel - 1] += bytes;
         }
     };
     auto dram_write = [&](DramSel sel, double bytes, CoreId src) {
@@ -125,189 +297,507 @@ Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
         if (sel == kDramInterleaved) {
             const double share = bytes / arch_.dramCount;
             for (int d = 0; d < arch_.dramCount; ++d) {
-                noc_.unicast(out.traffic, noc_.coreNode(src),
-                             noc_.dramNode(d), share);
-                out.dramBytesPerUnit[d] += share;
+                noc_.unicastLinks(sink, noc_.coreNode(src),
+                                  noc_.dramNode(d), share);
+                flows.dramBytes[d] += share;
             }
         } else {
             GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
                           "bad DRAM selector ", sel);
-            noc_.unicast(out.traffic, noc_.coreNode(src),
-                         noc_.dramNode(sel - 1), bytes);
-            out.dramBytesPerUnit[sel - 1] += bytes;
+            noc_.unicastLinks(sink, noc_.coreNode(src),
+                              noc_.dramNode(sel - 1), bytes);
+            flows.dramBytes[sel - 1] += bytes;
         }
     };
 
-    // ---- Pass 2: activation flows (in-group NoC + cross-group DRAM) -----
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        const LayerId layer_id = group.layers[li];
-        const dnn::Layer &layer = graph_.layer(layer_id);
-        const MappingScheme &ms = group.schemes[li];
+    static thread_local std::vector<double> input_bytes;
+    static thread_local std::vector<FlowRequest> requests;
+    static thread_local std::vector<noc::NodeId> dsts_scratch;
+    static thread_local std::vector<dnn::Region> required_scratch;
+    input_bytes.assign(n_pieces, 0.0);
 
-        const std::size_t n_inputs = std::max<std::size_t>(
-            layer.inputs.size(), 1); // external input counts as one
-        for (std::size_t j = 0; j < n_inputs; ++j) {
-            const bool external = layer.inputs.empty();
-            const LayerId producer = external ? -1 : layer.inputs[j];
-            const int pi = external ? -1 : group.indexOf(producer);
+    // ---- Activation flows (in-group NoC + cross-group/external DRAM) ----
+    const std::size_t n_inputs = std::max<std::size_t>(
+        layer.inputs.size(), 1); // external input counts as one
+    for (std::size_t j = 0; j < n_inputs; ++j) {
+        const bool external = layer.inputs.empty();
+        const LayerId producer = external ? -1 : layer.inputs[j];
+        const int pi = external ? -1 : group.indexOf(producer);
 
-            if (pi >= 0) {
-                // In-group dependency: the destination cores fetch the
-                // overlap of their required region with each producer
-                // piece; identical requests from one source multicast.
-                for (const Piece &pp : pieces[pi]) {
-                    std::map<RegionKey, std::pair<double,
-                                                  std::vector<noc::NodeId>>>
-                        mcast;
-                    for (const Piece &cp : pieces[li]) {
-                        const dnn::Region rq =
-                            layer.requiredInput(j, cp.wr.region);
-                        const dnn::Region ov = rq.intersect(pp.wr.region);
-                        const std::int64_t b0 =
-                            std::max(cp.wr.b0, pp.wr.b0);
-                        const std::int64_t b1 =
-                            std::min(cp.wr.b1, pp.wr.b1);
-                        if (ov.empty() || b1 <= b0)
-                            continue;
-                        const double bytes =
-                            static_cast<double>(ov.volume() * (b1 - b0));
-                        if (cp.core == pp.core)
-                            continue; // local GLB read
-                        auto &entry = mcast[keyOf(ov, b0, b1)];
-                        entry.first = bytes;
-                        entry.second.push_back(noc_.coreNode(cp.core));
-                    }
-                    for (const auto &[key, flow] : mcast)
-                        noc_.multicast(out.traffic, noc_.coreNode(pp.core),
-                                       flow.second, flow.first);
-                }
-                // Consumers still buffer the full required region.
-                for (Piece &cp : pieces[li]) {
-                    const dnn::Region rq =
-                        layer.requiredInput(j, cp.wr.region);
-                    const dnn::Region ov =
-                        rq.intersect(dnn::Region::full(
-                            graph_.layer(producer).k,
-                            graph_.layer(producer).h,
-                            graph_.layer(producer).w));
-                    cp.inputBytes += static_cast<double>(
-                        ov.volume() * (cp.wr.b1 - cp.wr.b0));
-                }
-            } else {
-                // External input or a producer mapped in another group:
-                // read from DRAM; identical regions share one multicast.
-                const DramSel src = external
-                                        ? ms.fd.ifmap
-                                        : ofmap_dram_of(producer);
-                std::int64_t pc, ph, pw;
-                graph_.producerShape(producer, pc, ph, pw);
-                std::map<RegionKey,
-                         std::pair<double, std::vector<noc::NodeId>>>
-                    mcast;
-                for (Piece &cp : pieces[li]) {
-                    dnn::Region rq = layer.requiredInput(j, cp.wr.region);
-                    rq = rq.clampTo(pc, ph, pw);
-                    if (rq.empty())
+        if (pi >= 0) {
+            // In-group dependency: the destination cores fetch the
+            // overlap of their required region with each producer piece;
+            // identical requests from one source multicast. Each
+            // consumer's required region is hoisted out of the
+            // producer-piece loop (it only depends on the consumer).
+            const LayerTiles &theirs =
+                *tiles[static_cast<std::size_t>(pi)];
+            const MappingScheme &pms =
+                group.schemes[static_cast<std::size_t>(pi)];
+            required_scratch.clear();
+            for (std::size_t i = 0; i < n_pieces; ++i)
+                required_scratch.push_back(
+                    layer.requiredInput(j, mine.regions[i].region));
+            for (std::size_t a = 0; a < theirs.regions.size(); ++a) {
+                const WorkRegion &pp = theirs.regions[a];
+                const CoreId pcore = pms.coreGroup[a];
+                requests.clear();
+                for (std::size_t i = 0; i < n_pieces; ++i) {
+                    const WorkRegion &cp = mine.regions[i];
+                    const std::int64_t b0 = std::max(cp.b0, pp.b0);
+                    const std::int64_t b1 = std::min(cp.b1, pp.b1);
+                    if (b1 <= b0)
                         continue;
-                    const double bytes = static_cast<double>(
-                        rq.volume() * (cp.wr.b1 - cp.wr.b0));
-                    cp.inputBytes += bytes;
-                    auto &entry = mcast[keyOf(rq, cp.wr.b0, cp.wr.b1)];
-                    entry.first = bytes;
-                    entry.second.push_back(noc_.coreNode(cp.core));
+                    const dnn::Region ov =
+                        required_scratch[i].intersect(pp.region);
+                    if (ov.empty())
+                        continue;
+                    const double bytes =
+                        static_cast<double>(ov.volume() * (b1 - b0));
+                    if (ms.coreGroup[i] == pcore)
+                        continue; // local GLB read
+                    requests.push_back({keyOf(ov, b0, b1), bytes,
+                                        noc_.coreNode(ms.coreGroup[i])});
                 }
-                for (const auto &[key, flow] : mcast)
-                    dram_read(src, flow.first, flow.second);
+                emitGrouped(
+                    requests, dsts_scratch,
+                    [&](double bytes, noc::NodeId dst) {
+                        noc_.unicastLinks(sink, noc_.coreNode(pcore), dst,
+                                          bytes);
+                    },
+                    [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                        noc_.multicastLinks(sink, noc_.coreNode(pcore),
+                                            dsts, bytes);
+                    });
             }
+            // Consumers still buffer the full required region.
+            const dnn::Region pfull = dnn::Region::full(
+                graph_.layer(producer).k, graph_.layer(producer).h,
+                graph_.layer(producer).w);
+            for (std::size_t i = 0; i < n_pieces; ++i) {
+                const WorkRegion &cp = mine.regions[i];
+                const dnn::Region ov =
+                    required_scratch[i].intersect(pfull);
+                input_bytes[i] += static_cast<double>(
+                    ov.volume() * (cp.b1 - cp.b0));
+            }
+        } else {
+            // External input or a producer mapped in another group:
+            // read from DRAM; identical regions share one multicast.
+            const DramSel src =
+                external ? ms.fd.ifmap : ofmap_dram_of(producer);
+            std::int64_t pc, ph, pw;
+            graph_.producerShape(producer, pc, ph, pw);
+            requests.clear();
+            for (std::size_t i = 0; i < n_pieces; ++i) {
+                const WorkRegion &cp = mine.regions[i];
+                dnn::Region rq = layer.requiredInput(j, cp.region);
+                rq = rq.clampTo(pc, ph, pw);
+                if (rq.empty())
+                    continue;
+                const double bytes = static_cast<double>(
+                    rq.volume() * (cp.b1 - cp.b0));
+                input_bytes[i] += bytes;
+                requests.push_back({keyOf(rq, cp.b0, cp.b1), bytes,
+                                    noc_.coreNode(ms.coreGroup[i])});
+            }
+            emitGrouped(
+                requests, dsts_scratch,
+                [&](double bytes, noc::NodeId dst) {
+                    dram_read_one(src, bytes, dst);
+                },
+                [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                    dram_read(src, bytes, dsts);
+                });
         }
     }
 
-    // ---- Pass 3: weights (multicast per k-slice, amortized if resident) -
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        const dnn::Layer &layer = graph_.layer(group.layers[li]);
-        if (!layer.hasWeights())
-            continue;
-        const MappingScheme &ms = group.schemes[li];
-
+    // ---- Weights (multicast per k-slice, amortized if resident) ---------
+    if (layer.hasWeights()) {
         // Cores sharing the same k-chunk receive identical weight slices.
-        std::map<std::int64_t, std::pair<double, std::vector<noc::NodeId>>>
-            by_k;
-        std::vector<double> weight_bytes_of(pieces[li].size(), 0.0);
-        for (std::size_t i = 0; i < pieces[li].size(); ++i) {
-            const Piece &p = pieces[li][i];
-            const std::int64_t klen = p.wr.region.channels();
+        requests.clear();
+        static thread_local std::vector<double> weight_bytes_of;
+        weight_bytes_of.assign(n_pieces, 0.0);
+        for (std::size_t i = 0; i < n_pieces; ++i) {
+            const WorkRegion &p = mine.regions[i];
+            const std::int64_t klen = p.region.channels();
             const double wbytes =
                 static_cast<double>(klen * (layer.c / layer.groups) *
                                     layer.r * layer.s) +
                 4.0 * klen; // 32-bit bias/scale per output channel
             weight_bytes_of[i] = wbytes;
-            auto &entry = by_k[p.wr.region.c0];
-            entry.first = wbytes;
-            entry.second.push_back(noc_.coreNode(p.core));
+            requests.push_back({RegionKey{p.region.c0, 0, 0, 0, 0, 0, 0, 0},
+                                wbytes, noc_.coreNode(ms.coreGroup[i])});
         }
 
         // Residency: if the slice plus double-buffered activations fits in
         // the GLB, weights load once per group execution (amortized over
         // the batch units); otherwise they re-stream every unit.
-        double worst_need = 0.0;
         bool resident = true;
-        for (std::size_t i = 0; i < pieces[li].size(); ++i) {
-            const Piece &p = pieces[li][i];
-            const double need = weight_bytes_of[i] +
-                                2.0 * (p.inputBytes + p.outputBytes);
-            worst_need = std::max(worst_need, need);
+        for (std::size_t i = 0; i < n_pieces; ++i) {
+            const WorkRegion &p = mine.regions[i];
+            const double need =
+                weight_bytes_of[i] +
+                2.0 * (input_bytes[i] +
+                       static_cast<double>(p.volume()));
             if (need > static_cast<double>(arch_.glbBytes()))
                 resident = false;
         }
         const double factor =
-            resident ? 1.0 / static_cast<double>(out.numUnits) : 1.0;
-        for (const auto &[k0, flow] : by_k)
-            dram_read(ms.fd.weight, flow.first * factor, flow.second);
-        (void)worst_need;
+            resident ? 1.0 / static_cast<double>(num_units) : 1.0;
+        emitGrouped(
+            requests, dsts_scratch,
+            [&](double bytes, noc::NodeId dst) {
+                dram_read_one(ms.fd.weight, bytes * factor, dst);
+            },
+            [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                dram_read(ms.fd.weight, bytes * factor, dsts);
+            });
     }
 
-    // ---- Pass 4: managed ofmap stores ------------------------------------
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        const MappingScheme &ms = group.schemes[li];
-        if (ms.fd.ofmap == kDramUnmanaged)
-            continue;
-        for (const Piece &p : pieces[li])
-            dram_write(ms.fd.ofmap, static_cast<double>(p.wr.volume()),
-                       p.core);
+    // ---- Managed ofmap stores -------------------------------------------
+    if (ms.fd.ofmap != kDramUnmanaged) {
+        for (std::size_t i = 0; i < n_pieces; ++i)
+            dram_write(ms.fd.ofmap,
+                       static_cast<double>(mine.regions[i].volume()),
+                       ms.coreGroup[i]);
     }
 
-    // ---- Pass 5: GLB pressure --------------------------------------------
+    // ---- GLB pressure -----------------------------------------------------
+    for (std::size_t i = 0; i < n_pieces; ++i) {
+        const WorkRegion &p = mine.regions[i];
+        // Double-buffered input/output tiles; weights checked above.
+        double need =
+            2.0 * (input_bytes[i] + static_cast<double>(p.volume()));
+        if (layer.hasWeights()) {
+            const std::int64_t klen = p.region.channels();
+            const double wbytes = static_cast<double>(
+                klen * (layer.c / layer.groups) * layer.r * layer.s);
+            // Streaming weights still need a staging buffer slice.
+            need += std::min(wbytes,
+                             static_cast<double>(arch_.glbBytes()) / 4);
+        }
+        const double ratio =
+            need / static_cast<double>(arch_.glbBytes()) - 1.0;
+        flows.glbOverflow = std::max(flows.glbOverflow, ratio);
+    }
+
+    // Merge duplicate links through the dense scratch — no sort, no
+    // hashing. Emission in first-touch order is deterministic, and each
+    // link's contributions sum in emission order, exactly as a map
+    // accumulation would. All contributions are strictly positive, so a
+    // zero slot always means "untouched".
+    const std::size_t n_nodes = static_cast<std::size_t>(noc_.nodeCount());
+    touchScratch_.clear();
+    for (const auto &[link, bytes] : sink) {
+        const std::size_t idx =
+            static_cast<std::size_t>(noc::linkFrom(link)) * n_nodes +
+            static_cast<std::size_t>(noc::linkTo(link));
+        if (denseBytes_[idx] == 0.0)
+            touchScratch_.push_back(static_cast<std::int32_t>(idx));
+        denseBytes_[idx] += bytes;
+    }
+    flows.links.reserve(touchScratch_.size());
+    for (std::int32_t idx : touchScratch_) {
+        const auto i = static_cast<std::size_t>(idx);
+        flows.links.emplace_back(
+            noc::makeLink(static_cast<noc::NodeId>(i / n_nodes),
+                          static_cast<noc::NodeId>(i % n_nodes)),
+            denseBytes_[i]);
+        denseBytes_[i] = 0.0;
+    }
+    return flows;
+}
+
+void
+Analyzer::gatherFragments(const LayerGroupMapping &group,
+                          std::int64_t batch,
+                          const OfmapDramLookup &ofmap_dram_of,
+                          FragmentSet &out) const
+{
+    GEMINI_ASSERT(batch % group.batchUnit == 0,
+                  "batch unit must divide batch");
+    out.numUnits = batch / group.batchUnit;
+
+    const std::size_t n_layers = group.layers.size();
+    const bool cached = cacheCapacity_ > 0;
+    out.tiles.assign(n_layers, nullptr);
+    out.flows.assign(n_layers, nullptr);
+    out.localTiles.clear();
+    out.localFlows.clear();
+
+    // References into the fragment caches stay valid while this call
+    // inserts (unordered_map never moves nodes), but a capacity wipe
+    // mid-call would dangle them — wipe up front if this call could
+    // overflow.
+    if (cached) {
+        if (tileCache_.size() + n_layers > cacheCapacity_)
+            tileCache_.clear();
+        if (flowCache_.size() + n_layers > cacheCapacity_)
+            flowCache_.clear();
+    } else {
+        out.localTiles.reserve(n_layers);
+        out.localFlows.reserve(n_layers);
+    }
+
+    // ---- Pass 1 (per-layer tile cache): regions, stage times, energy ----
+    std::vector<const LayerTiles *> &tiles = out.tiles;
     for (std::size_t li = 0; li < n_layers; ++li) {
         const dnn::Layer &layer = graph_.layer(group.layers[li]);
-        for (const Piece &p : pieces[li]) {
-            // Double-buffered input/output tiles; weights checked above.
-            double need = 2.0 * (p.inputBytes + p.outputBytes);
-            if (layer.hasWeights()) {
-                const std::int64_t klen = p.wr.region.channels();
-                const double wbytes = static_cast<double>(
-                    klen * (layer.c / layer.groups) * layer.r * layer.s);
-                // Streaming weights still need a staging buffer slice.
-                need += std::min(wbytes,
-                                 static_cast<double>(arch_.glbBytes()) / 4);
+        const MappingScheme &ms = group.schemes[li];
+        if (cached) {
+            GroupKey &key = fragProbe_;
+            key.words.clear();
+            key.words.insert(key.words.end(),
+                             {group.layers[li], ms.part.h, ms.part.w,
+                              ms.part.b, ms.part.k, group.batchUnit});
+            auto it = tileCache_.find(key);
+            if (it == tileCache_.end()) {
+                ++tileMisses_;
+                it = tileCache_
+                         .emplace(key, computeLayerTiles(layer, ms,
+                                                         group.batchUnit))
+                         .first;
+            } else {
+                ++tileHits_;
             }
-            const double ratio =
-                need / static_cast<double>(arch_.glbBytes()) - 1.0;
-            out.glbOverflow = std::max(out.glbOverflow, ratio);
+            tiles[li] = &it->second;
+        } else {
+            out.localTiles.push_back(
+                computeLayerTiles(layer, ms, group.batchUnit));
+            tiles[li] = &out.localTiles.back();
         }
     }
-    out.glbOverflow = std::max(out.glbOverflow, 0.0);
 
-    // ---- Pass 6: pipeline depth -------------------------------------------
-    std::vector<int> depth(n_layers, 1);
+    // ---- Passes 2-5 (per-layer flow cache) ------------------------------
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        const LayerFlows *flows = nullptr;
+        if (cached) {
+            const LayerId id = group.layers[li];
+            const MappingScheme &ms = group.schemes[li];
+            GroupKey &key = fragProbe_;
+            key.words.clear();
+            key.words.push_back(batch);
+            key.words.push_back(group.batchUnit);
+            key.words.push_back(id);
+            key.words.push_back(ms.part.h);
+            key.words.push_back(ms.part.w);
+            key.words.push_back(ms.part.b);
+            key.words.push_back(ms.part.k);
+            key.words.push_back(ms.fd.ifmap);
+            key.words.push_back(ms.fd.weight);
+            key.words.push_back(ms.fd.ofmap);
+            key.words.push_back(
+                static_cast<std::int64_t>(ms.coreGroup.size()));
+            for (CoreId core : ms.coreGroup)
+                key.words.push_back(core);
+            for (LayerId producer : graph_.layer(id).inputs) {
+                const int pi = group.indexOf(producer);
+                if (pi >= 0) {
+                    // In-group flows depend on the producer's Part + CG.
+                    const MappingScheme &pms =
+                        group.schemes[static_cast<std::size_t>(pi)];
+                    key.words.push_back(1);
+                    key.words.push_back(producer);
+                    key.words.push_back(pms.part.h);
+                    key.words.push_back(pms.part.w);
+                    key.words.push_back(pms.part.b);
+                    key.words.push_back(pms.part.k);
+                    key.words.push_back(static_cast<std::int64_t>(
+                        pms.coreGroup.size()));
+                    for (CoreId core : pms.coreGroup)
+                        key.words.push_back(core);
+                } else {
+                    key.words.push_back(0);
+                    key.words.push_back(
+                        ~static_cast<std::int64_t>(producer));
+                    key.words.push_back(ofmap_dram_of(producer));
+                }
+            }
+            auto it = flowCache_.find(key);
+            if (it == flowCache_.end()) {
+                ++flowMisses_;
+                it = flowCache_
+                         .emplace(key,
+                                  computeLayerFlows(group, li, tiles,
+                                                    out.numUnits,
+                                                    ofmap_dram_of))
+                         .first;
+            } else {
+                ++flowHits_;
+            }
+            flows = &it->second;
+        } else {
+            out.localFlows.push_back(computeLayerFlows(
+                group, li, tiles, out.numUnits, ofmap_dram_of));
+            flows = &out.localFlows.back();
+        }
+        out.flows[li] = flows;
+    }
+}
+
+int
+Analyzer::pipelineDepthOf(const LayerGroupMapping &group) const
+{
+    const std::size_t n_layers = group.layers.size();
+    static thread_local std::vector<int> depth;
+    depth.assign(n_layers, 1);
+    int out = 1;
     for (std::size_t li = 0; li < n_layers; ++li) {
         for (LayerId in : graph_.layer(group.layers[li]).inputs) {
             const int pi = group.indexOf(in);
             if (pi >= 0)
                 depth[li] = std::max(depth[li], depth[pi] + 1);
         }
-        out.pipelineDepth = std::max(out.pipelineDepth, depth[li]);
+        out = std::max(out, depth[li]);
     }
     return out;
+}
+
+GroupAnalysis
+Analyzer::analyzeGroupImpl(const LayerGroupMapping &group,
+                           std::int64_t batch,
+                           const OfmapDramLookup &ofmap_dram_of) const
+{
+    GroupAnalysis out;
+    out.dramBytesPerUnit.assign(arch_.dramCount, 0.0);
+
+    gatherFragments(group, batch, ofmap_dram_of, fragScratch_);
+    out.numUnits = fragScratch_.numUnits;
+
+    for (const LayerTiles *tiles : fragScratch_.tiles) {
+        out.coreEnergyPerUnit += tiles->energyPerUnit;
+        out.maxStageSeconds =
+            std::max(out.maxStageSeconds, tiles->stageSeconds);
+    }
+
+    std::size_t total_links = 0;
+    for (const LayerFlows *flows : fragScratch_.flows)
+        total_links += flows->links.size();
+    out.traffic.reserve(total_links);
+    for (const LayerFlows *flows : fragScratch_.flows) {
+        for (const auto &[link, bytes] : flows->links)
+            out.traffic.addLink(link, bytes);
+        for (int d = 0; d < arch_.dramCount; ++d)
+            out.dramBytesPerUnit[d] += flows->dramBytes[d];
+        out.glbOverflow = std::max(out.glbOverflow, flows->glbOverflow);
+    }
+    out.glbOverflow = std::max(out.glbOverflow, 0.0);
+
+    out.pipelineDepth = pipelineDepthOf(group);
+    return out;
+}
+
+eval::EvalBreakdown
+Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
+                        const OfmapDramLookup &ofmap_dram_of,
+                        const eval::EnergyModel &energy) const
+{
+    const bool cached = cacheCapacity_ > 0;
+    if (cached) {
+        GroupKey &key = groupProbe_;
+        makeKey(group, batch, ofmap_dram_of);
+        // Bind the energy model: its accessors are linear in bytes, so
+        // the unit coefficients fully characterize its effect here. A
+        // caller switching models must not hit the other model's entry.
+        key.words.push_back(std::bit_cast<std::int64_t>(energy.onChipJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(energy.d2dJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(energy.dramJ(1.0)));
+        key.words.push_back(
+            std::bit_cast<std::int64_t>(energy.dramStackBps()));
+        const auto it = evalCache_.find(key);
+        if (it != evalCache_.end()) {
+            ++evalHits_;
+            return it->second;
+        }
+        ++evalMisses_;
+    }
+
+    gatherFragments(group, batch, ofmap_dram_of, fragScratch_);
+    const FragmentSet &fs = fragScratch_;
+    const std::size_t n_layers = group.layers.size();
+
+    double core_energy = 0.0;
+    double max_stage = 0.0;
+    for (const LayerTiles *tiles : fs.tiles) {
+        core_energy += tiles->energyPerUnit;
+        max_stage = std::max(max_stage, tiles->stageSeconds);
+    }
+
+    static thread_local std::vector<double> dram_per_unit;
+    dram_per_unit.assign(static_cast<std::size_t>(arch_.dramCount), 0.0);
+    double glb_overflow = 0.0;
+    for (const LayerFlows *flows : fs.flows) {
+        for (int d = 0; d < arch_.dramCount; ++d)
+            dram_per_unit[static_cast<std::size_t>(d)] +=
+                flows->dramBytes[d];
+        glb_overflow = std::max(glb_overflow, flows->glbOverflow);
+    }
+    glb_overflow = std::max(glb_overflow, 0.0);
+
+    // Merge the fragments' link loads through the dense scratch: per-link
+    // totals sum in layer order (identical to the map assembly), and the
+    // traffic statistics come straight off the merge — no TrafficMap.
+    double on_chip = 0.0;
+    double d2d = 0.0;
+    double max_link_seconds = 0.0;
+    const std::size_t n_nodes = static_cast<std::size_t>(noc_.nodeCount());
+    touchScratch_.clear();
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        for (const auto &[link, bytes] : fs.flows[li]->links) {
+            const std::size_t idx =
+                static_cast<std::size_t>(noc::linkFrom(link)) * n_nodes +
+                static_cast<std::size_t>(noc::linkTo(link));
+            if (denseBytes_[idx] == 0.0)
+                touchScratch_.push_back(static_cast<std::int32_t>(idx));
+            denseBytes_[idx] += bytes;
+        }
+    }
+    for (std::int32_t idx : touchScratch_) {
+        const auto i = static_cast<std::size_t>(idx);
+        const double bytes = denseBytes_[i];
+        denseBytes_[i] = 0.0;
+        const auto a = static_cast<noc::NodeId>(i / n_nodes);
+        const auto b = static_cast<noc::NodeId>(i % n_nodes);
+        if (noc_.linkKind(a, b) == noc::LinkKind::D2D)
+            d2d += bytes;
+        else
+            on_chip += bytes;
+        const double secs = bytes / noc_.linkBandwidthBps(a, b);
+        if (secs > max_link_seconds)
+            max_link_seconds = secs;
+    }
+
+    double dram_seconds = 0.0;
+    double dram_bytes = 0.0;
+    for (double bytes : dram_per_unit) {
+        dram_seconds =
+            std::max(dram_seconds, bytes / energy.dramStackBps());
+        dram_bytes += bytes;
+    }
+
+    eval::EvalBreakdown r;
+    const double bottleneck =
+        std::max({max_stage, max_link_seconds, dram_seconds});
+    const double units = static_cast<double>(fs.numUnits);
+    r.delay = (units + pipelineDepthOf(group) - 1) * bottleneck;
+    r.intraTileEnergy = core_energy * units;
+    r.nocEnergy = energy.onChipJ(on_chip) * units;
+    r.d2dEnergy = energy.d2dJ(d2d) * units;
+    r.dramEnergy = energy.dramJ(dram_bytes) * units;
+    r.dramBytes = dram_bytes * units;
+    r.hopBytes = (on_chip + d2d) * units;
+    r.d2dHopBytes = d2d * units;
+    r.glbOverflow = glb_overflow;
+
+    if (cached) {
+        if (evalCache_.size() >= cacheCapacity_)
+            evalCache_.clear();
+        // The group probe still holds this call's key: gatherFragments
+        // only touches the fragment probe.
+        evalCache_.emplace(groupProbe_, r);
+    }
+    return r;
 }
 
 eval::EvalBreakdown

@@ -10,7 +10,9 @@
 #ifndef GEMINI_MAPPING_ANALYZER_HH
 #define GEMINI_MAPPING_ANALYZER_HH
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/arch/arch_config.hh"
@@ -61,8 +63,10 @@ using OfmapDramLookup = std::function<DramSel(LayerId)>;
 
 /**
  * Stateless-per-call analyzer bound to one (graph, arch) pair. The
- * intra-core explorer it holds memoizes tile costs across calls, which is
- * what makes the SA loop cheap.
+ * intra-core explorer it holds memoizes tile costs across calls, and the
+ * analyzer itself optionally memoizes whole-group analyses (see
+ * setCacheCapacity), which together make the SA loop cheap. Not
+ * thread-safe: every SA chain / DSE worker owns its own analyzer.
  */
 class Analyzer
 {
@@ -83,13 +87,189 @@ class Analyzer
     eval::EvalBreakdown evaluate(const GroupAnalysis &analysis,
                                  const eval::EnergyModel &energy) const;
 
+    /**
+     * Fused analyzeGroup + evaluate for the SA hot path: merges the
+     * cached per-layer fragments straight into an EvalBreakdown without
+     * materializing the group's TrafficMap, and memoizes the (tiny)
+     * result under the full group key. Numerically equivalent to
+     * evaluate(analyzeGroup(...)) up to floating-point summation order.
+     */
+    eval::EvalBreakdown evaluateGroup(const LayerGroupMapping &group,
+                                      std::int64_t batch,
+                                      const OfmapDramLookup &ofmap_dram_of,
+                                      const eval::EnergyModel &energy)
+        const;
+
     const noc::NocModel &noc() const { return noc_; }
 
+    /**
+     * Bound each memoization cache to `entries` results (0 disables all
+     * caching). Three exact-keyed caches accelerate analyzeGroup:
+     *
+     *  - the group cache memoizes whole GroupAnalysis results, keyed by
+     *    the complete analysis input (layers, batch unit, every scheme's
+     *    Part/CG/FD, the batch, and the resolved DRAM of every
+     *    out-of-group producer);
+     *  - the per-layer tile cache memoizes partitioned workload regions
+     *    and their intra-core cost, keyed by (layer, Part, batch unit) —
+     *    core placement does not change tile shapes;
+     *  - the per-layer flow cache memoizes one layer's complete traffic
+     *    fragment (inbound activations, weight loads, ofmap stores, DRAM
+     *    bytes, GLB pressure), keyed by the layer's scheme plus the
+     *    schemes of its in-group producers and the resolved DRAMs of its
+     *    out-of-group producers.
+     *
+     * An SA move that perturbs one layer therefore re-derives only that
+     * layer's fragment and the fragments of its in-group consumers; the
+     * rest of the group assembles from cache. Keys are compared in full,
+     * so a hit is exact by construction. When a bound is reached the
+     * cache in question is wiped wholesale (generational eviction,
+     * mirroring intracore::Explorer's tile cache philosophy of cheap
+     * bookkeeping over LRU precision).
+     */
+    void setCacheCapacity(std::size_t entries);
+    std::size_t cacheCapacity() const { return cacheCapacity_; }
+    void clearCache();
+
+    /** Group-cache statistics (benchmarks and tests). */
+    std::size_t cacheSize() const { return cache_.size(); }
+    std::uint64_t cacheHits() const { return cacheHits_; }
+    std::uint64_t cacheMisses() const { return cacheMisses_; }
+    std::uint64_t cacheEvictions() const { return cacheEvictions_; }
+
+    /** Per-layer fragment cache statistics. */
+    std::uint64_t tileCacheHits() const { return tileHits_; }
+    std::uint64_t tileCacheMisses() const { return tileMisses_; }
+    std::uint64_t flowCacheHits() const { return flowHits_; }
+    std::uint64_t flowCacheMisses() const { return flowMisses_; }
+
+    /** evaluateGroup memo statistics. */
+    std::uint64_t evalCacheHits() const { return evalHits_; }
+    std::uint64_t evalCacheMisses() const { return evalMisses_; }
+
   private:
+    /**
+     * Flattened, exact cache key: every scalar analyzeGroup reads,
+     * serialized in deterministic order. Cheap to hash, exact to compare.
+     */
+    struct GroupKey
+    {
+        std::vector<std::int64_t> words;
+
+        bool operator==(const GroupKey &o) const = default;
+    };
+
+    struct GroupKeyHash
+    {
+        std::size_t operator()(const GroupKey &key) const;
+    };
+
+    /** Build the group cache key into groupProbe_ and return it. */
+    const GroupKey &makeKey(const LayerGroupMapping &group,
+                            std::int64_t batch,
+                            const OfmapDramLookup &ofmap_dram_of) const;
+
+    /** Pass-1 product of one layer: piece regions and intra-core cost. */
+    struct LayerTiles
+    {
+        std::vector<WorkRegion> regions; ///< per-piece ofmap slices
+        double stageSeconds = 0.0;       ///< slowest piece compute time
+        double energyPerUnit = 0.0;      ///< summed intra-core energy
+    };
+
+    /**
+     * Passes 2-5 product of one layer: every flow charged to it (inbound
+     * activations, weight loads, managed ofmap stores) plus its GLB
+     * pressure. The group analysis is the sum of its layers' fragments.
+     * Link loads are stored as a flat vector with one entry per link, in
+     * first-touch order (deterministic): assembly walks it linearly, so a
+     * cached fragment reproduces the uncached result bit for bit.
+     */
+    struct LayerFlows
+    {
+        std::vector<std::pair<noc::LinkKey, double>> links;
+        std::vector<double> dramBytes;  ///< per-stack bytes per unit
+        double glbOverflow = 0.0;       ///< worst piece pressure ratio
+    };
+
+    LayerTiles computeLayerTiles(const dnn::Layer &layer,
+                                 const MappingScheme &ms,
+                                 std::int64_t batch_unit) const;
+
+    LayerFlows computeLayerFlows(const LayerGroupMapping &group,
+                                 std::size_t li,
+                                 const std::vector<const LayerTiles *>
+                                     &tiles,
+                                 std::int64_t num_units,
+                                 const OfmapDramLookup &ofmap_dram_of)
+        const;
+
+    /**
+     * Resolved per-layer fragments of one group (pointers into the caches
+     * or into the local_* stores when caching is off). Valid until the
+     * next gatherFragments call on this analyzer.
+     */
+    struct FragmentSet
+    {
+        std::vector<const LayerTiles *> tiles;
+        std::vector<const LayerFlows *> flows;
+        std::vector<LayerTiles> localTiles;
+        std::vector<LayerFlows> localFlows;
+        std::int64_t numUnits = 1;
+    };
+
+    void gatherFragments(const LayerGroupMapping &group, std::int64_t batch,
+                         const OfmapDramLookup &ofmap_dram_of,
+                         FragmentSet &out) const;
+
+    int pipelineDepthOf(const LayerGroupMapping &group) const;
+
+    GroupAnalysis analyzeGroupImpl(const LayerGroupMapping &group,
+                                   std::int64_t batch,
+                                   const OfmapDramLookup &ofmap_dram_of)
+        const;
+
     const dnn::Graph &graph_;
     arch::ArchConfig arch_;
     const noc::NocModel &noc_;
     intracore::Explorer &explorer_;
+
+    std::size_t cacheCapacity_ = 0;
+    mutable std::unordered_map<GroupKey, GroupAnalysis, GroupKeyHash> cache_;
+    mutable std::unordered_map<GroupKey, LayerTiles, GroupKeyHash>
+        tileCache_;
+    mutable std::unordered_map<GroupKey, LayerFlows, GroupKeyHash>
+        flowCache_;
+    mutable std::unordered_map<GroupKey, eval::EvalBreakdown, GroupKeyHash>
+        evalCache_;
+    mutable FragmentSet fragScratch_;
+    /**
+     * Reusable probe keys: lookups build the key in place (no allocation
+     * in steady state); only a miss pays a copy into the cache. Separate
+     * probes because the group probe is alive across analyzeGroupImpl,
+     * which reuses the fragment probe per layer.
+     */
+    mutable GroupKey groupProbe_;
+    mutable GroupKey fragProbe_;
+
+    /**
+     * Dense per-link accumulator scratch (nodeCount^2 doubles, a few KiB):
+     * link loads merge by array index instead of sorting or hashing —
+     * the node space of one architecture is tiny. touchScratch_ records
+     * dirtied slots in first-touch order for deterministic emission and
+     * cheap reset.
+     */
+    mutable std::vector<double> denseBytes_;
+    mutable std::vector<std::int32_t> touchScratch_;
+    mutable std::uint64_t cacheHits_ = 0;
+    mutable std::uint64_t cacheMisses_ = 0;
+    mutable std::uint64_t cacheEvictions_ = 0;
+    mutable std::uint64_t tileHits_ = 0;
+    mutable std::uint64_t tileMisses_ = 0;
+    mutable std::uint64_t flowHits_ = 0;
+    mutable std::uint64_t flowMisses_ = 0;
+    mutable std::uint64_t evalHits_ = 0;
+    mutable std::uint64_t evalMisses_ = 0;
 };
 
 } // namespace gemini::mapping

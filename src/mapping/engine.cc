@@ -1,6 +1,9 @@
 #include "src/mapping/engine.hh"
 
+#include <algorithm>
+
 #include "src/common/logging.hh"
+#include "src/common/thread_pool.hh"
 
 namespace gemini::mapping {
 
@@ -20,6 +23,7 @@ MappingEngine::MappingEngine(const dnn::Graph &graph,
     // Keep exponents in sync between the partitioner and the SA engine.
     options_.sa.beta = options_.beta;
     options_.sa.gamma = options_.gamma;
+    analyzer_.setCacheCapacity(options_.analyzerCacheEntries);
 }
 
 MappingResult
@@ -41,8 +45,12 @@ MappingEngine::run()
                   err);
 
     if (options_.runSa) {
-        result.groups =
-            sa_.optimize(result.mapping, options_.sa, &result.saStats);
+        if (options_.sa.chains > 1) {
+            runSaChains(result);
+        } else {
+            result.groups =
+                sa_.optimize(result.mapping, options_.sa, &result.saStats);
+        }
         const std::string err2 =
             checkMappingValid(graph_, arch_, result.mapping);
         GEMINI_ASSERT(err2.empty(), "SA produced invalid mapping: ", err2);
@@ -52,6 +60,80 @@ MappingEngine::run()
     for (const auto &g : result.groups)
         result.total += g;
     return result;
+}
+
+void
+MappingEngine::runSaChains(MappingResult &result)
+{
+    const int chains = options_.sa.chains;
+    std::vector<LpMapping> maps(static_cast<std::size_t>(chains),
+                                result.mapping);
+    std::vector<std::vector<eval::EvalBreakdown>> evals(
+        static_cast<std::size_t>(chains));
+    std::vector<SaStats> stats(static_cast<std::size_t>(chains));
+
+    auto chain_options_of = [&](std::size_t i) {
+        SaOptions chain_options = options_.sa;
+        chain_options.chains = 1;
+        chain_options.seed =
+            SaEngine::chainSeed(options_.sa.seed, static_cast<int>(i));
+        return chain_options;
+    };
+
+    const std::size_t pool_threads = static_cast<std::size_t>(
+        std::min(std::max(options_.saThreads, 0), chains));
+    if (pool_threads > 1) {
+        // Parallel chains: per-chain Explorer/Analyzer (both memoize and
+        // are not thread-safe); the NoC and energy models are shared,
+        // const-only. Caches are exact, so parallel and serial execution
+        // produce bit-identical results.
+        ThreadPool pool(pool_threads);
+        pool.parallelFor(
+            static_cast<std::size_t>(chains), [&](std::size_t i) {
+                intracore::Explorer explorer(arch_.macsPerCore,
+                                             arch_.glbBytes(),
+                                             arch_.freqGHz, options_.tech);
+                Analyzer analyzer(graph_, arch_, noc_, explorer);
+                analyzer.setCacheCapacity(options_.analyzerCacheEntries);
+                SaEngine sa(graph_, arch_, analyzer, energy_);
+                const SaOptions chain_options = chain_options_of(i);
+                evals[i] = sa.optimize(maps[i], chain_options, &stats[i]);
+            });
+    } else {
+        // Serial chains share the engine's warm explorer and analyzer
+        // cache: later chains re-analyze the shared initial mapping and
+        // early-phase states for free.
+        for (std::size_t i = 0; i < static_cast<std::size_t>(chains); ++i) {
+            const SaOptions chain_options = chain_options_of(i);
+            evals[i] = sa_.optimize(maps[i], chain_options, &stats[i]);
+        }
+    }
+
+    // Best-of-K selection: strict < with ascending index makes the pick
+    // deterministic regardless of which thread finished first.
+    std::size_t best = 0;
+    double best_cost = stats[0].finalCost;
+    for (std::size_t i = 1; i < static_cast<std::size_t>(chains); ++i) {
+        if (stats[i].finalCost < best_cost) {
+            best = i;
+            best_cost = stats[i].finalCost;
+        }
+    }
+
+    result.mapping = std::move(maps[best]);
+    result.groups = std::move(evals[best]);
+    SaStats merged;
+    merged.initialCost = stats[0].initialCost;
+    merged.finalCost = best_cost;
+    merged.chains = chains;
+    merged.bestChain = static_cast<int>(best);
+    for (const SaStats &s : stats) {
+        merged.proposed += s.proposed;
+        merged.inapplicable += s.inapplicable;
+        merged.accepted += s.accepted;
+        merged.improved += s.improved;
+    }
+    result.saStats = merged;
 }
 
 MappingResult

@@ -41,6 +41,21 @@ struct MappingOptions
 
     SaOptions sa;
 
+    /**
+     * Worker threads for SA chains (sa.chains). 0 = auto: serial here,
+     * but the DSE driver may divide its global thread budget between
+     * candidate-level and chain-level parallelism (so the two levels
+     * never oversubscribe the machine). 1 forces serial chains even
+     * under the DSE; >= 2 runs chains over a pool of that size.
+     */
+    int saThreads = 0;
+
+    /**
+     * Entry bound of the analyzer's group-analysis memoization cache
+     * (0 disables it). Every SA chain gets its own cache of this size.
+     */
+    std::size_t analyzerCacheEntries = 4096;
+
     /** DP partitioner knobs. */
     int maxGroupLayers = 12;
     std::vector<std::int64_t> batchUnits; // empty = auto
@@ -92,6 +107,14 @@ class MappingEngine
     intracore::Explorer &explorer() { return explorer_; }
 
   private:
+    /**
+     * Run sa.chains independent Metropolis chains from `result.mapping`
+     * (serially or over a saThreads-wide pool) and keep the best-of-K
+     * outcome. Each chain owns its Explorer/Analyzer (they memoize and are
+     * not thread-safe); the NoC and energy models are shared, const-only.
+     */
+    void runSaChains(MappingResult &result);
+
     const dnn::Graph &graph_;
     arch::ArchConfig arch_;
     MappingOptions options_;

@@ -46,9 +46,8 @@ segmentEval(const dnn::Graph &graph, const arch::ArchConfig &arch,
         stripeMapping(graph, arch, layers, batch_unit);
 
     auto lookup = [](LayerId) { return kDramInterleaved; };
-    const GroupAnalysis analysis =
-        analyzer.analyzeGroup(group, batch, lookup);
-    const eval::EvalBreakdown bd = analyzer.evaluate(analysis, energy);
+    const eval::EvalBreakdown bd =
+        analyzer.evaluateGroup(group, batch, lookup, energy);
     if (out_group)
         *out_group = std::move(group);
     return bd;

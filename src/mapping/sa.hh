@@ -36,6 +36,32 @@ struct SaOptions
     std::uint64_t seed = 0x5EEDBA5Eu;
 
     /**
+     * Independent Metropolis chains run on the same initial mapping; the
+     * best-of-K result is kept. Chain 0 uses `seed` verbatim (chains=1
+     * therefore reproduces a plain single-chain run bit-for-bit); chain
+     * i>0 derives its seed deterministically via SaEngine::chainSeed, so
+     * results do not depend on thread scheduling. MappingEngine executes
+     * chains over a thread pool bounded by MappingOptions::saThreads.
+     */
+    int chains = 1;
+
+    /**
+     * Maintain the whole-DNN cost as per-group contributions updated only
+     * for the touched groups — O(touched) per iteration instead of
+     * O(groups). false restores the original full re-sum; kept so
+     * bench_micro can measure the seed baseline in the same binary.
+     */
+    bool incrementalCost = true;
+
+    /**
+     * Basin hopping: after this many iterations without a new best, the
+     * walk restarts from the best state found so far (the fragment caches
+     * make re-walking a known neighbourhood nearly free). -1 picks
+     * max(iterations/8, 64) automatically; 0 disables. Deterministic.
+     */
+    int reheatInterval = -1;
+
+    /**
      * Operator enable mask (bit i enables OPi+1). All five by default;
      * the ablation bench switches classes off to measure each operator's
      * contribution. At least one bit must be set.
@@ -49,7 +75,7 @@ struct SaOptions
     }
 };
 
-/** Outcome statistics of one SA run. */
+/** Outcome statistics of one SA run (summed over chains when K > 1). */
 struct SaStats
 {
     int proposed = 0;    ///< operator draws
@@ -57,7 +83,9 @@ struct SaStats
     int accepted = 0;    ///< accepted moves (incl. uphill)
     int improved = 0;    ///< strictly-improving moves
     double initialCost = 0.0;
-    double finalCost = 0.0;
+    double finalCost = 0.0; ///< best cost over all chains
+    int chains = 1;         ///< chains that ran
+    int bestChain = 0;      ///< chain whose mapping was kept
 };
 
 /**
@@ -89,6 +117,13 @@ class SaEngine
      */
     static double cost(const std::vector<eval::EvalBreakdown> &groups,
                        double beta, double gamma);
+
+    /**
+     * Deterministic seed of chain `chain` derived from the base seed:
+     * chain 0 returns `seed` unchanged (single-chain equivalence), later
+     * chains get a splitmix64-style mix so their streams are independent.
+     */
+    static std::uint64_t chainSeed(std::uint64_t seed, int chain);
 
   private:
     eval::EvalBreakdown analyzeOne(const LpMapping &mapping,

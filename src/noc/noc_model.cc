@@ -1,8 +1,8 @@
 #include "src/noc/noc_model.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
-#include <unordered_set>
 
 #include "src/common/logging.hh"
 
@@ -12,6 +12,33 @@ NocModel::NocModel(const arch::ArchConfig &cfg) : cfg_(cfg)
 {
     const std::string err = cfg.validate();
     GEMINI_ASSERT(err.empty(), "invalid arch for NocModel: ", err);
+
+    const std::size_t n = static_cast<std::size_t>(nodeCount());
+    kindTable_.resize(n * n);
+    for (std::size_t a = 0; a < n; ++a)
+        for (std::size_t b = 0; b < n; ++b)
+            kindTable_[a * n + b] = static_cast<std::uint8_t>(
+                computeLinkKind(static_cast<NodeId>(a),
+                                static_cast<NodeId>(b)));
+    nocBps_ = cfg_.nocBwGBps * 1.0e9;
+    d2dBps_ = cfg_.d2dBwGBps * 1.0e9;
+
+    routes_.resize(n * n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            RouteRef &ref = routes_[a * n + b];
+            ref.offset = static_cast<std::uint32_t>(routeLinks_.size());
+            if (isDramNode(static_cast<NodeId>(a)) &&
+                isDramNode(static_cast<NodeId>(b)))
+                continue; // no meaningful route; empty span
+            forEachHopT(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                        [this](NodeId from, NodeId to) {
+                            routeLinks_.push_back(makeLink(from, to));
+                        });
+            ref.length = static_cast<std::uint32_t>(routeLinks_.size()) -
+                         ref.offset;
+        }
+    }
 }
 
 NodeId
@@ -53,71 +80,59 @@ NocModel::stepToward(int from, int to, int extent) const
 }
 
 void
-NocModel::walkCoreToCore(CoreId src, CoreId dst,
-                         const std::function<void(NodeId, NodeId)> &fn) const
-{
-    // Dimension-order (X then Y) routing on both topologies.
-    int x = cfg_.coreX(src);
-    int y = cfg_.coreY(src);
-    const int tx = cfg_.coreX(dst);
-    const int ty = cfg_.coreY(dst);
-    while (x != tx) {
-        const int nx = stepToward(x, tx, cfg_.xCores);
-        fn(cfg_.coreAt(x, y), cfg_.coreAt(nx, y));
-        x = nx;
-    }
-    while (y != ty) {
-        const int ny = stepToward(y, ty, cfg_.yCores);
-        fn(cfg_.coreAt(x, y), cfg_.coreAt(x, ny));
-        y = ny;
-    }
-}
-
-void
 NocModel::forEachHop(NodeId src, NodeId dst,
                      const std::function<void(NodeId, NodeId)> &fn) const
 {
-    if (src == dst)
-        return;
-    if (isDramNode(src) && isDramNode(dst)) {
-        GEMINI_PANIC("DRAM-to-DRAM routes are not meaningful");
-    }
-    if (isDramNode(src)) {
-        // Enter the mesh at the edge core on the destination's row, then
-        // travel horizontally (the port sits on that row already).
-        const int dram = dramOf(src);
-        const CoreId entry =
-            cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(dst));
-        fn(src, entry);
-        walkCoreToCore(entry, static_cast<CoreId>(dst), fn);
-        return;
-    }
-    if (isDramNode(dst)) {
-        const int dram = dramOf(dst);
-        const CoreId exit =
-            cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(src));
-        walkCoreToCore(static_cast<CoreId>(src), exit, fn);
-        fn(exit, dst);
-        return;
-    }
-    walkCoreToCore(static_cast<CoreId>(src), static_cast<CoreId>(dst), fn);
+    forEachHopT(src, dst, [&fn](NodeId a, NodeId b) { fn(a, b); });
 }
 
 int
 NocModel::hopCount(NodeId src, NodeId dst) const
 {
     int hops = 0;
-    forEachHop(src, dst, [&hops](NodeId, NodeId) { ++hops; });
+    forEachHopT(src, dst, [&hops](NodeId, NodeId) { ++hops; });
     return hops;
 }
+
+namespace {
+
+/**
+ * Union of several routes' links, built in a reusable flat buffer
+ * (collect, sort, unique) instead of a per-call hash set: link counts are
+ * small and this is the hottest loop of the whole mapping engine. The
+ * buffer is thread-local so concurrent SA chains never contend and no
+ * call allocates in steady state.
+ */
+template <typename RouteOf, typename Emit>
+void
+routeUnion(const std::vector<NodeId> &dsts, const RouteOf &route_of,
+           const Emit &emit)
+{
+    if (dsts.size() == 1) { // single destination: the route IS the union
+        for (LinkKey key : route_of(dsts[0]))
+            emit(key);
+        return;
+    }
+    static thread_local std::vector<LinkKey> links;
+    links.clear();
+    for (NodeId dst : dsts)
+        for (LinkKey key : route_of(dst))
+            links.push_back(key);
+    std::sort(links.begin(), links.end());
+    links.erase(std::unique(links.begin(), links.end()), links.end());
+    for (LinkKey key : links)
+        emit(key);
+}
+
+} // namespace
 
 void
 NocModel::unicast(TrafficMap &map, NodeId src, NodeId dst, double bytes) const
 {
     if (bytes <= 0.0)
         return;
-    forEachHop(src, dst,
-               [&](NodeId a, NodeId b) { map.add(a, b, bytes); });
+    for (LinkKey key : route(src, dst))
+        map.addLink(key, bytes);
 }
 
 void
@@ -129,17 +144,25 @@ NocModel::multicast(TrafficMap &map, NodeId src,
     // Union of the dimension-order unicast paths: shared prefixes (the
     // horizontal trunk, the DRAM injection link) are charged exactly once,
     // which models a multicast-capable router tree.
-    std::unordered_set<LinkKey> seen;
-    for (NodeId dst : dsts) {
-        forEachHop(src, dst, [&](NodeId a, NodeId b) {
-            if (seen.insert(makeLink(a, b)).second)
-                map.add(a, b, bytes);
-        });
-    }
+    routeUnion(
+        dsts, [&](NodeId dst) { return route(src, dst); },
+        [&](LinkKey key) { map.addLink(key, bytes); });
+}
+
+void
+NocModel::multicastLinks(LinkSink &sink, NodeId src,
+                         const std::vector<NodeId> &dsts,
+                         double bytes) const
+{
+    if (bytes <= 0.0 || dsts.empty())
+        return;
+    routeUnion(
+        dsts, [&](NodeId dst) { return route(src, dst); },
+        [&](LinkKey key) { sink.emplace_back(key, bytes); });
 }
 
 LinkKind
-NocModel::linkKind(NodeId a, NodeId b) const
+NocModel::computeLinkKind(NodeId a, NodeId b) const
 {
     if (isDramNode(a) || isDramNode(b)) {
         // IO chiplets are separate dies, so their mesh attach links are
@@ -151,14 +174,6 @@ NocModel::linkKind(NodeId a, NodeId b) const
                                static_cast<CoreId>(b))
                ? LinkKind::D2D
                : LinkKind::OnChip;
-}
-
-double
-NocModel::linkBandwidthBps(NodeId a, NodeId b) const
-{
-    const double gbps = linkKind(a, b) == LinkKind::D2D ? cfg_.d2dBwGBps
-                                                        : cfg_.nocBwGBps;
-    return gbps * 1.0e9;
 }
 
 TrafficStats

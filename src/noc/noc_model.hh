@@ -10,10 +10,13 @@
 #define GEMINI_NOC_NOC_MODEL_HH
 
 #include <functional>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/arch/arch_config.hh"
+#include "src/common/logging.hh"
 #include "src/common/types.hh"
 #include "src/noc/traffic_map.hh"
 
@@ -78,11 +81,53 @@ class NocModel
     void multicast(TrafficMap &map, NodeId src,
                    const std::vector<NodeId> &dsts, double bytes) const;
 
+    /** Flat (link, bytes) sink used by the analyzer's fragment builder. */
+    using LinkSink = std::vector<std::pair<LinkKey, double>>;
+
+    /** unicast into a flat sink (no hashing; duplicates merge later). */
+    void
+    unicastLinks(LinkSink &sink, NodeId src, NodeId dst, double bytes) const
+    {
+        if (bytes <= 0.0)
+            return;
+        for (LinkKey key : route(src, dst))
+            sink.emplace_back(key, bytes);
+    }
+
+    /** multicast into a flat sink: the route union, each link once. */
+    void multicastLinks(LinkSink &sink, NodeId src,
+                        const std::vector<NodeId> &dsts, double bytes) const;
+
+    /** Precomputed dimension-order route src -> dst as packed link keys. */
+    std::span<const LinkKey>
+    route(NodeId src, NodeId dst) const
+    {
+        if (isDramNode(src) && isDramNode(dst) && src != dst) {
+            GEMINI_PANIC("DRAM-to-DRAM routes are not meaningful");
+        }
+        const RouteRef &ref =
+            routes_[static_cast<std::size_t>(src) *
+                        static_cast<std::size_t>(nodeCount()) +
+                    static_cast<std::size_t>(dst)];
+        return {routeLinks_.data() + ref.offset, ref.length};
+    }
+
     /** Kind of the directed link (a, b); a/b must be route neighbours. */
-    LinkKind linkKind(NodeId a, NodeId b) const;
+    LinkKind
+    linkKind(NodeId a, NodeId b) const
+    {
+        return static_cast<LinkKind>(
+            kindTable_[static_cast<std::size_t>(a) *
+                           static_cast<std::size_t>(nodeCount()) +
+                       static_cast<std::size_t>(b)]);
+    }
 
     /** Peak bandwidth of the directed link in bytes/second. */
-    double linkBandwidthBps(NodeId a, NodeId b) const;
+    double
+    linkBandwidthBps(NodeId a, NodeId b) const
+    {
+        return linkKind(a, b) == LinkKind::D2D ? d2dBps_ : nocBps_;
+    }
 
     /** Aggregate per-kind bytes and the bottleneck link time. */
     TrafficStats summarize(const TrafficMap &map) const;
@@ -91,16 +136,95 @@ class NocModel
     std::string nodeLabel(NodeId n) const;
 
   private:
+    /** Uncached link classification (used to build the dense table). */
+    LinkKind computeLinkKind(NodeId a, NodeId b) const;
+
     /** Edge column (0 or xCores-1) where a DRAM's ports sit. */
     int dramEdgeX(int dram) const;
 
     /** Step coordinate one hop toward `to` (mesh or shortest-wrap). */
     int stepToward(int from, int to, int extent) const;
 
-    void walkCoreToCore(CoreId src, CoreId dst,
-                        const std::function<void(NodeId, NodeId)> &fn) const;
+    /**
+     * Statically-dispatched hop walkers: the SA hot path visits millions
+     * of hops per second, so the std::function-based public API delegates
+     * here and the traffic-accumulation loops in this class call these
+     * directly (no type-erased call per hop).
+     */
+    template <typename Fn>
+    void
+    walkCoreToCoreT(CoreId src, CoreId dst, Fn &&fn) const
+    {
+        int x = cfg_.coreX(src);
+        int y = cfg_.coreY(src);
+        const int tx = cfg_.coreX(dst);
+        const int ty = cfg_.coreY(dst);
+        while (x != tx) {
+            const int nx = stepToward(x, tx, cfg_.xCores);
+            fn(cfg_.coreAt(x, y), cfg_.coreAt(nx, y));
+            x = nx;
+        }
+        while (y != ty) {
+            const int ny = stepToward(y, ty, cfg_.yCores);
+            fn(cfg_.coreAt(x, y), cfg_.coreAt(x, ny));
+            y = ny;
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEachHopT(NodeId src, NodeId dst, Fn &&fn) const
+    {
+        if (src == dst)
+            return;
+        if (isDramNode(src) && isDramNode(dst)) {
+            GEMINI_PANIC("DRAM-to-DRAM routes are not meaningful");
+        }
+        if (isDramNode(src)) {
+            const int dram = dramOf(src);
+            const CoreId entry =
+                cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(dst));
+            fn(src, entry);
+            walkCoreToCoreT(entry, static_cast<CoreId>(dst), fn);
+            return;
+        }
+        if (isDramNode(dst)) {
+            const int dram = dramOf(dst);
+            const CoreId exit =
+                cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(src));
+            walkCoreToCoreT(static_cast<CoreId>(src), exit, fn);
+            fn(exit, dst);
+            return;
+        }
+        walkCoreToCoreT(static_cast<CoreId>(src),
+                        static_cast<CoreId>(dst), fn);
+    }
 
     arch::ArchConfig cfg_;
+
+    /**
+     * Dense per-(from, to) link classification, built once: summarize()
+     * touches every link of every analysis, so the integer div/mod chain
+     * behind computeLinkKind must not run per link per call.
+     */
+    std::vector<std::uint8_t> kindTable_;
+    double nocBps_ = 0.0;
+    double d2dBps_ = 0.0;
+
+    /**
+     * Dense route table: every (src, dst) pair's hop sequence, flattened
+     * into one arena. Traffic accumulation replays these spans instead of
+     * re-deriving routes hop by hop (the single hottest loop of the SA
+     * mapper). DRAM-to-DRAM pairs, which have no meaningful route, hold
+     * an empty span.
+     */
+    struct RouteRef
+    {
+        std::uint32_t offset = 0;
+        std::uint32_t length = 0;
+    };
+    std::vector<RouteRef> routes_;
+    std::vector<LinkKey> routeLinks_;
 };
 
 } // namespace gemini::noc

@@ -2,14 +2,6 @@
 
 namespace gemini::noc {
 
-void
-TrafficMap::add(NodeId from, NodeId to, double bytes)
-{
-    if (bytes == 0.0)
-        return;
-    links_[makeLink(from, to)] += bytes;
-}
-
 double
 TrafficMap::at(NodeId from, NodeId to) const
 {

@@ -45,7 +45,25 @@ linkTo(LinkKey key)
 class TrafficMap
 {
   public:
-    void add(NodeId from, NodeId to, double bytes);
+    void
+    add(NodeId from, NodeId to, double bytes)
+    {
+        if (bytes == 0.0)
+            return;
+        links_[makeLink(from, to)] += bytes;
+    }
+
+    /** Accumulate on an already-packed link key (fragment assembly). */
+    void
+    addLink(LinkKey key, double bytes)
+    {
+        if (bytes == 0.0)
+            return;
+        links_[key] += bytes;
+    }
+
+    /** Pre-size the hash table for an expected link count. */
+    void reserve(std::size_t links) { links_.reserve(links); }
 
     /** Bytes accumulated on a link (0 when untouched). */
     double at(NodeId from, NodeId to) const;

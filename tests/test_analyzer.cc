@@ -259,6 +259,129 @@ TEST_F(AnalyzerTest, GlbOverflowFlagsInfeasible)
     EXPECT_FALSE(b.feasible());
 }
 
+TEST_F(AnalyzerTest, CachedAnalysisIsIdenticalToUncached)
+{
+    const LayerGroupMapping g = wholeGraphGroup(1);
+    Analyzer uncached(graph_, arch_, noc_, explorer_);
+    intracore::Explorer ex2(arch_.macsPerCore, arch_.glbBytes(),
+                            arch_.freqGHz);
+    Analyzer cached(graph_, arch_, noc_, ex2);
+    cached.setCacheCapacity(256);
+
+    const GroupAnalysis ref =
+        uncached.analyzeGroup(g, 4, interleavedLookup);
+    // Twice: the second call must come out of the group cache.
+    cached.analyzeGroup(g, 4, interleavedLookup);
+    const GroupAnalysis hit = cached.analyzeGroup(g, 4, interleavedLookup);
+    EXPECT_EQ(cached.cacheHits(), 1u);
+    EXPECT_EQ(cached.cacheMisses(), 1u);
+
+    EXPECT_DOUBLE_EQ(hit.maxStageSeconds, ref.maxStageSeconds);
+    EXPECT_DOUBLE_EQ(hit.coreEnergyPerUnit, ref.coreEnergyPerUnit);
+    EXPECT_DOUBLE_EQ(hit.glbOverflow, ref.glbOverflow);
+    EXPECT_EQ(hit.pipelineDepth, ref.pipelineDepth);
+    EXPECT_EQ(hit.numUnits, ref.numUnits);
+    ASSERT_EQ(hit.dramBytesPerUnit.size(), ref.dramBytesPerUnit.size());
+    for (std::size_t d = 0; d < ref.dramBytesPerUnit.size(); ++d)
+        EXPECT_DOUBLE_EQ(hit.dramBytesPerUnit[d], ref.dramBytesPerUnit[d]);
+    // Traffic maps must agree link for link, both directions.
+    EXPECT_EQ(hit.traffic.linkCount(), ref.traffic.linkCount());
+    for (const auto &[key, bytes] : ref.traffic.links()) {
+        EXPECT_DOUBLE_EQ(hit.traffic.at(noc::linkFrom(key),
+                                        noc::linkTo(key)),
+                         bytes);
+    }
+}
+
+TEST_F(AnalyzerTest, CacheKeyCoversProducerDramAndBatch)
+{
+    // Same group, different resolved producer DRAM or batch: must NOT
+    // share a cache entry.
+    LayerGroupMapping g;
+    g.batchUnit = 1;
+    g.layers = {1};
+    MappingScheme ms;
+    ms.coreGroup = {0};
+    ms.fd = {kDramUnmanaged, kDramInterleaved, kDramInterleaved};
+    g.schemes = {ms};
+
+    analyzer_.setCacheCapacity(256);
+    const GroupAnalysis from1 = analyzer_.analyzeGroup(
+        g, 1, [](LayerId) -> DramSel { return 1; });
+    const GroupAnalysis from2 = analyzer_.analyzeGroup(
+        g, 1, [](LayerId) -> DramSel { return 2; });
+    EXPECT_EQ(analyzer_.cacheMisses(), 2u);
+    // The cross-group ifmap moved from DRAM 1 to DRAM 2 (weights stay
+    // interleaved): the per-stack distribution must shift accordingly.
+    EXPECT_GT(from1.dramBytesPerUnit[0], from2.dramBytesPerUnit[0]);
+    EXPECT_LT(from1.dramBytesPerUnit[1], from2.dramBytesPerUnit[1]);
+
+    analyzer_.analyzeGroup(g, 2, [](LayerId) -> DramSel { return 1; });
+    EXPECT_EQ(analyzer_.cacheMisses(), 3u); // batch is key input
+    analyzer_.setCacheCapacity(0);
+}
+
+TEST_F(AnalyzerTest, CacheCapacityBoundsEntries)
+{
+    LayerGroupMapping g = wholeGraphGroup(1);
+    analyzer_.setCacheCapacity(2);
+    for (std::int64_t batch = 1; batch <= 8; ++batch)
+        analyzer_.analyzeGroup(g, batch, interleavedLookup);
+    EXPECT_LE(analyzer_.cacheSize(), 2u);
+    EXPECT_GT(analyzer_.cacheEvictions(), 0u);
+    analyzer_.setCacheCapacity(0);
+    EXPECT_EQ(analyzer_.cacheSize(), 0u);
+}
+
+TEST_F(AnalyzerTest, EvaluateGroupMatchesAnalyzeThenEvaluate)
+{
+    const LayerGroupMapping g = wholeGraphGroup(1);
+    for (const std::size_t capacity : {std::size_t{0}, std::size_t{256}}) {
+        intracore::Explorer ex2(arch_.macsPerCore, arch_.glbBytes(),
+                                arch_.freqGHz);
+        Analyzer an(graph_, arch_, noc_, ex2);
+        an.setCacheCapacity(capacity);
+        const eval::EvalBreakdown slow = an.evaluate(
+            an.analyzeGroup(g, 4, interleavedLookup), energy_);
+        const eval::EvalBreakdown fast =
+            an.evaluateGroup(g, 4, interleavedLookup, energy_);
+        EXPECT_NEAR(fast.delay, slow.delay, 1e-12 * slow.delay);
+        EXPECT_NEAR(fast.totalEnergy(), slow.totalEnergy(),
+                    1e-12 * slow.totalEnergy());
+        EXPECT_NEAR(fast.dramBytes, slow.dramBytes,
+                    1e-9 * slow.dramBytes);
+        EXPECT_NEAR(fast.hopBytes, slow.hopBytes, 1e-9 * slow.hopBytes);
+        EXPECT_DOUBLE_EQ(fast.glbOverflow, slow.glbOverflow);
+        if (capacity > 0) {
+            // Second call must be a pure eval-cache hit with identical
+            // bits.
+            const eval::EvalBreakdown hit =
+                an.evaluateGroup(g, 4, interleavedLookup, energy_);
+            EXPECT_EQ(an.evalCacheHits(), 1u);
+            EXPECT_DOUBLE_EQ(hit.delay, fast.delay);
+            EXPECT_DOUBLE_EQ(hit.totalEnergy(), fast.totalEnergy());
+        }
+    }
+}
+
+TEST_F(AnalyzerTest, EvalCacheBindsEnergyModel)
+{
+    // Same group state evaluated under two different energy models must
+    // not share an eval-cache entry.
+    const LayerGroupMapping g = wholeGraphGroup(1);
+    analyzer_.setCacheCapacity(256);
+    arch::TechParams expensive;
+    expensive.dramJPerByte *= 10.0;
+    const eval::EnergyModel costly(arch_, expensive);
+    const eval::EvalBreakdown base =
+        analyzer_.evaluateGroup(g, 4, interleavedLookup, energy_);
+    const eval::EvalBreakdown high =
+        analyzer_.evaluateGroup(g, 4, interleavedLookup, costly);
+    EXPECT_GT(high.dramEnergy, base.dramEnergy * 5.0);
+    EXPECT_EQ(analyzer_.evalCacheMisses(), 2u);
+    analyzer_.setCacheCapacity(0);
+}
+
 TEST_F(AnalyzerTest, MatmulGroupAnalyzes)
 {
     const dnn::Graph tf = dnn::zoo::tinyTransformer(32, 32, 2, 1);

@@ -195,6 +195,41 @@ TEST_F(DseRunTest, RecordsCsvExport)
 
 // ------------------------------------------------------------- reuse ---
 
+TEST(Dse, MultiChainSaSharesThreadBudget)
+{
+    // SA chains inside the mapping engine and the candidate-level pool
+    // must split one budget; the run stays deterministic and no worse
+    // than single-chain per candidate.
+    dnn::Graph model = dnn::zoo::tinyConvChain(2);
+    DseAxes axes;
+    axes.topsTarget = 1.0;
+    axes.xCuts = {1, 2};
+    axes.yCuts = {1};
+    axes.dramGBpsPerTops = {2.0};
+    axes.nocGBps = {32};
+    axes.d2dRatio = {0.5};
+    axes.glbKiB = {512};
+    axes.macsPerCore = {256};
+
+    DseOptions opt;
+    opt.models = {&model};
+    opt.mapping.batch = 2;
+    opt.mapping.sa.iterations = 40;
+    opt.mapping.sa.chains = 2;
+    opt.threads = 2;
+    opt.maxCandidates = 4;
+
+    const DseResult r1 = runDse(opt);
+    const DseResult r2 = runDse(opt);
+    ASSERT_FALSE(r1.records.empty());
+    ASSERT_EQ(r1.records.size(), r2.records.size());
+    EXPECT_EQ(r1.bestIndex, r2.bestIndex);
+    for (std::size_t i = 0; i < r1.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(r1.records[i].objective, r2.records[i].objective);
+        EXPECT_EQ(r1.records[i].perModel.size(), 1u);
+    }
+}
+
 TEST(JointReuse, ScalePreservesChipletDesign)
 {
     const arch::ArchConfig base = arch::gArch72(); // 2 chiplets, 72 TOPs

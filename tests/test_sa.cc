@@ -183,5 +183,124 @@ TEST(SaEngineRun, StatsAreConsistent)
     EXPECT_LE(r.saStats.finalCost, r.saStats.initialCost * 1.0001);
 }
 
+TEST(SaEngineRun, IncrementalCostMatchesLegacyResum)
+{
+    // The incremental accumulator only changes how the objective is
+    // summed; the legacy full re-sum path must still satisfy the
+    // from-scratch consistency guarantee.
+    const dnn::Graph g = dnn::zoo::tinyConvChain(5);
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+    MappingOptions opts = fastOptions(500);
+    opts.maxGroupLayers = 3;
+    opts.sa.incrementalCost = false;
+    MappingEngine engine(g, a, opts);
+    const MappingResult r = engine.run();
+    const MappingResult check = engine.evaluateMapping(r.mapping);
+    EXPECT_NEAR(check.total.delay, r.total.delay,
+                1e-12 * std::abs(r.total.delay));
+    EXPECT_NEAR(check.total.totalEnergy(), r.total.totalEnergy(),
+                1e-9 * r.total.totalEnergy());
+}
+
+TEST(SaEngineRun, ChainSeedsAreDistinctAndAnchored)
+{
+    // Chain 0 must reuse the base seed verbatim (single-chain
+    // equivalence); later chains must all differ.
+    EXPECT_EQ(SaEngine::chainSeed(42, 0), 42u);
+    EXPECT_NE(SaEngine::chainSeed(42, 1), 42u);
+    EXPECT_NE(SaEngine::chainSeed(42, 1), SaEngine::chainSeed(42, 2));
+    EXPECT_NE(SaEngine::chainSeed(42, 1), SaEngine::chainSeed(43, 1));
+}
+
+TEST(SaEngineRun, MultiChainDeterministicUnderSeed)
+{
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions o = fastOptions(300);
+    o.sa.chains = 3;
+    MappingEngine e1(g, a, o);
+    MappingEngine e2(g, a, o);
+    const MappingResult r1 = e1.run();
+    const MappingResult r2 = e2.run();
+    EXPECT_DOUBLE_EQ(r1.total.delay, r2.total.delay);
+    EXPECT_DOUBLE_EQ(r1.total.totalEnergy(), r2.total.totalEnergy());
+    EXPECT_DOUBLE_EQ(r1.saStats.finalCost, r2.saStats.finalCost);
+    EXPECT_EQ(r1.saStats.bestChain, r2.saStats.bestChain);
+    EXPECT_EQ(r1.saStats.chains, 3);
+}
+
+TEST(SaEngineRun, MultiChainNoWorseThanSingleChain)
+{
+    // Chain 0 reuses the single-chain seed, so best-of-K can never be
+    // worse than the single-chain result at equal per-chain budget.
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions single = fastOptions(400);
+    MappingEngine e1(g, a, single);
+    const MappingResult r1 = e1.run();
+
+    MappingOptions multi = fastOptions(400);
+    multi.sa.chains = 4;
+    MappingEngine e4(g, a, multi);
+    const MappingResult r4 = e4.run();
+
+    EXPECT_LE(r4.saStats.finalCost,
+              r1.saStats.finalCost * (1.0 + 1e-12));
+}
+
+TEST(SaEngineRun, MultiChainParallelMatchesSerial)
+{
+    // Chains derive their seeds deterministically, and the caches are
+    // exact, so thread scheduling cannot change the outcome.
+    const dnn::Graph g = dnn::zoo::tinyInception();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions serial = fastOptions(300);
+    serial.sa.chains = 3;
+    serial.saThreads = 1;
+    MappingEngine e1(g, a, serial);
+    const MappingResult r1 = e1.run();
+
+    MappingOptions parallel = serial;
+    parallel.saThreads = 3;
+    MappingEngine e2(g, a, parallel);
+    const MappingResult r2 = e2.run();
+
+    EXPECT_DOUBLE_EQ(r1.total.delay, r2.total.delay);
+    EXPECT_DOUBLE_EQ(r1.total.totalEnergy(), r2.total.totalEnergy());
+    EXPECT_EQ(r1.saStats.bestChain, r2.saStats.bestChain);
+    EXPECT_DOUBLE_EQ(r1.saStats.finalCost, r2.saStats.finalCost);
+}
+
+TEST(SaEngineRun, MultiChainFinalCostMatchesReEvaluation)
+{
+    const dnn::Graph g = dnn::zoo::tinyConvChain(5);
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions opts = fastOptions(400);
+    opts.maxGroupLayers = 3; // multiple groups (cross-group flows)
+    opts.sa.chains = 3;
+    MappingEngine engine(g, a, opts);
+    const MappingResult r = engine.run();
+
+    const MappingResult check = engine.evaluateMapping(r.mapping);
+    EXPECT_NEAR(check.total.delay, r.total.delay,
+                1e-12 * std::abs(r.total.delay));
+    EXPECT_NEAR(check.total.totalEnergy(), r.total.totalEnergy(),
+                1e-9 * r.total.totalEnergy());
+}
+
 } // namespace
 } // namespace gemini::mapping
