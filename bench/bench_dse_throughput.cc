@@ -1,0 +1,187 @@
+/**
+ * @file
+ * DSE outer-loop throughput: exhaustive full-budget exploration versus the
+ * multi-fidelity scheduler (screen -> race -> polish) on the paper's
+ * 72 TOPs Table-I axes. Reports wall-clock, summed candidate-evaluation
+ * CPU-seconds, SA iterations spent and the winning objective of both
+ * drivers, prints the scheduler's per-rung ledger, and emits
+ * BENCH_dse_throughput.json for CI trend tracking. The scheduler's target
+ * is >= 3x lower CPU time at an equal-or-better final objective.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/dse.hh"
+#include "src/dse/records.hh"
+
+using namespace gemini;
+
+namespace {
+
+struct RunOutcome
+{
+    dse::DseResult result;
+    double wallSeconds = 0.0;
+};
+
+RunOutcome
+runOnce(const dse::DseOptions &options)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    RunOutcome out;
+    out.result = dse::runDse(options);
+    out.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return out;
+}
+
+long
+saItersTotal(const dse::DseResult &r)
+{
+    long total = 0;
+    for (const auto &rec : r.records)
+        total += rec.saIters;
+    return total;
+}
+
+} // namespace
+
+int
+main()
+{
+    benchutil::printHeader(
+        "DSE throughput — exhaustive vs multi-fidelity scheduler",
+        "Sec. V-A outer loop (flat 80-100-thread fan-out) + successive "
+        "halving");
+
+    dnn::Graph model =
+        benchutil::effortLevel() == 0
+            ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
+            : (benchutil::effortLevel() >= 2
+                   ? dnn::zoo::transformerBase()
+                   : dnn::zoo::tinyTransformer(64, 128, 4, 1));
+
+    dse::DseOptions options;
+    options.axes = dse::DseAxes::paper72();
+    options.models = {&model};
+    options.mapping.batch = benchutil::effortLevel() == 0 ? 8 : 64;
+    options.mapping.maxGroupLayers = benchutil::scaled(4, 6, 12);
+    options.mapping.sa.iterations = benchutil::scaled(768, 2048, 8000);
+    options.maxCandidates =
+        static_cast<std::size_t>(benchutil::scaled(24, 96, 384));
+
+    // Exhaustive: every candidate gets the full SA budget (the paper's
+    // driver). Serial chains per candidate so cpu_seconds ~= wall * threads.
+    dse::DseOptions exhaustive = options;
+    exhaustive.schedule.enabled = false;
+    const RunOutcome flat = runOnce(exhaustive);
+
+    // Scheduled: identical final (polish) budget, but only for finalists.
+    dse::DseOptions scheduled = options;
+    scheduled.schedule.enabled = true;
+    scheduled.schedule.rungs = 3;
+    scheduled.schedule.keepFraction = 0.4;
+    scheduled.schedule.baseIters =
+        std::max(16, options.mapping.sa.iterations / 16);
+    scheduled.schedule.minKeep = 3;
+    const RunOutcome multi = runOnce(scheduled);
+
+    const double flat_obj = flat.result.bestIndex >= 0
+                                ? flat.result.best().objective
+                                : 0.0;
+    const double multi_obj = multi.result.bestIndex >= 0
+                                 ? multi.result.best().objective
+                                 : 0.0;
+    const double flat_cpu = flat.result.stats.cpuSeconds();
+    const double multi_cpu = multi.result.stats.cpuSeconds();
+    const double cpu_speedup = multi_cpu > 0.0 ? flat_cpu / multi_cpu : 0.0;
+    const double wall_speedup =
+        multi.wallSeconds > 0.0 ? flat.wallSeconds / multi.wallSeconds : 0.0;
+    const double obj_ratio = flat_obj > 0.0 ? multi_obj / flat_obj : 0.0;
+
+    benchutil::ConsoleTable t({"driver", "candidates", "sa_iters",
+                               "cpu_s", "wall_s", "best objective"});
+    t.addRow("exhaustive", static_cast<int>(flat.result.records.size()),
+             static_cast<double>(saItersTotal(flat.result)), flat_cpu,
+             flat.wallSeconds, flat_obj);
+    t.addRow("scheduled", static_cast<int>(multi.result.records.size()),
+             static_cast<double>(saItersTotal(multi.result)), multi_cpu,
+             multi.wallSeconds, multi_obj);
+    t.print();
+
+    std::printf("scheduler rung ledger:\n");
+    benchutil::ConsoleTable rt({"rung", "in", "out", "pruned bound",
+                                "pruned rank", "sa_iters", "cpu_s",
+                                "best objective"});
+    for (const auto &rs : multi.result.stats.rungs)
+        rt.addRow(rs.name, rs.entered, rs.advanced, rs.prunedBound,
+                  rs.prunedRank, rs.saIters, rs.cpuSeconds,
+                  rs.bestObjective);
+    rt.print();
+
+    std::printf("cpu speedup %.2fx, wall speedup %.2fx, objective ratio "
+                "%.4f (<= 1 means scheduled is equal or better)\n",
+                cpu_speedup, wall_speedup, obj_ratio);
+    std::printf("targets: cpu speedup >= 3x %s, objective ratio <= 1 %s\n",
+                cpu_speedup >= 3.0 ? "PASS" : "FAIL",
+                obj_ratio <= 1.0 + 1e-9 ? "PASS" : "FAIL");
+
+    multi.result.writeCsv("dse_scheduled_records.csv",
+                          "dse_scheduled_rungs.csv");
+
+    FILE *json = std::fopen("BENCH_dse_throughput.json", "w");
+    if (json) {
+        std::fprintf(json, "{\n");
+        std::fprintf(json, "  \"axes\": \"paper72\",\n");
+        std::fprintf(json, "  \"model\": \"%s\",\n", model.name().c_str());
+        std::fprintf(json, "  \"candidates\": %zu,\n",
+                     flat.result.records.size());
+        std::fprintf(json, "  \"sa_iterations_full\": %d,\n",
+                     options.mapping.sa.iterations);
+        std::fprintf(json,
+                     "  \"exhaustive\": {\"cpu_seconds\": %.6f, "
+                     "\"wall_seconds\": %.6f, \"sa_iters\": %ld, "
+                     "\"best_objective\": %.10g, \"best_arch\": \"%s\"},\n",
+                     flat_cpu, flat.wallSeconds, saItersTotal(flat.result),
+                     flat_obj,
+                     flat.result.bestIndex >= 0
+                         ? flat.result.best().arch.toString().c_str()
+                         : "none");
+        std::fprintf(json,
+                     "  \"scheduled\": {\"cpu_seconds\": %.6f, "
+                     "\"wall_seconds\": %.6f, \"sa_iters\": %ld, "
+                     "\"best_objective\": %.10g, \"best_arch\": \"%s\",\n",
+                     multi_cpu, multi.wallSeconds,
+                     saItersTotal(multi.result), multi_obj,
+                     multi.result.bestIndex >= 0
+                         ? multi.result.best().arch.toString().c_str()
+                         : "none");
+        std::fprintf(json, "    \"rungs\": [\n");
+        const auto &rungs = multi.result.stats.rungs;
+        for (std::size_t i = 0; i < rungs.size(); ++i) {
+            const auto &rs = rungs[i];
+            std::fprintf(json,
+                         "      {\"name\": \"%s\", \"entered\": %d, "
+                         "\"advanced\": %d, \"pruned_bound\": %d, "
+                         "\"pruned_rank\": %d, \"sa_iters\": %d, "
+                         "\"cpu_seconds\": %.6f}%s\n",
+                         rs.name.c_str(), rs.entered, rs.advanced,
+                         rs.prunedBound, rs.prunedRank, rs.saIters,
+                         rs.cpuSeconds,
+                         i + 1 < rungs.size() ? "," : "");
+        }
+        std::fprintf(json, "    ]\n  },\n");
+        std::fprintf(json, "  \"cpu_speedup\": %.4f,\n", cpu_speedup);
+        std::fprintf(json, "  \"wall_speedup\": %.4f,\n", wall_speedup);
+        std::fprintf(json, "  \"objective_ratio\": %.6f\n", obj_ratio);
+        std::fprintf(json, "}\n");
+        std::fclose(json);
+        std::printf("metrics -> BENCH_dse_throughput.json\n");
+    }
+    return 0;
+}

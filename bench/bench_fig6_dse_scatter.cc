@@ -14,7 +14,6 @@
 #include <vector>
 
 #include "bench_util.hh"
-#include "src/common/csv.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/dse.hh"
 
@@ -41,18 +40,9 @@ runScatter(double tops, const dse::DseAxes &axes)
     const dse::DseResult result = dse::runDse(opt);
     const dse::DseRecord &best = result.best();
     const double edp0 = best.edp();
-    const double mc0 = best.mc.total();
 
-    CsvTable csv({"chiplets", "cores", "mac_per_core", "glb_kib",
-                  "noc_gbps", "d2d_gbps", "norm_edp", "norm_mc",
-                  "feasible"});
     std::map<int, std::vector<double>> edp_by_chiplet, edp_by_core;
     for (const auto &rec : result.records) {
-        csv.addRow(rec.arch.chipletCount(), rec.arch.coreCount(),
-                   rec.arch.macsPerCore, rec.arch.glbKiB,
-                   rec.arch.nocBwGBps, rec.arch.d2dBwGBps,
-                   rec.edp() / edp0, rec.mc.total() / mc0,
-                   rec.feasible ? 1 : 0);
         if (rec.feasible) {
             edp_by_chiplet[rec.arch.chipletCount()].push_back(rec.edp() /
                                                               edp0);
@@ -61,7 +51,9 @@ runScatter(double tops, const dse::DseAxes &axes)
     }
     const std::string path =
         "fig6_" + std::to_string(static_cast<int>(tops)) + "tops.csv";
-    csv.writeFile(path);
+    // The shared writer emits the scatter columns (norm_edp / norm_mc
+    // relative to the MC*E*D winner) alongside the full record table.
+    result.writeCsv(path);
     std::printf("\n-- %.0f TOPs: %zu candidates evaluated, scatter -> %s\n",
                 tops, result.records.size(), path.c_str());
 

@@ -1,13 +1,28 @@
 #include "src/dse/dse.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include "src/common/logging.hh"
 #include "src/common/thread_pool.hh"
 
 namespace gemini::dse {
+
+double
+DseStats::cpuSeconds() const
+{
+    double total = 0.0;
+    for (const DseRungStats &r : rungs)
+        total += r.cpuSeconds;
+    return total;
+}
 
 const DseRecord &
 DseResult::best() const
@@ -20,12 +35,471 @@ DseResult::best() const
 
 namespace {
 
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 double
 objectiveOf(const DseRecord &r, double alpha, double beta, double gamma)
 {
     return std::pow(r.mc.total(), alpha) * std::pow(r.energyGeo, beta) *
            std::pow(r.delayGeo, gamma);
 }
+
+/**
+ * Fill the geometric means and objective of a record whose perModel list
+ * is complete. A zero/degenerate delay or energy would feed std::log and
+ * poison the geomeans with -inf/NaN — such records are marked infeasible
+ * with an infinite objective instead, so bestUnder comparisons stay sound.
+ */
+void
+finishRecord(DseRecord &rec, const DseOptions &options)
+{
+    rec.feasible = true;
+    double log_delay = 0.0;
+    double log_energy = 0.0;
+    bool degenerate = false;
+    for (const eval::EvalBreakdown &total : rec.perModel) {
+        rec.feasible = rec.feasible && total.feasible();
+        const double d = total.delay;
+        const double e = total.totalEnergy();
+        if (!(d > 0.0) || !(e > 0.0) || !std::isfinite(d) ||
+            !std::isfinite(e)) {
+            degenerate = true;
+            continue;
+        }
+        log_delay += std::log(d);
+        log_energy += std::log(e);
+    }
+    if (degenerate) {
+        rec.feasible = false;
+        rec.delayGeo = 0.0;
+        rec.energyGeo = 0.0;
+        rec.objective = kInf;
+        return;
+    }
+    const double n = static_cast<double>(rec.perModel.size());
+    rec.delayGeo = std::exp(log_delay / n);
+    rec.energyGeo = std::exp(log_energy / n);
+    rec.objective =
+        objectiveOf(rec, options.alpha, options.beta, options.gamma);
+}
+
+/**
+ * Workload-independent objective lower bound of one candidate. MC is
+ * exact. Per model, any mapping must (a) execute every MAC, so delay is
+ * at least total MACs over the peak MAC rate and energy at least MACs
+ * times the unit MAC energy, and (b) move the compulsory DRAM traffic —
+ * each layer's weights at least once plus every network-output element
+ * once per batch sample — so delay is also at least those bytes over the
+ * aggregate DRAM bandwidth, with the matching DRAM energy floor.
+ * (External-input reads are compulsory too but strided kernels may skip
+ * input pixels, so they are left out to keep the bound sound; see
+ * DESIGN.md.) A 0.1% safety margin absorbs summation-order noise.
+ */
+double
+objectiveLowerBoundOf(const arch::ArchConfig &cfg, const DseOptions &o,
+                      double mc_total)
+{
+    if (o.alpha < 0.0 || o.beta < 0.0 || o.gamma < 0.0)
+        return 0.0; // bound only monotone for non-negative exponents
+    const arch::TechParams &tech = o.mapping.tech;
+    const double batch = static_cast<double>(o.mapping.batch);
+    const double peak_macs_per_sec = static_cast<double>(cfg.coreCount()) *
+                                     cfg.macsPerCore * cfg.freqGHz * 1e9;
+    const double dram_bps = cfg.dramBwGBps * 1e9;
+
+    double log_delay = 0.0;
+    double log_energy = 0.0;
+    for (const dnn::Graph *g : o.models) {
+        const double macs = static_cast<double>(g->totalMacs()) * batch;
+        double out_volume = 0.0;
+        for (const dnn::Layer &l : g->layers())
+            if (l.isOutput)
+                out_volume += static_cast<double>(l.ofmapVolume());
+        const double dram_bytes =
+            static_cast<double>(g->totalWeightBytes()) + batch * out_volume;
+        const double delay_lb =
+            std::max(macs / peak_macs_per_sec, dram_bytes / dram_bps);
+        const double energy_lb =
+            macs * tech.macJ + dram_bytes * tech.dramJPerByte;
+        log_delay += std::log(std::max(delay_lb, 1e-300));
+        log_energy += std::log(std::max(energy_lb, 1e-300));
+    }
+    const double n = static_cast<double>(o.models.size());
+    const double delay_geo = std::exp(log_delay / n);
+    const double energy_geo = std::exp(log_energy / n);
+    return 0.999 * std::pow(mc_total, o.alpha) *
+           std::pow(energy_geo, o.beta) * std::pow(delay_geo, o.gamma);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Shared read-only intra-core memos: candidates that agree on
+ * (macsPerCore, glbKiB) — tech and frequency are fixed within one DSE run
+ * — search identical tile spaces, so the screen rung pools their Explorer
+ * caches. Entries are exact, which keeps results independent of sharing
+ * (and therefore of thread scheduling). One pool-wide mutex guards both
+ * directions; on many-core hosts with huge memos the seed-side full-map
+ * copy can contend — per-key locks or an immutable snapshot handoff are
+ * the known next steps if the screen rung ever stops scaling.
+ */
+class ExplorerPool
+{
+  public:
+    explicit ExplorerPool(const arch::TechParams &tech) : tech_(tech) {}
+
+    /**
+     * Pre-warm `engine`'s explorer from the pool.
+     * @return the explorer's entry count after seeding (pass to collect).
+     */
+    std::size_t
+    seed(mapping::MappingEngine &engine)
+    {
+        std::lock_guard lock(mu_);
+        engine.explorer().absorb(sharedOf(engine.arch()));
+        return engine.explorer().cacheSize();
+    }
+
+    /**
+     * Merge `engine`'s explorer memo back into the pool. Skipped when the
+     * engine discovered nothing beyond its seed, so fully-warmed pools
+     * stop paying the merge (the memo only ever grows).
+     */
+    void
+    collect(mapping::MappingEngine &engine, std::size_t seeded_size)
+    {
+        if (engine.explorer().cacheSize() == seeded_size)
+            return;
+        std::lock_guard lock(mu_);
+        sharedOf(engine.arch()).absorb(engine.explorer());
+    }
+
+  private:
+    intracore::Explorer &
+    sharedOf(const arch::ArchConfig &cfg)
+    {
+        const std::pair<int, int> key{cfg.macsPerCore, cfg.glbKiB};
+        auto it = pool_.find(key);
+        if (it == pool_.end())
+            it = pool_
+                     .try_emplace(key, cfg.macsPerCore, cfg.glbBytes(),
+                                  cfg.freqGHz, tech_)
+                     .first;
+        return it->second;
+    }
+
+    arch::TechParams tech_;
+    std::mutex mu_;
+    std::map<std::pair<int, int>, intracore::Explorer> pool_;
+};
+
+/**
+ * The multi-fidelity DSE scheduler (screen -> race -> polish). All rungs
+ * stream over one shared thread pool: a candidate's next-rung task is
+ * submitted the moment its cohort's keep-decision resolves, so the pool
+ * never drains between rungs. Keep-decisions are computed by whichever
+ * worker finishes a cohort last, from per-candidate objectives that do
+ * not depend on scheduling — the whole run is deterministic for any
+ * thread count.
+ */
+class MultiFidelityScheduler
+{
+  public:
+    MultiFidelityScheduler(const DseOptions &options,
+                           std::vector<arch::ArchConfig> candidates,
+                           std::size_t threads)
+        : opts_(options), candidates_(std::move(candidates)),
+          explorers_(options.mapping.tech), pool_(threads)
+    {
+        // Rung tasks each occupy one pool worker; chains run serially
+        // inside them so candidate- and chain-level parallelism never
+        // oversubscribe the machine.
+        opts_.mapping.saThreads = 1;
+    }
+
+    DseResult
+    run()
+    {
+        const std::size_t n = candidates_.size();
+        result_.records.resize(n);
+        states_.resize(n);
+
+        const int n_rungs = polishRung() + 1;
+        cohorts_.assign(static_cast<std::size_t>(n_rungs), {});
+        done_.assign(static_cast<std::size_t>(n_rungs), 0);
+        result_.stats.scheduled = true;
+        result_.stats.rungs.resize(static_cast<std::size_t>(n_rungs));
+        for (int r = 0; r < n_rungs; ++r) {
+            DseRungStats &rs = result_.stats.rungs[static_cast<std::size_t>(r)];
+            rs.name = rungName(r);
+            rs.saIters = rungIters(r) * rungChains(r);
+            rs.bestObjective = kInf;
+        }
+
+        auto &screen = cohorts_[0];
+        screen.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            screen.push_back(i);
+        result_.stats.rungs[0].entered = static_cast<int>(n);
+        for (std::size_t i = 0; i < n; ++i)
+            pool_.submit([this, i] { runScreen(i); });
+        pool_.waitIdle();
+
+        // The winner comes from the polish cohort: only finalists carry a
+        // full-budget evaluation, so cross-fidelity objective comparisons
+        // never decide the result.
+        result_.bestIndex = -1;
+        double best_obj = kInf;
+        for (std::size_t i : cohorts_[static_cast<std::size_t>(polishRung())]) {
+            const DseRecord &rec = result_.records[i];
+            if (!rec.feasible || !std::isfinite(rec.objective))
+                continue;
+            if (rec.objective < best_obj) {
+                best_obj = rec.objective;
+                result_.bestIndex = static_cast<int>(i);
+            }
+        }
+        return std::move(result_);
+    }
+
+  private:
+    struct CandState
+    {
+        std::vector<std::unique_ptr<mapping::MappingEngine>> engines;
+        std::vector<mapping::LpMapping> mappings; ///< per-model warm starts
+    };
+
+    int raceRungs() const { return std::max(0, opts_.schedule.rungs); }
+    int polishRung() const { return raceRungs() + 1; }
+
+    std::string
+    rungName(int rung) const
+    {
+        if (rung == 0)
+            return "screen";
+        if (rung == polishRung())
+            return "polish";
+        return "race" + std::to_string(rung);
+    }
+
+    /**
+     * Per-model SA budget of one rung: doubles every race round,
+     * saturating (rather than overflowing) for absurd rung counts.
+     */
+    int
+    rungIters(int rung) const
+    {
+        if (rung == 0)
+            return 0;
+        if (rung == polishRung())
+            return opts_.mapping.sa.iterations;
+        const int shift = std::min(rung - 1, 30);
+        const auto grown =
+            static_cast<long long>(std::max(1, opts_.schedule.baseIters))
+            << shift;
+        return static_cast<int>(std::min<long long>(
+            grown, std::numeric_limits<int>::max()));
+    }
+
+    int
+    rungChains(int rung) const
+    {
+        if (rung != polishRung())
+            return 1;
+        return std::max({1, opts_.mapping.sa.chains,
+                         opts_.schedule.polishChains});
+    }
+
+    /** Fresh deterministic SA seed per rung (chains derive from it). */
+    std::uint64_t
+    rungSeed(int rung) const
+    {
+        return mapping::SaEngine::chainSeed(opts_.mapping.sa.seed,
+                                            0x5A + rung);
+    }
+
+    void
+    runScreen(std::size_t i)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        const arch::ArchConfig &cfg = candidates_[i];
+        DseRecord &rec = result_.records[i];
+        rec.arch = cfg;
+        rec.mc = cost::McEvaluator(opts_.costParams).evaluate(cfg);
+        rec.objectiveLowerBound =
+            objectiveLowerBoundOf(cfg, opts_, rec.mc.total());
+
+        CandState &st = states_[i];
+        st.mappings.reserve(opts_.models.size());
+        rec.perModel.reserve(opts_.models.size());
+        for (const dnn::Graph *model : opts_.models) {
+            // Screen engines are throwaway: only the stripe mapping and
+            // the pooled explorer memo survive into the race rungs, so
+            // per-candidate analyzer caches never pile up across the
+            // whole (possibly huge) candidate list.
+            mapping::MappingOptions mo = opts_.mapping;
+            mo.runSa = false;
+            mapping::MappingEngine engine(*model, cfg, mo);
+            const std::size_t seeded = explorers_.seed(engine);
+            mapping::MappingResult res = engine.run();
+            explorers_.collect(engine, seeded);
+            st.mappings.push_back(std::move(res.mapping));
+            rec.perModel.push_back(res.total);
+        }
+        finishRecord(rec, opts_);
+        rec.rungReached = 0;
+        finishTask(0, i, secondsSince(t0));
+    }
+
+    void
+    ensureEngines(std::size_t i)
+    {
+        CandState &st = states_[i];
+        if (!st.engines.empty())
+            return;
+        for (const dnn::Graph *model : opts_.models) {
+            auto engine = std::make_unique<mapping::MappingEngine>(
+                *model, candidates_[i], opts_.mapping);
+            explorers_.seed(*engine); // reuse the screen-warmed tile memo
+            st.engines.push_back(std::move(engine));
+        }
+    }
+
+    void
+    runSaRung(int rung, std::size_t i)
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        DseRecord &rec = result_.records[i];
+        CandState &st = states_[i];
+        ensureEngines(i);
+
+        const int iters = rungIters(rung);
+        const int chains = rungChains(rung);
+        for (std::size_t m = 0; m < opts_.models.size(); ++m) {
+            mapping::MappingEngine &engine = *st.engines[m];
+            mapping::MappingOptions &mo = engine.mutableOptions();
+            mo.runSa = true;
+            mo.sa.iterations = iters;
+            mo.sa.chains = chains;
+            mo.sa.seed = rungSeed(rung);
+            mapping::MappingResult res = engine.runFrom(st.mappings[m]);
+            st.mappings[m] = std::move(res.mapping);
+            rec.perModel[m] = res.total;
+            rec.saIters += iters * chains;
+        }
+        finishRecord(rec, opts_);
+        rec.rungReached = rung;
+        finishTask(rung, i, secondsSince(t0));
+    }
+
+    void
+    finishTask(int rung, std::size_t i, double seconds)
+    {
+        std::lock_guard lock(mu_);
+        result_.stats.rungs[static_cast<std::size_t>(rung)].cpuSeconds +=
+            seconds;
+        result_.records[i].evalSeconds += seconds;
+        if (++done_[static_cast<std::size_t>(rung)] ==
+            cohorts_[static_cast<std::size_t>(rung)].size())
+            resolveLocked(rung);
+    }
+
+    /**
+     * Cohort keep-decision, run by the cohort's last finisher (mu_ held):
+     * the screen prunes by the objective lower bound, race rounds keep the
+     * top keepFraction, and survivors' next-rung tasks are submitted
+     * immediately onto the shared pool.
+     */
+    void
+    resolveLocked(int rung)
+    {
+        DseRungStats &rs = result_.stats.rungs[static_cast<std::size_t>(rung)];
+        const std::vector<std::size_t> &members =
+            cohorts_[static_cast<std::size_t>(rung)];
+
+        for (std::size_t i : members) {
+            const DseRecord &rec = result_.records[i];
+            if (rec.feasible && std::isfinite(rec.objective))
+                rs.bestObjective = std::min(rs.bestObjective, rec.objective);
+        }
+        if (rung == polishRung())
+            return;
+
+        std::vector<std::size_t> survivors;
+        if (rung == 0) {
+            // Sound prune: the screened best is achievable, so a candidate
+            // whose lower bound exceeds it can never win, at any budget.
+            const double best_achievable = rs.bestObjective;
+            for (std::size_t i : members) {
+                DseRecord &rec = result_.records[i];
+                if (opts_.schedule.lowerBoundPrune &&
+                    std::isfinite(best_achievable) &&
+                    rec.objectiveLowerBound > best_achievable) {
+                    rec.prunedByBound = true;
+                    ++rs.prunedBound;
+                    states_[i] = CandState{};
+                } else {
+                    survivors.push_back(i);
+                }
+            }
+        } else {
+            // Rank by objective (infeasible and non-finite last), ties by
+            // candidate index: deterministic for any completion order.
+            std::vector<std::size_t> ranked = members;
+            auto key = [this](std::size_t i) {
+                const DseRecord &rec = result_.records[i];
+                return (rec.feasible && std::isfinite(rec.objective))
+                           ? rec.objective
+                           : kInf;
+            };
+            std::sort(ranked.begin(), ranked.end(),
+                      [&](std::size_t a, std::size_t b) {
+                          const double ka = key(a), kb = key(b);
+                          return ka < kb || (ka == kb && a < b);
+                      });
+            // minKeep may exceed the cohort (the screen prune has no
+            // survivor floor), so clamp the floor itself before applying.
+            const auto want = static_cast<std::size_t>(std::ceil(
+                static_cast<double>(ranked.size()) *
+                std::clamp(opts_.schedule.keepFraction, 0.0, 1.0)));
+            const std::size_t floor_keep = std::max<std::size_t>(
+                1, std::min(opts_.schedule.minKeep, ranked.size()));
+            const std::size_t keep =
+                std::min(ranked.size(), std::max(want, floor_keep));
+            survivors.assign(ranked.begin(),
+                             ranked.begin() + static_cast<long>(keep));
+            std::sort(survivors.begin(), survivors.end());
+            for (std::size_t k = keep; k < ranked.size(); ++k) {
+                ++rs.prunedRank;
+                states_[ranked[k]] = CandState{};
+            }
+        }
+
+        rs.advanced = static_cast<int>(survivors.size());
+        const int next = rung + 1;
+        cohorts_[static_cast<std::size_t>(next)] = survivors;
+        result_.stats.rungs[static_cast<std::size_t>(next)].entered =
+            static_cast<int>(survivors.size());
+        for (std::size_t i : survivors)
+            pool_.submit([this, next, i] { runSaRung(next, i); });
+    }
+
+    DseOptions opts_;
+    std::vector<arch::ArchConfig> candidates_;
+    DseResult result_;
+    std::vector<CandState> states_;
+    ExplorerPool explorers_;
+    ThreadPool pool_;
+    std::mutex mu_;
+    std::vector<std::vector<std::size_t>> cohorts_; ///< members per rung
+    std::vector<std::size_t> done_;                 ///< finished per rung
+};
 
 } // namespace
 
@@ -38,6 +512,8 @@ DseResult::bestUnder(double alpha, double beta, double gamma) const
         if (!records[i].feasible)
             continue;
         const double obj = objectiveOf(records[i], alpha, beta, gamma);
+        if (!std::isfinite(obj))
+            continue;
         if (best < 0 || obj < best_obj) {
             best = static_cast<int>(i);
             best_obj = obj;
@@ -53,28 +529,25 @@ evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
     DseRecord rec;
     rec.arch = cfg;
     rec.mc = cost::McEvaluator(options.costParams).evaluate(cfg);
+    rec.objectiveLowerBound =
+        objectiveLowerBoundOf(cfg, options, rec.mc.total());
 
-    double log_delay = 0.0;
-    double log_energy = 0.0;
     for (const dnn::Graph *model : options.models) {
         mapping::MappingEngine engine(*model, cfg, options.mapping);
         const mapping::MappingResult result = engine.run();
         rec.perModel.push_back(result.total);
-        rec.feasible = rec.feasible && result.total.feasible();
-        log_delay += std::log(result.total.delay);
-        log_energy += std::log(result.total.totalEnergy());
+        if (options.mapping.runSa)
+            rec.saIters += options.mapping.sa.iterations *
+                           std::max(1, options.mapping.sa.chains);
     }
-    const double n = static_cast<double>(options.models.size());
-    rec.delayGeo = std::exp(log_delay / n);
-    rec.energyGeo = std::exp(log_energy / n);
-    rec.objective =
-        objectiveOf(rec, options.alpha, options.beta, options.gamma);
+    finishRecord(rec, options);
     return rec;
 }
 
 DseResult
 runDse(const DseOptions &options)
 {
+    GEMINI_ASSERT(!options.models.empty(), "DSE needs at least one model");
     std::vector<arch::ArchConfig> candidates =
         enumerateCandidates(options.axes);
     GEMINI_ASSERT(!candidates.empty(), "axis lists produced no candidates");
@@ -102,6 +575,14 @@ runDse(const DseOptions &options)
         options.threads > 0
             ? static_cast<std::size_t>(options.threads)
             : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+    // The race and polish rungs *are* SA runs, so a schedule without SA is
+    // meaningless — honor runSa=false with the flat (stripe-only) driver.
+    if (options.schedule.enabled && options.mapping.runSa)
+        return MultiFidelityScheduler(options, std::move(candidates),
+                                      budget)
+            .run();
+
     DseOptions opts = options;
     std::size_t outer = budget;
     const int chains = opts.mapping.sa.chains;
@@ -122,11 +603,29 @@ runDse(const DseOptions &options)
     result.records.resize(candidates.size());
     ThreadPool pool(outer);
     pool.parallelFor(candidates.size(), [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
         result.records[i] = evaluateCandidate(candidates[i], opts);
+        result.records[i].evalSeconds = secondsSince(t0);
     });
 
     result.bestIndex =
         result.bestUnder(options.alpha, options.beta, options.gamma);
+
+    DseRungStats flat;
+    flat.name = "exhaustive";
+    flat.entered = static_cast<int>(result.records.size());
+    flat.saIters = opts.mapping.runSa
+                       ? opts.mapping.sa.iterations *
+                             std::max(1, opts.mapping.sa.chains)
+                       : 0;
+    flat.bestObjective = kInf;
+    for (const DseRecord &rec : result.records) {
+        flat.cpuSeconds += rec.evalSeconds;
+        if (rec.feasible && std::isfinite(rec.objective))
+            flat.bestObjective = std::min(flat.bestObjective, rec.objective);
+    }
+    result.stats.scheduled = false;
+    result.stats.rungs.push_back(std::move(flat));
     return result;
 }
 

@@ -23,6 +23,73 @@
 
 namespace gemini::dse {
 
+/**
+ * Multi-fidelity schedule of the DSE outer loop: a *screen* rung evaluates
+ * every candidate with the cheap stripe-only T-Map pipeline plus a
+ * monetary-cost/peak-bandwidth lower bound that hard-prunes candidates
+ * which cannot beat the best screened objective even with a perfect
+ * mapping; a *race* of successive-halving rounds doubles the per-candidate
+ * SA budget each round and keeps the top `keepFraction`, warm-starting
+ * each survivor's SA from its previous rung's best mapping; a final
+ * *polish* rung gives the finalists the full SaOptions budget and
+ * multi-chain annealing. Disabled by default (flat exhaustive DSE).
+ */
+struct DseSchedule
+{
+    /**
+     * false = the flat full-budget fan-out over every candidate. The
+     * race/polish rungs are SA runs, so the schedule is also bypassed
+     * (flat stripe-only evaluation) when MappingOptions::runSa is false.
+     */
+    bool enabled = false;
+
+    /** Successive-halving race rounds between screen and polish. */
+    int rungs = 3;
+
+    /** Fraction of a race cohort promoted to the next round. */
+    double keepFraction = 0.5;
+
+    /** SA iterations of race round 1 (doubles every later round). */
+    int baseIters = 64;
+
+    /** Apply the screen-rung objective lower-bound prune. */
+    bool lowerBoundPrune = true;
+
+    /** Rank pruning never cuts a cohort below this many candidates. */
+    std::size_t minKeep = 4;
+
+    /**
+     * Annealing chains of the polish rung (the effective count is the
+     * larger of this and SaOptions::chains). Finalists are few, so
+     * best-of-K polish costs little and recovers the quality a harsh
+     * race schedule might lose.
+     */
+    int polishChains = 2;
+};
+
+/** Per-rung statistics of one scheduled (or flat) DSE run. */
+struct DseRungStats
+{
+    std::string name;    ///< "screen", "race1".., "polish" ("exhaustive")
+    int entered = 0;     ///< candidates evaluated at this rung
+    int advanced = 0;    ///< candidates promoted to the next rung
+    int prunedBound = 0; ///< dropped by the objective lower bound
+    int prunedRank = 0;  ///< dropped by the keep-fraction ranking
+    int saIters = 0;     ///< per-candidate per-model SA budget of the rung
+    double cpuSeconds = 0.0;    ///< summed per-candidate eval seconds
+    double bestObjective = 0.0; ///< best feasible objective after the rung
+};
+
+/** Whole-run statistics attached to DseResult. */
+struct DseStats
+{
+    bool scheduled = false;        ///< ran the multi-fidelity scheduler
+    std::vector<DseRungStats> rungs;
+
+    /** Total candidate-evaluation CPU-seconds across all rungs. */
+    double cpuSeconds() const;
+};
+
 /** Options of one DSE run. */
 struct DseOptions
 {
@@ -50,6 +117,9 @@ struct DseOptions
      * this to keep runtimes laptop-friendly.
      */
     std::size_t maxCandidates = 0;
+
+    /** Multi-fidelity budget allocation of the outer loop. */
+    DseSchedule schedule;
 };
 
 /** Result of one candidate evaluation. */
@@ -63,6 +133,29 @@ struct DseRecord
     bool feasible = true;
     std::vector<eval::EvalBreakdown> perModel;
 
+    /**
+     * Workload-independent objective lower bound (MC exact; energy/delay
+     * from compulsory MACs and DRAM traffic at peak bandwidth). No
+     * mapping of this architecture can score below it.
+     */
+    double objectiveLowerBound = 0.0;
+
+    /**
+     * Deepest rung this candidate was evaluated at: 0 = screen,
+     * 1..rungs = race rounds, rungs+1 = polish. -1 = flat driver (one
+     * full-budget evaluation).
+     */
+    int rungReached = -1;
+
+    /** Dropped at the screen because its lower bound cannot win. */
+    bool prunedByBound = false;
+
+    /** Total SA iterations spent on this candidate (all rungs, models). */
+    int saIters = 0;
+
+    /** CPU-seconds spent evaluating this candidate. */
+    double evalSeconds = 0.0;
+
     double edp() const { return energyGeo * delayGeo; }
 };
 
@@ -71,11 +164,20 @@ struct DseResult
 {
     std::vector<DseRecord> records;
     int bestIndex = -1;
+    DseStats stats;
 
     const DseRecord &best() const;
 
     /** Index of the best record under different exponents (Fig. 6/7). */
     int bestUnder(double alpha, double beta, double gamma) const;
+
+    /**
+     * Write the per-candidate records as CSV (see recordsTable in
+     * records.hh); optionally also write the per-rung DseStats table.
+     * Implemented in records.cc. @return false on I/O failure.
+     */
+    bool writeCsv(const std::string &path,
+                  const std::string &rung_stats_path = "") const;
 };
 
 /** Evaluate a single candidate (exposed for tests and Fig. 8). */

@@ -2,7 +2,11 @@
  * @file
  * Exploration-record export: the paper's DSE emits a result.csv per run
  * (Appendix E); this writes the equivalent table for a DseResult so runs
- * can be compared/plotted outside the framework.
+ * can be compared/plotted outside the framework. One canonical writer
+ * serves the benches and examples (DseResult::writeCsv), including the
+ * normalized Fig. 6 scatter columns and the multi-fidelity scheduler's
+ * per-candidate rung columns; the per-rung DseStats summary has its own
+ * table.
  */
 
 #ifndef GEMINI_DSE_RECORDS_HH
@@ -15,14 +19,28 @@
 
 namespace gemini::dse {
 
-/** Build the result table (one row per evaluated candidate). */
+/**
+ * Build the result table (one row per evaluated candidate). Includes
+ * norm_edp / norm_mc relative to the winning record (0 when no winner)
+ * and the scheduler columns (rung, pruned_bound, obj_lower_bound,
+ * sa_iters, eval_seconds).
+ */
 CsvTable recordsTable(const DseResult &result);
+
+/** Build the per-rung scheduler-statistics table. */
+CsvTable rungStatsTable(const DseStats &stats);
 
 /**
  * Write result.csv-style output.
  * @return false on I/O failure.
  */
 bool writeRecordsCsv(const DseResult &result, const std::string &path);
+
+/**
+ * Write the per-rung statistics table.
+ * @return false on I/O failure.
+ */
+bool writeRungStatsCsv(const DseStats &stats, const std::string &path);
 
 } // namespace gemini::dse
 

@@ -50,6 +50,16 @@ Explorer::evaluate(const Tile &tile)
     return cache_.emplace(tile, cost).first->second;
 }
 
+void
+Explorer::absorb(const Explorer &other)
+{
+    GEMINI_ASSERT(macsPerCore_ == other.macsPerCore_ &&
+                      glbBytes_ == other.glbBytes_ &&
+                      freqGhz_ == other.freqGhz_,
+                  "cannot absorb a memo from a different core config");
+    cache_.insert(other.cache_.begin(), other.cache_.end());
+}
+
 CoreCost
 Explorer::evalVectorTile(const Tile &tile) const
 {

@@ -64,6 +64,15 @@ class Explorer
     /** Evaluate (and memoize) the best scheme for a tile. */
     const CoreCost &evaluate(const Tile &tile);
 
+    /**
+     * Merge another explorer's memo into this one (entries already present
+     * are kept; the memo is exact, so both copies hold identical values).
+     * Both explorers must describe the same core configuration — the DSE
+     * scheduler uses this to share one warm memo across all candidates
+     * that agree on (macsPerCore, glbKiB, freq, tech).
+     */
+    void absorb(const Explorer &other);
+
     /** Seconds for `cycles` at this core's frequency. */
     double
     seconds(double cycles) const

@@ -44,6 +44,31 @@ MappingEngine::run()
     GEMINI_ASSERT(err.empty(), "partitioner produced invalid mapping: ",
                   err);
 
+    optimizeInto(result);
+    return result;
+}
+
+MappingResult
+MappingEngine::runFrom(const LpMapping &start)
+{
+    const std::string err = checkMappingValid(graph_, arch_, start);
+    GEMINI_ASSERT(err.empty(), "cannot warm-start from invalid mapping: ",
+                  err);
+
+    MappingResult result;
+    result.mapping = start;
+    optimizeInto(result);
+    return result;
+}
+
+void
+MappingEngine::optimizeInto(MappingResult &result)
+{
+    // Callers may retune knobs between runs via mutableOptions(); keep the
+    // SA exponents in sync with the engine-level objective either way.
+    options_.sa.beta = options_.beta;
+    options_.sa.gamma = options_.gamma;
+
     if (options_.runSa) {
         if (options_.sa.chains > 1) {
             runSaChains(result);
@@ -59,7 +84,6 @@ MappingEngine::run()
     }
     for (const auto &g : result.groups)
         result.total += g;
-    return result;
 }
 
 void

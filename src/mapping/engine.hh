@@ -90,6 +90,16 @@ class MappingEngine
     /** Partition, build the initial LMS, optionally run SA, evaluate. */
     MappingResult run();
 
+    /**
+     * Resume optimization from a caller-supplied mapping instead of the
+     * partitioner's initial LMS: the SA walk starts at `start` and the
+     * returned mapping is never worse than it (the best-of-walk always
+     * includes the initial state). With runSa disabled this degenerates to
+     * evaluateMapping. The multi-fidelity DSE scheduler uses this to
+     * warm-start each fidelity rung from the previous rung's best mapping.
+     */
+    MappingResult runFrom(const LpMapping &start);
+
     /** Evaluate a caller-supplied mapping without optimizing it. */
     MappingResult evaluateMapping(const LpMapping &mapping) const;
 
@@ -106,7 +116,18 @@ class MappingEngine
     const MappingOptions &options() const { return options_; }
     intracore::Explorer &explorer() { return explorer_; }
 
+    /**
+     * Mutable access to the run knobs that are safe to retune between
+     * runs (SA budget/seed/chains, runSa). The DSE scheduler raises the
+     * SA budget rung by rung on one persistent engine so the analyzer
+     * and explorer memos stay warm. Objective exponents are re-synced
+     * into the SA options at the start of every run.
+     */
+    MappingOptions &mutableOptions() { return options_; }
+
   private:
+    /** Shared tail of run()/runFrom(): optional SA + final evaluation. */
+    void optimizeInto(MappingResult &result);
     /**
      * Run sa.chains independent Metropolis chains from `result.mapping`
      * (serially or over a saThreads-wide pool) and keep the best-of-K

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "src/arch/presets.hh"
@@ -191,6 +192,194 @@ TEST_F(DseRunTest, RecordsCsvExport)
     EXPECT_NE(text.find("best"), std::string::npos);
     const std::string path = "/tmp/gemini_dse_records_test.csv";
     EXPECT_TRUE(writeRecordsCsv(r, path));
+}
+
+// --------------------------------------------------------- scheduler ---
+
+class SchedulerTest : public DseRunTest
+{
+  protected:
+    SchedulerTest()
+    {
+        options_.schedule.enabled = true;
+        options_.schedule.rungs = 2;
+        options_.schedule.keepFraction = 0.5;
+        options_.schedule.baseIters = 16;
+        options_.schedule.minKeep = 2;
+    }
+};
+
+TEST_F(SchedulerTest, DeterministicAcrossRunsAndThreadCounts)
+{
+    options_.threads = 1;
+    const DseResult serial = runDse(options_);
+    options_.threads = 3;
+    const DseResult parallel1 = runDse(options_);
+    const DseResult parallel2 = runDse(options_);
+
+    ASSERT_EQ(serial.records.size(), parallel1.records.size());
+    EXPECT_EQ(serial.bestIndex, parallel1.bestIndex);
+    EXPECT_EQ(parallel1.bestIndex, parallel2.bestIndex);
+    for (std::size_t i = 0; i < serial.records.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial.records[i].objective,
+                         parallel1.records[i].objective);
+        EXPECT_DOUBLE_EQ(parallel1.records[i].objective,
+                         parallel2.records[i].objective);
+        EXPECT_EQ(serial.records[i].rungReached,
+                  parallel1.records[i].rungReached);
+        EXPECT_EQ(serial.records[i].prunedByBound,
+                  parallel1.records[i].prunedByBound);
+        EXPECT_EQ(serial.records[i].saIters, parallel1.records[i].saIters);
+    }
+    ASSERT_EQ(serial.stats.rungs.size(), parallel1.stats.rungs.size());
+    for (std::size_t r = 0; r < serial.stats.rungs.size(); ++r) {
+        EXPECT_EQ(serial.stats.rungs[r].entered,
+                  parallel1.stats.rungs[r].entered);
+        EXPECT_EQ(serial.stats.rungs[r].advanced,
+                  parallel1.stats.rungs[r].advanced);
+        EXPECT_EQ(serial.stats.rungs[r].prunedBound,
+                  parallel1.stats.rungs[r].prunedBound);
+        EXPECT_EQ(serial.stats.rungs[r].prunedRank,
+                  parallel1.stats.rungs[r].prunedRank);
+    }
+}
+
+TEST_F(SchedulerTest, MatchesExhaustiveWinnerWithAndWithoutPruning)
+{
+    DseOptions flat = options_;
+    flat.schedule.enabled = false;
+    const DseResult full = runDse(flat);
+
+    const DseResult pruned = runDse(options_);
+    options_.schedule.lowerBoundPrune = false;
+    const DseResult unpruned = runDse(options_);
+
+    ASSERT_GE(full.bestIndex, 0);
+    ASSERT_GE(pruned.bestIndex, 0);
+    ASSERT_GE(unpruned.bestIndex, 0);
+    // The scheduler's winner matches the exhaustive full-budget winner on
+    // these small deterministic axes, and its polished objective is within
+    // tolerance of (or better than) the exhaustive one.
+    EXPECT_EQ(pruned.best().arch.toString(), full.best().arch.toString());
+    EXPECT_LE(pruned.best().objective, full.best().objective * 1.05);
+    EXPECT_LE(unpruned.best().objective, full.best().objective * 1.05);
+    // Pruning only removes candidates that cannot win, so it must not
+    // change the winner found by the unpruned schedule.
+    EXPECT_EQ(pruned.best().arch.toString(),
+              unpruned.best().arch.toString());
+    EXPECT_NEAR(pruned.best().objective, unpruned.best().objective,
+                0.05 * unpruned.best().objective);
+}
+
+TEST_F(SchedulerTest, RungLadderAccounting)
+{
+    const DseResult r = runDse(options_);
+    ASSERT_TRUE(r.stats.scheduled);
+    // screen + `rungs` race rounds + polish.
+    ASSERT_EQ(r.stats.rungs.size(),
+              static_cast<std::size_t>(options_.schedule.rungs) + 2);
+    EXPECT_EQ(r.stats.rungs.front().name, "screen");
+    EXPECT_EQ(r.stats.rungs.back().name, "polish");
+    EXPECT_EQ(r.stats.rungs.front().entered,
+              static_cast<int>(r.records.size()));
+    for (std::size_t i = 0; i + 1 < r.stats.rungs.size(); ++i) {
+        const DseRungStats &rs = r.stats.rungs[i];
+        EXPECT_EQ(rs.advanced, r.stats.rungs[i + 1].entered);
+        EXPECT_EQ(rs.entered - rs.advanced, rs.prunedBound + rs.prunedRank);
+    }
+    // Race budgets double round over round.
+    EXPECT_EQ(r.stats.rungs[1].saIters, options_.schedule.baseIters);
+    EXPECT_EQ(r.stats.rungs[2].saIters, 2 * options_.schedule.baseIters);
+    EXPECT_GT(r.stats.cpuSeconds(), 0.0);
+    // The winner must be a polished finalist.
+    EXPECT_EQ(r.best().rungReached, options_.schedule.rungs + 1);
+}
+
+TEST_F(SchedulerTest, RunSaDisabledFallsBackToFlatDriver)
+{
+    // The race/polish rungs are SA runs; without SA the schedule is
+    // bypassed and the flat stripe-only driver is honored.
+    options_.mapping.runSa = false;
+    const DseResult r = runDse(options_);
+    ASSERT_FALSE(r.stats.scheduled);
+    ASSERT_EQ(r.stats.rungs.size(), 1u);
+    EXPECT_EQ(r.stats.rungs.front().name, "exhaustive");
+    EXPECT_EQ(r.stats.rungs.front().saIters, 0);
+    for (const auto &rec : r.records) {
+        EXPECT_EQ(rec.rungReached, -1);
+        EXPECT_EQ(rec.saIters, 0);
+    }
+}
+
+TEST_F(SchedulerTest, CohortSmallerThanMinKeepIsHandled)
+{
+    // Two candidates with the default-sized minKeep floor: every race
+    // cohort is smaller than minKeep, which must keep the whole cohort
+    // rather than read past it.
+    options_.axes.nocGBps = {32};
+    options_.axes.glbKiB = {256, 512};
+    options_.axes.xCuts = {1};
+    options_.schedule.minKeep = 4;
+    const DseResult r = runDse(options_);
+    ASSERT_EQ(r.records.size(), 2u);
+    ASSERT_GE(r.bestIndex, 0);
+    for (std::size_t i = 0; i + 1 < r.stats.rungs.size(); ++i) {
+        const DseRungStats &rs = r.stats.rungs[i];
+        EXPECT_LE(rs.advanced, rs.entered);
+        EXPECT_EQ(rs.entered - rs.advanced, rs.prunedBound + rs.prunedRank);
+    }
+    EXPECT_EQ(r.best().rungReached, options_.schedule.rungs + 1);
+}
+
+TEST_F(SchedulerTest, LowerBoundIsSoundOnEveryEvaluatedCandidate)
+{
+    DseOptions flat = options_;
+    flat.schedule.enabled = false;
+    const DseResult full = runDse(flat);
+    for (const auto &rec : full.records) {
+        if (!rec.feasible)
+            continue;
+        // No achievable mapping may score below the bound.
+        EXPECT_LE(rec.objectiveLowerBound, rec.objective * (1.0 + 1e-9))
+            << rec.arch.toString();
+    }
+}
+
+TEST(DseObjective, BestUnderSkipsNonFiniteObjectives)
+{
+    DseResult r;
+    DseRecord good;
+    good.feasible = true;
+    good.mc.dram = 10.0;
+    good.delayGeo = 1.0;
+    good.energyGeo = 1.0;
+    DseRecord poisoned; // a degenerate eval: zero geomeans, inf objective
+    poisoned.feasible = true;
+    poisoned.mc.dram = 1.0;
+    poisoned.delayGeo = 0.0;
+    poisoned.energyGeo =
+        std::numeric_limits<double>::infinity();
+    DseRecord infeasible = good;
+    infeasible.feasible = false;
+    infeasible.mc.dram = 0.1;
+    r.records = {poisoned, good, infeasible};
+    EXPECT_EQ(r.bestUnder(1.0, 1.0, 1.0), 1);
+}
+
+TEST_F(SchedulerTest, CsvExportCarriesRungColumns)
+{
+    const DseResult r = runDse(options_);
+    const CsvTable records = recordsTable(r);
+    EXPECT_EQ(records.rowCount(), r.records.size());
+    const std::string text = records.toString();
+    EXPECT_NE(text.find("rung"), std::string::npos);
+    EXPECT_NE(text.find("obj_lower_bound"), std::string::npos);
+    EXPECT_NE(text.find("norm_edp"), std::string::npos);
+    const std::string stats_text = rungStatsTable(r.stats).toString();
+    EXPECT_NE(stats_text.find("screen"), std::string::npos);
+    EXPECT_NE(stats_text.find("polish"), std::string::npos);
+    EXPECT_TRUE(r.writeCsv("/tmp/gemini_dse_sched_records.csv",
+                           "/tmp/gemini_dse_sched_rungs.csv"));
 }
 
 // ------------------------------------------------------------- reuse ---

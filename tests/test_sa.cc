@@ -302,5 +302,80 @@ TEST(SaEngineRun, MultiChainFinalCostMatchesReEvaluation)
                 1e-9 * r.total.totalEnergy());
 }
 
+// ---------------------------------------------------------- warm start ---
+
+TEST(RunFrom, ResumesStrictlyNoWorseThanInput)
+{
+    const dnn::Graph g = dnn::zoo::tinyConvChain(5);
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    // Stripe-only start, then resume SA from it on a fresh engine.
+    MappingEngine stripe(g, a, fastOptions(0, /*run_sa=*/false));
+    const MappingResult start = stripe.run();
+
+    MappingOptions opts = fastOptions(400);
+    opts.maxGroupLayers = 3;
+    MappingEngine engine(g, a, opts);
+    const MappingResult resumed = engine.runFrom(start.mapping);
+
+    // The SA walk's best always includes the initial state, so resuming
+    // can never end worse than the warm-start mapping.
+    EXPECT_LE(resumed.saStats.finalCost, resumed.saStats.initialCost);
+    const double start_cost = SaEngine::cost(
+        engine.evaluateMapping(start.mapping).groups, opts.beta, opts.gamma);
+    EXPECT_NEAR(resumed.saStats.initialCost, start_cost,
+                1e-9 * start_cost);
+    const double final_cost = SaEngine::cost(
+        engine.evaluateMapping(resumed.mapping).groups, opts.beta,
+        opts.gamma);
+    EXPECT_LE(final_cost, start_cost * (1.0 + 1e-9));
+}
+
+TEST(RunFrom, ZeroIterationsReturnsInputEvaluation)
+{
+    const dnn::Graph g = dnn::zoo::tinyResidual();
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingEngine engine(g, a, fastOptions(300));
+    const MappingResult opt = engine.run();
+
+    engine.mutableOptions().sa.iterations = 0;
+    const MappingResult again = engine.runFrom(opt.mapping);
+    const MappingResult plain = engine.evaluateMapping(opt.mapping);
+    EXPECT_DOUBLE_EQ(again.total.delay, plain.total.delay);
+    EXPECT_DOUBLE_EQ(again.total.totalEnergy(), plain.total.totalEnergy());
+}
+
+TEST(RunFrom, RetunedBudgetKeepsImproving)
+{
+    const dnn::Graph g = dnn::zoo::tinyConvChain(5);
+    arch::ArchConfig a = arch::tinyArch();
+    a.xCores = 3;
+    a.yCores = 2;
+
+    MappingOptions opts = fastOptions(0, /*run_sa=*/false);
+    opts.maxGroupLayers = 3;
+    MappingEngine engine(g, a, opts);
+    MappingResult state = engine.run();
+
+    // Doubling rung budgets on one persistent engine, exactly as the DSE
+    // scheduler drives it: each rung must end no worse than it started.
+    double prev_cost = SaEngine::cost(state.groups, opts.beta, opts.gamma);
+    for (int iters : {50, 100, 200}) {
+        MappingOptions &mo = engine.mutableOptions();
+        mo.runSa = true;
+        mo.sa.iterations = iters;
+        mo.sa.seed = SaEngine::chainSeed(99, iters);
+        state = engine.runFrom(state.mapping);
+        EXPECT_LE(state.saStats.finalCost, prev_cost * (1.0 + 1e-9))
+            << "rung with " << iters << " iterations regressed";
+        prev_cost = state.saStats.finalCost;
+    }
+}
+
 } // namespace
 } // namespace gemini::mapping
