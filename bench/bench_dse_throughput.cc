@@ -14,6 +14,7 @@
 #include <string>
 
 #include "bench_util.hh"
+#include "src/common/artifacts.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/dse.hh"
 #include "src/dse/records.hh"
@@ -52,8 +53,9 @@ saItersTotal(const dse::DseResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_dir = common::artifactDir(argc, argv);
     benchutil::printHeader(
         "DSE throughput — exhaustive vs multi-fidelity scheduler",
         "Sec. V-A outer loop (flat 80-100-thread fan-out) + successive "
@@ -131,10 +133,13 @@ main()
                 cpu_speedup >= 3.0 ? "PASS" : "FAIL",
                 obj_ratio <= 1.0 + 1e-9 ? "PASS" : "FAIL");
 
-    multi.result.writeCsv("dse_scheduled_records.csv",
-                          "dse_scheduled_rungs.csv");
+    multi.result.writeCsv(
+        common::artifactPath(out_dir, "dse_scheduled_records.csv"),
+        common::artifactPath(out_dir, "dse_scheduled_rungs.csv"));
 
-    FILE *json = std::fopen("BENCH_dse_throughput.json", "w");
+    FILE *json = std::fopen(
+        common::artifactPath(out_dir, "BENCH_dse_throughput.json").c_str(),
+        "w");
     if (json) {
         std::fprintf(json, "{\n");
         std::fprintf(json, "  \"axes\": \"paper72\",\n");

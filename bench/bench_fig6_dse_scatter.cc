@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "src/common/artifacts.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/dse.hh"
 
@@ -22,7 +23,8 @@ using namespace gemini;
 namespace {
 
 void
-runScatter(double tops, const dse::DseAxes &axes)
+runScatter(double tops, const dse::DseAxes &axes,
+           const std::string &out_dir)
 {
     dnn::Graph model = benchutil::effortLevel() == 0
                            ? dnn::zoo::tinyTransformer(32, 64, 4, 1)
@@ -49,8 +51,9 @@ runScatter(double tops, const dse::DseAxes &axes)
             edp_by_core[rec.arch.coreCount()].push_back(rec.edp() / edp0);
         }
     }
-    const std::string path =
-        "fig6_" + std::to_string(static_cast<int>(tops)) + "tops.csv";
+    const std::string path = common::artifactPath(
+        out_dir,
+        "fig6_" + std::to_string(static_cast<int>(tops)) + "tops.csv");
     // The shared writer emits the scatter columns (norm_edp / norm_mc
     // relative to the MC*E*D winner) alongside the full record table.
     result.writeCsv(path);
@@ -100,8 +103,9 @@ runScatter(double tops, const dse::DseAxes &axes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_dir = common::artifactDir(argc, argv);
     benchutil::printHeader(
         "Fig. 6 — EDP/MC of the design space by chiplet and core count",
         "Fig. 6 / Sec. VII-A (optimal chiplet count 1-4; EDP U-shape in "
@@ -116,11 +120,11 @@ main()
         tiny.d2dRatio = {0.5};
         tiny.glbKiB = {256, 512};
         tiny.macsPerCore = {256, 512};
-        runScatter(1.0, tiny);
+        runScatter(1.0, tiny, out_dir);
         return 0;
     }
-    runScatter(128.0, dse::DseAxes::paper128());
+    runScatter(128.0, dse::DseAxes::paper128(), out_dir);
     if (benchutil::effortLevel() >= 2)
-        runScatter(512.0, dse::DseAxes::paper512());
+        runScatter(512.0, dse::DseAxes::paper512(), out_dir);
     return 0;
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "src/common/artifacts.hh"
 #include "src/arch/presets.hh"
 #include "src/common/csv.hh"
 #include "src/dnn/zoo.hh"
@@ -145,8 +146,9 @@ dumpCsv(const noc::NocModel &noc, const noc::TrafficMap &map,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_dir = common::artifactDir(argc, argv);
     benchutil::printHeader(
         "Fig. 9 — SPM traffic heatmap: Tangram vs Gemini on 72 TOPs "
         "G-Arch",
@@ -190,8 +192,10 @@ main()
     std::printf("\nGemini SPM (SA-explored):\n");
     printAscii(g_engine.noc(), g_traffic);
 
-    dumpCsv(t_engine.noc(), t_traffic, "fig9_tangram_heatmap.csv");
-    dumpCsv(g_engine.noc(), g_traffic, "fig9_gemini_heatmap.csv");
+    dumpCsv(t_engine.noc(), t_traffic,
+            common::artifactPath(out_dir, "fig9_tangram_heatmap.csv"));
+    dumpCsv(g_engine.noc(), g_traffic,
+            common::artifactPath(out_dir, "fig9_gemini_heatmap.csv"));
 
     double t_total, t_mid, t_io, t_peak;
     double g_total, g_mid, g_io, g_peak;

@@ -19,7 +19,7 @@
 #include "src/common/rng.hh"
 #include "src/cost/mc_evaluator.hh"
 #include "src/dnn/zoo.hh"
-#include "src/eval/energy_model.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/intracore/explorer.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/engine.hh"
@@ -27,7 +27,7 @@
 #include "src/mapping/sa.hh"
 #include "src/mapping/space.hh"
 #include "src/mapping/stripe.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 using namespace gemini;
 
@@ -105,7 +105,7 @@ BM_SaIteration(benchmark::State &state)
         state.ResumeTiming();
         noc::NocModel noc(a);
         intracore::Explorer ex(a.macsPerCore, a.glbBytes(), a.freqGHz);
-        eval::EnergyModel em(a);
+        cost::CostStack em(a);
         mapping::Analyzer an(g, a, noc, ex);
         mapping::SaEngine sa(g, a, an, em);
         benchmark::DoNotOptimize(sa.optimize(m, so).size());
@@ -175,7 +175,7 @@ runSaChains(const SaWorkload &w, int chains, int iters_per_chain,
     noc::NocModel noc(w.arch);
     intracore::Explorer ex(w.arch.macsPerCore, w.arch.glbBytes(),
                            w.arch.freqGHz);
-    eval::EnergyModel em(w.arch);
+    cost::CostStack em(w.arch);
     mapping::Analyzer an(w.graph, w.arch, noc, ex);
     an.setCacheCapacity(cache_entries);
     mapping::SaEngine sa(w.graph, w.arch, an, em);
@@ -528,7 +528,7 @@ seedAnalyzeGroup(const dnn::Graph &graph, const arch::ArchConfig &arch,
 double
 seedOptimize(const dnn::Graph &graph, const arch::ArchConfig &arch,
              const noc::NocModel &noc, intracore::Explorer &explorer,
-             const eval::EnergyModel &energy, const mapping::Analyzer &an,
+             const cost::CostStack &energy, const mapping::Analyzer &an,
              LpMapping &mapping, int iterations, std::uint64_t seed)
 {
     Rng rng(seed);
@@ -635,7 +635,7 @@ BM_SaThroughputSeed(benchmark::State &state)
         noc::NocModel noc(w.arch);
         intracore::Explorer ex(w.arch.macsPerCore, w.arch.glbBytes(),
                                w.arch.freqGHz);
-        eval::EnergyModel em(w.arch);
+        cost::CostStack em(w.arch);
         mapping::Analyzer an(w.graph, w.arch, noc, ex);
         mapping::LpMapping m = w.init;
         best = seedpath::seedOptimize(w.graph, w.arch, noc, ex, em, an, m,

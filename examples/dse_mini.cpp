@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/artifacts.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/dse.hh"
 #include "src/dse/records.hh"
@@ -19,8 +20,11 @@
 using namespace gemini;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Artifacts land in --out DIR (or GEMINI_OUT_DIR); run from the CMake
+    // build tree (the conventional destination) to keep the repo clean.
+    const std::string out_dir = common::artifactDir(argc, argv);
     dnn::Graph resnet = dnn::zoo::resnet50();
     dnn::Graph transformer = dnn::zoo::transformerBase();
 
@@ -76,8 +80,12 @@ main()
 
     // The paper's dse.sh leaves a result.csv behind; so do we, plus the
     // scheduler's per-rung ledger.
-    result.writeCsv("dse_result.csv", "dse_rungs.csv");
-    std::printf("\nfull exploration records -> dse_result.csv "
-                "(rung stats -> dse_rungs.csv)\n");
+    const std::string records_csv =
+        common::artifactPath(out_dir, "dse_result.csv");
+    const std::string rungs_csv =
+        common::artifactPath(out_dir, "dse_rungs.csv");
+    result.writeCsv(records_csv, rungs_csv);
+    std::printf("\nfull exploration records -> %s (rung stats -> %s)\n",
+                records_csv.c_str(), rungs_csv.c_str());
     return 0;
 }

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "src/common/artifacts.hh"
 #include "src/arch/presets.hh"
 #include "src/common/csv.hh"
 #include "src/dnn/zoo.hh"
@@ -19,7 +20,7 @@ using namespace gemini;
 namespace {
 
 void
-dump(const char *path, mapping::MappingEngine &engine,
+dump(const std::string &path, mapping::MappingEngine &engine,
      const mapping::MappingResult &result)
 {
     noc::TrafficMap total;
@@ -41,15 +42,16 @@ dump(const char *path, mapping::MappingEngine &engine,
                    is_d2d ? "d2d" : "onchip");
     }
     csv.writeFile(path);
-    std::printf("%-32s on-chip %.2f MB, d2d %.2f MB -> %s\n", path, onchip
-                / 1e6, d2d / 1e6, path);
+    std::printf("%-32s on-chip %.2f MB, d2d %.2f MB -> %s\n",
+                path.c_str(), onchip / 1e6, d2d / 1e6, path.c_str());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const std::string out_dir = common::artifactDir(argc, argv);
     const dnn::Graph model = dnn::zoo::tinyTransformer(64, 256, 8, 1);
     const arch::ArchConfig arch = arch::gArch72();
 
@@ -58,14 +60,16 @@ main()
     heuristic.runSa = false;
     mapping::MappingEngine t_engine(model, arch, heuristic);
     const mapping::MappingResult t_map = t_engine.run();
-    dump("heatmap_tangram.csv", t_engine, t_map);
+    dump(common::artifactPath(out_dir, "heatmap_tangram.csv"),
+         t_engine, t_map);
 
     mapping::MappingOptions explored = heuristic;
     explored.runSa = true;
     explored.sa.iterations = 8000;
     mapping::MappingEngine g_engine(model, arch, explored);
     const mapping::MappingResult g_map = g_engine.run();
-    dump("heatmap_gemini.csv", g_engine, g_map);
+    dump(common::artifactPath(out_dir, "heatmap_gemini.csv"),
+         g_engine, g_map);
 
     std::printf("\nT-Map: delay %.3f ms, energy %.4f J (d2d %.4f J)\n",
                 t_map.total.delay * 1e3, t_map.total.totalEnergy(),

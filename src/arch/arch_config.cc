@@ -11,6 +11,8 @@ topologyName(Topology t)
     switch (t) {
       case Topology::Mesh: return "mesh";
       case Topology::FoldedTorus: return "folded-torus";
+      case Topology::ConcentratedRing: return "concentrated-ring";
+      case Topology::HierarchicalNop: return "hierarchical-nop";
     }
     return "?";
 }
@@ -68,8 +70,12 @@ ArchConfig::toString() const
     else
         oss << glbKiB << "KB, ";
     oss << macsPerCore << ")";
-    if (topology == Topology::FoldedTorus)
-        oss << "[torus]";
+    switch (topology) {
+      case Topology::Mesh: break;
+      case Topology::FoldedTorus: oss << "[torus]"; break;
+      case Topology::ConcentratedRing: oss << "[ring]"; break;
+      case Topology::HierarchicalNop: oss << "[nop]"; break;
+    }
     return oss.str();
 }
 

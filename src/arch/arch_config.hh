@@ -16,12 +16,30 @@
 
 namespace gemini::arch {
 
-/** NoC topology of the hardware template (Sec. VI-B2 adds folded torus). */
+/**
+ * Interconnect topology of the hardware template. Mesh and folded torus
+ * are the paper's scenarios (Sec. III, Sec. VI-B2); the concentrated ring
+ * and the SIAM-style two-level NoP+NoC hierarchy are additional backends
+ * behind the noc::InterconnectModel seam (see src/noc/topologies.hh).
+ */
 enum class Topology
 {
     Mesh,
     FoldedTorus,
+    /** Row-concentrated bidirectional ring: one ring stop per mesh row. */
+    ConcentratedRing,
+    /**
+     * Two-level hierarchy: XY mesh inside each chiplet (NoC) plus an XY
+     * mesh of chiplet gateway routers (NoP). Monolithic designs degrade
+     * to the plain mesh.
+     */
+    HierarchicalNop,
 };
+
+/** All topology values, in declaration order (DSE axis enumeration). */
+inline constexpr Topology kAllTopologies[] = {
+    Topology::Mesh, Topology::FoldedTorus, Topology::ConcentratedRing,
+    Topology::HierarchicalNop};
 
 const char *topologyName(Topology t);
 

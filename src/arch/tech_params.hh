@@ -52,6 +52,16 @@ struct TechParams
     /** DRAM access energy per byte (GDDR6 incl. PHY): ~6 pJ/bit. */
     double dramJPerByte = 48.0e-12;
 
+    /**
+     * Extra per-byte energy of NoP gateway serialization under the
+     * hierarchical NoP+NoC topology: flit packetization + clock-domain
+     * crossing at the package-level routers, on top of the GRS link
+     * energy (SIAM models the NoP driver separately from the channel;
+     * ~0.125 pJ/bit == 1 pJ/byte). Applied by cost::CostStack to D2D
+     * (= NoP) traffic only when the topology is HierarchicalNop.
+     */
+    double nopSerializationJPerByte = 1.0e-12;
+
     // ---- core microarchitecture ratios ----
 
     /**

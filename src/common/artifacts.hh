@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Artifact output routing for benches and examples: every harness that
+ * writes CSV/JSON result files resolves its destination directory through
+ * here instead of dropping bare filenames into the working directory.
+ * `--out DIR` (or the GEMINI_OUT_DIR environment variable) selects the
+ * directory; it is created on demand. The conventional destination is the
+ * CMake build tree — repo-root runs stay clean.
+ */
+
+#ifndef GEMINI_COMMON_ARTIFACTS_HH
+#define GEMINI_COMMON_ARTIFACTS_HH
+
+#include <string>
+
+namespace gemini::common {
+
+/**
+ * Resolve the artifact directory: `--out DIR` from argv wins, then the
+ * GEMINI_OUT_DIR environment variable, then `fallback` (default: the
+ * current directory). The directory is created if missing. Other argv
+ * entries are ignored, so callers with their own flags can pass argv
+ * through unchanged.
+ */
+std::string artifactDir(int argc, char **argv,
+                        const std::string &fallback = ".");
+
+/** Join an artifact directory and a file name. */
+std::string artifactPath(const std::string &dir, const std::string &file);
+
+} // namespace gemini::common
+
+#endif // GEMINI_COMMON_ARTIFACTS_HH

@@ -19,6 +19,7 @@ layerKindName(LayerKind kind)
       case LayerKind::Matmul: return "Matmul";
       case LayerKind::Softmax: return "Softmax";
       case LayerKind::LayerNorm: return "LayerNorm";
+      case LayerKind::Upsample: return "Upsample";
     }
     return "?";
 }
@@ -91,6 +92,9 @@ Layer::vectorOpsPerSample() const
       case LayerKind::LayerNorm:
         // exp/max/sum/normalize passes.
         return 4 * ofmapVolume();
+      case LayerKind::Upsample:
+        // One replicated write per output element.
+        return ofmapVolume();
     }
     return 0;
 }
@@ -229,6 +233,16 @@ Layer::requiredInput(std::size_t input_idx, const Region &out) const
         in.w0 = out.w0;
         in.w1 = out.w1;
         return in;
+      case LayerKind::Upsample:
+        // Channels map 1:1; each output pixel reads source pixel
+        // (h / scale, w / scale), so a region shrinks by the scale.
+        in.c0 = out.c0;
+        in.c1 = out.c1;
+        in.h0 = out.h0 / strideH;
+        in.h1 = (out.h1 + strideH - 1) / strideH;
+        in.w0 = out.w0 / strideW;
+        in.w1 = (out.w1 + strideW - 1) / strideW;
+        return in;
     }
     GEMINI_PANIC("unhandled layer kind in requiredInput");
 }
@@ -300,6 +314,14 @@ Layer::checkValid() const
       case LayerKind::LayerNorm:
         if (c != k || ih != h || iw != w)
             return fail(name, ": normalization must preserve shape");
+        break;
+      case LayerKind::Upsample:
+        if (c != k)
+            return fail(name, ": upsample must preserve channels");
+        if (h != ih * strideH || w != iw * strideW)
+            return fail(name, ": upsample scale arithmetic mismatch");
+        if (r != 1 || s != 1 || padH != 0 || padW != 0)
+            return fail(name, ": upsample takes no window/padding");
         break;
     }
     // External-input layers record one entry (the network input width).

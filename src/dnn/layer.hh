@@ -31,6 +31,8 @@ enum class LayerKind
     Matmul,    ///< activation x activation GEMM (attention scores / context)
     Softmax,   ///< row-wise softmax over the within-head column dim
     LayerNorm, ///< per-token normalization over channels
+    Upsample,  ///< nearest-neighbour integer upscale (darknet "upsample";
+               ///< strideH/strideW hold the scale: h = ih * strideH)
 };
 
 /** Human-readable kind name (for reports and graph dumps). */

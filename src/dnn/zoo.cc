@@ -122,6 +122,28 @@ GraphBuilder::globalPool(const std::string &name, LayerId in)
 }
 
 LayerId
+GraphBuilder::upsample(const std::string &name, LayerId in,
+                       std::int64_t scale)
+{
+    GEMINI_ASSERT(scale >= 1, "upsample scale must be >= 1");
+    std::int64_t c, ih, iw;
+    shapeOf(in, c, ih, iw);
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::Upsample;
+    if (in != kInput)
+        l.inputs = {in};
+    l.c = c;
+    l.ih = ih;
+    l.iw = iw;
+    l.k = c;
+    l.strideH = l.strideW = scale;
+    l.h = ih * scale;
+    l.w = iw * scale;
+    return graph_.add(std::move(l));
+}
+
+LayerId
 GraphBuilder::eltwise(const std::string &name,
                       std::initializer_list<LayerId> ins)
 {
@@ -250,8 +272,8 @@ available()
 {
     return {"resnet50", "resnext50", "googlenet", "inception_resnet_v1",
             "pnasnet", "transformer", "transformer_large", "vgg16",
-            "mobilenet_v2", "tiny_conv", "tiny_residual", "tiny_inception",
-            "tiny_transformer"};
+            "mobilenet_v2", "yolov3_tiny", "tiny_conv", "tiny_residual",
+            "tiny_inception", "tiny_transformer"};
 }
 
 Graph
@@ -275,6 +297,8 @@ byName(const std::string &name)
         return vgg16();
     if (name == "mobilenet_v2")
         return mobilenetV2();
+    if (name == "yolov3_tiny")
+        return yolov3Tiny();
     if (name == "tiny_conv")
         return tinyConvChain();
     if (name == "tiny_residual")

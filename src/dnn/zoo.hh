@@ -71,6 +71,10 @@ class GraphBuilder
     /** Global pooling to 1x1. */
     LayerId globalPool(const std::string &name, LayerId in);
 
+    /** Nearest-neighbour integer upscale (darknet-style upsample). */
+    LayerId upsample(const std::string &name, LayerId in,
+                     std::int64_t scale);
+
     /** Elementwise combination (residual add). */
     LayerId eltwise(const std::string &name,
                     std::initializer_list<LayerId> ins);
@@ -139,6 +143,15 @@ Graph vgg16();
 
 /** MobileNetV2: inverted residuals (depthwise-utilization stressor). */
 Graph mobilenetV2();
+
+/**
+ * YOLOv3-tiny backbone + two detection heads (Redmon & Farhadi): a
+ * darknet-style detection workload — strided max-pool trunk, a 2x
+ * upsampled feature-pyramid branch and a cross-scale concat — widening
+ * the suite beyond classification nets. `num_classes` sets the head
+ * width (k = 3 * (5 + classes); COCO's 80 by default).
+ */
+Graph yolov3Tiny(int num_classes = 80);
 
 // ---- Small synthetic graphs for tests and examples ----
 

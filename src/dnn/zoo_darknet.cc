@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Darknet-family detection workloads. YOLOv3-tiny (Redmon & Farhadi,
+ * "YOLOv3: An Incremental Improvement") is the canonical edge detector: a
+ * strided max-pool trunk, a feature-pyramid branch that 2x-upsamples the
+ * deep features and concatenates them with the stride-16 trunk features,
+ * and one 1x1 detection head per scale. Structurally it exercises what the
+ * classification zoo does not: a cross-scale concat fed by an Upsample
+ * layer, and two independent network outputs.
+ */
+
+#include "src/common/logging.hh"
+#include "src/dnn/zoo.hh"
+
+namespace gemini::dnn::zoo {
+
+Graph
+yolov3Tiny(int num_classes)
+{
+    GEMINI_ASSERT(num_classes >= 1, "yolov3Tiny needs >= 1 class");
+    // 3 anchors per scale, each predicting 4 box coords + objectness +
+    // class scores.
+    const std::int64_t head_k = 3 * (5 + num_classes);
+
+    GraphBuilder b("yolov3_tiny", 3, 416, 416);
+
+    // ---- Backbone: conv/maxpool trunk ----------------------------------
+    LayerId x = b.conv("conv1", GraphBuilder::kInput, 16, 3, 1, 1);
+    x = b.pool("pool1", x, 2, 2, 0);               // 208x208
+    x = b.conv("conv2", x, 32, 3, 1, 1);
+    x = b.pool("pool2", x, 2, 2, 0);               // 104x104
+    x = b.conv("conv3", x, 64, 3, 1, 1);
+    x = b.pool("pool3", x, 2, 2, 0);               // 52x52
+    x = b.conv("conv4", x, 128, 3, 1, 1);
+    x = b.pool("pool4", x, 2, 2, 0);               // 26x26
+    const LayerId route26 = b.conv("conv5", x, 256, 3, 1, 1); // 256x26x26
+    x = b.pool("pool5", route26, 2, 2, 0);         // 13x13
+    x = b.conv("conv6", x, 512, 3, 1, 1);
+    // Darknet's size-2 stride-1 "same" maxpool keeps 13x13 via asymmetric
+    // padding; the floor-arithmetic equivalent is a 3x3/1 pad-1 window
+    // (same stride, same output shape, one extra tap per position).
+    x = b.pool("pool6", x, 3, 1, 1);               // 13x13
+    x = b.conv("conv7", x, 1024, 3, 1, 1);         // 1024x13x13
+
+    // ---- Scale 1 head (stride 32, 13x13) -------------------------------
+    const LayerId neck = b.pointwise("conv8", x, 256); // route point
+    LayerId h1 = b.conv("conv9", neck, 512, 3, 1, 1);
+    b.pointwise("detect1", h1, head_k);            // 255x13x13 output
+
+    // ---- Scale 2 head (stride 16, 26x26) via upsampled pyramid ---------
+    LayerId up = b.pointwise("conv10", neck, 128);
+    up = b.upsample("upsample", up, 2);            // 128x26x26
+    const LayerId cat = b.concat("route", {up, route26}); // 384x26x26
+    LayerId h2 = b.conv("conv11", cat, 256, 3, 1, 1);
+    b.pointwise("detect2", h2, head_k);            // 255x26x26 output
+
+    return b.finish();
+}
+
+} // namespace gemini::dnn::zoo

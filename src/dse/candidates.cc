@@ -36,6 +36,14 @@ DseAxes::paper512()
     return a;
 }
 
+DseAxes &
+DseAxes::withAllTopologies()
+{
+    topologies.assign(std::begin(arch::kAllTopologies),
+                      std::end(arch::kAllTopologies));
+    return *this;
+}
+
 void
 chooseCoreGrid(double tops_target, int macs_per_core,
                const std::vector<int> &x_cuts,
@@ -102,33 +110,40 @@ enumerateCandidates(const DseAxes &axes)
             for (int ycut : axes.yCuts) {
                 if (yc % ycut)
                     continue;
-                for (double dram_per_tops : axes.dramGBpsPerTops) {
-                    for (double noc : axes.nocGBps) {
-                        for (double ratio : axes.d2dRatio) {
-                            arch::ArchConfig cfg;
-                            cfg.xCores = xc;
-                            cfg.yCores = yc;
-                            cfg.xCut = xcut;
-                            cfg.yCut = ycut;
-                            cfg.topology = axes.topology;
-                            cfg.nocBwGBps = noc;
-                            cfg.d2dBwGBps = noc * ratio;
-                            cfg.dramBwGBps =
-                                dram_per_tops * axes.topsTarget;
-                            cfg.macsPerCore = macs;
-                            for (int glb : axes.glbKiB) {
-                                cfg.glbKiB = glb;
-                                std::ostringstream name;
-                                name << "dse-" << axes.topsTarget << "T-"
-                                     << out.size();
-                                cfg.name = name.str();
-                                if (cfg.validate().empty())
-                                    out.push_back(cfg);
+                for (arch::Topology topology : axes.topologies) {
+                    // The NoP hierarchy degenerates to the plain mesh on
+                    // monolithic designs; skip the duplicates.
+                    if (topology == arch::Topology::HierarchicalNop &&
+                        xcut == 1 && ycut == 1)
+                        continue;
+                    for (double dram_per_tops : axes.dramGBpsPerTops) {
+                        for (double noc : axes.nocGBps) {
+                            for (double ratio : axes.d2dRatio) {
+                                arch::ArchConfig cfg;
+                                cfg.xCores = xc;
+                                cfg.yCores = yc;
+                                cfg.xCut = xcut;
+                                cfg.yCut = ycut;
+                                cfg.topology = topology;
+                                cfg.nocBwGBps = noc;
+                                cfg.d2dBwGBps = noc * ratio;
+                                cfg.dramBwGBps =
+                                    dram_per_tops * axes.topsTarget;
+                                cfg.macsPerCore = macs;
+                                for (int glb : axes.glbKiB) {
+                                    cfg.glbKiB = glb;
+                                    std::ostringstream name;
+                                    name << "dse-" << axes.topsTarget
+                                         << "T-" << out.size();
+                                    cfg.name = name.str();
+                                    if (cfg.validate().empty())
+                                        out.push_back(cfg);
+                                }
+                                // Monolithic candidates do not vary by
+                                // D2D ratio; skip the duplicates.
+                                if (xcut == 1 && ycut == 1)
+                                    break;
                             }
-                            // Monolithic candidates do not vary by D2D
-                            // ratio; skip the duplicates.
-                            if (xcut == 1 && ycut == 1)
-                                break;
                         }
                     }
                 }

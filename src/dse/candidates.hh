@@ -27,12 +27,22 @@ struct DseAxes
     std::vector<double> d2dRatio{0.25, 0.5, 1.0}; ///< D2D = ratio * NoC
     std::vector<int> glbKiB{256, 512, 1024, 2048, 4096, 8192};
     std::vector<int> macsPerCore{512, 1024, 2048, 4096, 8192};
-    arch::Topology topology = arch::Topology::Mesh;
+
+    /**
+     * Interconnect topologies to co-explore (a first-class candidate
+     * axis). The paper fixes the topology per setup; listing several here
+     * makes the DSE race mesh vs torus vs ring vs NoP hierarchy on equal
+     * terms. withAllTopologies() fills the complete backend list.
+     */
+    std::vector<arch::Topology> topologies{arch::Topology::Mesh};
 
     /** The paper's three DSE setups (Table I). */
     static DseAxes paper72();
     static DseAxes paper128();
     static DseAxes paper512();
+
+    /** This axis set widened to every interconnect backend. */
+    DseAxes &withAllTopologies();
 };
 
 /**

@@ -12,6 +12,7 @@
 
 #include "src/common/logging.hh"
 #include "src/common/thread_pool.hh"
+#include "src/cost/cost_stack.hh"
 
 namespace gemini::dse {
 
@@ -40,8 +41,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 double
 objectiveOf(const DseRecord &r, double alpha, double beta, double gamma)
 {
-    return std::pow(r.mc.total(), alpha) * std::pow(r.energyGeo, beta) *
-           std::pow(r.delayGeo, gamma);
+    return cost::CostStack::dseObjective(r.mc.total(), r.energyGeo,
+                                         r.delayGeo, alpha, beta, gamma);
 }
 
 /**
@@ -81,54 +82,6 @@ finishRecord(DseRecord &rec, const DseOptions &options)
     rec.energyGeo = std::exp(log_energy / n);
     rec.objective =
         objectiveOf(rec, options.alpha, options.beta, options.gamma);
-}
-
-/**
- * Workload-independent objective lower bound of one candidate. MC is
- * exact. Per model, any mapping must (a) execute every MAC, so delay is
- * at least total MACs over the peak MAC rate and energy at least MACs
- * times the unit MAC energy, and (b) move the compulsory DRAM traffic —
- * each layer's weights at least once plus every network-output element
- * once per batch sample — so delay is also at least those bytes over the
- * aggregate DRAM bandwidth, with the matching DRAM energy floor.
- * (External-input reads are compulsory too but strided kernels may skip
- * input pixels, so they are left out to keep the bound sound; see
- * DESIGN.md.) A 0.1% safety margin absorbs summation-order noise.
- */
-double
-objectiveLowerBoundOf(const arch::ArchConfig &cfg, const DseOptions &o,
-                      double mc_total)
-{
-    if (o.alpha < 0.0 || o.beta < 0.0 || o.gamma < 0.0)
-        return 0.0; // bound only monotone for non-negative exponents
-    const arch::TechParams &tech = o.mapping.tech;
-    const double batch = static_cast<double>(o.mapping.batch);
-    const double peak_macs_per_sec = static_cast<double>(cfg.coreCount()) *
-                                     cfg.macsPerCore * cfg.freqGHz * 1e9;
-    const double dram_bps = cfg.dramBwGBps * 1e9;
-
-    double log_delay = 0.0;
-    double log_energy = 0.0;
-    for (const dnn::Graph *g : o.models) {
-        const double macs = static_cast<double>(g->totalMacs()) * batch;
-        double out_volume = 0.0;
-        for (const dnn::Layer &l : g->layers())
-            if (l.isOutput)
-                out_volume += static_cast<double>(l.ofmapVolume());
-        const double dram_bytes =
-            static_cast<double>(g->totalWeightBytes()) + batch * out_volume;
-        const double delay_lb =
-            std::max(macs / peak_macs_per_sec, dram_bytes / dram_bps);
-        const double energy_lb =
-            macs * tech.macJ + dram_bytes * tech.dramJPerByte;
-        log_delay += std::log(std::max(delay_lb, 1e-300));
-        log_energy += std::log(std::max(energy_lb, 1e-300));
-    }
-    const double n = static_cast<double>(o.models.size());
-    const double delay_geo = std::exp(log_delay / n);
-    const double energy_geo = std::exp(log_energy / n);
-    return 0.999 * std::pow(mc_total, o.alpha) *
-           std::pow(energy_geo, o.beta) * std::pow(delay_geo, o.gamma);
 }
 
 double
@@ -331,9 +284,12 @@ class MultiFidelityScheduler
         const arch::ArchConfig &cfg = candidates_[i];
         DseRecord &rec = result_.records[i];
         rec.arch = cfg;
-        rec.mc = cost::McEvaluator(opts_.costParams).evaluate(cfg);
-        rec.objectiveLowerBound =
-            objectiveLowerBoundOf(cfg, opts_, rec.mc.total());
+        const cost::CostStack stack(cfg, opts_.mapping.tech,
+                                    opts_.costParams);
+        rec.mc = stack.mcBreakdown();
+        rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
+            opts_.models, opts_.mapping.batch, rec.mc.total(), opts_.alpha,
+            opts_.beta, opts_.gamma);
 
         CandState &st = states_[i];
         st.mappings.reserve(opts_.models.size());
@@ -528,9 +484,12 @@ evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
     GEMINI_ASSERT(!options.models.empty(), "DSE needs at least one model");
     DseRecord rec;
     rec.arch = cfg;
-    rec.mc = cost::McEvaluator(options.costParams).evaluate(cfg);
-    rec.objectiveLowerBound =
-        objectiveLowerBoundOf(cfg, options, rec.mc.total());
+    const cost::CostStack stack(cfg, options.mapping.tech,
+                                options.costParams);
+    rec.mc = stack.mcBreakdown();
+    rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
+        options.models, options.mapping.batch, rec.mc.total(),
+        options.alpha, options.beta, options.gamma);
 
     for (const dnn::Graph *model : options.models) {
         mapping::MappingEngine engine(*model, cfg, options.mapping);

@@ -2,88 +2,19 @@
 
 #include <algorithm>
 #include <bit>
-#include <tuple>
 
 #include "src/common/logging.hh"
 
 namespace gemini::mapping {
 
-namespace {
-
-/** Key for grouping identical data requests into one multicast. */
-using RegionKey =
-    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
-               std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
-
-RegionKey
-keyOf(const dnn::Region &r, std::int64_t b0, std::int64_t b1)
-{
-    return {r.c0, r.c1, r.h0, r.h1, r.w0, r.w1, b0, b1};
-}
-
-/**
- * One pending flow: a requested region (or weight k-chunk) plus the core
- * that wants it. Identical keys coalesce into a single multicast; a flat
- * sort-and-group replaces the per-call std::map of the original analyzer
- * (this loop runs millions of times per SA run).
- */
-struct FlowRequest
-{
-    RegionKey key;
-    double bytes = 0.0; ///< identical for every request with the same key
-    noc::NodeId node = 0;
-};
-
-/**
- * Sort requests by key and emit once per distinct key, in ascending key
- * order (the order the std::map-based original used). Ties break on the
- * destination node, which is unique per request within one grouping, so
- * the order is total and deterministic. Singleton groups — the common
- * case, since partition pieces mostly request distinct regions — take
- * emit_one, which skips the destination-vector machinery entirely.
- */
-template <typename EmitOneFn, typename EmitManyFn>
-void
-emitGrouped(std::vector<FlowRequest> &requests,
-            std::vector<noc::NodeId> &dsts_scratch,
-            const EmitOneFn &emit_one, const EmitManyFn &emit_many)
-{
-    if (requests.empty())
-        return;
-    if (requests.size() == 1) {
-        emit_one(requests[0].bytes, requests[0].node);
-        return;
-    }
-    std::sort(requests.begin(), requests.end(),
-              [](const FlowRequest &a, const FlowRequest &b) {
-                  return a.key != b.key ? a.key < b.key : a.node < b.node;
-              });
-    std::size_t i = 0;
-    while (i < requests.size()) {
-        std::size_t j = i + 1;
-        while (j < requests.size() && requests[j].key == requests[i].key)
-            ++j;
-        if (j == i + 1) {
-            emit_one(requests[i].bytes, requests[i].node);
-        } else {
-            dsts_scratch.clear();
-            for (std::size_t k = i; k < j; ++k)
-                dsts_scratch.push_back(requests[k].node);
-            emit_many(requests[i].bytes, dsts_scratch);
-        }
-        i = j;
-    }
-}
-
-} // namespace
-
 Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
-                   const noc::NocModel &noc, intracore::Explorer &explorer)
-    : graph_(graph), arch_(arch), noc_(noc), explorer_(explorer)
+                   const noc::InterconnectModel &noc,
+                   intracore::Explorer &explorer)
+    : graph_(graph), arch_(arch), noc_(noc), tiling_(explorer),
+      trafficCompiler_(graph, arch_, noc)
 {
     GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
-    const std::size_t n = static_cast<std::size_t>(noc_.nodeCount());
-    denseBytes_.assign(n * n, 0.0);
+    merge_.reset(static_cast<std::size_t>(noc_.nodeCount()));
 }
 
 void
@@ -107,19 +38,6 @@ Analyzer::clearCache()
     tileCache_.clear();
     flowCache_.clear();
     evalCache_.clear();
-}
-
-std::size_t
-Analyzer::GroupKeyHash::operator()(const GroupKey &key) const
-{
-    // FNV-1a over the word stream; exact equality is checked on the full
-    // key, so the hash only has to spread well.
-    std::uint64_t h = 0xCBF29CE484222325ull;
-    for (std::int64_t w : key.words) {
-        h ^= static_cast<std::uint64_t>(w);
-        h *= 0x100000001B3ull;
-    }
-    return static_cast<std::size_t>(h);
 }
 
 const Analyzer::GroupKey &
@@ -188,327 +106,6 @@ Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
     return analysis;
 }
 
-Analyzer::LayerTiles
-Analyzer::computeLayerTiles(const dnn::Layer &layer,
-                            const MappingScheme &ms,
-                            std::int64_t batch_unit) const
-{
-    LayerTiles out;
-    out.regions.reserve(ms.coreGroup.size());
-    for (std::size_t i = 0; i < ms.coreGroup.size(); ++i) {
-        const WorkRegion wr =
-            workRegionOf(layer, ms.part, batch_unit,
-                         workIndexOf(ms.part, static_cast<std::int64_t>(i)));
-
-        intracore::Tile tile;
-        tile.b = wr.b1 - wr.b0;
-        tile.k = wr.region.channels();
-        tile.h = wr.region.height();
-        tile.w = wr.region.width();
-        tile.vecOpFactor = static_cast<double>(layer.vectorOpsPerSample()) /
-                           static_cast<double>(layer.ofmapVolume());
-        switch (layer.kind) {
-          case dnn::LayerKind::Conv:
-          case dnn::LayerKind::FC:
-            tile.macWork = true;
-            tile.cPerGroup = layer.c / layer.groups;
-            tile.r = layer.r;
-            tile.s = layer.s;
-            tile.strideH = layer.strideH;
-            tile.strideW = layer.strideW;
-            break;
-          case dnn::LayerKind::Matmul:
-            tile.macWork = true;
-            tile.cPerGroup = layer.transposedInner();
-            break;
-          default:
-            tile.macWork = false;
-            break;
-        }
-        const intracore::CoreCost &cost = explorer_.evaluate(tile);
-        out.energyPerUnit += cost.energyJ;
-        out.stageSeconds =
-            std::max(out.stageSeconds, explorer_.seconds(cost.cycles));
-        out.regions.push_back(wr);
-    }
-    return out;
-}
-
-Analyzer::LayerFlows
-Analyzer::computeLayerFlows(const LayerGroupMapping &group, std::size_t li,
-                            const std::vector<const LayerTiles *> &tiles,
-                            std::int64_t num_units,
-                            const OfmapDramLookup &ofmap_dram_of) const
-{
-    LayerFlows flows;
-    flows.dramBytes.assign(arch_.dramCount, 0.0);
-
-    // Flows accumulate as raw (link, bytes) pairs — no hashing — and the
-    // dense scratch merges duplicates afterwards. The sink is
-    // thread-local so its capacity survives across calls (fragment
-    // computation allocates nothing in steady state).
-    static thread_local noc::NocModel::LinkSink sink;
-    sink.clear();
-
-    const LayerId layer_id = group.layers[li];
-    const dnn::Layer &layer = graph_.layer(layer_id);
-    const MappingScheme &ms = group.schemes[li];
-    const LayerTiles &mine = *tiles[li];
-    const std::size_t n_pieces = mine.regions.size();
-
-    // ---- Helpers for DRAM-sourced / DRAM-bound flows --------------------
-    auto dram_read = [&](DramSel sel, double bytes,
-                         const std::vector<noc::NodeId> &dsts) {
-        if (bytes <= 0.0 || dsts.empty())
-            return;
-        if (sel == kDramInterleaved) {
-            const double share = bytes / arch_.dramCount;
-            for (int d = 0; d < arch_.dramCount; ++d) {
-                noc_.multicastLinks(sink, noc_.dramNode(d), dsts, share);
-                flows.dramBytes[d] += share;
-            }
-        } else {
-            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
-                          "bad DRAM selector ", sel);
-            noc_.multicastLinks(sink, noc_.dramNode(sel - 1), dsts, bytes);
-            flows.dramBytes[sel - 1] += bytes;
-        }
-    };
-    // Single-destination DRAM read: the route span IS the multicast tree.
-    auto dram_read_one = [&](DramSel sel, double bytes, noc::NodeId dst) {
-        if (bytes <= 0.0)
-            return;
-        if (sel == kDramInterleaved) {
-            const double share = bytes / arch_.dramCount;
-            for (int d = 0; d < arch_.dramCount; ++d) {
-                noc_.unicastLinks(sink, noc_.dramNode(d), dst, share);
-                flows.dramBytes[d] += share;
-            }
-        } else {
-            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
-                          "bad DRAM selector ", sel);
-            noc_.unicastLinks(sink, noc_.dramNode(sel - 1), dst, bytes);
-            flows.dramBytes[sel - 1] += bytes;
-        }
-    };
-    auto dram_write = [&](DramSel sel, double bytes, CoreId src) {
-        if (bytes <= 0.0)
-            return;
-        if (sel == kDramInterleaved) {
-            const double share = bytes / arch_.dramCount;
-            for (int d = 0; d < arch_.dramCount; ++d) {
-                noc_.unicastLinks(sink, noc_.coreNode(src),
-                                  noc_.dramNode(d), share);
-                flows.dramBytes[d] += share;
-            }
-        } else {
-            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
-                          "bad DRAM selector ", sel);
-            noc_.unicastLinks(sink, noc_.coreNode(src),
-                              noc_.dramNode(sel - 1), bytes);
-            flows.dramBytes[sel - 1] += bytes;
-        }
-    };
-
-    static thread_local std::vector<double> input_bytes;
-    static thread_local std::vector<FlowRequest> requests;
-    static thread_local std::vector<noc::NodeId> dsts_scratch;
-    static thread_local std::vector<dnn::Region> required_scratch;
-    input_bytes.assign(n_pieces, 0.0);
-
-    // ---- Activation flows (in-group NoC + cross-group/external DRAM) ----
-    const std::size_t n_inputs = std::max<std::size_t>(
-        layer.inputs.size(), 1); // external input counts as one
-    for (std::size_t j = 0; j < n_inputs; ++j) {
-        const bool external = layer.inputs.empty();
-        const LayerId producer = external ? -1 : layer.inputs[j];
-        const int pi = external ? -1 : group.indexOf(producer);
-
-        if (pi >= 0) {
-            // In-group dependency: the destination cores fetch the
-            // overlap of their required region with each producer piece;
-            // identical requests from one source multicast. Each
-            // consumer's required region is hoisted out of the
-            // producer-piece loop (it only depends on the consumer).
-            const LayerTiles &theirs =
-                *tiles[static_cast<std::size_t>(pi)];
-            const MappingScheme &pms =
-                group.schemes[static_cast<std::size_t>(pi)];
-            required_scratch.clear();
-            for (std::size_t i = 0; i < n_pieces; ++i)
-                required_scratch.push_back(
-                    layer.requiredInput(j, mine.regions[i].region));
-            for (std::size_t a = 0; a < theirs.regions.size(); ++a) {
-                const WorkRegion &pp = theirs.regions[a];
-                const CoreId pcore = pms.coreGroup[a];
-                requests.clear();
-                for (std::size_t i = 0; i < n_pieces; ++i) {
-                    const WorkRegion &cp = mine.regions[i];
-                    const std::int64_t b0 = std::max(cp.b0, pp.b0);
-                    const std::int64_t b1 = std::min(cp.b1, pp.b1);
-                    if (b1 <= b0)
-                        continue;
-                    const dnn::Region ov =
-                        required_scratch[i].intersect(pp.region);
-                    if (ov.empty())
-                        continue;
-                    const double bytes =
-                        static_cast<double>(ov.volume() * (b1 - b0));
-                    if (ms.coreGroup[i] == pcore)
-                        continue; // local GLB read
-                    requests.push_back({keyOf(ov, b0, b1), bytes,
-                                        noc_.coreNode(ms.coreGroup[i])});
-                }
-                emitGrouped(
-                    requests, dsts_scratch,
-                    [&](double bytes, noc::NodeId dst) {
-                        noc_.unicastLinks(sink, noc_.coreNode(pcore), dst,
-                                          bytes);
-                    },
-                    [&](double bytes, const std::vector<noc::NodeId> &dsts) {
-                        noc_.multicastLinks(sink, noc_.coreNode(pcore),
-                                            dsts, bytes);
-                    });
-            }
-            // Consumers still buffer the full required region.
-            const dnn::Region pfull = dnn::Region::full(
-                graph_.layer(producer).k, graph_.layer(producer).h,
-                graph_.layer(producer).w);
-            for (std::size_t i = 0; i < n_pieces; ++i) {
-                const WorkRegion &cp = mine.regions[i];
-                const dnn::Region ov =
-                    required_scratch[i].intersect(pfull);
-                input_bytes[i] += static_cast<double>(
-                    ov.volume() * (cp.b1 - cp.b0));
-            }
-        } else {
-            // External input or a producer mapped in another group:
-            // read from DRAM; identical regions share one multicast.
-            const DramSel src =
-                external ? ms.fd.ifmap : ofmap_dram_of(producer);
-            std::int64_t pc, ph, pw;
-            graph_.producerShape(producer, pc, ph, pw);
-            requests.clear();
-            for (std::size_t i = 0; i < n_pieces; ++i) {
-                const WorkRegion &cp = mine.regions[i];
-                dnn::Region rq = layer.requiredInput(j, cp.region);
-                rq = rq.clampTo(pc, ph, pw);
-                if (rq.empty())
-                    continue;
-                const double bytes = static_cast<double>(
-                    rq.volume() * (cp.b1 - cp.b0));
-                input_bytes[i] += bytes;
-                requests.push_back({keyOf(rq, cp.b0, cp.b1), bytes,
-                                    noc_.coreNode(ms.coreGroup[i])});
-            }
-            emitGrouped(
-                requests, dsts_scratch,
-                [&](double bytes, noc::NodeId dst) {
-                    dram_read_one(src, bytes, dst);
-                },
-                [&](double bytes, const std::vector<noc::NodeId> &dsts) {
-                    dram_read(src, bytes, dsts);
-                });
-        }
-    }
-
-    // ---- Weights (multicast per k-slice, amortized if resident) ---------
-    if (layer.hasWeights()) {
-        // Cores sharing the same k-chunk receive identical weight slices.
-        requests.clear();
-        static thread_local std::vector<double> weight_bytes_of;
-        weight_bytes_of.assign(n_pieces, 0.0);
-        for (std::size_t i = 0; i < n_pieces; ++i) {
-            const WorkRegion &p = mine.regions[i];
-            const std::int64_t klen = p.region.channels();
-            const double wbytes =
-                static_cast<double>(klen * (layer.c / layer.groups) *
-                                    layer.r * layer.s) +
-                4.0 * klen; // 32-bit bias/scale per output channel
-            weight_bytes_of[i] = wbytes;
-            requests.push_back({RegionKey{p.region.c0, 0, 0, 0, 0, 0, 0, 0},
-                                wbytes, noc_.coreNode(ms.coreGroup[i])});
-        }
-
-        // Residency: if the slice plus double-buffered activations fits in
-        // the GLB, weights load once per group execution (amortized over
-        // the batch units); otherwise they re-stream every unit.
-        bool resident = true;
-        for (std::size_t i = 0; i < n_pieces; ++i) {
-            const WorkRegion &p = mine.regions[i];
-            const double need =
-                weight_bytes_of[i] +
-                2.0 * (input_bytes[i] +
-                       static_cast<double>(p.volume()));
-            if (need > static_cast<double>(arch_.glbBytes()))
-                resident = false;
-        }
-        const double factor =
-            resident ? 1.0 / static_cast<double>(num_units) : 1.0;
-        emitGrouped(
-            requests, dsts_scratch,
-            [&](double bytes, noc::NodeId dst) {
-                dram_read_one(ms.fd.weight, bytes * factor, dst);
-            },
-            [&](double bytes, const std::vector<noc::NodeId> &dsts) {
-                dram_read(ms.fd.weight, bytes * factor, dsts);
-            });
-    }
-
-    // ---- Managed ofmap stores -------------------------------------------
-    if (ms.fd.ofmap != kDramUnmanaged) {
-        for (std::size_t i = 0; i < n_pieces; ++i)
-            dram_write(ms.fd.ofmap,
-                       static_cast<double>(mine.regions[i].volume()),
-                       ms.coreGroup[i]);
-    }
-
-    // ---- GLB pressure -----------------------------------------------------
-    for (std::size_t i = 0; i < n_pieces; ++i) {
-        const WorkRegion &p = mine.regions[i];
-        // Double-buffered input/output tiles; weights checked above.
-        double need =
-            2.0 * (input_bytes[i] + static_cast<double>(p.volume()));
-        if (layer.hasWeights()) {
-            const std::int64_t klen = p.region.channels();
-            const double wbytes = static_cast<double>(
-                klen * (layer.c / layer.groups) * layer.r * layer.s);
-            // Streaming weights still need a staging buffer slice.
-            need += std::min(wbytes,
-                             static_cast<double>(arch_.glbBytes()) / 4);
-        }
-        const double ratio =
-            need / static_cast<double>(arch_.glbBytes()) - 1.0;
-        flows.glbOverflow = std::max(flows.glbOverflow, ratio);
-    }
-
-    // Merge duplicate links through the dense scratch — no sort, no
-    // hashing. Emission in first-touch order is deterministic, and each
-    // link's contributions sum in emission order, exactly as a map
-    // accumulation would. All contributions are strictly positive, so a
-    // zero slot always means "untouched".
-    const std::size_t n_nodes = static_cast<std::size_t>(noc_.nodeCount());
-    touchScratch_.clear();
-    for (const auto &[link, bytes] : sink) {
-        const std::size_t idx =
-            static_cast<std::size_t>(noc::linkFrom(link)) * n_nodes +
-            static_cast<std::size_t>(noc::linkTo(link));
-        if (denseBytes_[idx] == 0.0)
-            touchScratch_.push_back(static_cast<std::int32_t>(idx));
-        denseBytes_[idx] += bytes;
-    }
-    flows.links.reserve(touchScratch_.size());
-    for (std::int32_t idx : touchScratch_) {
-        const auto i = static_cast<std::size_t>(idx);
-        flows.links.emplace_back(
-            noc::makeLink(static_cast<noc::NodeId>(i / n_nodes),
-                          static_cast<noc::NodeId>(i % n_nodes)),
-            denseBytes_[i]);
-        denseBytes_[i] = 0.0;
-    }
-    return flows;
-}
-
 void
 Analyzer::gatherFragments(const LayerGroupMapping &group,
                           std::int64_t batch,
@@ -540,7 +137,7 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
         out.localFlows.reserve(n_layers);
     }
 
-    // ---- Pass 1 (per-layer tile cache): regions, stage times, energy ----
+    // ---- Tiling stage (per-layer tile cache) ----------------------------
     std::vector<const LayerTiles *> &tiles = out.tiles;
     for (std::size_t li = 0; li < n_layers; ++li) {
         const dnn::Layer &layer = graph_.layer(group.layers[li]);
@@ -555,8 +152,8 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
             if (it == tileCache_.end()) {
                 ++tileMisses_;
                 it = tileCache_
-                         .emplace(key, computeLayerTiles(layer, ms,
-                                                         group.batchUnit))
+                         .emplace(key, tiling_.compute(layer, ms,
+                                                       group.batchUnit))
                          .first;
             } else {
                 ++tileHits_;
@@ -564,12 +161,12 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
             tiles[li] = &it->second;
         } else {
             out.localTiles.push_back(
-                computeLayerTiles(layer, ms, group.batchUnit));
+                tiling_.compute(layer, ms, group.batchUnit));
             tiles[li] = &out.localTiles.back();
         }
     }
 
-    // ---- Passes 2-5 (per-layer flow cache) ------------------------------
+    // ---- Traffic compilation (per-layer flow cache) ---------------------
     for (std::size_t li = 0; li < n_layers; ++li) {
         const LayerFlows *flows = nullptr;
         if (cached) {
@@ -618,17 +215,16 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
             if (it == flowCache_.end()) {
                 ++flowMisses_;
                 it = flowCache_
-                         .emplace(key,
-                                  computeLayerFlows(group, li, tiles,
-                                                    out.numUnits,
-                                                    ofmap_dram_of))
+                         .emplace(key, trafficCompiler_.compile(
+                                           group, li, tiles, out.numUnits,
+                                           ofmap_dram_of))
                          .first;
             } else {
                 ++flowHits_;
             }
             flows = &it->second;
         } else {
-            out.localFlows.push_back(computeLayerFlows(
+            out.localFlows.push_back(trafficCompiler_.compile(
                 group, li, tiles, out.numUnits, ofmap_dram_of));
             flows = &out.localFlows.back();
         }
@@ -691,20 +287,21 @@ Analyzer::analyzeGroupImpl(const LayerGroupMapping &group,
 eval::EvalBreakdown
 Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
                         const OfmapDramLookup &ofmap_dram_of,
-                        const eval::EnergyModel &energy) const
+                        const cost::CostStack &costs) const
 {
     const bool cached = cacheCapacity_ > 0;
     if (cached) {
         GroupKey &key = groupProbe_;
         makeKey(group, batch, ofmap_dram_of);
-        // Bind the energy model: its accessors are linear in bytes, so
-        // the unit coefficients fully characterize its effect here. A
-        // caller switching models must not hit the other model's entry.
-        key.words.push_back(std::bit_cast<std::int64_t>(energy.onChipJ(1.0)));
-        key.words.push_back(std::bit_cast<std::int64_t>(energy.d2dJ(1.0)));
-        key.words.push_back(std::bit_cast<std::int64_t>(energy.dramJ(1.0)));
+        // Bind the cost stack: its accessors are linear in bytes, so the
+        // unit coefficients fully characterize its effect here (including
+        // any per-topology term). A caller switching stacks must not hit
+        // the other stack's entry.
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.onChipJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.d2dJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.dramJ(1.0)));
         key.words.push_back(
-            std::bit_cast<std::int64_t>(energy.dramStackBps()));
+            std::bit_cast<std::int64_t>(costs.dramStackBps()));
         const auto it = evalCache_.find(key);
         if (it != evalCache_.end()) {
             ++evalHits_;
@@ -735,30 +332,17 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
     }
     glb_overflow = std::max(glb_overflow, 0.0);
 
-    // Merge the fragments' link loads through the dense scratch: per-link
-    // totals sum in layer order (identical to the map assembly), and the
-    // traffic statistics come straight off the merge — no TrafficMap.
+    // Cost accumulation: merge the fragments' link loads through the dense
+    // scratch — per-link totals sum in layer order (identical to the map
+    // assembly) and the traffic statistics come straight off the merge,
+    // no TrafficMap materialized.
     double on_chip = 0.0;
     double d2d = 0.0;
     double max_link_seconds = 0.0;
-    const std::size_t n_nodes = static_cast<std::size_t>(noc_.nodeCount());
-    touchScratch_.clear();
-    for (std::size_t li = 0; li < n_layers; ++li) {
-        for (const auto &[link, bytes] : fs.flows[li]->links) {
-            const std::size_t idx =
-                static_cast<std::size_t>(noc::linkFrom(link)) * n_nodes +
-                static_cast<std::size_t>(noc::linkTo(link));
-            if (denseBytes_[idx] == 0.0)
-                touchScratch_.push_back(static_cast<std::int32_t>(idx));
-            denseBytes_[idx] += bytes;
-        }
-    }
-    for (std::int32_t idx : touchScratch_) {
-        const auto i = static_cast<std::size_t>(idx);
-        const double bytes = denseBytes_[i];
-        denseBytes_[i] = 0.0;
-        const auto a = static_cast<noc::NodeId>(i / n_nodes);
-        const auto b = static_cast<noc::NodeId>(i % n_nodes);
+    for (std::size_t li = 0; li < n_layers; ++li)
+        for (const auto &[link, bytes] : fs.flows[li]->links)
+            merge_.add(link, bytes);
+    merge_.drain([&](noc::NodeId a, noc::NodeId b, double bytes) {
         if (noc_.linkKind(a, b) == noc::LinkKind::D2D)
             d2d += bytes;
         else
@@ -766,13 +350,13 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
         const double secs = bytes / noc_.linkBandwidthBps(a, b);
         if (secs > max_link_seconds)
             max_link_seconds = secs;
-    }
+    });
 
     double dram_seconds = 0.0;
     double dram_bytes = 0.0;
     for (double bytes : dram_per_unit) {
         dram_seconds =
-            std::max(dram_seconds, bytes / energy.dramStackBps());
+            std::max(dram_seconds, bytes / costs.dramStackBps());
         dram_bytes += bytes;
     }
 
@@ -782,9 +366,9 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
     const double units = static_cast<double>(fs.numUnits);
     r.delay = (units + pipelineDepthOf(group) - 1) * bottleneck;
     r.intraTileEnergy = core_energy * units;
-    r.nocEnergy = energy.onChipJ(on_chip) * units;
-    r.d2dEnergy = energy.d2dJ(d2d) * units;
-    r.dramEnergy = energy.dramJ(dram_bytes) * units;
+    r.nocEnergy = costs.onChipJ(on_chip) * units;
+    r.d2dEnergy = costs.d2dJ(d2d) * units;
+    r.dramEnergy = costs.dramJ(dram_bytes) * units;
     r.dramBytes = dram_bytes * units;
     r.hopBytes = (on_chip + d2d) * units;
     r.d2dHopBytes = d2d * units;
@@ -801,8 +385,8 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
 }
 
 eval::EvalBreakdown
-Analyzer::evaluate(const GroupAnalysis &a,
-                   const eval::EnergyModel &energy) const
+Analyzer::evaluate(const GroupAnalysis &a, const cost::CostStack &costs)
+    const
 {
     eval::EvalBreakdown r;
     const noc::TrafficStats stats = noc_.summarize(a.traffic);
@@ -811,7 +395,7 @@ Analyzer::evaluate(const GroupAnalysis &a,
     double dram_bytes = 0.0;
     for (double bytes : a.dramBytesPerUnit) {
         dram_seconds =
-            std::max(dram_seconds, bytes / energy.dramStackBps());
+            std::max(dram_seconds, bytes / costs.dramStackBps());
         dram_bytes += bytes;
     }
 
@@ -821,9 +405,9 @@ Analyzer::evaluate(const GroupAnalysis &a,
     r.delay = (units + a.pipelineDepth - 1) * bottleneck;
 
     r.intraTileEnergy = a.coreEnergyPerUnit * units;
-    r.nocEnergy = energy.onChipJ(stats.onChipBytes) * units;
-    r.d2dEnergy = energy.d2dJ(stats.d2dBytes) * units;
-    r.dramEnergy = energy.dramJ(dram_bytes) * units;
+    r.nocEnergy = costs.onChipJ(stats.onChipBytes) * units;
+    r.d2dEnergy = costs.d2dJ(stats.d2dBytes) * units;
+    r.dramEnergy = costs.dramJ(dram_bytes) * units;
     r.dramBytes = dram_bytes * units;
     r.hopBytes = (stats.onChipBytes + stats.d2dBytes) * units;
     r.d2dHopBytes = stats.d2dBytes * units;

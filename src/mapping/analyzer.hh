@@ -1,27 +1,30 @@
 /**
  * @file
- * The LP SPM Analyzer + Evaluator glue (Sec. V-B): parses an encoded layer
- * group mapping into per-core workload tiles and explicit data flows,
- * accumulates NoC/D2D/DRAM traffic (with multicast deduplication), invokes
- * the intra-core exploration engine for every partitioned workload, and
- * produces the energy/delay evaluation the SA controller optimizes.
+ * The LP SPM Analyzer facade (Sec. V-B): wires the staged evaluation
+ * pipeline — encoding parse/validation (src/mapping/encoding), per-group
+ * intra-core tiling (TilingStage), traffic compilation (TrafficCompiler)
+ * and cost accumulation (cost::CostStack) — and memoizes the per-layer
+ * fragments the stages exchange so the SA controller's incremental moves
+ * re-derive only what they touched.
  */
 
 #ifndef GEMINI_MAPPING_ANALYZER_HH
 #define GEMINI_MAPPING_ANALYZER_HH
 
 #include <cstdint>
-#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "src/arch/arch_config.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/dnn/graph.hh"
 #include "src/eval/breakdown.hh"
-#include "src/eval/energy_model.hh"
 #include "src/intracore/explorer.hh"
 #include "src/mapping/encoding.hh"
-#include "src/noc/noc_model.hh"
+#include "src/mapping/fragments.hh"
+#include "src/mapping/tiling.hh"
+#include "src/mapping/traffic_compiler.hh"
+#include "src/noc/interconnect.hh"
 
 namespace gemini::mapping {
 
@@ -55,13 +58,6 @@ struct GroupAnalysis
 };
 
 /**
- * Resolves the DRAM (FD.OF) where an out-of-group producer stored its
- * ofmap. Receives the producer layer id; kDramInterleaved is a valid
- * answer.
- */
-using OfmapDramLookup = std::function<DramSel(LayerId)>;
-
-/**
  * Stateless-per-call analyzer bound to one (graph, arch) pair. The
  * intra-core explorer it holds memoizes tile costs across calls, and the
  * analyzer itself optionally memoizes whole-group analyses (see
@@ -72,7 +68,8 @@ class Analyzer
 {
   public:
     Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
-             const noc::NocModel &noc, intracore::Explorer &explorer);
+             const noc::InterconnectModel &noc,
+             intracore::Explorer &explorer);
 
     /**
      * Analyze one group of an LMS. `ofmap_dram_of` must resolve FD.OF for
@@ -85,7 +82,7 @@ class Analyzer
 
     /** Pipeline fill/drain + steady-state evaluation (Sec. V-B2). */
     eval::EvalBreakdown evaluate(const GroupAnalysis &analysis,
-                                 const eval::EnergyModel &energy) const;
+                                 const cost::CostStack &costs) const;
 
     /**
      * Fused analyzeGroup + evaluate for the SA hot path: merges the
@@ -97,10 +94,9 @@ class Analyzer
     eval::EvalBreakdown evaluateGroup(const LayerGroupMapping &group,
                                       std::int64_t batch,
                                       const OfmapDramLookup &ofmap_dram_of,
-                                      const eval::EnergyModel &energy)
-        const;
+                                      const cost::CostStack &costs) const;
 
-    const noc::NocModel &noc() const { return noc_; }
+    const noc::InterconnectModel &noc() const { return noc_; }
 
     /**
      * Bound each memoization cache to `entries` results (0 disables all
@@ -148,61 +144,13 @@ class Analyzer
     std::uint64_t evalCacheMisses() const { return evalMisses_; }
 
   private:
-    /**
-     * Flattened, exact cache key: every scalar analyzeGroup reads,
-     * serialized in deterministic order. Cheap to hash, exact to compare.
-     */
-    struct GroupKey
-    {
-        std::vector<std::int64_t> words;
-
-        bool operator==(const GroupKey &o) const = default;
-    };
-
-    struct GroupKeyHash
-    {
-        std::size_t operator()(const GroupKey &key) const;
-    };
+    using GroupKey = FragmentKey;
+    using GroupKeyHash = FragmentKeyHash;
 
     /** Build the group cache key into groupProbe_ and return it. */
     const GroupKey &makeKey(const LayerGroupMapping &group,
                             std::int64_t batch,
                             const OfmapDramLookup &ofmap_dram_of) const;
-
-    /** Pass-1 product of one layer: piece regions and intra-core cost. */
-    struct LayerTiles
-    {
-        std::vector<WorkRegion> regions; ///< per-piece ofmap slices
-        double stageSeconds = 0.0;       ///< slowest piece compute time
-        double energyPerUnit = 0.0;      ///< summed intra-core energy
-    };
-
-    /**
-     * Passes 2-5 product of one layer: every flow charged to it (inbound
-     * activations, weight loads, managed ofmap stores) plus its GLB
-     * pressure. The group analysis is the sum of its layers' fragments.
-     * Link loads are stored as a flat vector with one entry per link, in
-     * first-touch order (deterministic): assembly walks it linearly, so a
-     * cached fragment reproduces the uncached result bit for bit.
-     */
-    struct LayerFlows
-    {
-        std::vector<std::pair<noc::LinkKey, double>> links;
-        std::vector<double> dramBytes;  ///< per-stack bytes per unit
-        double glbOverflow = 0.0;       ///< worst piece pressure ratio
-    };
-
-    LayerTiles computeLayerTiles(const dnn::Layer &layer,
-                                 const MappingScheme &ms,
-                                 std::int64_t batch_unit) const;
-
-    LayerFlows computeLayerFlows(const LayerGroupMapping &group,
-                                 std::size_t li,
-                                 const std::vector<const LayerTiles *>
-                                     &tiles,
-                                 std::int64_t num_units,
-                                 const OfmapDramLookup &ofmap_dram_of)
-        const;
 
     /**
      * Resolved per-layer fragments of one group (pointers into the caches
@@ -231,8 +179,11 @@ class Analyzer
 
     const dnn::Graph &graph_;
     arch::ArchConfig arch_;
-    const noc::NocModel &noc_;
-    intracore::Explorer &explorer_;
+    const noc::InterconnectModel &noc_;
+
+    // ---- pipeline stages ----
+    TilingStage tiling_;
+    TrafficCompiler trafficCompiler_;
 
     std::size_t cacheCapacity_ = 0;
     mutable std::unordered_map<GroupKey, GroupAnalysis, GroupKeyHash> cache_;
@@ -252,15 +203,8 @@ class Analyzer
     mutable GroupKey groupProbe_;
     mutable GroupKey fragProbe_;
 
-    /**
-     * Dense per-link accumulator scratch (nodeCount^2 doubles, a few KiB):
-     * link loads merge by array index instead of sorting or hashing —
-     * the node space of one architecture is tiny. touchScratch_ records
-     * dirtied slots in first-touch order for deterministic emission and
-     * cheap reset.
-     */
-    mutable std::vector<double> denseBytes_;
-    mutable std::vector<std::int32_t> touchScratch_;
+    /** Dense merge scratch of the fused cost-accumulation path. */
+    mutable DenseLinkAccumulator merge_;
     mutable std::uint64_t cacheHits_ = 0;
     mutable std::uint64_t cacheMisses_ = 0;
     mutable std::uint64_t cacheEvictions_ = 0;

@@ -13,9 +13,9 @@ MappingEngine::MappingEngine(const dnn::Graph &graph,
     : graph_(graph), arch_(arch), options_(std::move(options)), noc_(arch),
       explorer_(arch.macsPerCore, arch.glbBytes(), arch.freqGHz,
                 options_.tech),
-      energy_(arch, options_.tech),
+      costs_(arch, options_.tech),
       analyzer_(graph, arch, noc_, explorer_),
-      sa_(graph, arch, analyzer_, energy_)
+      sa_(graph, arch, analyzer_, costs_)
 {
     const std::string err = arch.validate();
     GEMINI_ASSERT(err.empty(), "invalid architecture: ", err);
@@ -37,7 +37,7 @@ MappingEngine::run()
     popt.gamma = options_.gamma;
 
     MappingResult result;
-    result.mapping = partitionGraph(graph_, arch_, analyzer_, energy_, popt);
+    result.mapping = partitionGraph(graph_, arch_, analyzer_, costs_, popt);
 
     const std::string err =
         checkMappingValid(graph_, arch_, result.mapping);
@@ -119,7 +119,7 @@ MappingEngine::runSaChains(MappingResult &result)
                                              arch_.freqGHz, options_.tech);
                 Analyzer analyzer(graph_, arch_, noc_, explorer);
                 analyzer.setCacheCapacity(options_.analyzerCacheEntries);
-                SaEngine sa(graph_, arch_, analyzer, energy_);
+                SaEngine sa(graph_, arch_, analyzer, costs_);
                 const SaOptions chain_options = chain_options_of(i);
                 evals[i] = sa.optimize(maps[i], chain_options, &stats[i]);
             });

@@ -15,15 +15,15 @@
 
 #include "src/arch/arch_config.hh"
 #include "src/arch/tech_params.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/dnn/graph.hh"
 #include "src/eval/breakdown.hh"
-#include "src/eval/energy_model.hh"
 #include "src/intracore/explorer.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/encoding.hh"
 #include "src/mapping/graph_partition.hh"
 #include "src/mapping/sa.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 namespace gemini::mapping {
 
@@ -110,8 +110,9 @@ class MappingEngine
     GroupAnalysis analyzeGroup(const LpMapping &mapping,
                                std::size_t group) const;
 
-    const noc::NocModel &noc() const { return noc_; }
-    const eval::EnergyModel &energyModel() const { return energy_; }
+    const noc::InterconnectModel &noc() const { return noc_; }
+    const cost::CostStack &costStack() const { return costs_; }
+    const eval::EnergyModel &energyModel() const { return costs_.energy(); }
     const arch::ArchConfig &arch() const { return arch_; }
     const MappingOptions &options() const { return options_; }
     intracore::Explorer &explorer() { return explorer_; }
@@ -139,9 +140,9 @@ class MappingEngine
     const dnn::Graph &graph_;
     arch::ArchConfig arch_;
     MappingOptions options_;
-    noc::NocModel noc_;
+    noc::InterconnectModel noc_;
     mutable intracore::Explorer explorer_;
-    eval::EnergyModel energy_;
+    cost::CostStack costs_;
     mutable Analyzer analyzer_;
     SaEngine sa_;
 };

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Shared vocabulary of the staged mapping-evaluation pipeline (Sec. V-B):
+ * the per-layer fragment types the stages exchange, the exact flattened
+ * cache keys the Analyzer memoizes them under, and the dense per-link
+ * accumulator both the traffic compiler and the cost-accumulation stage
+ * merge link loads through.
+ *
+ * Pipeline stages (each in its own translation unit, wired by Analyzer):
+ *   1. encoding parse/validation    src/mapping/encoding.{hh,cc}
+ *   2. per-group intra-core tiling  src/mapping/tiling.{hh,cc}
+ *   3. traffic compilation          src/mapping/traffic_compiler.{hh,cc}
+ *   4. cost accumulation            src/mapping/analyzer.cc + cost::CostStack
+ */
+
+#ifndef GEMINI_MAPPING_FRAGMENTS_HH
+#define GEMINI_MAPPING_FRAGMENTS_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hh"
+#include "src/mapping/encoding.hh"
+#include "src/noc/interconnect.hh"
+
+namespace gemini::mapping {
+
+/**
+ * Resolves the DRAM (FD.OF) where an out-of-group producer stored its
+ * ofmap. Receives the producer layer id; kDramInterleaved is a valid
+ * answer.
+ */
+using OfmapDramLookup = std::function<DramSel(LayerId)>;
+
+/**
+ * Flattened, exact cache key: every scalar a pipeline stage reads,
+ * serialized in deterministic order. Cheap to hash, exact to compare.
+ */
+struct FragmentKey
+{
+    std::vector<std::int64_t> words;
+
+    bool operator==(const FragmentKey &o) const = default;
+};
+
+struct FragmentKeyHash
+{
+    std::size_t
+    operator()(const FragmentKey &key) const
+    {
+        // FNV-1a over the word stream; exact equality is checked on the
+        // full key, so the hash only has to spread well.
+        std::uint64_t h = 0xCBF29CE484222325ull;
+        for (std::int64_t w : key.words) {
+            h ^= static_cast<std::uint64_t>(w);
+            h *= 0x100000001B3ull;
+        }
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Tiling-stage product of one layer: piece regions and intra-core cost. */
+struct LayerTiles
+{
+    std::vector<WorkRegion> regions; ///< per-piece ofmap slices
+    double stageSeconds = 0.0;       ///< slowest piece compute time
+    double energyPerUnit = 0.0;      ///< summed intra-core energy
+};
+
+/**
+ * Traffic-compiler product of one layer: every flow charged to it (inbound
+ * activations, weight loads, managed ofmap stores) plus its GLB pressure.
+ * The group analysis is the sum of its layers' fragments. Link loads are
+ * stored as a flat vector with one entry per link, in first-touch order
+ * (deterministic): assembly walks it linearly, so a cached fragment
+ * reproduces the uncached result bit for bit.
+ */
+struct LayerFlows
+{
+    std::vector<std::pair<noc::LinkKey, double>> links;
+    std::vector<double> dramBytes;  ///< per-stack bytes per unit
+    double glbOverflow = 0.0;       ///< worst piece pressure ratio
+};
+
+/**
+ * Dense per-link accumulator scratch (nodeCount^2 doubles, a few KiB):
+ * link loads merge by array index instead of sorting or hashing — the
+ * node space of one architecture is tiny. Dirtied slots are recorded in
+ * first-touch order for deterministic emission and cheap reset; per-link
+ * contributions sum in emission order, exactly as a map accumulation
+ * would. All contributions are strictly positive, so a zero slot always
+ * means "untouched".
+ */
+class DenseLinkAccumulator
+{
+  public:
+    /** Size for an interconnect's node count (idempotent, zero-fills). */
+    void
+    reset(std::size_t node_count)
+    {
+        nodes_ = node_count;
+        bytes_.assign(node_count * node_count, 0.0);
+        touched_.clear();
+    }
+
+    void
+    add(noc::LinkKey link, double bytes)
+    {
+        const std::size_t idx =
+            static_cast<std::size_t>(noc::linkFrom(link)) * nodes_ +
+            static_cast<std::size_t>(noc::linkTo(link));
+        if (bytes_[idx] == 0.0)
+            touched_.push_back(static_cast<std::int32_t>(idx));
+        bytes_[idx] += bytes;
+    }
+
+    std::size_t touchedCount() const { return touched_.size(); }
+
+    /**
+     * Emit every dirtied (from, to, bytes) in first-touch order and zero
+     * the scratch back out (ready for the next merge).
+     */
+    template <typename Fn>
+    void
+    drain(Fn &&fn)
+    {
+        for (std::int32_t idx : touched_) {
+            const auto i = static_cast<std::size_t>(idx);
+            const double bytes = bytes_[i];
+            bytes_[i] = 0.0;
+            fn(static_cast<noc::NodeId>(i / nodes_),
+               static_cast<noc::NodeId>(i % nodes_), bytes);
+        }
+        touched_.clear();
+    }
+
+  private:
+    std::size_t nodes_ = 0;
+    std::vector<double> bytes_;
+    std::vector<std::int32_t> touched_;
+};
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_FRAGMENTS_HH

@@ -35,7 +35,7 @@ namespace {
  */
 eval::EvalBreakdown
 segmentEval(const dnn::Graph &graph, const arch::ArchConfig &arch,
-            Analyzer &analyzer, const eval::EnergyModel &energy,
+            Analyzer &analyzer, const cost::CostStack &costs,
             std::size_t first, std::size_t len, std::int64_t batch,
             std::int64_t batch_unit, LayerGroupMapping *out_group)
 {
@@ -47,7 +47,7 @@ segmentEval(const dnn::Graph &graph, const arch::ArchConfig &arch,
 
     auto lookup = [](LayerId) { return kDramInterleaved; };
     const eval::EvalBreakdown bd =
-        analyzer.evaluateGroup(group, batch, lookup, energy);
+        analyzer.evaluateGroup(group, batch, lookup, costs);
     if (out_group)
         *out_group = std::move(group);
     return bd;
@@ -74,7 +74,7 @@ segmentScore(const eval::EvalBreakdown &bd, double e_ref, double d_ref,
 
 LpMapping
 partitionGraph(const dnn::Graph &graph, const arch::ArchConfig &arch,
-               Analyzer &analyzer, const eval::EnergyModel &energy,
+               Analyzer &analyzer, const cost::CostStack &costs,
                const PartitionOptions &options)
 {
     GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
@@ -92,7 +92,7 @@ partitionGraph(const dnn::Graph &graph, const arch::ArchConfig &arch,
     double e_ref = 0.0, d_ref = 0.0;
     for (std::size_t l = 0; l < n; ++l) {
         const eval::EvalBreakdown bd =
-            segmentEval(graph, arch, analyzer, energy, l, 1, options.batch,
+            segmentEval(graph, arch, analyzer, costs, l, 1, options.batch,
                         units.front(), nullptr);
         e_ref += bd.totalEnergy();
         d_ref += bd.delay;
@@ -115,7 +115,7 @@ partitionGraph(const dnn::Graph &graph, const arch::ArchConfig &arch,
                 if (options.batch % bu != 0)
                     continue;
                 const eval::EvalBreakdown bd = segmentEval(
-                    graph, arch, analyzer, energy, start, len,
+                    graph, arch, analyzer, costs, start, len,
                     options.batch, bu, nullptr);
                 const double seg = segmentScore(bd, e_ref, d_ref,
                                                 options.beta,
@@ -147,7 +147,7 @@ partitionGraph(const dnn::Graph &graph, const arch::ArchConfig &arch,
     mapping.batch = options.batch;
     for (std::size_t s = 0; s < segments.size(); ++s) {
         LayerGroupMapping group;
-        segmentEval(graph, arch, analyzer, energy, segments[s].first,
+        segmentEval(graph, arch, analyzer, costs, segments[s].first,
                     segments[s].second - segments[s].first, options.batch,
                     seg_units[s], &group);
         mapping.groups.push_back(std::move(group));

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "src/eval/energy_model.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/encoding.hh"
 
@@ -45,7 +45,7 @@ struct PartitionOptions
  */
 LpMapping partitionGraph(const dnn::Graph &graph,
                          const arch::ArchConfig &arch, Analyzer &analyzer,
-                         const eval::EnergyModel &energy,
+                         const cost::CostStack &costs,
                          const PartitionOptions &options);
 
 /** Default batch-unit candidate list: divisors of `batch`, capped. */

@@ -10,8 +10,8 @@
 namespace gemini::mapping {
 
 SaEngine::SaEngine(const dnn::Graph &graph, const arch::ArchConfig &arch,
-                   Analyzer &analyzer, const eval::EnergyModel &energy)
-    : graph_(graph), arch_(arch), analyzer_(analyzer), energy_(energy)
+                   Analyzer &analyzer, const cost::CostStack &costs)
+    : graph_(graph), arch_(arch), analyzer_(analyzer), costs_(costs)
 {
 }
 
@@ -24,7 +24,7 @@ SaEngine::analyzeOne(const LpMapping &mapping, std::size_t group) const
     // Fused fast path: merges cached per-layer fragments straight into
     // the breakdown (no TrafficMap materialization per proposal).
     return analyzer_.evaluateGroup(mapping.groups[group], mapping.batch,
-                                   lookup, energy_);
+                                   lookup, costs_);
 }
 
 std::vector<eval::EvalBreakdown>
@@ -39,19 +39,18 @@ SaEngine::evaluateAll(const LpMapping &mapping) const
 
 namespace {
 
-/** Penalized contribution of one group to the cost's E and D sums. */
+// The objective lives in the cost stack (one pricing authority for SA and
+// DSE); these aliases keep the hot loop below readable.
 inline void
 contributionOf(const eval::EvalBreakdown &g, double &energy, double &delay)
 {
-    const double penalty = (1.0 + g.glbOverflow) * (1.0 + g.glbOverflow);
-    energy = g.totalEnergy() * penalty;
-    delay = g.delay * penalty;
+    cost::CostStack::saContribution(g, energy, delay);
 }
 
 inline double
 scalarCost(double energy, double delay, double beta, double gamma)
 {
-    return std::pow(energy, beta) * std::pow(delay, gamma);
+    return cost::CostStack::saScalar(energy, delay, beta, gamma);
 }
 
 } // namespace
@@ -60,15 +59,7 @@ double
 SaEngine::cost(const std::vector<eval::EvalBreakdown> &groups, double beta,
                double gamma)
 {
-    double energy = 0.0;
-    double delay = 0.0;
-    for (const auto &g : groups) {
-        double e, d;
-        contributionOf(g, e, d);
-        energy += e;
-        delay += d;
-    }
-    return scalarCost(energy, delay, beta, gamma);
+    return cost::CostStack::saCost(groups, beta, gamma);
 }
 
 std::uint64_t

@@ -13,8 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/cost/cost_stack.hh"
 #include "src/eval/breakdown.hh"
-#include "src/eval/energy_model.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/encoding.hh"
 
@@ -97,7 +97,7 @@ class SaEngine
 {
   public:
     SaEngine(const dnn::Graph &graph, const arch::ArchConfig &arch,
-             Analyzer &analyzer, const eval::EnergyModel &energy);
+             Analyzer &analyzer, const cost::CostStack &costs);
 
     /**
      * Evaluate every group of a mapping (no optimization). Used for the
@@ -114,6 +114,8 @@ class SaEngine
     /**
      * GLB-overflow-penalized scalar cost of aggregated breakdowns:
      * (E * p)^beta * (D * p)^gamma with p = (1 + overflow)^2.
+     * Thin wrapper over cost::CostStack::saCost (the objective lives in
+     * the cost stack so SA and DSE price identically).
      */
     static double cost(const std::vector<eval::EvalBreakdown> &groups,
                        double beta, double gamma);
@@ -132,7 +134,7 @@ class SaEngine
     const dnn::Graph &graph_;
     arch::ArchConfig arch_;
     Analyzer &analyzer_;
-    const eval::EnergyModel &energy_;
+    const cost::CostStack &costs_;
 };
 
 } // namespace gemini::mapping

@@ -1,0 +1,346 @@
+#include "src/mapping/traffic_compiler.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "src/common/logging.hh"
+
+namespace gemini::mapping {
+
+namespace {
+
+/** Key for grouping identical data requests into one multicast. */
+using RegionKey =
+    std::tuple<std::int64_t, std::int64_t, std::int64_t, std::int64_t,
+               std::int64_t, std::int64_t, std::int64_t, std::int64_t>;
+
+RegionKey
+keyOf(const dnn::Region &r, std::int64_t b0, std::int64_t b1)
+{
+    return {r.c0, r.c1, r.h0, r.h1, r.w0, r.w1, b0, b1};
+}
+
+/**
+ * One pending flow: a requested region (or weight k-chunk) plus the core
+ * that wants it. Identical keys coalesce into a single multicast; a flat
+ * sort-and-group replaces the per-call std::map of the original analyzer
+ * (this loop runs millions of times per SA run).
+ */
+struct FlowRequest
+{
+    RegionKey key;
+    double bytes = 0.0; ///< identical for every request with the same key
+    noc::NodeId node = 0;
+};
+
+/**
+ * Sort requests by key and emit once per distinct key, in ascending key
+ * order (the order the std::map-based original used). Ties break on the
+ * destination node, which is unique per request within one grouping, so
+ * the order is total and deterministic. Singleton groups — the common
+ * case, since partition pieces mostly request distinct regions — take
+ * emit_one, which skips the destination-vector machinery entirely.
+ */
+template <typename EmitOneFn, typename EmitManyFn>
+void
+emitGrouped(std::vector<FlowRequest> &requests,
+            std::vector<noc::NodeId> &dsts_scratch,
+            const EmitOneFn &emit_one, const EmitManyFn &emit_many)
+{
+    if (requests.empty())
+        return;
+    if (requests.size() == 1) {
+        emit_one(requests[0].bytes, requests[0].node);
+        return;
+    }
+    std::sort(requests.begin(), requests.end(),
+              [](const FlowRequest &a, const FlowRequest &b) {
+                  return a.key != b.key ? a.key < b.key : a.node < b.node;
+              });
+    std::size_t i = 0;
+    while (i < requests.size()) {
+        std::size_t j = i + 1;
+        while (j < requests.size() && requests[j].key == requests[i].key)
+            ++j;
+        if (j == i + 1) {
+            emit_one(requests[i].bytes, requests[i].node);
+        } else {
+            dsts_scratch.clear();
+            for (std::size_t k = i; k < j; ++k)
+                dsts_scratch.push_back(requests[k].node);
+            emit_many(requests[i].bytes, dsts_scratch);
+        }
+        i = j;
+    }
+}
+
+} // namespace
+
+TrafficCompiler::TrafficCompiler(const dnn::Graph &graph,
+                                 const arch::ArchConfig &arch,
+                                 const noc::InterconnectModel &noc)
+    : graph_(graph), arch_(arch), noc_(noc)
+{
+    merge_.reset(static_cast<std::size_t>(noc_.nodeCount()));
+}
+
+LayerFlows
+TrafficCompiler::compile(const LayerGroupMapping &group, std::size_t li,
+                         const std::vector<const LayerTiles *> &tiles,
+                         std::int64_t num_units,
+                         const OfmapDramLookup &ofmap_dram_of) const
+{
+    LayerFlows flows;
+    flows.dramBytes.assign(arch_.dramCount, 0.0);
+
+    // Flows accumulate as raw (link, bytes) pairs — no hashing — and the
+    // dense scratch merges duplicates afterwards. The sink is
+    // thread-local so its capacity survives across calls (fragment
+    // computation allocates nothing in steady state).
+    static thread_local noc::InterconnectModel::LinkSink sink;
+    sink.clear();
+
+    const LayerId layer_id = group.layers[li];
+    const dnn::Layer &layer = graph_.layer(layer_id);
+    const MappingScheme &ms = group.schemes[li];
+    const LayerTiles &mine = *tiles[li];
+    const std::size_t n_pieces = mine.regions.size();
+
+    // ---- Helpers for DRAM-sourced / DRAM-bound flows --------------------
+    auto dram_read = [&](DramSel sel, double bytes,
+                         const std::vector<noc::NodeId> &dsts) {
+        if (bytes <= 0.0 || dsts.empty())
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.multicastLinks(sink, noc_.dramNode(d), dsts, share);
+                flows.dramBytes[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.multicastLinks(sink, noc_.dramNode(sel - 1), dsts, bytes);
+            flows.dramBytes[sel - 1] += bytes;
+        }
+    };
+    // Single-destination DRAM read: the route span IS the multicast tree.
+    auto dram_read_one = [&](DramSel sel, double bytes, noc::NodeId dst) {
+        if (bytes <= 0.0)
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.unicastLinks(sink, noc_.dramNode(d), dst, share);
+                flows.dramBytes[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.unicastLinks(sink, noc_.dramNode(sel - 1), dst, bytes);
+            flows.dramBytes[sel - 1] += bytes;
+        }
+    };
+    auto dram_write = [&](DramSel sel, double bytes, CoreId src) {
+        if (bytes <= 0.0)
+            return;
+        if (sel == kDramInterleaved) {
+            const double share = bytes / arch_.dramCount;
+            for (int d = 0; d < arch_.dramCount; ++d) {
+                noc_.unicastLinks(sink, noc_.coreNode(src),
+                                  noc_.dramNode(d), share);
+                flows.dramBytes[d] += share;
+            }
+        } else {
+            GEMINI_ASSERT(sel >= 1 && sel <= arch_.dramCount,
+                          "bad DRAM selector ", sel);
+            noc_.unicastLinks(sink, noc_.coreNode(src),
+                              noc_.dramNode(sel - 1), bytes);
+            flows.dramBytes[sel - 1] += bytes;
+        }
+    };
+
+    static thread_local std::vector<double> input_bytes;
+    static thread_local std::vector<FlowRequest> requests;
+    static thread_local std::vector<noc::NodeId> dsts_scratch;
+    static thread_local std::vector<dnn::Region> required_scratch;
+    input_bytes.assign(n_pieces, 0.0);
+
+    // ---- Activation flows (in-group NoC + cross-group/external DRAM) ----
+    const std::size_t n_inputs = std::max<std::size_t>(
+        layer.inputs.size(), 1); // external input counts as one
+    for (std::size_t j = 0; j < n_inputs; ++j) {
+        const bool external = layer.inputs.empty();
+        const LayerId producer = external ? -1 : layer.inputs[j];
+        const int pi = external ? -1 : group.indexOf(producer);
+
+        if (pi >= 0) {
+            // In-group dependency: the destination cores fetch the
+            // overlap of their required region with each producer piece;
+            // identical requests from one source multicast. Each
+            // consumer's required region is hoisted out of the
+            // producer-piece loop (it only depends on the consumer).
+            const LayerTiles &theirs =
+                *tiles[static_cast<std::size_t>(pi)];
+            const MappingScheme &pms =
+                group.schemes[static_cast<std::size_t>(pi)];
+            required_scratch.clear();
+            for (std::size_t i = 0; i < n_pieces; ++i)
+                required_scratch.push_back(
+                    layer.requiredInput(j, mine.regions[i].region));
+            for (std::size_t a = 0; a < theirs.regions.size(); ++a) {
+                const WorkRegion &pp = theirs.regions[a];
+                const CoreId pcore = pms.coreGroup[a];
+                requests.clear();
+                for (std::size_t i = 0; i < n_pieces; ++i) {
+                    const WorkRegion &cp = mine.regions[i];
+                    const std::int64_t b0 = std::max(cp.b0, pp.b0);
+                    const std::int64_t b1 = std::min(cp.b1, pp.b1);
+                    if (b1 <= b0)
+                        continue;
+                    const dnn::Region ov =
+                        required_scratch[i].intersect(pp.region);
+                    if (ov.empty())
+                        continue;
+                    const double bytes =
+                        static_cast<double>(ov.volume() * (b1 - b0));
+                    if (ms.coreGroup[i] == pcore)
+                        continue; // local GLB read
+                    requests.push_back({keyOf(ov, b0, b1), bytes,
+                                        noc_.coreNode(ms.coreGroup[i])});
+                }
+                emitGrouped(
+                    requests, dsts_scratch,
+                    [&](double bytes, noc::NodeId dst) {
+                        noc_.unicastLinks(sink, noc_.coreNode(pcore), dst,
+                                          bytes);
+                    },
+                    [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                        noc_.multicastLinks(sink, noc_.coreNode(pcore),
+                                            dsts, bytes);
+                    });
+            }
+            // Consumers still buffer the full required region.
+            const dnn::Region pfull = dnn::Region::full(
+                graph_.layer(producer).k, graph_.layer(producer).h,
+                graph_.layer(producer).w);
+            for (std::size_t i = 0; i < n_pieces; ++i) {
+                const WorkRegion &cp = mine.regions[i];
+                const dnn::Region ov =
+                    required_scratch[i].intersect(pfull);
+                input_bytes[i] += static_cast<double>(
+                    ov.volume() * (cp.b1 - cp.b0));
+            }
+        } else {
+            // External input or a producer mapped in another group:
+            // read from DRAM; identical regions share one multicast.
+            const DramSel src =
+                external ? ms.fd.ifmap : ofmap_dram_of(producer);
+            std::int64_t pc, ph, pw;
+            graph_.producerShape(producer, pc, ph, pw);
+            requests.clear();
+            for (std::size_t i = 0; i < n_pieces; ++i) {
+                const WorkRegion &cp = mine.regions[i];
+                dnn::Region rq = layer.requiredInput(j, cp.region);
+                rq = rq.clampTo(pc, ph, pw);
+                if (rq.empty())
+                    continue;
+                const double bytes = static_cast<double>(
+                    rq.volume() * (cp.b1 - cp.b0));
+                input_bytes[i] += bytes;
+                requests.push_back({keyOf(rq, cp.b0, cp.b1), bytes,
+                                    noc_.coreNode(ms.coreGroup[i])});
+            }
+            emitGrouped(
+                requests, dsts_scratch,
+                [&](double bytes, noc::NodeId dst) {
+                    dram_read_one(src, bytes, dst);
+                },
+                [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                    dram_read(src, bytes, dsts);
+                });
+        }
+    }
+
+    // ---- Weights (multicast per k-slice, amortized if resident) ---------
+    if (layer.hasWeights()) {
+        // Cores sharing the same k-chunk receive identical weight slices.
+        requests.clear();
+        static thread_local std::vector<double> weight_bytes_of;
+        weight_bytes_of.assign(n_pieces, 0.0);
+        for (std::size_t i = 0; i < n_pieces; ++i) {
+            const WorkRegion &p = mine.regions[i];
+            const std::int64_t klen = p.region.channels();
+            const double wbytes =
+                static_cast<double>(klen * (layer.c / layer.groups) *
+                                    layer.r * layer.s) +
+                4.0 * klen; // 32-bit bias/scale per output channel
+            weight_bytes_of[i] = wbytes;
+            requests.push_back({RegionKey{p.region.c0, 0, 0, 0, 0, 0, 0, 0},
+                                wbytes, noc_.coreNode(ms.coreGroup[i])});
+        }
+
+        // Residency: if the slice plus double-buffered activations fits in
+        // the GLB, weights load once per group execution (amortized over
+        // the batch units); otherwise they re-stream every unit.
+        bool resident = true;
+        for (std::size_t i = 0; i < n_pieces; ++i) {
+            const WorkRegion &p = mine.regions[i];
+            const double need =
+                weight_bytes_of[i] +
+                2.0 * (input_bytes[i] +
+                       static_cast<double>(p.volume()));
+            if (need > static_cast<double>(arch_.glbBytes()))
+                resident = false;
+        }
+        const double factor =
+            resident ? 1.0 / static_cast<double>(num_units) : 1.0;
+        emitGrouped(
+            requests, dsts_scratch,
+            [&](double bytes, noc::NodeId dst) {
+                dram_read_one(ms.fd.weight, bytes * factor, dst);
+            },
+            [&](double bytes, const std::vector<noc::NodeId> &dsts) {
+                dram_read(ms.fd.weight, bytes * factor, dsts);
+            });
+    }
+
+    // ---- Managed ofmap stores -------------------------------------------
+    if (ms.fd.ofmap != kDramUnmanaged) {
+        for (std::size_t i = 0; i < n_pieces; ++i)
+            dram_write(ms.fd.ofmap,
+                       static_cast<double>(mine.regions[i].volume()),
+                       ms.coreGroup[i]);
+    }
+
+    // ---- GLB pressure -----------------------------------------------------
+    for (std::size_t i = 0; i < n_pieces; ++i) {
+        const WorkRegion &p = mine.regions[i];
+        // Double-buffered input/output tiles; weights checked above.
+        double need =
+            2.0 * (input_bytes[i] + static_cast<double>(p.volume()));
+        if (layer.hasWeights()) {
+            const std::int64_t klen = p.region.channels();
+            const double wbytes = static_cast<double>(
+                klen * (layer.c / layer.groups) * layer.r * layer.s);
+            // Streaming weights still need a staging buffer slice.
+            need += std::min(wbytes,
+                             static_cast<double>(arch_.glbBytes()) / 4);
+        }
+        const double ratio =
+            need / static_cast<double>(arch_.glbBytes()) - 1.0;
+        flows.glbOverflow = std::max(flows.glbOverflow, ratio);
+    }
+
+    // Merge duplicate links through the dense scratch — no sort, no
+    // hashing; emission in first-touch order is deterministic.
+    for (const auto &[link, bytes] : sink)
+        merge_.add(link, bytes);
+    flows.links.reserve(merge_.touchedCount());
+    merge_.drain([&](noc::NodeId from, noc::NodeId to, double bytes) {
+        flows.links.emplace_back(noc::makeLink(from, to), bytes);
+    });
+    return flows;
+}
+
+} // namespace gemini::mapping

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Stage 3 of the mapping-evaluation pipeline: traffic compilation. Turns
+ * one layer's tiled work regions plus its producers' into the layer's
+ * complete traffic fragment — inbound activation flows (in-group NoC
+ * multicast, cross-group/external DRAM reads), weight loads (multicast per
+ * k-slice, amortized when resident), managed ofmap stores, per-DRAM byte
+ * counts and GLB pressure — routed through the interconnect seam and
+ * merged into a deterministic flat link list.
+ */
+
+#ifndef GEMINI_MAPPING_TRAFFIC_COMPILER_HH
+#define GEMINI_MAPPING_TRAFFIC_COMPILER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/dnn/graph.hh"
+#include "src/mapping/fragments.hh"
+#include "src/noc/interconnect.hh"
+
+namespace gemini::mapping {
+
+/**
+ * Compiles per-layer traffic fragments over one (graph, arch,
+ * interconnect) triple. Holds only reusable dense merge scratch — results
+ * do not depend on call history. Not thread-safe (the scratch); every
+ * analyzer owns its own compiler.
+ */
+class TrafficCompiler
+{
+  public:
+    TrafficCompiler(const dnn::Graph &graph, const arch::ArchConfig &arch,
+                    const noc::InterconnectModel &noc);
+
+    /**
+     * Compile layer `li`'s fragment. `tiles` holds the tiling-stage output
+     * of every layer of the group (producer regions are read through it);
+     * `num_units` is batch / batchUnit (weight-residency amortization).
+     */
+    LayerFlows compile(const LayerGroupMapping &group, std::size_t li,
+                       const std::vector<const LayerTiles *> &tiles,
+                       std::int64_t num_units,
+                       const OfmapDramLookup &ofmap_dram_of) const;
+
+  private:
+    const dnn::Graph &graph_;
+    const arch::ArchConfig &arch_;
+    const noc::InterconnectModel &noc_;
+    mutable DenseLinkAccumulator merge_;
+};
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_TRAFFIC_COMPILER_HH

@@ -1,17 +1,42 @@
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 #include <algorithm>
-#include <cmath>
 #include <sstream>
+#include <variant>
 
 #include "src/common/logging.hh"
+#include "src/noc/topologies.hh"
 
 namespace gemini::noc {
 
-NocModel::NocModel(const arch::ArchConfig &cfg) : cfg_(cfg)
+template <typename Backend>
+void
+InterconnectModel::buildRoutes(const Backend &backend)
+{
+    const std::size_t n = static_cast<std::size_t>(nodeCount());
+    routes_.resize(n * n);
+    for (std::size_t a = 0; a < n; ++a) {
+        for (std::size_t b = 0; b < n; ++b) {
+            RouteRef &ref = routes_[a * n + b];
+            ref.offset = static_cast<std::uint32_t>(routeLinks_.size());
+            if (isDramNode(static_cast<NodeId>(a)) &&
+                isDramNode(static_cast<NodeId>(b)))
+                continue; // no meaningful route; empty span
+            backend.walkHops(cfg_, static_cast<NodeId>(a),
+                             static_cast<NodeId>(b),
+                             [this](NodeId from, NodeId to) {
+                                 routeLinks_.push_back(makeLink(from, to));
+                             });
+            ref.length = static_cast<std::uint32_t>(routeLinks_.size()) -
+                         ref.offset;
+        }
+    }
+}
+
+InterconnectModel::InterconnectModel(const arch::ArchConfig &cfg) : cfg_(cfg)
 {
     const std::string err = cfg.validate();
-    GEMINI_ASSERT(err.empty(), "invalid arch for NocModel: ", err);
+    GEMINI_ASSERT(err.empty(), "invalid arch for InterconnectModel: ", err);
 
     const std::size_t n = static_cast<std::size_t>(nodeCount());
     kindTable_.resize(n * n);
@@ -23,75 +48,24 @@ NocModel::NocModel(const arch::ArchConfig &cfg) : cfg_(cfg)
     nocBps_ = cfg_.nocBwGBps * 1.0e9;
     d2dBps_ = cfg_.d2dBwGBps * 1.0e9;
 
-    routes_.resize(n * n);
-    for (std::size_t a = 0; a < n; ++a) {
-        for (std::size_t b = 0; b < n; ++b) {
-            RouteRef &ref = routes_[a * n + b];
-            ref.offset = static_cast<std::uint32_t>(routeLinks_.size());
-            if (isDramNode(static_cast<NodeId>(a)) &&
-                isDramNode(static_cast<NodeId>(b)))
-                continue; // no meaningful route; empty span
-            forEachHopT(static_cast<NodeId>(a), static_cast<NodeId>(b),
-                        [this](NodeId from, NodeId to) {
-                            routeLinks_.push_back(makeLink(from, to));
-                        });
-            ref.length = static_cast<std::uint32_t>(routeLinks_.size()) -
-                         ref.offset;
-        }
-    }
+    // The only backend dispatch of the model's lifetime: build the dense
+    // route arena once; every later query replays spans.
+    std::visit([this](const auto &backend) { buildRoutes(backend); },
+               topo::makeBackend(cfg_));
 }
 
 NodeId
-NocModel::dramNode(int dram) const
+InterconnectModel::dramNode(int dram) const
 {
     GEMINI_ASSERT(dram >= 0 && dram < cfg_.dramCount, "bad dram id ", dram);
     return cfg_.coreCount() + dram;
 }
 
 int
-NocModel::dramOf(NodeId n) const
+InterconnectModel::dramOf(NodeId n) const
 {
     GEMINI_ASSERT(isDramNode(n), "node ", n, " is not a DRAM node");
     return n - cfg_.coreCount();
-}
-
-int
-NocModel::dramEdgeX(int dram) const
-{
-    // Even DRAMs on the west IO chiplet, odd on the east.
-    return (dram % 2 == 0) ? 0 : cfg_.xCores - 1;
-}
-
-int
-NocModel::stepToward(int from, int to, int extent) const
-{
-    if (from == to)
-        return from;
-    if (cfg_.topology == arch::Topology::Mesh) {
-        return from + (to > from ? 1 : -1);
-    }
-    // Folded torus: move along the shorter ring direction; ties resolve to
-    // the increasing direction for determinism.
-    const int fwd = (to - from + extent) % extent;
-    const int bwd = (from - to + extent) % extent;
-    if (fwd <= bwd)
-        return (from + 1) % extent;
-    return (from - 1 + extent) % extent;
-}
-
-void
-NocModel::forEachHop(NodeId src, NodeId dst,
-                     const std::function<void(NodeId, NodeId)> &fn) const
-{
-    forEachHopT(src, dst, [&fn](NodeId a, NodeId b) { fn(a, b); });
-}
-
-int
-NocModel::hopCount(NodeId src, NodeId dst) const
-{
-    int hops = 0;
-    forEachHopT(src, dst, [&hops](NodeId, NodeId) { ++hops; });
-    return hops;
 }
 
 namespace {
@@ -127,7 +101,8 @@ routeUnion(const std::vector<NodeId> &dsts, const RouteOf &route_of,
 } // namespace
 
 void
-NocModel::unicast(TrafficMap &map, NodeId src, NodeId dst, double bytes) const
+InterconnectModel::unicast(TrafficMap &map, NodeId src, NodeId dst,
+                           double bytes) const
 {
     if (bytes <= 0.0)
         return;
@@ -136,23 +111,24 @@ NocModel::unicast(TrafficMap &map, NodeId src, NodeId dst, double bytes) const
 }
 
 void
-NocModel::multicast(TrafficMap &map, NodeId src,
-                    const std::vector<NodeId> &dsts, double bytes) const
+InterconnectModel::multicast(TrafficMap &map, NodeId src,
+                             const std::vector<NodeId> &dsts,
+                             double bytes) const
 {
     if (bytes <= 0.0 || dsts.empty())
         return;
-    // Union of the dimension-order unicast paths: shared prefixes (the
-    // horizontal trunk, the DRAM injection link) are charged exactly once,
-    // which models a multicast-capable router tree.
+    // Union of the backend's unicast paths: shared prefixes (the trunk,
+    // the DRAM injection link, the NoP gateway funnel) are charged exactly
+    // once, which models a multicast-capable router tree.
     routeUnion(
         dsts, [&](NodeId dst) { return route(src, dst); },
         [&](LinkKey key) { map.addLink(key, bytes); });
 }
 
 void
-NocModel::multicastLinks(LinkSink &sink, NodeId src,
-                         const std::vector<NodeId> &dsts,
-                         double bytes) const
+InterconnectModel::multicastLinks(LinkSink &sink, NodeId src,
+                                  const std::vector<NodeId> &dsts,
+                                  double bytes) const
 {
     if (bytes <= 0.0 || dsts.empty())
         return;
@@ -162,10 +138,10 @@ NocModel::multicastLinks(LinkSink &sink, NodeId src,
 }
 
 LinkKind
-NocModel::computeLinkKind(NodeId a, NodeId b) const
+InterconnectModel::computeLinkKind(NodeId a, NodeId b) const
 {
     if (isDramNode(a) || isDramNode(b)) {
-        // IO chiplets are separate dies, so their mesh attach links are
+        // IO chiplets are separate dies, so their fabric attach links are
         // D2D on multi-chiplet designs; a monolithic chip integrates the
         // DRAM PHY on-die.
         return cfg_.chipletCount() > 1 ? LinkKind::D2D : LinkKind::OnChip;
@@ -177,7 +153,7 @@ NocModel::computeLinkKind(NodeId a, NodeId b) const
 }
 
 TrafficStats
-NocModel::summarize(const TrafficMap &map) const
+InterconnectModel::summarize(const TrafficMap &map) const
 {
     TrafficStats stats;
     for (const auto &[key, bytes] : map.links()) {
@@ -197,7 +173,7 @@ NocModel::summarize(const TrafficMap &map) const
 }
 
 std::string
-NocModel::nodeLabel(NodeId n) const
+InterconnectModel::nodeLabel(NodeId n) const
 {
     std::ostringstream oss;
     if (isDramNode(n)) {

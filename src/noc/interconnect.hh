@@ -1,15 +1,17 @@
 /**
  * @file
- * Topology, routing and link-classification model for the hardware
- * template's interconnect: XY routing on the mesh, shortest-wrap
- * dimension-order routing on the folded torus, multicast as the union of
- * unicast paths, and DRAM attach points on the west/east IO chiplets.
+ * The interconnect seam of the evaluation stack: InterconnectModel owns the
+ * dense route / link-classification / bandwidth tables every analysis query
+ * reads, and builds them once at construction by statically dispatching
+ * over the topology backends in src/noc/topologies.hh (mesh, folded torus,
+ * concentrated ring, NoP+NoC hierarchy). The SA hot path only ever replays
+ * precomputed route spans — no virtual calls, no per-hop dispatch, no
+ * topology branches after construction.
  */
 
-#ifndef GEMINI_NOC_NOC_MODEL_HH
-#define GEMINI_NOC_NOC_MODEL_HH
+#ifndef GEMINI_NOC_INTERCONNECT_HH
+#define GEMINI_NOC_INTERCONNECT_HH
 
-#include <functional>
 #include <span>
 #include <string>
 #include <utility>
@@ -25,11 +27,11 @@ namespace gemini::noc {
 /** Classification of a directed link for bandwidth/energy purposes. */
 enum class LinkKind
 {
-    OnChip, ///< regular mesh link inside one chiplet
-    D2D,    ///< crosses a chiplet boundary (incl. IO-chiplet attach links)
+    OnChip, ///< regular fabric link inside one chiplet
+    D2D,    ///< crosses a chiplet boundary (incl. IO-attach and NoP links)
 };
 
-/** Aggregate statistics of a traffic map over a given NoC. */
+/** Aggregate statistics of a traffic map over a given interconnect. */
 struct TrafficStats
 {
     double onChipBytes = 0.0;  ///< hop-weighted on-chip bytes
@@ -40,14 +42,15 @@ struct TrafficStats
 
 /**
  * Routing and geometry over one ArchConfig. Node ids: cores 0..N-1
- * (row-major), then DRAM pseudo-nodes N..N+D-1. DRAM d attaches on the
- * west edge for even d and the east edge for odd d, with one port per mesh
- * row (the paper's "DRAM controller connected to multiple routers").
+ * (row-major), then DRAM pseudo-nodes N..N+D-1. DRAM attach points are a
+ * backend concern (see topologies.hh); the paper's scheme puts DRAM d on
+ * the west edge for even d and the east edge for odd d, with one port per
+ * row (the "DRAM controller connected to multiple routers").
  */
-class NocModel
+class InterconnectModel
 {
   public:
-    explicit NocModel(const arch::ArchConfig &cfg);
+    explicit InterconnectModel(const arch::ArchConfig &cfg);
 
     const arch::ArchConfig &config() const { return cfg_; }
 
@@ -60,28 +63,37 @@ class NocModel
     int nodeCount() const { return cfg_.coreCount() + cfg_.dramCount; }
 
     /**
-     * Walk the hops of the route src -> dst in order. DRAM endpoints enter
-     * and leave the mesh at the edge core on the destination's (resp.
-     * source's) row.
+     * Walk the hops of the route src -> dst in order, replaying the
+     * precomputed span through a statically-dispatched callback (no
+     * std::function, no per-hop indirect call).
      */
-    void forEachHop(NodeId src, NodeId dst,
-                    const std::function<void(NodeId, NodeId)> &fn) const;
+    template <typename Fn>
+    void
+    forEachHop(NodeId src, NodeId dst, Fn &&fn) const
+    {
+        for (LinkKey key : route(src, dst))
+            fn(linkFrom(key), linkTo(key));
+    }
 
     /** Number of hops (links) on the route src -> dst. */
-    int hopCount(NodeId src, NodeId dst) const;
+    int
+    hopCount(NodeId src, NodeId dst) const
+    {
+        return static_cast<int>(route(src, dst).size());
+    }
 
     /** Accumulate `bytes` on every link of the route. */
     void unicast(TrafficMap &map, NodeId src, NodeId dst,
                  double bytes) const;
 
     /**
-     * Accumulate `bytes` on the union of the routes src -> each dst (an
-     * XY multicast tree on the mesh: shared prefixes are charged once).
+     * Accumulate `bytes` on the union of the routes src -> each dst (a
+     * dimension-order multicast tree: shared prefixes are charged once).
      */
     void multicast(TrafficMap &map, NodeId src,
                    const std::vector<NodeId> &dsts, double bytes) const;
 
-    /** Flat (link, bytes) sink used by the analyzer's fragment builder. */
+    /** Flat (link, bytes) sink used by the traffic compiler. */
     using LinkSink = std::vector<std::pair<LinkKey, double>>;
 
     /** unicast into a flat sink (no hashing; duplicates merge later). */
@@ -98,7 +110,7 @@ class NocModel
     void multicastLinks(LinkSink &sink, NodeId src,
                         const std::vector<NodeId> &dsts, double bytes) const;
 
-    /** Precomputed dimension-order route src -> dst as packed link keys. */
+    /** Precomputed backend route src -> dst as packed link keys. */
     std::span<const LinkKey>
     route(NodeId src, NodeId dst) const
     {
@@ -139,66 +151,9 @@ class NocModel
     /** Uncached link classification (used to build the dense table). */
     LinkKind computeLinkKind(NodeId a, NodeId b) const;
 
-    /** Edge column (0 or xCores-1) where a DRAM's ports sit. */
-    int dramEdgeX(int dram) const;
-
-    /** Step coordinate one hop toward `to` (mesh or shortest-wrap). */
-    int stepToward(int from, int to, int extent) const;
-
-    /**
-     * Statically-dispatched hop walkers: the SA hot path visits millions
-     * of hops per second, so the std::function-based public API delegates
-     * here and the traffic-accumulation loops in this class call these
-     * directly (no type-erased call per hop).
-     */
-    template <typename Fn>
-    void
-    walkCoreToCoreT(CoreId src, CoreId dst, Fn &&fn) const
-    {
-        int x = cfg_.coreX(src);
-        int y = cfg_.coreY(src);
-        const int tx = cfg_.coreX(dst);
-        const int ty = cfg_.coreY(dst);
-        while (x != tx) {
-            const int nx = stepToward(x, tx, cfg_.xCores);
-            fn(cfg_.coreAt(x, y), cfg_.coreAt(nx, y));
-            x = nx;
-        }
-        while (y != ty) {
-            const int ny = stepToward(y, ty, cfg_.yCores);
-            fn(cfg_.coreAt(x, y), cfg_.coreAt(x, ny));
-            y = ny;
-        }
-    }
-
-    template <typename Fn>
-    void
-    forEachHopT(NodeId src, NodeId dst, Fn &&fn) const
-    {
-        if (src == dst)
-            return;
-        if (isDramNode(src) && isDramNode(dst)) {
-            GEMINI_PANIC("DRAM-to-DRAM routes are not meaningful");
-        }
-        if (isDramNode(src)) {
-            const int dram = dramOf(src);
-            const CoreId entry =
-                cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(dst));
-            fn(src, entry);
-            walkCoreToCoreT(entry, static_cast<CoreId>(dst), fn);
-            return;
-        }
-        if (isDramNode(dst)) {
-            const int dram = dramOf(dst);
-            const CoreId exit =
-                cfg_.coreAt(dramEdgeX(dram), cfg_.coreY(src));
-            walkCoreToCoreT(static_cast<CoreId>(src), exit, fn);
-            fn(exit, dst);
-            return;
-        }
-        walkCoreToCoreT(static_cast<CoreId>(src),
-                        static_cast<CoreId>(dst), fn);
-    }
+    /** Fill routes_/routeLinks_ by walking every pair through `backend`. */
+    template <typename Backend>
+    void buildRoutes(const Backend &backend);
 
     arch::ArchConfig cfg_;
 
@@ -227,6 +182,9 @@ class NocModel
     std::vector<LinkKey> routeLinks_;
 };
 
+/** Historical name of the interconnect seam (the mesh-only era). */
+using NocModel = InterconnectModel;
+
 } // namespace gemini::noc
 
-#endif // GEMINI_NOC_NOC_MODEL_HH
+#endif // GEMINI_NOC_INTERCONNECT_HH

@@ -9,11 +9,11 @@
 
 #include "src/arch/presets.hh"
 #include "src/dnn/zoo.hh"
-#include "src/eval/energy_model.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/intracore/explorer.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/stripe.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 namespace gemini::mapping {
 namespace {
@@ -58,7 +58,7 @@ class AnalyzerTest : public ::testing::Test
     arch::ArchConfig arch_;
     noc::NocModel noc_;
     intracore::Explorer explorer_;
-    eval::EnergyModel energy_;
+    cost::CostStack energy_;
     Analyzer analyzer_;
 };
 
@@ -234,7 +234,7 @@ TEST_F(AnalyzerTest, ChipletArchHasD2dEnergy)
     noc::NocModel noc2(split);
     intracore::Explorer ex2(split.macsPerCore, split.glbBytes(),
                             split.freqGHz);
-    eval::EnergyModel em2(split);
+    cost::CostStack em2(split);
     Analyzer an2(graph_, split, noc2, ex2);
     const LayerGroupMapping g = wholeGraphGroup(1);
     const GroupAnalysis a = an2.analyzeGroup(g, 4, interleavedLookup);
@@ -250,7 +250,7 @@ TEST_F(AnalyzerTest, GlbOverflowFlagsInfeasible)
     noc::NocModel noc2(tiny);
     intracore::Explorer ex2(tiny.macsPerCore, tiny.glbBytes(),
                             tiny.freqGHz);
-    eval::EnergyModel em2(tiny);
+    cost::CostStack em2(tiny);
     Analyzer an2(graph_, tiny, noc2, ex2);
     const LayerGroupMapping g = wholeGraphGroup(1);
     const GroupAnalysis a = an2.analyzeGroup(g, 4, interleavedLookup);
@@ -364,15 +364,15 @@ TEST_F(AnalyzerTest, EvaluateGroupMatchesAnalyzeThenEvaluate)
     }
 }
 
-TEST_F(AnalyzerTest, EvalCacheBindsEnergyModel)
+TEST_F(AnalyzerTest, EvalCacheBindsCostStack)
 {
-    // Same group state evaluated under two different energy models must
+    // Same group state evaluated under two different cost stacks must
     // not share an eval-cache entry.
     const LayerGroupMapping g = wholeGraphGroup(1);
     analyzer_.setCacheCapacity(256);
     arch::TechParams expensive;
     expensive.dramJPerByte *= 10.0;
-    const eval::EnergyModel costly(arch_, expensive);
+    const cost::CostStack costly(arch_, expensive);
     const eval::EvalBreakdown base =
         analyzer_.evaluateGroup(g, 4, interleavedLookup, energy_);
     const eval::EvalBreakdown high =

@@ -466,6 +466,84 @@ TEST(Zoo, MobileNetV2PublishedFacts)
     EXPECT_EQ(g.layers().back().c, 1280);
 }
 
+TEST(Zoo, Yolov3TinyPublishedFacts)
+{
+    Graph g = zoo::yolov3Tiny();
+    // 21 nodes: 13 convs (11 backbone/head + 2 detect), 6 pools, 1
+    // upsample, 1 concat.
+    EXPECT_EQ(g.size(), 21u);
+    // Redmon & Farhadi report 5.56 BFLOPs at 416x416; darknet counts 2
+    // ops per MAC, so that is ~2.78 GMACs. Params ~8.7M.
+    EXPECT_NEAR(g.totalMacs() / 1e9, 2.78, 0.2);
+    std::int64_t params = 0;
+    for (const auto &l : g.layers())
+        params += l.weightCount();
+    EXPECT_NEAR(params / 1e6, 8.7, 0.3);
+
+    int upsamples = 0;
+    int outputs = 0;
+    const Layer *concat = nullptr;
+    for (const auto &l : g.layers()) {
+        upsamples += l.kind == LayerKind::Upsample;
+        outputs += l.isOutput;
+        if (l.kind == LayerKind::Concat)
+            concat = &l;
+        EXPECT_EQ(l.checkValid(), "") << l.name;
+    }
+    EXPECT_EQ(upsamples, 1);
+    EXPECT_EQ(outputs, 2); // one detection head per scale
+    // The pyramid concat fuses the 2x-upsampled 128ch deep features with
+    // the 256ch stride-16 trunk features at 26x26.
+    ASSERT_NE(concat, nullptr);
+    EXPECT_EQ(concat->k, 384);
+    EXPECT_EQ(concat->h, 26);
+    EXPECT_EQ(concat->w, 26);
+
+    // Both heads are 3 * (5 + 80) = 255 channels at 13x13 and 26x26.
+    int heads_13 = 0, heads_26 = 0;
+    for (const auto &l : g.layers()) {
+        if (!l.isOutput)
+            continue;
+        EXPECT_EQ(l.k, 255);
+        heads_13 += l.h == 13 && l.w == 13;
+        heads_26 += l.h == 26 && l.w == 26;
+    }
+    EXPECT_EQ(heads_13, 1);
+    EXPECT_EQ(heads_26, 1);
+}
+
+TEST(Layer, UpsampleShapeInference)
+{
+    GraphBuilder b("up", 8, 13, 13);
+    const LayerId up = b.upsample("up2", GraphBuilder::kInput, 2);
+    std::int64_t c, h, w;
+    b.shapeOf(up, c, h, w);
+    EXPECT_EQ(c, 8);
+    EXPECT_EQ(h, 26);
+    EXPECT_EQ(w, 26);
+    Graph g = b.finish();
+    const Layer &l = g.layers().back();
+    EXPECT_EQ(l.checkValid(), "");
+    EXPECT_EQ(l.macsPerSample(), 0);
+    EXPECT_EQ(l.vectorOpsPerSample(), 8 * 26 * 26);
+    EXPECT_FALSE(l.hasWeights());
+
+    // Region projection: output rows [h0, h1) read source rows
+    // [h0/2, ceil(h1/2)); channels map 1:1.
+    Region out{2, 5, 3, 9, 0, 26};
+    const Region in = l.requiredInput(0, out);
+    EXPECT_EQ(in.c0, 2);
+    EXPECT_EQ(in.c1, 5);
+    EXPECT_EQ(in.h0, 1);
+    EXPECT_EQ(in.h1, 5);
+    EXPECT_EQ(in.w0, 0);
+    EXPECT_EQ(in.w1, 13);
+    // The full output region needs exactly the full input region.
+    const Region full_in =
+        l.requiredInput(0, Region::full(l.k, l.h, l.w));
+    EXPECT_EQ(full_in.volume(), 8 * 13 * 13);
+}
+
 TEST(Zoo, RegistryRoundTrip)
 {
     for (const auto &name : zoo::available()) {

@@ -9,11 +9,11 @@
 
 #include "src/arch/presets.hh"
 #include "src/dnn/zoo.hh"
-#include "src/eval/energy_model.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/intracore/explorer.hh"
 #include "src/mapping/analyzer.hh"
 #include "src/mapping/graph_partition.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 namespace gemini::mapping {
 namespace {
@@ -51,7 +51,7 @@ class PartitionTest : public ::testing::Test
     arch::ArchConfig arch_;
     noc::NocModel noc_;
     intracore::Explorer explorer_;
-    eval::EnergyModel energy_;
+    cost::CostStack energy_;
     Analyzer analyzer_;
 };
 
@@ -136,7 +136,7 @@ TEST_F(PartitionTest, StarvedDramForcesLayerPipelining)
     big.dramBwGBps = 1.0;
     noc::NocModel noc(big);
     intracore::Explorer ex(big.macsPerCore, big.glbBytes(), big.freqGHz);
-    eval::EnergyModel em(big);
+    cost::CostStack em(big);
     Analyzer an(g, big, noc, ex);
     PartitionOptions o;
     o.batch = 8;

@@ -11,7 +11,7 @@
 
 #include "src/arch/arch_config.hh"
 #include "src/arch/presets.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 #include "src/noc/traffic_map.hh"
 
 namespace gemini::noc {

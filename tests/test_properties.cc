@@ -22,7 +22,7 @@
 #include "src/mapping/engine.hh"
 #include "src/mapping/operators.hh"
 #include "src/mapping/stripe.hh"
-#include "src/noc/noc_model.hh"
+#include "src/noc/interconnect.hh"
 
 namespace gemini {
 namespace {
