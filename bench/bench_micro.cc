@@ -679,6 +679,169 @@ BM_SaThroughputOptimized(benchmark::State &state)
 }
 BENCHMARK(BM_SaThroughputOptimized);
 
+/**
+ * Paper-scale SA throughput: a GPT-2-medium-class transformer (314
+ * layers) on the 256-core 16-chiplet grid, mapped as two 157-layer
+ * groups — the regime where per-proposal cost is dominated by group
+ * size. Measured with delta evaluation (resident GroupStates,
+ * tournament-tree bottleneck) and with the full-merge engine, on every
+ * topology backend; a scaling variant sweeps the group size to show the
+ * delta win *growing* with it (the full merge is O(group) per proposal,
+ * the delta path O(changed fragments)). Acceptance target: >= 2x
+ * iters/s over the pre-PR engine on the 157-layer-group scenario.
+ *
+ * The initial LMS stripe-maps contiguous chunks directly: the
+ * partitioner DP would evaluate tens of thousands of candidate segments
+ * to conclude the same shape, and group *contents* — not the cut — are
+ * what this benchmark stresses.
+ */
+struct LargeSaWorkload
+{
+    dnn::Graph graph;
+    arch::ArchConfig arch;
+    mapping::LpMapping init;
+};
+
+const LargeSaWorkload &
+largeSaWorkload(arch::Topology topology, std::size_t layers_per_group)
+{
+    static std::map<std::pair<arch::Topology, std::size_t>,
+                    LargeSaWorkload>
+        cache;
+    const auto key = std::make_pair(topology, layers_per_group);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        LargeSaWorkload w{dnn::zoo::gpt2Medium(256),
+                          arch::largeGridArch(topology),
+                          {}};
+        w.init.batch = 8;
+        const auto n = static_cast<std::size_t>(w.graph.size());
+        for (std::size_t first = 0; first < n;
+             first += layers_per_group) {
+            const std::size_t len =
+                std::min(layers_per_group, n - first);
+            std::vector<LayerId> layers(len);
+            for (std::size_t i = 0; i < len; ++i)
+                layers[i] = static_cast<LayerId>(first + i);
+            w.init.groups.push_back(
+                mapping::stripeMapping(w.graph, w.arch, layers,
+                                       /*batch_unit=*/1));
+        }
+        const std::string err =
+            mapping::checkMappingValid(w.graph, w.arch, w.init);
+        if (!err.empty()) {
+            std::fprintf(stderr, "large workload invalid: %s\n",
+                         err.c_str());
+            std::abort();
+        }
+        it = cache.emplace(key, std::move(w)).first;
+    }
+    return it->second;
+}
+
+constexpr int kLargeSaBudget = 256;
+constexpr std::size_t kLargeLayersPerGroup = 157; ///< 314 = 2 groups
+
+/** Shared warm tile memo: the core config is topology-independent. */
+intracore::Explorer &
+largeExplorer()
+{
+    static intracore::Explorer ex(1024, 2048 * 1024, 1.0);
+    return ex;
+}
+
+void
+runLargeSa(benchmark::State &state, arch::Topology topology, bool delta,
+           std::size_t layers_per_group = kLargeLayersPerGroup)
+{
+    const LargeSaWorkload &w =
+        largeSaWorkload(topology, layers_per_group);
+    noc::NocModel noc(w.arch);
+    cost::CostStack em(w.arch);
+    double best = 0.0;
+    std::uint64_t applies = 0, rebuilds = 0, alloc_events = 0;
+    for (auto _ : state) {
+        // Fresh analyzer per run: the walk must pay its own fragment
+        // derivations (an analyzer kept across runs would replay the
+        // whole walk out of the eval memo). The tile memo is shared —
+        // tile shapes are topology-independent and a DSE keeps engines
+        // warm the same way.
+        mapping::Analyzer an(w.graph, w.arch, noc, largeExplorer());
+        an.setCacheCapacity(1 << 15);
+        an.setDeltaEval(delta);
+        mapping::SaEngine sa(w.graph, w.arch, an, em);
+        mapping::LpMapping m = w.init;
+        mapping::SaOptions so;
+        so.iterations = kLargeSaBudget;
+        so.seed = kSaSeed;
+        mapping::SaStats st;
+        sa.optimize(m, so, &st);
+        best = st.finalCost;
+        applies = an.deltaApplies();
+        rebuilds = an.deltaRebuilds();
+        alloc_events = an.cacheAllocEvents();
+    }
+    state.SetItemsProcessed(state.iterations() * kLargeSaBudget);
+    state.counters["best_cost"] = best;
+    state.counters["groups"] =
+        static_cast<double>(w.init.groups.size());
+    state.counters["layers"] = static_cast<double>(w.graph.size());
+    state.counters["delta_applies"] = static_cast<double>(applies);
+    state.counters["delta_rebuilds"] = static_cast<double>(rebuilds);
+    state.counters["cache_alloc_events"] =
+        static_cast<double>(alloc_events);
+}
+
+void
+BM_SaThroughputLarge(benchmark::State &state)
+{
+    runLargeSa(state, arch::kAllTopologies[state.range(0)], /*delta=*/true);
+}
+BENCHMARK(BM_SaThroughputLarge)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SaThroughputLargeFullMerge(benchmark::State &state)
+{
+    runLargeSa(state, arch::kAllTopologies[state.range(0)],
+               /*delta=*/false);
+}
+BENCHMARK(BM_SaThroughputLargeFullMerge)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Group-size scaling on the mesh: the delta win must grow with group
+ * size (and the size floor must protect small groups, where both
+ * variants fall back to the same full merge).
+ */
+void
+BM_SaThroughputLargeScaling(benchmark::State &state)
+{
+    runLargeSa(state, arch::Topology::Mesh, /*delta=*/true,
+               static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_SaThroughputLargeScaling)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(157)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SaThroughputLargeScalingFullMerge(benchmark::State &state)
+{
+    runLargeSa(state, arch::Topology::Mesh, /*delta=*/false,
+               static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_SaThroughputLargeScalingFullMerge)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(157)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_NocMulticast(benchmark::State &state)
 {

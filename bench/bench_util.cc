@@ -70,6 +70,12 @@ paperWorkloads()
     out.emplace_back("PNas",
                      dnn::zoo::pnasnet(effortLevel() >= 2 ? 3 : 1));
     out.emplace_back("TF", dnn::zoo::transformerBase());
+    // Paper-scale stress DNN (not in the paper's suite): a GPT-2-medium
+    // class transformer whose 100+-layer groups exercise the
+    // delta-evaluated SA path at scale. Only at full effort — it is an
+    // order of magnitude more work than the Fig. 5 networks.
+    if (effortLevel() >= 2)
+        out.emplace_back("GPT2-M", dnn::zoo::gpt2Medium());
     return out;
 }
 

@@ -83,6 +83,27 @@ gArchTorus()
 }
 
 ArchConfig
+largeGridArch(Topology topology)
+{
+    ArchConfig a;
+    a.name = "L-Arch-256";
+    a.xCores = 16;
+    a.yCores = 16;
+    a.xCut = 4;
+    a.yCut = 4; // 16 chiplets of 4x4 cores
+    a.topology = topology;
+    a.nocBwGBps = 64.0;
+    a.d2dBwGBps = 32.0;
+    // 2 GB/s per TOPs (Sec. VI-A4 sizing rule): 256 cores * 1024 MACs
+    // * 2 ops = 512 TOPs -> 1 TB/s across 8 stacks.
+    a.dramBwGBps = 1024.0;
+    a.dramCount = 8;
+    a.macsPerCore = 1024;
+    a.glbKiB = 2048;
+    return a;
+}
+
+ArchConfig
 tinyArch()
 {
     ArchConfig a;

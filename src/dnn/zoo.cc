@@ -271,9 +271,9 @@ std::vector<std::string>
 available()
 {
     return {"resnet50", "resnext50", "googlenet", "inception_resnet_v1",
-            "pnasnet", "transformer", "transformer_large", "vgg16",
-            "mobilenet_v2", "yolov3_tiny", "tiny_conv", "tiny_residual",
-            "tiny_inception", "tiny_transformer"};
+            "pnasnet", "transformer", "transformer_large", "gpt2_medium",
+            "vgg16", "mobilenet_v2", "yolov3_tiny", "tiny_conv",
+            "tiny_residual", "tiny_inception", "tiny_transformer"};
 }
 
 Graph
@@ -293,6 +293,8 @@ byName(const std::string &name)
         return transformerBase();
     if (name == "transformer_large")
         return transformerLarge();
+    if (name == "gpt2_medium")
+        return gpt2Medium();
     if (name == "vgg16")
         return vgg16();
     if (name == "mobilenet_v2")

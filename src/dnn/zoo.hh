@@ -136,6 +136,13 @@ Graph transformerBase(std::int64_t seq_len = 512);
 /** Transformer big encoder: d=1024, 16 heads, 6 layers ("TF-Large"). */
 Graph transformerLarge(std::int64_t seq_len = 512);
 
+/**
+ * GPT-2-medium-class transformer (Radford et al.): d=1024, 16 heads,
+ * 24 blocks, 4d FFN — 290 layers. The paper-scale stress workload of the
+ * delta-evaluation benchmarks (100+-layer groups on the 256-core grid).
+ */
+Graph gpt2Medium(std::int64_t seq_len = 256);
+
 // ---- Additional workloads (not in the paper's suite) ----
 
 /** VGG-16: weight-heavy sequential CNN (weight-residency stressor). */

@@ -68,6 +68,18 @@ transformerLarge(std::int64_t seq_len)
 }
 
 Graph
+gpt2Medium(std::int64_t seq_len)
+{
+    // GPT-2 medium (Radford et al.): d=1024, 16 heads, 24 blocks, 4d FFN.
+    // Expressed with the encoder block structure — the cost model prices
+    // dense GEMMs, so the decoder's causal masking (which only zeroes
+    // half the score matrix) is the same workload shape. At 290 layers
+    // this is the paper-scale stress DNN: layer groups reach 100+ layers,
+    // which is exactly the regime the delta-evaluated SA path targets.
+    return buildEncoder("gpt2_medium", seq_len, 1024, 16, 4096, 24);
+}
+
+Graph
 tinyTransformer(std::int64_t seq_len, std::int64_t d_model,
                 std::int64_t heads, int blocks)
 {

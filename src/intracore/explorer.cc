@@ -1,6 +1,7 @@
 #include "src/intracore/explorer.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <vector>
 
@@ -35,19 +36,39 @@ Explorer::Explorer(int macs_per_core, std::int64_t glb_bytes, double freq_ghz,
     glbBytesPerCycle_ = tech_.glbBytesPerCyclePerMac * macs_per_core;
     vecLanes_ = std::max(1.0, static_cast<double>(macs_per_core) /
                                   tech_.vecLaneDivisor);
+    cache_.reserve(4096, std::tuple_size_v<TileKey>);
+    cache_.setGrowable(true);
+}
+
+Explorer::TileKey
+Explorer::keyOf(const Tile &tile)
+{
+    return {tile.b,
+            tile.k,
+            tile.h,
+            tile.w,
+            tile.cPerGroup,
+            tile.r,
+            tile.s,
+            tile.strideH,
+            tile.strideW,
+            tile.macWork ? 1 : 0,
+            std::bit_cast<std::int64_t>(tile.vecOpFactor),
+            0 /* layout version */};
 }
 
 const CoreCost &
 Explorer::evaluate(const Tile &tile)
 {
-    auto it = cache_.find(tile);
-    if (it != cache_.end()) {
+    const TileKey key = keyOf(tile);
+    std::size_t slot = 0;
+    if (const CoreCost *hit = cache_.find(key, slot)) {
         ++hits_;
-        return it->second;
+        return *hit;
     }
     ++misses_;
     CoreCost cost = tile.macWork ? search(tile) : evalVectorTile(tile);
-    return cache_.emplace(tile, cost).first->second;
+    return cache_.insertAt(slot, key, cost);
 }
 
 void
@@ -57,7 +78,13 @@ Explorer::absorb(const Explorer &other)
                       glbBytes_ == other.glbBytes_ &&
                       freqGhz_ == other.freqGhz_,
                   "cannot absorb a memo from a different core config");
-    cache_.insert(other.cache_.begin(), other.cache_.end());
+    other.cache_.forEach(
+        [this](common::FlatWordTable<CoreCost>::Words key,
+               const CoreCost &cost) {
+            std::size_t slot = 0;
+            if (cache_.find(key, slot) == nullptr)
+                cache_.insertAt(slot, key, cost);
+        });
 }
 
 CoreCost

@@ -11,10 +11,11 @@
 #ifndef GEMINI_INTRACORE_EXPLORER_HH
 #define GEMINI_INTRACORE_EXPLORER_HH
 
+#include <array>
 #include <cstdint>
-#include <unordered_map>
 
 #include "src/arch/tech_params.hh"
+#include "src/common/flat_table.hh"
 #include "src/intracore/tile.hh"
 
 namespace gemini::intracore {
@@ -89,7 +90,18 @@ class Explorer
     std::uint64_t cacheHits() const { return hits_; }
     std::uint64_t cacheMisses() const { return misses_; }
 
+    /**
+     * Buffer-growth events of the memo (flat table; doubles in place as
+     * the memo outgrows its bound). Steady-state probing allocates
+     * nothing.
+     */
+    std::uint64_t cacheAllocEvents() const { return cache_.allocEvents(); }
+
   private:
+    /** Tile serialized as flat-table key words. */
+    using TileKey = std::array<std::int64_t, 12>;
+    static TileKey keyOf(const Tile &tile);
+
     CoreCost search(const Tile &tile) const;
     CoreCost evalVectorTile(const Tile &tile) const;
     bool evalScheme(const Tile &tile, std::int64_t tk, std::int64_t tc,
@@ -109,7 +121,12 @@ class Explorer
     double glbBytesPerCycle_;
     double vecLanes_;
 
-    std::unordered_map<Tile, CoreCost, TileHash> cache_;
+    /**
+     * Memoized tile costs on the shared open-addressing flat table
+     * (growable: the memo is unbounded by design — the SA loop re-asks
+     * the same tile shapes constantly and absorb() merges warm memos).
+     */
+    common::FlatWordTable<CoreCost> cache_;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
 };

@@ -7,6 +7,15 @@
 
 namespace gemini::mapping {
 
+namespace {
+
+/** Arena pre-size hints (words per key) for the four cache tables. */
+constexpr std::size_t kTileKeyWords = 8;
+constexpr std::size_t kFlowKeyWords = 24;
+constexpr std::size_t kGroupKeyWords = 32;
+
+} // namespace
+
 Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
                    const noc::InterconnectModel &noc,
                    intracore::Explorer &explorer)
@@ -15,20 +24,49 @@ Analyzer::Analyzer(const dnn::Graph &graph, const arch::ArchConfig &arch,
 {
     GEMINI_ASSERT(graph.finalized(), "graph must be finalized");
     merge_.reset(static_cast<std::size_t>(noc_.nodeCount()));
+    // One gather may insert a whole group's fragments, which can overshoot
+    // a small configured capacity within the call (the wipe bound is
+    // enforced between calls, as before the flat tables).
+    tileCache_.setGrowable(true);
+    flowCache_.setGrowable(true);
 }
 
 void
 Analyzer::setCacheCapacity(std::size_t entries)
 {
     cacheCapacity_ = entries;
-    if (cache_.size() > cacheCapacity_)
+    // Whole-group results are an order of magnitude bigger than fragments
+    // and revisits of an exact group state are comparatively rare, so the
+    // group cache gets a small slice of the entry budget (cheap wipes) —
+    // never more than the configured capacity itself.
+    const std::size_t group_bound =
+        entries == 0 ? 0
+                     : std::max(entries / 16,
+                                std::min<std::size_t>(entries, 64));
+    if (cache_.size() > group_bound)
         cache_.clear();
-    if (tileCache_.size() > cacheCapacity_)
+    if (tileCache_.size() > entries)
         tileCache_.clear();
-    if (flowCache_.size() > cacheCapacity_)
+    if (flowCache_.size() > entries)
         flowCache_.clear();
-    if (evalCache_.size() > cacheCapacity_)
+    if (evalCache_.size() > entries)
         evalCache_.clear();
+    cache_.reserve(group_bound, kGroupKeyWords);
+    tileCache_.reserve(entries, kTileKeyWords);
+    flowCache_.reserve(entries, kFlowKeyWords);
+    evalCache_.reserve(entries, kGroupKeyWords);
+
+    // Hoisted probe buffers: sized once so key construction never
+    // reallocates mid-walk (growth past this is counted, see
+    // cacheAllocEvents).
+    const std::size_t probe_words = std::max<std::size_t>(
+        1024, 16 * static_cast<std::size_t>(arch_.coreCount()));
+    if (groupProbe_.words.capacity() < probe_words)
+        groupProbe_.words.reserve(probe_words);
+    if (fragProbe_.words.capacity() < probe_words)
+        fragProbe_.words.reserve(probe_words);
+    groupProbeCap_ = groupProbe_.words.capacity();
+    fragProbeCap_ = fragProbe_.words.capacity();
 }
 
 void
@@ -38,6 +76,45 @@ Analyzer::clearCache()
     tileCache_.clear();
     flowCache_.clear();
     evalCache_.clear();
+    states_.clear();
+}
+
+void
+Analyzer::setDeltaEval(bool enabled)
+{
+    delta_ = enabled;
+}
+
+void
+Analyzer::setResidentStateCapacity(std::size_t states)
+{
+    stateCapacity_ = std::max<std::size_t>(states, 1);
+    while (states_.size() > stateCapacity_) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < states_.size(); ++i)
+            if (states_[i]->lastUse < states_[victim]->lastUse)
+                victim = i;
+        states_.erase(states_.begin() +
+                      static_cast<std::ptrdiff_t>(victim));
+    }
+}
+
+std::uint64_t
+Analyzer::cacheAllocEvents() const
+{
+    return cache_.allocEvents() + tileCache_.allocEvents() +
+           flowCache_.allocEvents() + evalCache_.allocEvents() +
+           probeAllocs_;
+}
+
+void
+Analyzer::noteProbeGrowth(const GroupKey &key, std::size_t &watermark) const
+{
+    if (key.words.capacity() > watermark) {
+        if (watermark != 0)
+            ++probeAllocs_;
+        watermark = key.words.capacity();
+    }
 }
 
 const Analyzer::GroupKey &
@@ -72,6 +149,7 @@ Analyzer::makeKey(const LayerGroupMapping &group, std::int64_t batch,
             }
         }
     }
+    noteProbeGrowth(key, groupProbeCap_);
     return key;
 }
 
@@ -83,27 +161,66 @@ Analyzer::analyzeGroup(const LayerGroupMapping &group, std::int64_t batch,
         return analyzeGroupImpl(group, batch, ofmap_dram_of);
 
     const GroupKey &key = makeKey(group, batch, ofmap_dram_of);
-    const auto it = cache_.find(key);
-    if (it != cache_.end()) {
+    std::size_t slot = 0;
+    if (const GroupAnalysis *hit = cache_.find(key.words, slot)) {
         ++cacheHits_;
-        return it->second;
+        return *hit;
     }
     ++cacheMisses_;
     GroupAnalysis analysis = analyzeGroupImpl(group, batch, ofmap_dram_of);
-    // Whole-group results are an order of magnitude bigger than fragments
-    // and revisits of an exact group state are comparatively rare, so the
-    // group cache gets a small slice of the entry budget (cheap wipes) —
-    // never more than the configured capacity itself.
-    const std::size_t group_bound = std::max(
-        cacheCapacity_ / 16, std::min<std::size_t>(cacheCapacity_, 64));
-    if (cache_.size() >= group_bound) {
-        cache_.clear();
-        ++cacheEvictions_;
-    }
     // groupProbe_ survives analyzeGroupImpl (fragments use their own
     // probe); the miss pays one key copy into the cache.
-    cache_.emplace(key, analysis);
+    if (cache_.full()) {
+        cache_.clear();
+        ++cacheEvictions_;
+        cache_.insert(groupProbe_.words, analysis);
+    } else {
+        cache_.insertAt(slot, groupProbe_.words, analysis);
+    }
     return analysis;
+}
+
+const LayerTiles &
+Analyzer::cachedTiles(const LayerGroupMapping &group, std::size_t li) const
+{
+    GroupKey &key = fragProbe_;
+    key.words.clear();
+    TilingStage::appendKey(key, group.layers[li], group.schemes[li],
+                           group.batchUnit);
+    noteProbeGrowth(key, fragProbeCap_);
+    std::size_t slot = 0;
+    if (LayerTiles *hit = tileCache_.find(key.words, slot)) {
+        ++tileHits_;
+        return *hit;
+    }
+    ++tileMisses_;
+    return tileCache_.insertAt(
+        slot, key.words,
+        tiling_.compute(graph_.layer(group.layers[li]), group.schemes[li],
+                        group.batchUnit));
+}
+
+const LayerFlows &
+Analyzer::cachedFlows(const LayerGroupMapping &group, std::size_t li,
+                      const std::vector<const LayerTiles *> &tiles,
+                      std::int64_t batch, std::int64_t num_units,
+                      const OfmapDramLookup &ofmap_dram_of) const
+{
+    GroupKey &key = fragProbe_;
+    key.words.clear();
+    TrafficCompiler::appendKey(key, graph_, group, li, batch,
+                               ofmap_dram_of);
+    noteProbeGrowth(key, fragProbeCap_);
+    std::size_t slot = 0;
+    if (LayerFlows *hit = flowCache_.find(key.words, slot)) {
+        ++flowHits_;
+        return *hit;
+    }
+    ++flowMisses_;
+    return flowCache_.insertAt(
+        slot, key.words,
+        trafficCompiler_.compile(group, li, tiles, num_units,
+                                 ofmap_dram_of));
 }
 
 void
@@ -124,8 +241,8 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
     out.localFlows.clear();
 
     // References into the fragment caches stay valid while this call
-    // inserts (unordered_map never moves nodes), but a capacity wipe
-    // mid-call would dangle them — wipe up front if this call could
+    // inserts (deque value storage never moves), but a capacity wipe
+    // mid-call would orphan them — wipe up front if this call could
     // overflow.
     if (cached) {
         if (tileCache_.size() + n_layers > cacheCapacity_)
@@ -138,97 +255,27 @@ Analyzer::gatherFragments(const LayerGroupMapping &group,
     }
 
     // ---- Tiling stage (per-layer tile cache) ----------------------------
-    std::vector<const LayerTiles *> &tiles = out.tiles;
     for (std::size_t li = 0; li < n_layers; ++li) {
-        const dnn::Layer &layer = graph_.layer(group.layers[li]);
-        const MappingScheme &ms = group.schemes[li];
         if (cached) {
-            GroupKey &key = fragProbe_;
-            key.words.clear();
-            key.words.insert(key.words.end(),
-                             {group.layers[li], ms.part.h, ms.part.w,
-                              ms.part.b, ms.part.k, group.batchUnit});
-            auto it = tileCache_.find(key);
-            if (it == tileCache_.end()) {
-                ++tileMisses_;
-                it = tileCache_
-                         .emplace(key, tiling_.compute(layer, ms,
-                                                       group.batchUnit))
-                         .first;
-            } else {
-                ++tileHits_;
-            }
-            tiles[li] = &it->second;
+            out.tiles[li] = &cachedTiles(group, li);
         } else {
             out.localTiles.push_back(
-                tiling_.compute(layer, ms, group.batchUnit));
-            tiles[li] = &out.localTiles.back();
+                tiling_.compute(graph_.layer(group.layers[li]),
+                                group.schemes[li], group.batchUnit));
+            out.tiles[li] = &out.localTiles.back();
         }
     }
 
     // ---- Traffic compilation (per-layer flow cache) ---------------------
     for (std::size_t li = 0; li < n_layers; ++li) {
-        const LayerFlows *flows = nullptr;
         if (cached) {
-            const LayerId id = group.layers[li];
-            const MappingScheme &ms = group.schemes[li];
-            GroupKey &key = fragProbe_;
-            key.words.clear();
-            key.words.push_back(batch);
-            key.words.push_back(group.batchUnit);
-            key.words.push_back(id);
-            key.words.push_back(ms.part.h);
-            key.words.push_back(ms.part.w);
-            key.words.push_back(ms.part.b);
-            key.words.push_back(ms.part.k);
-            key.words.push_back(ms.fd.ifmap);
-            key.words.push_back(ms.fd.weight);
-            key.words.push_back(ms.fd.ofmap);
-            key.words.push_back(
-                static_cast<std::int64_t>(ms.coreGroup.size()));
-            for (CoreId core : ms.coreGroup)
-                key.words.push_back(core);
-            for (LayerId producer : graph_.layer(id).inputs) {
-                const int pi = group.indexOf(producer);
-                if (pi >= 0) {
-                    // In-group flows depend on the producer's Part + CG.
-                    const MappingScheme &pms =
-                        group.schemes[static_cast<std::size_t>(pi)];
-                    key.words.push_back(1);
-                    key.words.push_back(producer);
-                    key.words.push_back(pms.part.h);
-                    key.words.push_back(pms.part.w);
-                    key.words.push_back(pms.part.b);
-                    key.words.push_back(pms.part.k);
-                    key.words.push_back(static_cast<std::int64_t>(
-                        pms.coreGroup.size()));
-                    for (CoreId core : pms.coreGroup)
-                        key.words.push_back(core);
-                } else {
-                    key.words.push_back(0);
-                    key.words.push_back(
-                        ~static_cast<std::int64_t>(producer));
-                    key.words.push_back(ofmap_dram_of(producer));
-                }
-            }
-            auto it = flowCache_.find(key);
-            if (it == flowCache_.end()) {
-                ++flowMisses_;
-                it = flowCache_
-                         .emplace(key, trafficCompiler_.compile(
-                                           group, li, tiles, out.numUnits,
-                                           ofmap_dram_of))
-                         .first;
-            } else {
-                ++flowHits_;
-            }
-            flows = &it->second;
+            out.flows[li] = &cachedFlows(group, li, out.tiles, batch,
+                                         out.numUnits, ofmap_dram_of);
         } else {
             out.localFlows.push_back(trafficCompiler_.compile(
-                group, li, tiles, out.numUnits, ofmap_dram_of));
-            flows = &out.localFlows.back();
+                group, li, out.tiles, out.numUnits, ofmap_dram_of));
+            out.flows[li] = &out.localFlows.back();
         }
-        out.flows[li] = flows;
     }
 }
 
@@ -285,31 +332,44 @@ Analyzer::analyzeGroupImpl(const LayerGroupMapping &group,
 }
 
 eval::EvalBreakdown
-Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
-                        const OfmapDramLookup &ofmap_dram_of,
-                        const cost::CostStack &costs) const
+Analyzer::assembleBreakdown(const LayerGroupMapping &group,
+                            double core_energy, double max_stage,
+                            double glb_overflow,
+                            const std::vector<double> &dram_per_unit,
+                            double on_chip, double d2d,
+                            double max_link_seconds, std::int64_t num_units,
+                            const cost::CostStack &costs) const
 {
-    const bool cached = cacheCapacity_ > 0;
-    if (cached) {
-        GroupKey &key = groupProbe_;
-        makeKey(group, batch, ofmap_dram_of);
-        // Bind the cost stack: its accessors are linear in bytes, so the
-        // unit coefficients fully characterize its effect here (including
-        // any per-topology term). A caller switching stacks must not hit
-        // the other stack's entry.
-        key.words.push_back(std::bit_cast<std::int64_t>(costs.onChipJ(1.0)));
-        key.words.push_back(std::bit_cast<std::int64_t>(costs.d2dJ(1.0)));
-        key.words.push_back(std::bit_cast<std::int64_t>(costs.dramJ(1.0)));
-        key.words.push_back(
-            std::bit_cast<std::int64_t>(costs.dramStackBps()));
-        const auto it = evalCache_.find(key);
-        if (it != evalCache_.end()) {
-            ++evalHits_;
-            return it->second;
-        }
-        ++evalMisses_;
+    double dram_seconds = 0.0;
+    double dram_bytes = 0.0;
+    for (double bytes : dram_per_unit) {
+        dram_seconds =
+            std::max(dram_seconds, bytes / costs.dramStackBps());
+        dram_bytes += bytes;
     }
 
+    eval::EvalBreakdown r;
+    const double bottleneck =
+        std::max({max_stage, max_link_seconds, dram_seconds});
+    const double units = static_cast<double>(num_units);
+    r.delay = (units + pipelineDepthOf(group) - 1) * bottleneck;
+    r.intraTileEnergy = core_energy * units;
+    r.nocEnergy = costs.onChipJ(on_chip) * units;
+    r.d2dEnergy = costs.d2dJ(d2d) * units;
+    r.dramEnergy = costs.dramJ(dram_bytes) * units;
+    r.dramBytes = dram_bytes * units;
+    r.hopBytes = (on_chip + d2d) * units;
+    r.d2dHopBytes = d2d * units;
+    r.glbOverflow = glb_overflow;
+    return r;
+}
+
+eval::EvalBreakdown
+Analyzer::evaluateGroupFullMerge(const LayerGroupMapping &group,
+                                 std::int64_t batch,
+                                 const OfmapDramLookup &ofmap_dram_of,
+                                 const cost::CostStack &costs) const
+{
     gatherFragments(group, batch, ofmap_dram_of, fragScratch_);
     const FragmentSet &fs = fragScratch_;
     const std::size_t n_layers = group.layers.size();
@@ -334,15 +394,16 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
 
     // Cost accumulation: merge the fragments' link loads through the dense
     // scratch — per-link totals sum in layer order (identical to the map
-    // assembly) and the traffic statistics come straight off the merge,
-    // no TrafficMap materialized.
+    // assembly) and the per-link sums fold in ascending slot order, the
+    // canonical order the delta-evaluated state reproduces. No TrafficMap
+    // is materialized.
     double on_chip = 0.0;
     double d2d = 0.0;
     double max_link_seconds = 0.0;
     for (std::size_t li = 0; li < n_layers; ++li)
         for (const auto &[link, bytes] : fs.flows[li]->links)
             merge_.add(link, bytes);
-    merge_.drain([&](noc::NodeId a, noc::NodeId b, double bytes) {
+    merge_.drainSorted([&](noc::NodeId a, noc::NodeId b, double bytes) {
         if (noc_.linkKind(a, b) == noc::LinkKind::D2D)
             d2d += bytes;
         else
@@ -352,34 +413,220 @@ Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
             max_link_seconds = secs;
     });
 
-    double dram_seconds = 0.0;
-    double dram_bytes = 0.0;
-    for (double bytes : dram_per_unit) {
-        dram_seconds =
-            std::max(dram_seconds, bytes / costs.dramStackBps());
-        dram_bytes += bytes;
+    return assembleBreakdown(group, core_energy, max_stage, glb_overflow,
+                             dram_per_unit, on_chip, d2d, max_link_seconds,
+                             fs.numUnits, costs);
+}
+
+GroupState &
+Analyzer::stateFor(const LayerGroupMapping &group, std::int64_t batch) const
+{
+    membershipProbe_.clear();
+    membershipProbe_.push_back(batch);
+    membershipProbe_.push_back(group.batchUnit);
+    for (LayerId id : group.layers)
+        membershipProbe_.push_back(id);
+
+    for (auto &state : states_) {
+        if (state->membership == membershipProbe_) {
+            state->lastUse = ++stateClock_;
+            return *state;
+        }
     }
 
-    eval::EvalBreakdown r;
-    const double bottleneck =
-        std::max({max_stage, max_link_seconds, dram_seconds});
-    const double units = static_cast<double>(fs.numUnits);
-    r.delay = (units + pipelineDepthOf(group) - 1) * bottleneck;
-    r.intraTileEnergy = core_energy * units;
-    r.nocEnergy = costs.onChipJ(on_chip) * units;
-    r.d2dEnergy = costs.d2dJ(d2d) * units;
-    r.dramEnergy = costs.dramJ(dram_bytes) * units;
-    r.dramBytes = dram_bytes * units;
-    r.hopBytes = (on_chip + d2d) * units;
-    r.d2dHopBytes = d2d * units;
-    r.glbOverflow = glb_overflow;
+    std::unique_ptr<GroupState> fresh = std::make_unique<GroupState>();
+    fresh->membership = membershipProbe_;
+    fresh->lastUse = ++stateClock_;
+    if (states_.size() >= stateCapacity_) {
+        std::size_t victim = 0;
+        for (std::size_t i = 1; i < states_.size(); ++i)
+            if (states_[i]->lastUse < states_[victim]->lastUse)
+                victim = i;
+        states_[victim] = std::move(fresh);
+        return *states_[victim];
+    }
+    states_.push_back(std::move(fresh));
+    return *states_.back();
+}
+
+eval::EvalBreakdown
+Analyzer::evaluateFromState(const LayerGroupMapping &group,
+                            const GroupState &state, std::int64_t num_units,
+                            const cost::CostStack &costs) const
+{
+    double core_energy = 0.0;
+    double max_stage = 0.0;
+    for (const GroupLayerState &entry : state.layers) {
+        core_energy += entry.energyPerUnit;
+        max_stage = std::max(max_stage, entry.stageSeconds);
+    }
+
+    static thread_local std::vector<double> dram_per_unit;
+    dram_per_unit.assign(static_cast<std::size_t>(arch_.dramCount), 0.0);
+    double glb_overflow = 0.0;
+    for (const GroupLayerState &entry : state.layers) {
+        for (int d = 0; d < arch_.dramCount; ++d)
+            dram_per_unit[static_cast<std::size_t>(d)] +=
+                entry.flows.dramBytes[d];
+        glb_overflow = std::max(glb_overflow, entry.flows.glbOverflow);
+    }
+    glb_overflow = std::max(glb_overflow, 0.0);
+
+    const GroupState::LinkFold fold = state.fold(noc_);
+    return assembleBreakdown(group, core_energy, max_stage, glb_overflow,
+                             dram_per_unit, fold.onChipBytes, fold.d2dBytes,
+                             fold.maxLinkSeconds, num_units, costs);
+}
+
+eval::EvalBreakdown
+Analyzer::evaluateGroupDelta(const LayerGroupMapping &group,
+                             std::int64_t batch,
+                             const OfmapDramLookup &ofmap_dram_of,
+                             const cost::CostStack &costs) const
+{
+    GEMINI_ASSERT(batch % group.batchUnit == 0,
+                  "batch unit must divide batch");
+    const std::int64_t num_units = batch / group.batchUnit;
+    const std::size_t n_layers = group.layers.size();
+    GroupState &state = stateFor(group, batch);
+
+    bool rebuild = !state.valid;
+    if (!rebuild) {
+        // Scheme diff: which layers' fragments changed? A fragment
+        // depends on its own scheme, the Part+CG of its in-group
+        // producers and the resolved DRAM of its out-of-group producers.
+        selfChanged_.assign(n_layers, 0);
+        partCgChanged_.assign(n_layers, 0);
+        changed_.clear();
+        for (std::size_t li = 0; li < n_layers; ++li) {
+            const MappingScheme &now = group.schemes[li];
+            const MappingScheme &old = state.layers[li].scheme;
+            const bool part_cg = !(now.part == old.part) ||
+                                 now.coreGroup != old.coreGroup;
+            partCgChanged_[li] = part_cg;
+            selfChanged_[li] = part_cg || !(now.fd == old.fd);
+        }
+        for (std::size_t li = 0; li < n_layers; ++li) {
+            const GroupLayerState &entry = state.layers[li];
+            bool frag = selfChanged_[li];
+            if (!frag) {
+                for (std::int32_t pi : entry.inGroupProducers) {
+                    if (partCgChanged_[static_cast<std::size_t>(pi)]) {
+                        frag = true;
+                        break;
+                    }
+                }
+            }
+            if (!frag) {
+                for (std::size_t k = 0; k < entry.outProducers.size();
+                     ++k) {
+                    if (ofmap_dram_of(entry.outProducers[k]) !=
+                        entry.producerDrams[k]) {
+                        frag = true;
+                        break;
+                    }
+                }
+            }
+            if (frag)
+                changed_.push_back(li);
+        }
+        // A diff spanning most of the group is cheaper as a re-merge.
+        rebuild = 2 * changed_.size() > n_layers;
+    }
+
+    if (rebuild) {
+        gatherFragments(group, batch, ofmap_dram_of, fragScratch_);
+        state.rebuild(graph_, group, batch, fragScratch_.tiles,
+                      fragScratch_.flows, ofmap_dram_of, noc_);
+        ++deltaRebuilds_;
+    } else if (!changed_.empty()) {
+        // Fragments needed: tiles for the changed layers and their
+        // in-group producers (the traffic compiler reads producer piece
+        // geometry), flows for the changed layers only.
+        fragScratch_.tiles.assign(n_layers, nullptr);
+        fragScratch_.flows.assign(n_layers, nullptr);
+        needTiles_.assign(n_layers, 0);
+        std::size_t tile_count = 0;
+        for (std::size_t li : changed_) {
+            if (!needTiles_[li]) {
+                needTiles_[li] = 1;
+                ++tile_count;
+            }
+            for (std::int32_t pi : state.layers[li].inGroupProducers) {
+                if (!needTiles_[static_cast<std::size_t>(pi)]) {
+                    needTiles_[static_cast<std::size_t>(pi)] = 1;
+                    ++tile_count;
+                }
+            }
+        }
+        if (tileCache_.size() + tile_count > cacheCapacity_)
+            tileCache_.clear();
+        if (flowCache_.size() + changed_.size() > cacheCapacity_)
+            flowCache_.clear();
+        for (std::size_t li = 0; li < n_layers; ++li)
+            if (needTiles_[li])
+                fragScratch_.tiles[li] = &cachedTiles(group, li);
+        for (std::size_t li : changed_)
+            fragScratch_.flows[li] =
+                &cachedFlows(group, li, fragScratch_.tiles, batch,
+                             num_units, ofmap_dram_of);
+        state.applyDelta(group, changed_, fragScratch_.tiles,
+                         fragScratch_.flows, ofmap_dram_of, noc_);
+        ++deltaApplies_;
+        deltaChanged_ += changed_.size();
+    }
+
+    return evaluateFromState(group, state, num_units, costs);
+}
+
+eval::EvalBreakdown
+Analyzer::evaluateGroup(const LayerGroupMapping &group, std::int64_t batch,
+                        const OfmapDramLookup &ofmap_dram_of,
+                        const cost::CostStack &costs) const
+{
+    const bool cached = cacheCapacity_ > 0;
+    if (cached && delta_ && group.layers.size() >= deltaMinLayers_) {
+        // Delta path: the resident state IS the memo. Diffing schemes
+        // against it costs O(layers) word compares; building and
+        // interning the exact whole-group eval key costs O(layers +
+        // cores) words per call — more than an unchanged-state fold. The
+        // eval memo therefore only serves the full-merge path.
+        return evaluateGroupDelta(group, batch, ofmap_dram_of, costs);
+    }
+    std::size_t eval_slot = 0;
+    if (cached) {
+        GroupKey &key = groupProbe_;
+        makeKey(group, batch, ofmap_dram_of);
+        // Bind the cost stack: its accessors are linear in bytes, so the
+        // unit coefficients fully characterize its effect here (including
+        // any per-topology term). A caller switching stacks must not hit
+        // the other stack's entry.
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.onChipJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.d2dJ(1.0)));
+        key.words.push_back(std::bit_cast<std::int64_t>(costs.dramJ(1.0)));
+        key.words.push_back(
+            std::bit_cast<std::int64_t>(costs.dramStackBps()));
+        noteProbeGrowth(key, groupProbeCap_);
+        if (const eval::EvalBreakdown *hit =
+                evalCache_.find(key.words, eval_slot)) {
+            ++evalHits_;
+            return *hit;
+        }
+        ++evalMisses_;
+    }
+
+    const eval::EvalBreakdown r =
+        evaluateGroupFullMerge(group, batch, ofmap_dram_of, costs);
 
     if (cached) {
-        if (evalCache_.size() >= cacheCapacity_)
+        // The group probe still holds this call's key: fragment gathering
+        // and the delta machinery only touch the fragment probe.
+        if (evalCache_.full()) {
             evalCache_.clear();
-        // The group probe still holds this call's key: gatherFragments
-        // only touches the fragment probe.
-        evalCache_.emplace(groupProbe_, r);
+            evalCache_.insert(groupProbe_.words, r);
+        } else {
+            evalCache_.insertAt(eval_slot, groupProbe_.words, r);
+        }
     }
     return r;
 }

@@ -57,9 +57,12 @@ workRegionOf(const dnn::Layer &layer, const Partition &part,
 int
 LayerGroupMapping::indexOf(LayerId layer) const
 {
-    for (std::size_t i = 0; i < layers.size(); ++i)
-        if (layers[i] == layer)
-            return static_cast<int>(i);
+    // `layers` is ascending by invariant (checked by checkGroupValid), and
+    // this lookup sits on the analyzer's key-building hot path: binary
+    // search keeps it O(log n) on 100+-layer groups.
+    const auto it = std::lower_bound(layers.begin(), layers.end(), layer);
+    if (it != layers.end() && *it == layer)
+        return static_cast<int>(it - layers.begin());
     return -1;
 }
 

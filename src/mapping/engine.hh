@@ -56,6 +56,15 @@ struct MappingOptions
      */
     std::size_t analyzerCacheEntries = 4096;
 
+    /**
+     * Delta-evaluate SA proposals against resident per-group states
+     * (O(changed layers) per move instead of O(group size); see
+     * Analyzer::evaluateGroup). Bit-identical to the full-merge path;
+     * off restores the full re-merge per proposal, kept so benchmarks
+     * can measure the pre-delta engine in the same binary.
+     */
+    bool deltaEval = true;
+
     /** DP partitioner knobs. */
     int maxGroupLayers = 12;
     std::vector<std::int64_t> batchUnits; // empty = auto

@@ -16,11 +16,13 @@
 #ifndef GEMINI_MAPPING_FRAGMENTS_HH
 #define GEMINI_MAPPING_FRAGMENTS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <utility>
 #include <vector>
 
+#include "src/common/logging.hh"
 #include "src/common/types.hh"
 #include "src/mapping/encoding.hh"
 #include "src/noc/interconnect.hh"
@@ -96,10 +98,18 @@ struct LayerFlows
 class DenseLinkAccumulator
 {
   public:
-    /** Size for an interconnect's node count (idempotent, zero-fills). */
+    /**
+     * Size for an interconnect's node count (idempotent, zero-fills).
+     * Flat indices span node_count^2, so they are kept in 64-bit; the
+     * guard rejects node counts whose dense table could not be addressed
+     * (or allocated) sanely rather than silently wrapping.
+     */
     void
     reset(std::size_t node_count)
     {
+        GEMINI_ASSERT(node_count <= kMaxNodes,
+                      "DenseLinkAccumulator: node count ", node_count,
+                      " exceeds the dense-table limit ", kMaxNodes);
         nodes_ = node_count;
         bytes_.assign(node_count * node_count, 0.0);
         touched_.clear();
@@ -108,11 +118,11 @@ class DenseLinkAccumulator
     void
     add(noc::LinkKey link, double bytes)
     {
-        const std::size_t idx =
-            static_cast<std::size_t>(noc::linkFrom(link)) * nodes_ +
-            static_cast<std::size_t>(noc::linkTo(link));
+        const std::uint64_t idx =
+            static_cast<std::uint64_t>(noc::linkFrom(link)) * nodes_ +
+            static_cast<std::uint64_t>(noc::linkTo(link));
         if (bytes_[idx] == 0.0)
-            touched_.push_back(static_cast<std::int32_t>(idx));
+            touched_.push_back(idx);
         bytes_[idx] += bytes;
     }
 
@@ -126,7 +136,7 @@ class DenseLinkAccumulator
     void
     drain(Fn &&fn)
     {
-        for (std::int32_t idx : touched_) {
+        for (std::uint64_t idx : touched_) {
             const auto i = static_cast<std::size_t>(idx);
             const double bytes = bytes_[i];
             bytes_[i] = 0.0;
@@ -136,10 +146,26 @@ class DenseLinkAccumulator
         touched_.clear();
     }
 
+    /**
+     * Like drain, but in ascending flat-slot order — the canonical fold
+     * order of the delta-evaluated group state, which must not depend on
+     * merge history (see DESIGN.md "Delta group evaluation").
+     */
+    template <typename Fn>
+    void
+    drainSorted(Fn &&fn)
+    {
+        std::sort(touched_.begin(), touched_.end());
+        drain(std::forward<Fn>(fn));
+    }
+
+    /** Largest supported node count (dense table of 2^48 slots). */
+    static constexpr std::size_t kMaxNodes = std::size_t{1} << 24;
+
   private:
     std::size_t nodes_ = 0;
     std::vector<double> bytes_;
-    std::vector<std::int32_t> touched_;
+    std::vector<std::uint64_t> touched_;
 };
 
 } // namespace gemini::mapping

@@ -1,0 +1,252 @@
+#include "src/mapping/group_state.hh"
+
+#include <algorithm>
+
+#include "src/common/logging.hh"
+
+namespace gemini::mapping {
+
+std::uint32_t
+GroupState::compactIdOf(std::size_t slot)
+{
+    std::uint32_t id = slots_[slot].compact;
+    if (id == kNoCompact) {
+        if (compactCount_ == tree_.leaves())
+            tree_.resizePreserve(std::max<std::size_t>(
+                64, 2 * static_cast<std::size_t>(compactCount_)));
+        id = compactCount_++;
+        slots_[slot].compact = id;
+    }
+    return id;
+}
+
+std::int32_t
+GroupState::allocNode()
+{
+    if (freeHead_ >= 0) {
+        const std::int32_t idx = freeHead_;
+        freeHead_ = pool_[static_cast<std::size_t>(idx)].next;
+        return idx;
+    }
+    pool_.emplace_back();
+    return static_cast<std::int32_t>(pool_.size() - 1);
+}
+
+void
+GroupState::rebuild(const dnn::Graph &graph, const LayerGroupMapping &group,
+                    std::int64_t batch,
+                    std::span<const LayerTiles *const> tiles,
+                    std::span<const LayerFlows *const> flows,
+                    const OfmapDramLookup &ofmap_dram_of,
+                    const noc::InterconnectModel &noc)
+{
+    const std::size_t n_layers = group.layers.size();
+    GEMINI_ASSERT(tiles.size() == n_layers && flows.size() == n_layers,
+                  "rebuild needs every layer's fragments");
+
+    membership.clear();
+    membership.push_back(batch);
+    membership.push_back(group.batchUnit);
+    for (LayerId id : group.layers)
+        membership.push_back(id);
+
+    layers.assign(n_layers, {});
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        GroupLayerState &entry = layers[li];
+        entry.scheme = group.schemes[li];
+        entry.flows = *flows[li];
+        entry.stageSeconds = tiles[li]->stageSeconds;
+        entry.energyPerUnit = tiles[li]->energyPerUnit;
+        for (LayerId producer : graph.layer(group.layers[li]).inputs) {
+            const int pi = group.indexOf(producer);
+            if (pi >= 0) {
+                entry.inGroupProducers.push_back(pi);
+            } else {
+                entry.outProducers.push_back(producer);
+                entry.producerDrams.push_back(ofmap_dram_of(producer));
+            }
+        }
+    }
+
+    nodes_ = static_cast<std::size_t>(noc.nodeCount());
+    const std::size_t n_slots = nodes_ * nodes_;
+    slots_.assign(n_slots, {});
+    tailScratch_.assign(n_slots, -1);
+    pool_.clear();
+    freeHead_ = -1;
+    active_.clear();
+
+    // Accumulate per-slot totals in (layer, entry) order — the exact fold
+    // order of the full-merge reference — while threading each slot's
+    // contribution list in the same ascending-layer order. The pool keeps
+    // all nodes in one contiguous arena (list walks stay cache-resident).
+    for (std::size_t li = 0; li < n_layers; ++li) {
+        for (const auto &[link, bytes] : layers[li].flows.links) {
+            const std::size_t slot =
+                noc.linkSlot(noc::linkFrom(link), noc::linkTo(link));
+            const std::int32_t node = allocNode();
+            pool_[static_cast<std::size_t>(node)] = {
+                bytes, -1, static_cast<std::uint32_t>(li)};
+            SlotState &st = slots_[slot];
+            if (st.head < 0) {
+                st.head = node;
+                active_.push_back(static_cast<std::uint32_t>(slot));
+            } else {
+                pool_[static_cast<std::size_t>(tailScratch_[slot])].next =
+                    node;
+            }
+            tailScratch_[slot] = node;
+            st.bytes += bytes;
+        }
+    }
+    std::sort(active_.begin(), active_.end());
+
+    compactCount_ = 0;
+    tree_.reset(std::max<std::size_t>(64, 2 * active_.size()));
+    for (std::uint32_t slot : active_)
+        tree_.set(compactIdOf(slot),
+                  slots_[slot].bytes / noc.linkBandwidthAt(slot));
+
+    valid = true;
+}
+
+void
+GroupState::applyDelta(const LayerGroupMapping &group,
+                       std::span<const std::size_t> changed,
+                       std::span<const LayerTiles *const> tiles,
+                       std::span<const LayerFlows *const> flows,
+                       const OfmapDramLookup &ofmap_dram_of,
+                       const noc::InterconnectModel &noc)
+{
+    GEMINI_ASSERT(valid, "applyDelta on an unbuilt state");
+    affected_.clear();
+
+    // First touch records whether the slot was active *before* this
+    // delta, so activity transitions batch into one merge pass below.
+    auto mark_affected = [&](SlotState &st, std::size_t slot) {
+        if (!st.flag) {
+            st.flag = st.head >= 0 ? kWasActive : kWasEmpty;
+            affected_.push_back(static_cast<std::uint32_t>(slot));
+        }
+    };
+
+    for (std::size_t li : changed) {
+        GroupLayerState &entry = layers[li];
+        const auto layer_tag = static_cast<std::uint32_t>(li);
+
+        // Unlink the layer's old contributions. (Pre-state must be
+        // captured before the list mutates.)
+        for (const auto &[link, bytes] : entry.flows.links) {
+            const std::size_t slot =
+                noc.linkSlot(noc::linkFrom(link), noc::linkTo(link));
+            SlotState &st = slots_[slot];
+            mark_affected(st, slot);
+            std::int32_t *cursor = &st.head;
+            while (*cursor >= 0 &&
+                   pool_[static_cast<std::size_t>(*cursor)].layer !=
+                       layer_tag) {
+                cursor = &pool_[static_cast<std::size_t>(*cursor)].next;
+            }
+            GEMINI_ASSERT(*cursor >= 0,
+                          "resident contribution missing on unlink");
+            const std::int32_t node = *cursor;
+            *cursor = pool_[static_cast<std::size_t>(node)].next;
+            pool_[static_cast<std::size_t>(node)].next = freeHead_;
+            freeHead_ = node;
+        }
+
+        // Refresh the layer entry from the new fragments.
+        entry.scheme = group.schemes[li];
+        entry.flows = *flows[li];
+        entry.stageSeconds = tiles[li]->stageSeconds;
+        entry.energyPerUnit = tiles[li]->energyPerUnit;
+        for (std::size_t k = 0; k < entry.outProducers.size(); ++k)
+            entry.producerDrams[k] = ofmap_dram_of(entry.outProducers[k]);
+
+        // Link the new contributions, keeping each slot's list in
+        // ascending layer order (the canonical per-slot fold order).
+        for (const auto &[link, bytes] : entry.flows.links) {
+            const std::size_t slot =
+                noc.linkSlot(noc::linkFrom(link), noc::linkTo(link));
+            mark_affected(slots_[slot], slot); // before the list mutates
+            // Allocate before taking list pointers: growing the pool
+            // would invalidate a cursor into it (and so would the slot
+            // reference across the alloc, hence re-taken below).
+            const std::int32_t node = allocNode();
+            std::int32_t *cursor = &slots_[slot].head;
+            while (*cursor >= 0 &&
+                   pool_[static_cast<std::size_t>(*cursor)].layer <
+                       layer_tag) {
+                cursor = &pool_[static_cast<std::size_t>(*cursor)].next;
+            }
+            pool_[static_cast<std::size_t>(node)] = {bytes, *cursor,
+                                                     layer_tag};
+            *cursor = node;
+        }
+    }
+
+    // Re-derive every affected slot from scratch: totals re-sum over the
+    // (ascending-layer) contribution list, exactly as the reference
+    // accumulates them; the tournament tree follows. Activity
+    // transitions collect into add/remove sets so the sorted active list
+    // is repaired in ONE merge pass — per-slot insert/erase would make a
+    // wide delta O(affected * active).
+    activeAdds_.clear();
+    activeDels_.clear();
+    for (std::uint32_t slot : affected_) {
+        SlotState &st = slots_[slot];
+        double sum = 0.0;
+        for (std::int32_t node = st.head; node >= 0;
+             node = pool_[static_cast<std::size_t>(node)].next) {
+            sum += pool_[static_cast<std::size_t>(node)].bytes;
+        }
+        const bool now_active = st.head >= 0;
+        const bool was_active = st.flag == kWasActive;
+        st.flag = 0;
+        st.bytes = now_active ? sum : 0.0;
+        if (now_active && !was_active)
+            activeAdds_.push_back(slot);
+        else if (!now_active && was_active)
+            activeDels_.push_back(slot);
+        tree_.set(compactIdOf(slot),
+                  now_active ? st.bytes / noc.linkBandwidthAt(slot)
+                             : 0.0);
+    }
+
+    if (!activeAdds_.empty() || !activeDels_.empty()) {
+        std::sort(activeAdds_.begin(), activeAdds_.end());
+        std::sort(activeDels_.begin(), activeDels_.end());
+        activeScratch_.clear();
+        activeScratch_.reserve(active_.size() + activeAdds_.size());
+        std::size_t ai = 0, di = 0;
+        for (std::uint32_t slot : active_) {
+            while (ai < activeAdds_.size() && activeAdds_[ai] < slot)
+                activeScratch_.push_back(activeAdds_[ai++]);
+            if (di < activeDels_.size() && activeDels_[di] == slot) {
+                ++di;
+                continue;
+            }
+            activeScratch_.push_back(slot);
+        }
+        while (ai < activeAdds_.size())
+            activeScratch_.push_back(activeAdds_[ai++]);
+        active_.swap(activeScratch_);
+    }
+}
+
+GroupState::LinkFold
+GroupState::fold(const noc::InterconnectModel &noc) const
+{
+    LinkFold out;
+    for (std::uint32_t slot : active_) {
+        const double bytes = slots_[slot].bytes;
+        if (noc.linkKindAt(slot) == noc::LinkKind::D2D)
+            out.d2dBytes += bytes;
+        else
+            out.onChipBytes += bytes;
+    }
+    out.maxLinkSeconds = tree_.max();
+    return out;
+}
+
+} // namespace gemini::mapping

@@ -4,6 +4,14 @@
 
 namespace gemini::mapping {
 
+void
+TilingStage::appendKey(FragmentKey &key, LayerId layer,
+                       const MappingScheme &ms, std::int64_t batch_unit)
+{
+    key.words.insert(key.words.end(), {layer, ms.part.h, ms.part.w,
+                                       ms.part.b, ms.part.k, batch_unit});
+}
+
 LayerTiles
 TilingStage::compute(const dnn::Layer &layer, const MappingScheme &ms,
                      std::int64_t batch_unit) const

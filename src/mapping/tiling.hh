@@ -38,6 +38,14 @@ class TilingStage
     LayerTiles compute(const dnn::Layer &layer, const MappingScheme &ms,
                        std::int64_t batch_unit) const;
 
+    /**
+     * Append this stage's exact memoization key for one layer — every
+     * scalar compute() reads. The key layout lives with the stage so a
+     * new input cannot silently miss the cache key.
+     */
+    static void appendKey(FragmentKey &key, LayerId layer,
+                          const MappingScheme &ms, std::int64_t batch_unit);
+
   private:
     intracore::Explorer &explorer_;
 };

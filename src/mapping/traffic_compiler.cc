@@ -76,6 +76,51 @@ emitGrouped(std::vector<FlowRequest> &requests,
 
 } // namespace
 
+void
+TrafficCompiler::appendKey(FragmentKey &key, const dnn::Graph &graph,
+                           const LayerGroupMapping &group, std::size_t li,
+                           std::int64_t batch,
+                           const OfmapDramLookup &ofmap_dram_of)
+{
+    const LayerId id = group.layers[li];
+    const MappingScheme &ms = group.schemes[li];
+    key.words.push_back(batch);
+    key.words.push_back(group.batchUnit);
+    key.words.push_back(id);
+    key.words.push_back(ms.part.h);
+    key.words.push_back(ms.part.w);
+    key.words.push_back(ms.part.b);
+    key.words.push_back(ms.part.k);
+    key.words.push_back(ms.fd.ifmap);
+    key.words.push_back(ms.fd.weight);
+    key.words.push_back(ms.fd.ofmap);
+    key.words.push_back(static_cast<std::int64_t>(ms.coreGroup.size()));
+    for (CoreId core : ms.coreGroup)
+        key.words.push_back(core);
+    for (LayerId producer : graph.layer(id).inputs) {
+        const int pi = group.indexOf(producer);
+        if (pi >= 0) {
+            // In-group flows depend on the producer's Part + CG.
+            const MappingScheme &pms =
+                group.schemes[static_cast<std::size_t>(pi)];
+            key.words.push_back(1);
+            key.words.push_back(producer);
+            key.words.push_back(pms.part.h);
+            key.words.push_back(pms.part.w);
+            key.words.push_back(pms.part.b);
+            key.words.push_back(pms.part.k);
+            key.words.push_back(
+                static_cast<std::int64_t>(pms.coreGroup.size()));
+            for (CoreId core : pms.coreGroup)
+                key.words.push_back(core);
+        } else {
+            key.words.push_back(0);
+            key.words.push_back(~static_cast<std::int64_t>(producer));
+            key.words.push_back(ofmap_dram_of(producer));
+        }
+    }
+}
+
 TrafficCompiler::TrafficCompiler(const dnn::Graph &graph,
                                  const arch::ArchConfig &arch,
                                  const noc::InterconnectModel &noc)

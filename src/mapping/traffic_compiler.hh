@@ -44,6 +44,18 @@ class TrafficCompiler
                        std::int64_t num_units,
                        const OfmapDramLookup &ofmap_dram_of) const;
 
+    /**
+     * Append this stage's exact memoization key for layer `li`: its own
+     * scheme, the batch/unit (weight-residency amortization), the Part+CG
+     * of every in-group producer (their piece geometry shapes the flows)
+     * and the resolved DRAM of every out-of-group producer. The key
+     * layout lives with the stage that reads the inputs.
+     */
+    static void appendKey(FragmentKey &key, const dnn::Graph &graph,
+                          const LayerGroupMapping &group, std::size_t li,
+                          std::int64_t batch,
+                          const OfmapDramLookup &ofmap_dram_of);
+
   private:
     const dnn::Graph &graph_;
     const arch::ArchConfig &arch_;

@@ -71,31 +71,55 @@ InterconnectModel::dramOf(NodeId n) const
 namespace {
 
 /**
- * Union of several routes' links, built in a reusable flat buffer
- * (collect, sort, unique) instead of a per-call hash set: link counts are
- * small and this is the hottest loop of the whole mapping engine. The
- * buffer is thread-local so concurrent SA chains never contend and no
- * call allocates in steady state.
+ * Union of several routes' links, deduplicated through a generation-
+ * stamped dense table (one stamp per flat link slot) instead of a
+ * per-call sort or hash set: this is the hottest loop of the whole
+ * mapping engine and route unions of a wide multicast reach hundreds of
+ * links. Emission is in first-touch (dst-major, hop order) order; every
+ * consumer either re-merges per link (order-insensitive sums) or folds
+ * through the canonical sorted drain, so the union's emission order is
+ * not numerically observable. The stamp table is thread-local so
+ * concurrent SA chains never contend, and a generation bump makes reset
+ * free.
  */
+struct UnionScratch
+{
+    std::vector<std::uint32_t> stamp;
+    std::uint32_t gen = 0;
+};
+
 template <typename RouteOf, typename Emit>
 void
-routeUnion(const std::vector<NodeId> &dsts, const RouteOf &route_of,
-           const Emit &emit)
+routeUnion(std::size_t node_count, const std::vector<NodeId> &dsts,
+           const RouteOf &route_of, const Emit &emit)
 {
     if (dsts.size() == 1) { // single destination: the route IS the union
         for (LinkKey key : route_of(dsts[0]))
             emit(key);
         return;
     }
-    static thread_local std::vector<LinkKey> links;
-    links.clear();
-    for (NodeId dst : dsts)
-        for (LinkKey key : route_of(dst))
-            links.push_back(key);
-    std::sort(links.begin(), links.end());
-    links.erase(std::unique(links.begin(), links.end()), links.end());
-    for (LinkKey key : links)
-        emit(key);
+    static thread_local UnionScratch scratch;
+    const std::size_t slots = node_count * node_count;
+    if (scratch.stamp.size() < slots) {
+        scratch.stamp.assign(slots, 0);
+        scratch.gen = 0;
+    }
+    if (++scratch.gen == 0) { // stamp wrap: start a fresh epoch
+        std::fill(scratch.stamp.begin(), scratch.stamp.end(), 0u);
+        scratch.gen = 1;
+    }
+    const std::uint32_t gen = scratch.gen;
+    for (NodeId dst : dsts) {
+        for (LinkKey key : route_of(dst)) {
+            const std::size_t slot =
+                static_cast<std::size_t>(linkFrom(key)) * node_count +
+                static_cast<std::size_t>(linkTo(key));
+            if (scratch.stamp[slot] != gen) {
+                scratch.stamp[slot] = gen;
+                emit(key);
+            }
+        }
+    }
 }
 
 } // namespace
@@ -121,7 +145,8 @@ InterconnectModel::multicast(TrafficMap &map, NodeId src,
     // the DRAM injection link, the NoP gateway funnel) are charged exactly
     // once, which models a multicast-capable router tree.
     routeUnion(
-        dsts, [&](NodeId dst) { return route(src, dst); },
+        static_cast<std::size_t>(nodeCount()), dsts,
+        [&](NodeId dst) { return route(src, dst); },
         [&](LinkKey key) { map.addLink(key, bytes); });
 }
 
@@ -133,7 +158,8 @@ InterconnectModel::multicastLinks(LinkSink &sink, NodeId src,
     if (bytes <= 0.0 || dsts.empty())
         return;
     routeUnion(
-        dsts, [&](NodeId dst) { return route(src, dst); },
+        static_cast<std::size_t>(nodeCount()), dsts,
+        [&](NodeId dst) { return route(src, dst); },
         [&](LinkKey key) { sink.emplace_back(key, bytes); });
 }
 

@@ -141,6 +141,33 @@ class InterconnectModel
         return linkKind(a, b) == LinkKind::D2D ? d2dBps_ : nocBps_;
     }
 
+    /**
+     * Flat index of the directed link (a, b) in the dense nodeCount^2
+     * tables — the slot space the delta-evaluated group state and the
+     * dense merge scratch share.
+     */
+    std::size_t
+    linkSlot(NodeId a, NodeId b) const
+    {
+        return static_cast<std::size_t>(a) *
+                   static_cast<std::size_t>(nodeCount()) +
+               static_cast<std::size_t>(b);
+    }
+
+    /** linkKind by flat slot (same dense table, no div/mod round trip). */
+    LinkKind
+    linkKindAt(std::size_t slot) const
+    {
+        return static_cast<LinkKind>(kindTable_[slot]);
+    }
+
+    /** linkBandwidthBps by flat slot. */
+    double
+    linkBandwidthAt(std::size_t slot) const
+    {
+        return linkKindAt(slot) == LinkKind::D2D ? d2dBps_ : nocBps_;
+    }
+
     /** Aggregate per-kind bytes and the bottleneck link time. */
     TrafficStats summarize(const TrafficMap &map) const;
 
