@@ -1,23 +1,53 @@
 /**
  * @file
- * A miniature architecture DSE: a pruned 72 TOPs Table-I grid explored
- * for ResNet-50 + Transformer with the MC * E * D objective through the
- * multi-fidelity scheduler (screen -> race -> polish), printing the top
- * five architectures and the per-rung budget ledger. A laptop-scale
- * version of the paper's dse.sh.
+ * A miniature architecture DSE driven through the public gemini::api
+ * façade: the spec below is the exact C++ twin of
+ * examples/specs/dse_mini.json — `gemini run examples/specs/dse_mini.json`
+ * reproduces the same winner, because the spec content (and therefore the
+ * whole deterministic run) is identical. Prints the top five
+ * architectures and the per-rung budget ledger; a laptop-scale version of
+ * the paper's dse.sh.
  */
 
 #include <algorithm>
 #include <cstdio>
-#include <thread>
 #include <vector>
 
+#include "src/api/service.hh"
+#include "src/api/spec.hh"
 #include "src/common/artifacts.hh"
-#include "src/dnn/zoo.hh"
-#include "src/dse/dse.hh"
-#include "src/dse/records.hh"
 
 using namespace gemini;
+
+namespace {
+
+/** The C++ twin of examples/specs/dse_mini.json (same canonical hash). */
+api::ExperimentSpec
+miniDseSpec()
+{
+    api::ExperimentSpec spec;
+    spec.name = "dse-mini";
+    spec.mode = api::ExperimentSpec::Mode::Dse;
+    spec.models = {{.zoo = "resnet50", .file = ""},
+                   {.zoo = "transformer", .file = ""}};
+    // Prune the per-axis lists (keep every axis alive) so this finishes
+    // in about a minute on a laptop; the bench harness runs bigger grids.
+    spec.axes.nocGBps = {16, 32, 64};
+    spec.axes.glbKiB = {1024, 2048, 4096};
+    spec.axes.macsPerCore = {1024, 2048};
+    spec.maxCandidates = 96;
+    // Multi-fidelity budgets: screen everything cheaply, race survivors
+    // with doubling SA budgets, polish the finalists at the full budget.
+    spec.schedule.enabled = true;
+    spec.schedule.rungs = 2;
+    spec.schedule.keepFraction = 0.4;
+    spec.schedule.baseIters = 60;
+    spec.mapping.batch = 64;
+    spec.mapping.sa.iterations = 500;
+    return spec;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -25,33 +55,20 @@ main(int argc, char **argv)
     // Artifacts land in --out DIR (or GEMINI_OUT_DIR); run from the CMake
     // build tree (the conventional destination) to keep the repo clean.
     const std::string out_dir = common::artifactDir(argc, argv);
-    dnn::Graph resnet = dnn::zoo::resnet50();
-    dnn::Graph transformer = dnn::zoo::transformerBase();
+    const api::ExperimentSpec spec = miniDseSpec();
+    std::printf("exploring a %zu-candidate subsample of the 72 TOPs space "
+                "(spec hash 0x%016llx)...\n",
+                spec.maxCandidates,
+                static_cast<unsigned long long>(spec.canonicalHash()));
 
-    dse::DseOptions options;
-    options.axes = dse::DseAxes::paper72();
-    // Prune the per-axis lists (keep every axis alive) so this finishes
-    // in about a minute on a laptop; the bench harness runs bigger grids.
-    options.axes.nocGBps = {16, 32, 64};
-    options.axes.glbKiB = {1024, 2048, 4096};
-    options.axes.macsPerCore = {1024, 2048};
-    options.models = {&resnet, &transformer};
-    options.mapping.batch = 64;
-    options.mapping.sa.iterations = 500;
-    options.maxCandidates = 96;
-    // Multi-fidelity budgets: screen everything cheaply, race survivors
-    // with doubling SA budgets, polish the finalists at the full budget.
-    options.schedule.enabled = true;
-    options.schedule.rungs = 2;
-    options.schedule.keepFraction = 0.4;
-    options.schedule.baseIters = 60;
-
-    std::printf("exploring %zu-candidate subsample of the 72 TOPs space "
-                "on %zu threads...\n",
-                options.maxCandidates,
-                static_cast<std::size_t>(
-                    std::thread::hardware_concurrency()));
-    const dse::DseResult result = dse::runDse(options);
+    api::ExplorationService service;
+    api::JobHandle job = service.submit(spec);
+    const api::ExperimentResult &outcome = job.wait();
+    if (outcome.failed()) {
+        std::fprintf(stderr, "job failed: %s\n", outcome.error.c_str());
+        return 1;
+    }
+    const dse::DseResult &result = outcome.dse;
 
     std::vector<const dse::DseRecord *> order;
     for (const auto &r : result.records)

@@ -1,61 +1,74 @@
 /**
  * @file
  * Quickstart: map ResNet-50 onto the paper's explored 72 TOPs G-Arch and
- * print the evaluation. This is the 60-second tour of the public API:
- * pick a model from the zoo, pick (or build) an ArchConfig, run the
- * MappingEngine, read the breakdown, and price the chip with the MC
- * evaluator.
+ * print the evaluation — driven entirely through the public gemini::api
+ * façade. This is the 60-second tour: describe the experiment as an
+ * ExperimentSpec (a model by zoo name, an architecture by preset name),
+ * submit it to an ExplorationService, and read the result. The same spec
+ * serialized with toJson() runs unchanged under `gemini run`.
  */
 
 #include <cstdio>
 
-#include "src/arch/presets.hh"
+#include "src/api/service.hh"
+#include "src/api/spec.hh"
 #include "src/cost/mc_evaluator.hh"
-#include "src/dnn/zoo.hh"
-#include "src/mapping/engine.hh"
 
 using namespace gemini;
 
 int
 main()
 {
-    // 1. A workload from the model zoo (see dnn::zoo::available()).
-    const dnn::Graph model = dnn::zoo::resnet50();
-    std::printf("model: %s, %.2f GMACs/sample, %zu layers\n",
-                model.name().c_str(), model.totalMacs() / 1e9,
-                model.size());
+    // 1. Describe the experiment: one model from the zoo registry
+    //    ("gemini models" lists the names), one architecture preset
+    //    ("gemini presets"), a throughput-scenario batch and the default
+    //    SA budget. Everything not set keeps its documented default.
+    api::ExperimentSpec spec;
+    spec.name = "quickstart";
+    spec.mode = api::ExperimentSpec::Mode::Map;
+    spec.models = {{.zoo = "resnet50", .file = ""}};
+    spec.arch.preset = "g_arch_72";
+    spec.mapping.batch = 64;
+    spec.mapping.sa.iterations = 4000;
 
-    // 2. An architecture: the paper's explored G-Arch
-    //    (2 chiplets, 36 cores, 144 GB/s DRAM, 32/16 GB/s NoC/D2D,
-    //     2 MB GLB, 1024 MACs per core).
-    const arch::ArchConfig arch = arch::gArch72();
+    // The equivalent JSON (runnable via `gemini run`): spec.toJson().dump(2)
+    std::printf("spec hash: 0x%016llx\n",
+                static_cast<unsigned long long>(spec.canonicalHash()));
+
+    // 2. Run it on a service. The service owns the worker pool, caches
+    //    results by spec hash, and would accept many jobs concurrently.
+    api::ExplorationService service;
+    api::JobHandle job = service.submit(spec);
+    const api::ExperimentResult &result = job.wait();
+    if (result.failed()) {
+        std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
+        return 1;
+    }
+
+    // 3. Read the evaluation.
     std::printf("arch:  %s = %.1f TOPS, %d chiplets\n",
-                arch.toString().c_str(), arch.tops(),
-                arch.chipletCount());
-
-    // 3. Map it: DP graph partition -> SA spatial-mapping exploration.
-    mapping::MappingOptions options;
-    options.batch = 64;       // throughput scenario (MLPerf-style)
-    options.sa.iterations = 4000;
-    mapping::MappingEngine engine(model, arch, options);
-    const mapping::MappingResult result = engine.run();
-
-    // 4. Read the evaluation.
-    std::printf("\nmapping: %zu layer groups, SA accepted %d/%d moves\n",
-                result.mapping.groups.size(), result.saStats.accepted,
-                result.saStats.proposed);
+                result.mapArch.toString().c_str(), result.mapArch.tops(),
+                result.mapArch.chipletCount());
+    const mapping::MappingResult &m = result.mappings.front();
+    std::printf("mapping: %zu layer groups, SA accepted %d/%d moves\n",
+                m.mapping.groups.size(), m.saStats.accepted,
+                m.saStats.proposed);
     std::printf("delay: %.3f ms for batch %ld (%.1f inf/s)\n",
-                result.total.delay * 1e3, static_cast<long>(options.batch),
-                options.batch / result.total.delay);
+                m.total.delay * 1e3,
+                static_cast<long>(spec.mapping.batch),
+                spec.mapping.batch / m.total.delay);
     std::printf("energy: %.4f J  (intra-tile %.4f, noc %.4f, d2d %.4f, "
                 "dram %.4f)\n",
-                result.total.totalEnergy(), result.total.intraTileEnergy,
-                result.total.nocEnergy, result.total.d2dEnergy,
-                result.total.dramEnergy);
+                m.total.totalEnergy(), m.total.intraTileEnergy,
+                m.total.nocEnergy, m.total.d2dEnergy, m.total.dramEnergy);
 
-    // 5. Price it.
-    cost::McEvaluator mc;
+    // 4. Price it (the MC evaluation rides along in the result).
     std::printf("monetary cost: %s\n",
-                cost::McEvaluator::describe(mc.evaluate(arch)).c_str());
+                cost::McEvaluator::describe(result.mapArchMc).c_str());
+
+    // 5. Resubmitting the identical spec is served from the result cache.
+    api::JobHandle again = service.submit(spec);
+    std::printf("resubmission served from cache: %s\n",
+                again.wait().fromCache ? "yes" : "no");
     return 0;
 }

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Shared deserialization helper of the API layer: typed field extraction
+ * over one JSON object with key tracking and "path.to.key: reason" error
+ * messages. Used by both the spec and the results readers so every wire
+ * form rejects typo'd keys the same way.
+ */
+
+#ifndef GEMINI_API_JSON_READER_HH
+#define GEMINI_API_JSON_READER_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "src/common/json.hh"
+
+namespace gemini::api {
+
+/**
+ * Every getter leaves the C++ default in place when the key is absent,
+ * records the key as known, and fails with a "path.key: reason" message
+ * on a type mismatch. finish() turns any never-requested key into an
+ * error naming the valid set — a typo'd knob must not silently run the
+ * default experiment. After the first failure all getters become no-ops,
+ * so callers can chain reads and check once.
+ */
+class ObjectReader
+{
+  public:
+    ObjectReader(const common::json::Value &v, std::string path,
+                 std::string *error)
+        : v_(v), path_(std::move(path)), error_(error)
+    {
+        if (!v_.isObject())
+            fail("", "expected an object");
+    }
+
+    bool ok() const { return !failed_; }
+    const std::string &path() const { return path_; }
+
+    bool
+    getDouble(const char *key, double &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isNumber())
+            return fail(key, "expected a number");
+        out = f->asNumber();
+        return true;
+    }
+
+    /**
+     * A number that may legitimately be infinite (DSE objectives of
+     * infeasible candidates): the wire form spells infinity as null.
+     */
+    bool
+    getExtendedDouble(const char *key, double &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (f->isNull()) {
+            out = std::numeric_limits<double>::infinity();
+            return true;
+        }
+        if (!f->isNumber())
+            return fail(key, "expected a number or null (= infinity)");
+        out = f->asNumber();
+        return true;
+    }
+
+    template <typename Int>
+    bool
+    getInt(const char *key, Int &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isNumber())
+            return fail(key, "expected an integer");
+        const double d = f->asNumber();
+        if (d != std::nearbyint(d) || std::abs(d) > 9.007199254740992e15)
+            return fail(key, "expected an integer (within +/-2^53)");
+        if (d < static_cast<double>(std::numeric_limits<Int>::lowest()) ||
+            d > static_cast<double>(std::numeric_limits<Int>::max()) ||
+            (std::is_unsigned_v<Int> && d < 0))
+            return fail(key, "integer out of range for this field");
+        out = static_cast<Int>(d);
+        return true;
+    }
+
+    bool
+    getBool(const char *key, bool &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isBool())
+            return fail(key, "expected true or false");
+        out = f->asBool();
+        return true;
+    }
+
+    bool
+    getString(const char *key, std::string &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isString())
+            return fail(key, "expected a string");
+        out = f->asString();
+        return true;
+    }
+
+    bool
+    getDoubleList(const char *key, std::vector<double> &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isArray())
+            return fail(key, "expected an array of numbers");
+        std::vector<double> parsed;
+        for (const common::json::Value &e : f->asArray()) {
+            if (!e.isNumber())
+                return fail(key, "expected an array of numbers");
+            parsed.push_back(e.asNumber());
+        }
+        out = std::move(parsed);
+        return true;
+    }
+
+    template <typename Int>
+    bool
+    getIntList(const char *key, std::vector<Int> &out)
+    {
+        const common::json::Value *f = request(key);
+        if (!f)
+            return ok();
+        if (!f->isArray())
+            return fail(key, "expected an array of integers");
+        std::vector<Int> parsed;
+        for (const common::json::Value &e : f->asArray()) {
+            if (!e.isNumber() ||
+                e.asNumber() != std::nearbyint(e.asNumber()))
+                return fail(key, "expected an array of integers");
+            const double d = e.asNumber();
+            // Same range guard as getInt: an out-of-range double-to-int
+            // cast is undefined behavior, not a saturation.
+            if (std::abs(d) > 9.007199254740992e15 ||
+                d < static_cast<double>(std::numeric_limits<Int>::lowest()) ||
+                d > static_cast<double>(std::numeric_limits<Int>::max()) ||
+                (std::is_unsigned_v<Int> && d < 0))
+                return fail(key, "integer out of range for this field");
+            parsed.push_back(static_cast<Int>(d));
+        }
+        out = std::move(parsed);
+        return true;
+    }
+
+    /** Raw sub-value access (still key-tracked); nullptr when absent. */
+    const common::json::Value *
+    child(const char *key)
+    {
+        return request(key);
+    }
+
+    /** Like child(), but a missing key is an error. */
+    const common::json::Value *
+    require(const char *key)
+    {
+        const common::json::Value *f = request(key);
+        if (!f && ok())
+            fail(key, "required key is missing");
+        return f;
+    }
+
+    /** Error on any key the schema never asked for. */
+    bool
+    finish()
+    {
+        if (failed_)
+            return false;
+        for (const auto &[key, value] : v_.asObject()) {
+            if (std::find(requested_.begin(), requested_.end(), key) !=
+                requested_.end())
+                continue;
+            std::string valid;
+            for (std::size_t i = 0; i < requested_.size(); ++i) {
+                if (i)
+                    valid += ", ";
+                valid += requested_[i];
+            }
+            return fail(key.c_str(),
+                        "unknown key (valid keys: " + valid + ")");
+        }
+        return true;
+    }
+
+  private:
+    const common::json::Value *
+    request(const char *key)
+    {
+        if (failed_)
+            return nullptr;
+        requested_.emplace_back(key);
+        return v_.isObject() ? v_.find(key) : nullptr;
+    }
+
+    bool
+    fail(const char *key, const std::string &reason)
+    {
+        failed_ = true;
+        if (error_ && error_->empty()) {
+            *error_ = path_;
+            if (key && *key)
+                *error_ += std::string(".") + key;
+            *error_ += ": " + reason;
+        }
+        return false;
+    }
+
+    const common::json::Value &v_;
+    std::string path_;
+    std::string *error_;
+    std::vector<std::string> requested_;
+    bool failed_ = false;
+};
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_JSON_READER_HH

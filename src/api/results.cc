@@ -1,0 +1,598 @@
+#include "src/api/results.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "src/api/json_reader.hh"
+
+namespace gemini::api {
+
+using common::json::Value;
+
+namespace {
+
+/** Write a possibly-infinite number (null = infinity on the wire). */
+void
+setExtended(Value &obj, const char *key, double d)
+{
+    if (std::isfinite(d))
+        obj.set(key, d);
+    else
+        obj.set(key, Value(nullptr));
+}
+
+} // namespace
+
+// ---- ArchConfig -----------------------------------------------------------
+
+Value
+archConfigToJson(const arch::ArchConfig &cfg)
+{
+    Value v = Value::object();
+    v.set("name", cfg.name);
+    v.set("x_cores", cfg.xCores);
+    v.set("y_cores", cfg.yCores);
+    v.set("x_cut", cfg.xCut);
+    v.set("y_cut", cfg.yCut);
+    v.set("topology", arch::topologyName(cfg.topology));
+    v.set("noc_gbps", cfg.nocBwGBps);
+    v.set("d2d_gbps", cfg.d2dBwGBps);
+    v.set("dram_gbps", cfg.dramBwGBps);
+    v.set("dram_count", cfg.dramCount);
+    v.set("macs_per_core", cfg.macsPerCore);
+    v.set("glb_kib", cfg.glbKiB);
+    v.set("freq_ghz", cfg.freqGHz);
+    return v;
+}
+
+bool
+archConfigFromJson(const Value &v, const std::string &path,
+                   arch::ArchConfig &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    arch::ArchConfig cfg;
+    r.getString("name", cfg.name);
+    r.getInt("x_cores", cfg.xCores);
+    r.getInt("y_cores", cfg.yCores);
+    r.getInt("x_cut", cfg.xCut);
+    r.getInt("y_cut", cfg.yCut);
+    std::string topology = arch::topologyName(cfg.topology);
+    r.getString("topology", topology);
+    if (r.ok() && !arch::topologyFromName(topology, cfg.topology)) {
+        if (error && error->empty()) {
+            std::string valid;
+            for (const arch::Topology t : arch::kAllTopologies) {
+                if (!valid.empty())
+                    valid += ", ";
+                valid += arch::topologyName(t);
+            }
+            *error = path + ".topology: unknown topology \"" + topology +
+                     "\" (valid: " + valid + ")";
+        }
+        return false;
+    }
+    r.getDouble("noc_gbps", cfg.nocBwGBps);
+    r.getDouble("d2d_gbps", cfg.d2dBwGBps);
+    r.getDouble("dram_gbps", cfg.dramBwGBps);
+    r.getInt("dram_count", cfg.dramCount);
+    r.getInt("macs_per_core", cfg.macsPerCore);
+    r.getInt("glb_kib", cfg.glbKiB);
+    r.getDouble("freq_ghz", cfg.freqGHz);
+    if (!r.finish())
+        return false;
+    out = cfg;
+    return true;
+}
+
+// ---- EvalBreakdown --------------------------------------------------------
+
+Value
+evalBreakdownToJson(const eval::EvalBreakdown &b)
+{
+    Value v = Value::object();
+    v.set("delay_s", b.delay);
+    v.set("intra_tile_j", b.intraTileEnergy);
+    v.set("noc_j", b.nocEnergy);
+    v.set("d2d_j", b.d2dEnergy);
+    v.set("dram_j", b.dramEnergy);
+    v.set("dram_bytes", b.dramBytes);
+    v.set("hop_bytes", b.hopBytes);
+    v.set("d2d_hop_bytes", b.d2dHopBytes);
+    v.set("glb_overflow", b.glbOverflow);
+    return v;
+}
+
+bool
+evalBreakdownFromJson(const Value &v, const std::string &path,
+                      eval::EvalBreakdown &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    eval::EvalBreakdown b;
+    r.getDouble("delay_s", b.delay);
+    r.getDouble("intra_tile_j", b.intraTileEnergy);
+    r.getDouble("noc_j", b.nocEnergy);
+    r.getDouble("d2d_j", b.d2dEnergy);
+    r.getDouble("dram_j", b.dramEnergy);
+    r.getDouble("dram_bytes", b.dramBytes);
+    r.getDouble("hop_bytes", b.hopBytes);
+    r.getDouble("d2d_hop_bytes", b.d2dHopBytes);
+    r.getDouble("glb_overflow", b.glbOverflow);
+    if (!r.finish())
+        return false;
+    out = b;
+    return true;
+}
+
+// ---- CostBreakdown --------------------------------------------------------
+
+Value
+costBreakdownToJson(const cost::CostBreakdown &b)
+{
+    Value v = Value::object();
+    v.set("compute_silicon", b.computeSilicon);
+    v.set("io_silicon", b.ioSilicon);
+    v.set("dram", b.dram);
+    v.set("package", b.package);
+    v.set("compute_die_area_mm2", b.computeDieAreaMm2);
+    v.set("total_silicon_area_mm2", b.totalSiliconAreaMm2);
+    v.set("compute_die_yield", b.computeDieYield);
+    v.set("d2d_area_fraction", b.d2dAreaFraction);
+    v.set("total", b.total()); // derived, for readers; ignored on parse
+    return v;
+}
+
+bool
+costBreakdownFromJson(const Value &v, const std::string &path,
+                      cost::CostBreakdown &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    cost::CostBreakdown b;
+    r.getDouble("compute_silicon", b.computeSilicon);
+    r.getDouble("io_silicon", b.ioSilicon);
+    r.getDouble("dram", b.dram);
+    r.getDouble("package", b.package);
+    r.getDouble("compute_die_area_mm2", b.computeDieAreaMm2);
+    r.getDouble("total_silicon_area_mm2", b.totalSiliconAreaMm2);
+    r.getDouble("compute_die_yield", b.computeDieYield);
+    r.getDouble("d2d_area_fraction", b.d2dAreaFraction);
+    double ignored_total = 0.0;
+    r.getDouble("total", ignored_total);
+    if (!r.finish())
+        return false;
+    out = b;
+    return true;
+}
+
+// ---- LpMapping ------------------------------------------------------------
+
+namespace {
+
+Value
+schemeToJson(const mapping::MappingScheme &s)
+{
+    Value part = Value::object();
+    part.set("h", s.part.h);
+    part.set("w", s.part.w);
+    part.set("b", s.part.b);
+    part.set("k", s.part.k);
+
+    Value cores = Value::array();
+    for (const CoreId c : s.coreGroup)
+        cores.push(static_cast<std::int64_t>(c));
+
+    Value fd = Value::object();
+    fd.set("ifmap", static_cast<std::int64_t>(s.fd.ifmap));
+    fd.set("weight", static_cast<std::int64_t>(s.fd.weight));
+    fd.set("ofmap", static_cast<std::int64_t>(s.fd.ofmap));
+
+    Value v = Value::object();
+    v.set("partition", std::move(part));
+    v.set("core_group", std::move(cores));
+    v.set("flow", std::move(fd));
+    return v;
+}
+
+bool
+schemeFromJson(const Value &v, const std::string &path,
+               mapping::MappingScheme &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    mapping::MappingScheme s;
+    if (const Value *part = r.require("partition")) {
+        ObjectReader pr(*part, path + ".partition", error);
+        pr.getInt("h", s.part.h);
+        pr.getInt("w", s.part.w);
+        pr.getInt("b", s.part.b);
+        pr.getInt("k", s.part.k);
+        if (!pr.finish())
+            return false;
+    }
+    r.getIntList("core_group", s.coreGroup);
+    if (const Value *fd = r.require("flow")) {
+        ObjectReader fr(*fd, path + ".flow", error);
+        fr.getInt("ifmap", s.fd.ifmap);
+        fr.getInt("weight", s.fd.weight);
+        fr.getInt("ofmap", s.fd.ofmap);
+        if (!fr.finish())
+            return false;
+    }
+    if (!r.finish())
+        return false;
+    out = std::move(s);
+    return true;
+}
+
+} // namespace
+
+Value
+lpMappingToJson(const mapping::LpMapping &m)
+{
+    Value groups = Value::array();
+    for (const mapping::LayerGroupMapping &g : m.groups) {
+        Value layers = Value::array();
+        for (const LayerId l : g.layers)
+            layers.push(static_cast<std::int64_t>(l));
+        Value schemes = Value::array();
+        for (const mapping::MappingScheme &s : g.schemes)
+            schemes.push(schemeToJson(s));
+        Value gv = Value::object();
+        gv.set("layers", std::move(layers));
+        gv.set("batch_unit", g.batchUnit);
+        gv.set("schemes", std::move(schemes));
+        groups.push(std::move(gv));
+    }
+    Value v = Value::object();
+    v.set("batch", m.batch);
+    v.set("groups", std::move(groups));
+    return v;
+}
+
+bool
+lpMappingFromJson(const Value &v, const std::string &path,
+                  mapping::LpMapping &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    mapping::LpMapping m;
+    r.getInt("batch", m.batch);
+    if (const Value *groups = r.require("groups")) {
+        if (!groups->isArray()) {
+            if (error && error->empty())
+                *error = path + ".groups: expected an array";
+            return false;
+        }
+        std::size_t gi = 0;
+        for (const Value &gv : groups->asArray()) {
+            const std::string gpath =
+                path + ".groups[" + std::to_string(gi) + "]";
+            ObjectReader gr(gv, gpath, error);
+            mapping::LayerGroupMapping group;
+            gr.getIntList("layers", group.layers);
+            gr.getInt("batch_unit", group.batchUnit);
+            if (const Value *schemes = gr.require("schemes")) {
+                if (!schemes->isArray()) {
+                    if (error && error->empty())
+                        *error = gpath + ".schemes: expected an array";
+                    return false;
+                }
+                std::size_t si = 0;
+                for (const Value &sv : schemes->asArray()) {
+                    mapping::MappingScheme s;
+                    if (!schemeFromJson(sv,
+                                        gpath + ".schemes[" +
+                                            std::to_string(si) + "]",
+                                        s, error))
+                        return false;
+                    group.schemes.push_back(std::move(s));
+                    ++si;
+                }
+            }
+            if (!gr.finish())
+                return false;
+            if (group.schemes.size() != group.layers.size()) {
+                if (error && error->empty())
+                    *error = gpath + ": schemes and layers must be "
+                                     "parallel arrays";
+                return false;
+            }
+            m.groups.push_back(std::move(group));
+            ++gi;
+        }
+    }
+    if (!r.finish())
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+// ---- MappingResult --------------------------------------------------------
+
+namespace {
+
+Value
+saStatsToJson(const mapping::SaStats &s)
+{
+    Value v = Value::object();
+    v.set("proposed", s.proposed);
+    v.set("inapplicable", s.inapplicable);
+    v.set("accepted", s.accepted);
+    v.set("improved", s.improved);
+    v.set("initial_cost", s.initialCost);
+    v.set("final_cost", s.finalCost);
+    v.set("chains", s.chains);
+    v.set("best_chain", s.bestChain);
+    return v;
+}
+
+bool
+saStatsFromJson(const Value &v, const std::string &path,
+                mapping::SaStats &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    mapping::SaStats s;
+    r.getInt("proposed", s.proposed);
+    r.getInt("inapplicable", s.inapplicable);
+    r.getInt("accepted", s.accepted);
+    r.getInt("improved", s.improved);
+    r.getDouble("initial_cost", s.initialCost);
+    r.getDouble("final_cost", s.finalCost);
+    r.getInt("chains", s.chains);
+    r.getInt("best_chain", s.bestChain);
+    if (!r.finish())
+        return false;
+    out = s;
+    return true;
+}
+
+} // namespace
+
+Value
+mappingResultToJson(const mapping::MappingResult &r)
+{
+    Value groups = Value::array();
+    for (const eval::EvalBreakdown &g : r.groups)
+        groups.push(evalBreakdownToJson(g));
+    Value v = Value::object();
+    v.set("mapping", lpMappingToJson(r.mapping));
+    v.set("groups", std::move(groups));
+    v.set("total", evalBreakdownToJson(r.total));
+    v.set("sa_stats", saStatsToJson(r.saStats));
+    return v;
+}
+
+bool
+mappingResultFromJson(const Value &v, const std::string &path,
+                      mapping::MappingResult &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    mapping::MappingResult result;
+    if (const Value *m = r.require("mapping")) {
+        if (!lpMappingFromJson(*m, path + ".mapping", result.mapping,
+                               error))
+            return false;
+    }
+    if (const Value *groups = r.child("groups")) {
+        if (!groups->isArray()) {
+            if (error && error->empty())
+                *error = path + ".groups: expected an array";
+            return false;
+        }
+        std::size_t i = 0;
+        for (const Value &gv : groups->asArray()) {
+            eval::EvalBreakdown b;
+            if (!evalBreakdownFromJson(
+                    gv, path + ".groups[" + std::to_string(i) + "]", b,
+                    error))
+                return false;
+            result.groups.push_back(b);
+            ++i;
+        }
+    }
+    if (const Value *total = r.child("total")) {
+        if (!evalBreakdownFromJson(*total, path + ".total", result.total,
+                                   error))
+            return false;
+    }
+    if (const Value *stats = r.child("sa_stats")) {
+        if (!saStatsFromJson(*stats, path + ".sa_stats", result.saStats,
+                             error))
+            return false;
+    }
+    if (!r.finish())
+        return false;
+    out = std::move(result);
+    return true;
+}
+
+// ---- DseResult ------------------------------------------------------------
+
+namespace {
+
+Value
+dseRecordToJson(const dse::DseRecord &rec)
+{
+    Value per_model = Value::array();
+    for (const eval::EvalBreakdown &b : rec.perModel)
+        per_model.push(evalBreakdownToJson(b));
+    Value v = Value::object();
+    v.set("arch", archConfigToJson(rec.arch));
+    v.set("mc", costBreakdownToJson(rec.mc));
+    v.set("delay_geo_s", rec.delayGeo);
+    v.set("energy_geo_j", rec.energyGeo);
+    setExtended(v, "objective", rec.objective);
+    v.set("feasible", rec.feasible);
+    v.set("per_model", std::move(per_model));
+    setExtended(v, "objective_lower_bound", rec.objectiveLowerBound);
+    v.set("rung_reached", rec.rungReached);
+    v.set("pruned_by_bound", rec.prunedByBound);
+    v.set("sa_iters", rec.saIters);
+    v.set("eval_seconds", rec.evalSeconds);
+    return v;
+}
+
+bool
+dseRecordFromJson(const Value &v, const std::string &path,
+                  dse::DseRecord &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    dse::DseRecord rec;
+    if (const Value *archv = r.require("arch")) {
+        if (!archConfigFromJson(*archv, path + ".arch", rec.arch, error))
+            return false;
+    }
+    if (const Value *mc = r.child("mc")) {
+        if (!costBreakdownFromJson(*mc, path + ".mc", rec.mc, error))
+            return false;
+    }
+    r.getDouble("delay_geo_s", rec.delayGeo);
+    r.getDouble("energy_geo_j", rec.energyGeo);
+    r.getExtendedDouble("objective", rec.objective);
+    r.getBool("feasible", rec.feasible);
+    if (const Value *per_model = r.child("per_model")) {
+        if (!per_model->isArray()) {
+            if (error && error->empty())
+                *error = path + ".per_model: expected an array";
+            return false;
+        }
+        std::size_t i = 0;
+        for (const Value &bv : per_model->asArray()) {
+            eval::EvalBreakdown b;
+            if (!evalBreakdownFromJson(
+                    bv, path + ".per_model[" + std::to_string(i) + "]", b,
+                    error))
+                return false;
+            rec.perModel.push_back(b);
+            ++i;
+        }
+    }
+    r.getExtendedDouble("objective_lower_bound", rec.objectiveLowerBound);
+    r.getInt("rung_reached", rec.rungReached);
+    r.getBool("pruned_by_bound", rec.prunedByBound);
+    r.getInt("sa_iters", rec.saIters);
+    r.getDouble("eval_seconds", rec.evalSeconds);
+    if (!r.finish())
+        return false;
+    out = std::move(rec);
+    return true;
+}
+
+Value
+rungStatsToJson(const dse::DseRungStats &rs)
+{
+    Value v = Value::object();
+    v.set("name", rs.name);
+    v.set("entered", rs.entered);
+    v.set("advanced", rs.advanced);
+    v.set("pruned_bound", rs.prunedBound);
+    v.set("pruned_rank", rs.prunedRank);
+    v.set("sa_iters", rs.saIters);
+    v.set("cpu_seconds", rs.cpuSeconds);
+    setExtended(v, "best_objective", rs.bestObjective);
+    return v;
+}
+
+bool
+rungStatsFromJson(const Value &v, const std::string &path,
+                  dse::DseRungStats &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    dse::DseRungStats rs;
+    r.getString("name", rs.name);
+    r.getInt("entered", rs.entered);
+    r.getInt("advanced", rs.advanced);
+    r.getInt("pruned_bound", rs.prunedBound);
+    r.getInt("pruned_rank", rs.prunedRank);
+    r.getInt("sa_iters", rs.saIters);
+    r.getDouble("cpu_seconds", rs.cpuSeconds);
+    r.getExtendedDouble("best_objective", rs.bestObjective);
+    if (!r.finish())
+        return false;
+    out = std::move(rs);
+    return true;
+}
+
+} // namespace
+
+Value
+dseResultToJson(const dse::DseResult &r)
+{
+    Value records = Value::array();
+    for (const dse::DseRecord &rec : r.records)
+        records.push(dseRecordToJson(rec));
+    Value rungs = Value::array();
+    for (const dse::DseRungStats &rs : r.stats.rungs)
+        rungs.push(rungStatsToJson(rs));
+    Value stats = Value::object();
+    stats.set("scheduled", r.stats.scheduled);
+    stats.set("cancelled", r.stats.cancelled);
+    stats.set("rungs", std::move(rungs));
+    Value v = Value::object();
+    v.set("records", std::move(records));
+    v.set("best_index", r.bestIndex);
+    v.set("stats", std::move(stats));
+    return v;
+}
+
+bool
+dseResultFromJson(const Value &v, const std::string &path,
+                  dse::DseResult &out, std::string *error)
+{
+    ObjectReader r(v, path, error);
+    dse::DseResult result;
+    if (const Value *records = r.require("records")) {
+        if (!records->isArray()) {
+            if (error && error->empty())
+                *error = path + ".records: expected an array";
+            return false;
+        }
+        std::size_t i = 0;
+        for (const Value &rv : records->asArray()) {
+            dse::DseRecord rec;
+            if (!dseRecordFromJson(
+                    rv, path + ".records[" + std::to_string(i) + "]", rec,
+                    error))
+                return false;
+            result.records.push_back(std::move(rec));
+            ++i;
+        }
+    }
+    r.getInt("best_index", result.bestIndex);
+    if (const Value *stats = r.child("stats")) {
+        ObjectReader sr(*stats, path + ".stats", error);
+        sr.getBool("scheduled", result.stats.scheduled);
+        sr.getBool("cancelled", result.stats.cancelled);
+        if (const Value *rungs = sr.child("rungs")) {
+            if (!rungs->isArray()) {
+                if (error && error->empty())
+                    *error = path + ".stats.rungs: expected an array";
+                return false;
+            }
+            std::size_t i = 0;
+            for (const Value &rv : rungs->asArray()) {
+                dse::DseRungStats rs;
+                if (!rungStatsFromJson(rv,
+                                       path + ".stats.rungs[" +
+                                           std::to_string(i) + "]",
+                                       rs, error))
+                    return false;
+                result.stats.rungs.push_back(std::move(rs));
+                ++i;
+            }
+        }
+        if (!sr.finish())
+            return false;
+    }
+    if (!r.finish())
+        return false;
+    if (result.bestIndex >= 0 &&
+        static_cast<std::size_t>(result.bestIndex) >=
+            result.records.size()) {
+        if (error && error->empty())
+            *error = path + ".best_index: out of range for " +
+                     std::to_string(result.records.size()) + " records";
+        return false;
+    }
+    out = std::move(result);
+    return true;
+}
+
+} // namespace gemini::api

@@ -1,0 +1,307 @@
+#include "src/api/service.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <limits>
+#include <utility>
+
+#include "src/api/results.hh"
+#include "src/cost/cost_stack.hh"
+
+namespace gemini::api {
+
+using common::json::Value;
+
+const char *
+jobStateName(JobState s)
+{
+    switch (s) {
+      case JobState::Queued: return "queued";
+      case JobState::Running: return "running";
+      case JobState::Done: return "done";
+      case JobState::Cancelled: return "cancelled";
+      case JobState::Failed: return "failed";
+    }
+    return "?";
+}
+
+Value
+ExperimentResult::toJson() const
+{
+    char hash[32];
+    std::snprintf(hash, sizeof hash, "0x%016" PRIx64, specHash);
+
+    Value v = Value::object();
+    v.set("schema_version", kSchemaVersion);
+    v.set("name", spec.name);
+    v.set("spec_hash", hash);
+    v.set("from_cache", fromCache);
+    v.set("cancelled", cancelled);
+    v.set("error", error);
+    v.set("spec", spec.toJson());
+    if (failed())
+        return v;
+    if (spec.mode == ExperimentSpec::Mode::Dse) {
+        v.set("dse", dseResultToJson(dse));
+    } else {
+        v.set("arch", archConfigToJson(mapArch));
+        v.set("mc", costBreakdownToJson(mapArchMc));
+        Value arr = Value::array();
+        for (const mapping::MappingResult &m : mappings)
+            arr.push(mappingResultToJson(m));
+        v.set("mappings", std::move(arr));
+    }
+    return v;
+}
+
+/**
+ * Shared state between a job's handle copies and its controller thread.
+ * The result pointer doubles as the "finished" flag.
+ */
+struct JobHandle::Shared
+{
+    mutable std::mutex mu;
+    std::condition_variable done;
+    JobState state = JobState::Queued;
+    common::StopSource stop;
+    std::uint64_t specHash = 0;
+    std::shared_ptr<const ExperimentResult> result;
+
+    void
+    finish(JobState final_state, std::shared_ptr<const ExperimentResult> r)
+    {
+        std::lock_guard lock(mu);
+        state = final_state;
+        result = std::move(r);
+        done.notify_all();
+    }
+};
+
+JobState
+JobHandle::state() const
+{
+    std::lock_guard lock(state_->mu);
+    return state_->state;
+}
+
+std::uint64_t
+JobHandle::specHash() const
+{
+    return state_->specHash;
+}
+
+void
+JobHandle::cancel()
+{
+    state_->stop.requestStop();
+}
+
+const ExperimentResult &
+JobHandle::wait()
+{
+    std::unique_lock lock(state_->mu);
+    state_->done.wait(lock, [this] { return state_->result != nullptr; });
+    return *state_->result;
+}
+
+std::shared_ptr<const ExperimentResult>
+JobHandle::result() const
+{
+    std::lock_guard lock(state_->mu);
+    return state_->result;
+}
+
+ExplorationService::ExplorationService(int threads)
+    : pool_(threads <= 0 ? 0 : static_cast<std::size_t>(threads))
+{
+}
+
+ExplorationService::~ExplorationService()
+{
+    std::vector<Controller> controllers;
+    {
+        std::lock_guard lock(mu_);
+        controllers.swap(controllers_);
+    }
+    for (Controller &c : controllers)
+        c.thread.join();
+}
+
+void
+ExplorationService::reapControllersLocked(std::vector<std::thread> &joinable)
+{
+    // Long-lived services submit many jobs; finished controllers must
+    // not accumulate as joinable handles until destruction. The done
+    // flag is set as the controller's last action, so join() below
+    // blocks at most for a thread epilogue.
+    auto keep = controllers_.begin();
+    for (auto it = controllers_.begin(); it != controllers_.end(); ++it) {
+        if (it->done->load(std::memory_order_acquire)) {
+            joinable.push_back(std::move(it->thread));
+        } else {
+            // Guard against self-move: assigning a joinable std::thread
+            // onto itself terminates.
+            if (keep != it)
+                *keep = std::move(*it);
+            ++keep;
+        }
+    }
+    controllers_.erase(keep, controllers_.end());
+}
+
+JobHandle
+ExplorationService::submit(ExperimentSpec spec, ProgressFn progress)
+{
+    const std::string canonical = spec.toJson().canonical();
+    auto shared = std::make_shared<JobHandle::Shared>();
+    shared->specHash = common::json::fnv1a64(canonical);
+
+    std::vector<std::thread> finished;
+    {
+        std::lock_guard lock(mu_);
+        reapControllersLocked(finished);
+        const auto hit = cache_.find(shared->specHash);
+        // The canonical-text comparison guards against 64-bit hash
+        // collisions: a colliding different spec runs for real instead
+        // of silently receiving another experiment's result.
+        if (hit != cache_.end() &&
+            hit->second.canonicalSpec == canonical) {
+            // Identical resubmission: serve the cached result instantly.
+            // The copy exists only to set the fromCache marker.
+            auto cached =
+                std::make_shared<ExperimentResult>(*hit->second.result);
+            cached->fromCache = true;
+            shared->state = JobState::Done;
+            shared->result = std::move(cached);
+        }
+    }
+    for (std::thread &t : finished)
+        t.join();
+    if (shared->result)
+        return JobHandle(std::move(shared));
+
+    Controller controller;
+    controller.done = std::make_shared<std::atomic<bool>>(false);
+    controller.thread =
+        std::thread([this, shared, done = controller.done,
+                     spec = std::move(spec),
+                     progress = std::move(progress)]() mutable {
+            runJob(shared, std::move(spec), std::move(progress));
+            done->store(true, std::memory_order_release);
+        });
+    {
+        std::lock_guard lock(mu_);
+        controllers_.push_back(std::move(controller));
+    }
+    return JobHandle(std::move(shared));
+}
+
+void
+ExplorationService::runJob(std::shared_ptr<JobHandle::Shared> job,
+                           ExperimentSpec spec, ProgressFn progress)
+{
+    {
+        std::lock_guard lock(job->mu);
+        job->state = JobState::Running;
+    }
+
+    auto result = std::make_shared<ExperimentResult>();
+    result->specHash = job->specHash;
+
+    std::string error;
+    std::optional<ResolvedExperiment> resolved =
+        resolveExperiment(spec, &error);
+    result->spec = std::move(spec);
+    if (!resolved) {
+        result->error = std::move(error);
+        job->finish(JobState::Failed, std::move(result));
+        return;
+    }
+
+    const ExperimentSpec &s = result->spec;
+    const common::StopToken stop = job->stop.token();
+
+    if (s.mode == ExperimentSpec::Mode::Dse) {
+        dse::DseOptions options;
+        options.axes = s.axes;
+        options.schedule = s.schedule;
+        options.maxCandidates = s.maxCandidates;
+        options.alpha = s.alpha;
+        options.beta = s.beta;
+        options.gamma = s.gamma;
+        options.mapping = s.mapping;
+        options.costParams = s.costParams;
+        options.threads = s.threads;
+        options.models.reserve(resolved->models.size());
+        for (const dnn::Graph &g : resolved->models)
+            options.models.push_back(&g);
+        options.stop = stop;
+        options.progress = progress;
+        options.pool = &pool_;
+
+        result->dse = dse::runDse(options);
+        result->cancelled = result->dse.stats.cancelled;
+    } else {
+        // Map mode: one engine run per model, driven serially from this
+        // controller (chain-level parallelism inside the engine is the
+        // spec's sa_threads knob). Progress is one entered/finished pair
+        // per model — serial, hence deterministic.
+        result->mapArch = *resolved->archConfig;
+        result->mapArchMc =
+            cost::McEvaluator(s.costParams).evaluate(result->mapArch);
+        for (std::size_t i = 0; i < resolved->models.size(); ++i) {
+            const dnn::Graph &model = resolved->models[i];
+            if (progress) {
+                ProgressEvent entered;
+                entered.kind = ProgressEvent::Kind::RungEntered;
+                entered.rung = "map:" + model.name();
+                entered.entered = 1;
+                entered.bestObjective =
+                    std::numeric_limits<double>::infinity();
+                progress(entered);
+            }
+            mapping::MappingOptions mo = s.mapping;
+            mo.stop = stop;
+            mapping::MappingEngine engine(model, *resolved->archConfig, mo);
+            result->mappings.push_back(engine.run());
+            if (progress) {
+                const mapping::MappingResult &mr = result->mappings.back();
+                ProgressEvent finished;
+                finished.kind = ProgressEvent::Kind::RungFinished;
+                finished.rung = "map:" + model.name();
+                finished.entered = 1;
+                finished.advanced = 1;
+                finished.bestObjective = cost::CostStack::saCost(
+                    mr.groups, s.beta, s.gamma);
+                progress(finished);
+            }
+        }
+        result->cancelled = stop.stopRequested();
+    }
+
+    const JobState final_state =
+        result->cancelled ? JobState::Cancelled : JobState::Done;
+    if (final_state == JobState::Done) {
+        std::lock_guard lock(mu_);
+        cache_.emplace(job->specHash,
+                       CacheEntry{result->spec.toJson().canonical(),
+                                  result});
+    }
+    job->finish(final_state, std::move(result));
+}
+
+std::size_t
+ExplorationService::cacheSize() const
+{
+    std::lock_guard lock(mu_);
+    return cache_.size();
+}
+
+void
+ExplorationService::clearCache()
+{
+    std::lock_guard lock(mu_);
+    cache_.clear();
+}
+
+} // namespace gemini::api

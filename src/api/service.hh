@@ -1,0 +1,195 @@
+/**
+ * @file
+ * ExplorationService: the long-lived execution front door of the API
+ * layer. One service owns one shared ThreadPool; submitted
+ * ExperimentSpecs become asynchronous jobs whose candidate tasks
+ * interleave on that pool (concurrent jobs never stack worker pools on
+ * top of each other). Each job returns a future-style JobHandle with
+ * streaming progress events, cooperative cancellation, and a
+ * spec-hash-keyed result cache that serves identical resubmissions
+ * instantly — the contract a sharding/batching layer above can build on.
+ *
+ * Threading model: a submit() spawns one lightweight controller thread
+ * that resolves the spec and drives the run; all heavy candidate
+ * evaluation happens on the shared pool via DseOptions::pool. Progress
+ * callbacks fire on worker threads (see DseProgressFn's contract);
+ * cancellation is checked at candidate/chain granularity only, so the SA
+ * inner loop carries no hooks — cancelled jobs return a valid *partial*
+ * result (see DseStats::cancelled).
+ */
+
+#ifndef GEMINI_API_SERVICE_HH
+#define GEMINI_API_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/spec.hh"
+#include "src/common/json.hh"
+#include "src/cost/mc_evaluator.hh"
+#include "src/common/stop_token.hh"
+#include "src/common/thread_pool.hh"
+#include "src/dse/dse.hh"
+#include "src/mapping/engine.hh"
+
+namespace gemini::api {
+
+/** Rung-granular progress stream (re-exported from the DSE layer). */
+using ProgressEvent = dse::DseProgressEvent;
+using ProgressFn = dse::DseProgressFn;
+
+enum class JobState
+{
+    Queued,
+    Running,
+    Done,      ///< completed; result valid and cached
+    Cancelled, ///< stop observed; result valid but partial, not cached
+    Failed     ///< spec invalid / model unloadable; see result().error
+};
+
+const char *jobStateName(JobState s);
+
+/** Outcome of one submitted experiment. */
+struct ExperimentResult
+{
+    /** The spec as executed (fully defaulted). */
+    ExperimentSpec spec;
+    std::uint64_t specHash = 0;
+
+    bool fromCache = false;
+    bool cancelled = false;
+
+    /** Nonempty exactly when the job failed before running. */
+    std::string error;
+
+    /** DSE-mode outcome (mode == Dse and !failed). */
+    dse::DseResult dse;
+
+    /** Map-mode outcomes, parallel to spec.models. */
+    std::vector<mapping::MappingResult> mappings;
+
+    /** Map mode: the resolved architecture and its monetary cost. */
+    arch::ArchConfig mapArch;
+    cost::CostBreakdown mapArchMc;
+
+    bool failed() const { return !error.empty(); }
+
+    /**
+     * Self-contained export: spec, spec_hash (hex string), status flags
+     * and the mode's result payload. The gemini CLI writes this as
+     * result.json.
+     */
+    common::json::Value toJson() const;
+};
+
+/**
+ * Future-style handle to a submitted job. Cheap to copy; all copies
+ * share the job. A default-constructed handle is invalid.
+ */
+class JobHandle
+{
+  public:
+    JobHandle() = default;
+
+    bool valid() const { return state_ != nullptr; }
+
+    JobState state() const;
+
+    /** The spec's canonical content hash (the result-cache key). */
+    std::uint64_t specHash() const;
+
+    /**
+     * Request cooperative cancellation. Returns immediately; the job
+     * drains at the next candidate/chain boundary and wait() then
+     * returns a valid partial result with state() == Cancelled. No-op on
+     * finished jobs.
+     */
+    void cancel();
+
+    /** Block until the job finishes; the result stays owned by the job. */
+    const ExperimentResult &wait();
+
+    /** Non-blocking: the result once finished, nullptr before. */
+    std::shared_ptr<const ExperimentResult> result() const;
+
+  private:
+    friend class ExplorationService;
+    struct Shared;
+    explicit JobHandle(std::shared_ptr<Shared> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<Shared> state_;
+};
+
+class ExplorationService
+{
+  public:
+    /** Start the shared pool with `threads` workers (0 = hardware). */
+    explicit ExplorationService(int threads = 0);
+
+    /** Waits for every submitted job to finish (cancel first to hurry). */
+    ~ExplorationService();
+
+    ExplorationService(const ExplorationService &) = delete;
+    ExplorationService &operator=(const ExplorationService &) = delete;
+
+    /**
+     * Submit an experiment. Invalid specs still return a handle — the
+     * job fails fast and wait() reports the validation message, so queue
+     * producers get uniform error handling. A cache hit returns an
+     * already-finished handle (result.fromCache set) without running
+     * anything.
+     */
+    JobHandle submit(ExperimentSpec spec, ProgressFn progress = {});
+
+    /** Completed results held by the spec-hash cache. */
+    std::size_t cacheSize() const;
+
+    void clearCache();
+
+    std::size_t threadCount() const { return pool_.threadCount(); }
+
+  private:
+    /**
+     * A cached result keyed by spec hash. FNV-1a is not collision-free,
+     * so the canonical spec text is stored and compared on every hit —
+     * a colliding spec falls through to a real run instead of silently
+     * receiving another experiment's result.
+     */
+    struct CacheEntry
+    {
+        std::string canonicalSpec;
+        std::shared_ptr<const ExperimentResult> result;
+    };
+
+    /** One job's controller thread plus its I-have-exited flag. */
+    struct Controller
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void runJob(std::shared_ptr<JobHandle::Shared> job, ExperimentSpec spec,
+                ProgressFn progress);
+
+    /** Join controllers whose jobs have finished (called from submit). */
+    void reapControllersLocked(std::vector<std::thread> &joinable);
+
+    ThreadPool pool_;
+    mutable std::mutex mu_;
+    std::map<std::uint64_t, CacheEntry> cache_;
+    std::vector<Controller> controllers_;
+};
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_SERVICE_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The versioned, declarative front door of the co-exploration loop: an
+ * ExperimentSpec describes one experiment — which models, which
+ * architecture (or which architecture *space*), which budgets and which
+ * objective — as plain data with a JSON wire form. Everything the example
+ * binaries used to hand-assemble from internal headers is expressible
+ * here, so experiments can come from files, job queues, or remote users.
+ *
+ * Stability contract:
+ *  - `schema_version` names the wire schema; parsers reject newer
+ *    versions with an explicit message instead of misreading them.
+ *  - Every knob is optional in the wire form and defaults exactly like
+ *    the C++ option structs, so specs stay terse and old files keep
+ *    working when new knobs are added (additions default, never reword).
+ *  - Unknown keys are *errors*, not ignored — a typo'd knob must not
+ *    silently run the default experiment.
+ *  - canonicalHash() fingerprints the fully-defaulted spec content
+ *    (sorted keys, canonical number formatting), so two files describing
+ *    the same experiment hash identically regardless of formatting, key
+ *    order, or which defaults they spell out. The ExplorationService keys
+ *    its result cache on this hash.
+ */
+
+#ifndef GEMINI_API_SPEC_HH
+#define GEMINI_API_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/common/json.hh"
+#include "src/cost/cost_params.hh"
+#include "src/dnn/graph.hh"
+#include "src/dse/dse.hh"
+#include "src/mapping/engine.hh"
+
+namespace gemini::api {
+
+/** Wire-schema version written and accepted by this build. */
+inline constexpr int kSchemaVersion = 1;
+
+/**
+ * One workload: exactly one of `zoo` (a dnn::zoo registry name) or
+ * `file` (a path to a model description in the dnn::parser format).
+ */
+struct ModelSpec
+{
+    std::string zoo;
+    std::string file;
+};
+
+/**
+ * Architecture reference for map-mode experiments: exactly one of
+ * `preset` (an arch::presets registry name) or `config` (an inline
+ * ArchConfig).
+ */
+struct ArchSpec
+{
+    std::string preset;
+    std::optional<arch::ArchConfig> config;
+
+    bool empty() const { return preset.empty() && !config.has_value(); }
+};
+
+/**
+ * A complete experiment description. Defaults reproduce the C++ option
+ * structs' defaults; see the file comment for the stability contract.
+ */
+struct ExperimentSpec
+{
+    enum class Mode
+    {
+        Map, ///< map the models onto one fixed architecture
+        Dse  ///< co-explore the architecture space of `axes`
+    };
+
+    int schemaVersion = kSchemaVersion;
+    std::string name = "experiment";
+    Mode mode = Mode::Dse;
+
+    std::vector<ModelSpec> models;
+
+    /** Map mode only: the fixed architecture. */
+    ArchSpec arch;
+
+    /** DSE mode only: the candidate space and its budget schedule. */
+    dse::DseAxes axes;
+    dse::DseSchedule schedule;
+    std::size_t maxCandidates = 0;
+
+    /** Objective exponents MC^alpha * E^beta * D^gamma. */
+    double alpha = 1.0;
+    double beta = 1.0;
+    double gamma = 1.0;
+
+    /**
+     * Mapping-engine knobs (batch, SA budget, partitioner, tech params).
+     * The runtime-only fields (stop token, beta/gamma mirrors) are not
+     * part of the wire form.
+     */
+    mapping::MappingOptions mapping;
+
+    cost::CostParams costParams;
+
+    /** Worker threads (0 = hardware concurrency). */
+    int threads = 0;
+
+    // ------------------------------------------------------------------
+
+    /**
+     * Parse a spec from its JSON form. Structural problems (wrong types,
+     * unknown keys, unsupported schema version) fail with a
+     * "path.to.key: reason" message in `error`. Semantic validity is a
+     * separate pass — call validate() on the returned spec.
+     */
+    static std::optional<ExperimentSpec> fromJson(const common::json::Value &v,
+                                                  std::string *error);
+
+    /** fromJson over parsed text (JSON syntax errors reported too). */
+    static std::optional<ExperimentSpec>
+    fromJsonText(const std::string &text, std::string *error);
+
+    /** fromJsonText over a file's contents. */
+    static std::optional<ExperimentSpec> fromFile(const std::string &path,
+                                                  std::string *error);
+
+    /**
+     * The fully-defaulted wire form (every knob spelled out). Dump with
+     * .dump(2) for a human-readable file.
+     */
+    common::json::Value toJson() const;
+
+    /**
+     * Semantic validation: registry names exist, exactly one model/arch
+     * source is set, budgets and fractions are in range... Returns all
+     * problems newline-joined (empty = valid). Does not touch the
+     * filesystem — file-backed models are checked at resolve time.
+     */
+    std::string validate() const;
+
+    /** Content fingerprint (see the stability contract above). */
+    std::uint64_t canonicalHash() const;
+};
+
+/** A spec's models and (map mode) architecture, loaded and owned. */
+struct ResolvedExperiment
+{
+    std::vector<dnn::Graph> models;
+    std::optional<arch::ArchConfig> archConfig; ///< set in map mode
+};
+
+/**
+ * Load everything a spec references: zoo models by name, file models
+ * through the parser, the architecture from its preset or inline config.
+ * Runs validate() first; on any failure returns nullopt with the message
+ * in `error`.
+ */
+std::optional<ResolvedExperiment> resolveExperiment(const ExperimentSpec &spec,
+                                                    std::string *error);
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_SPEC_HH

@@ -17,6 +17,18 @@ topologyName(Topology t)
     return "?";
 }
 
+bool
+topologyFromName(const std::string &name, Topology &out)
+{
+    for (const Topology t : kAllTopologies) {
+        if (name == topologyName(t)) {
+            out = t;
+            return true;
+        }
+    }
+    return false;
+}
+
 int
 ArchConfig::d2dPerChiplet() const
 {

@@ -44,6 +44,13 @@ inline constexpr Topology kAllTopologies[] = {
 const char *topologyName(Topology t);
 
 /**
+ * Inverse of topologyName ("mesh", "folded-torus", ...). Returns false
+ * on an unknown name, leaving `out` untouched — callers (the JSON spec
+ * layer) turn that into an actionable error listing the valid names.
+ */
+bool topologyFromName(const std::string &name, Topology &out);
+
+/**
  * Architecture parameters (Sec. III "Configurable Parameters").
  *
  * A configuration is usually written as the paper's tuple

@@ -103,6 +103,55 @@ largeGridArch(Topology topology)
     return a;
 }
 
+namespace presets {
+
+namespace {
+
+/** The registry rows; a single table keeps names() and byName() in sync. */
+struct PresetRow
+{
+    const char *name;
+    ArchConfig (*make)();
+};
+
+ArchConfig
+largeGridDefault()
+{
+    return largeGridArch();
+}
+
+constexpr PresetRow kPresets[] = {
+    {"s_arch", simbaArch},
+    {"g_arch_72", gArch72},
+    {"t_arch", tArchGrayskull},
+    {"g_arch_torus", gArchTorus},
+    {"large_grid", largeGridDefault},
+    {"tiny", tinyArch},
+};
+
+} // namespace
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> out;
+    out.reserve(std::size(kPresets));
+    for (const PresetRow &row : kPresets)
+        out.emplace_back(row.name);
+    return out;
+}
+
+std::optional<ArchConfig>
+byName(const std::string &name)
+{
+    for (const PresetRow &row : kPresets)
+        if (name == row.name)
+            return row.make();
+    return std::nullopt;
+}
+
+} // namespace presets
+
 ArchConfig
 tinyArch()
 {

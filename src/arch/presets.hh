@@ -6,6 +6,10 @@
 #ifndef GEMINI_ARCH_PRESETS_HH
 #define GEMINI_ARCH_PRESETS_HH
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "src/arch/arch_config.hh"
 
 namespace gemini::arch {
@@ -45,6 +49,24 @@ ArchConfig largeGridArch(Topology topology = Topology::Mesh);
 
 /** A 4-core single-chiplet toy config for tests and the quickstart. */
 ArchConfig tinyArch();
+
+namespace presets {
+
+/**
+ * Name -> preset registry mirroring dnn::zoo: lets ExperimentSpecs and
+ * the gemini CLI reference architectures symbolically ("g_arch_72")
+ * instead of constructing ArchConfigs in C++. Names accepted by byName().
+ */
+std::vector<std::string> names();
+
+/**
+ * Look up a preset by registry name. nullopt for unknown names (the spec
+ * layer reports the valid list); parameterized presets use their default
+ * arguments (largeGridArch -> mesh).
+ */
+std::optional<ArchConfig> byName(const std::string &name);
+
+} // namespace presets
 
 } // namespace gemini::arch
 

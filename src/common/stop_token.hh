@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Cooperative cancellation primitive for the API layer. A StopSource owns
+ * the flag; StopTokens are cheap shared handles checked by long-running
+ * loops at *coarse* granularity — the DSE scheduler checks once per
+ * candidate task and the mapping engine once per SA chain, never inside
+ * the SA inner loop (keeping the hot path free of cancellation overhead
+ * is a hard perf requirement). Cancellation is one-way: once requested it
+ * never resets, so a loop that observed the stop can rely on every later
+ * stage observing it too.
+ *
+ * std::stop_token exists but is tied to std::jthread; this standalone
+ * version keeps the DSE/mapping layers free of any threading-model
+ * assumption (tokens are also checked from plain thread-pool tasks).
+ */
+
+#ifndef GEMINI_COMMON_STOP_TOKEN_HH
+#define GEMINI_COMMON_STOP_TOKEN_HH
+
+#include <atomic>
+#include <memory>
+
+namespace gemini::common {
+
+class StopSource;
+
+/**
+ * Shared cancellation handle. A default-constructed token is detached
+ * and never reports stop — option structs can hold one by value with no
+ * behavioural change until a source is attached.
+ */
+class StopToken
+{
+  public:
+    StopToken() = default;
+
+    bool
+    stopRequested() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+    /** True when attached to a StopSource (even if not yet stopped). */
+    bool attached() const { return flag_ != nullptr; }
+
+  private:
+    friend class StopSource;
+    explicit StopToken(std::shared_ptr<const std::atomic<bool>> flag)
+        : flag_(std::move(flag))
+    {
+    }
+
+    std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/** Owner of the cancellation flag. */
+class StopSource
+{
+  public:
+    StopSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+    void requestStop() { flag_->store(true, std::memory_order_relaxed); }
+
+    bool stopRequested() const
+    {
+        return flag_->load(std::memory_order_relaxed);
+    }
+
+    StopToken token() const { return StopToken(flag_); }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+} // namespace gemini::common
+
+#endif // GEMINI_COMMON_STOP_TOKEN_HH

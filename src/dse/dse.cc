@@ -1,8 +1,10 @@
 #include "src/dse/dse.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <limits>
 #include <map>
 #include <memory>
@@ -93,6 +95,50 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 }
 
 /**
+ * Run fn(i) for i in [0, count). With no external pool this is a plain
+ * owned-pool parallelFor; with one (the API service's shared pool) the
+ * work is chunked by an atomic cursor over `external->threadCount()`
+ * tasks and completion is tracked by a local latch, because waitIdle()
+ * on a shared pool would also wait for other jobs' tasks.
+ */
+void
+runOnPool(ThreadPool *external, std::size_t own_threads, std::size_t count,
+          const std::function<void(std::size_t)> &fn)
+{
+    if (!external) {
+        ThreadPool pool(own_threads);
+        pool.parallelFor(count, fn);
+        return;
+    }
+    std::mutex mu;
+    std::condition_variable done_cv;
+    // The loop bound must be a snapshot: workers decrement `pending`
+    // concurrently, and reading it as the bound would race (and could
+    // submit fewer tasks than the latch expects).
+    const std::size_t tasks =
+        std::max<std::size_t>(1, external->threadCount());
+    std::size_t pending = tasks;
+    std::atomic<std::size_t> cursor{0};
+    for (std::size_t w = 0; w < tasks; ++w) {
+        external->submit([&] {
+            for (;;) {
+                const std::size_t i = cursor.fetch_add(1);
+                if (i >= count)
+                    break;
+                fn(i);
+            }
+            // Notify under the lock so the waiter cannot observe
+            // pending == 0 and destroy the latch before notify runs.
+            std::lock_guard lock(mu);
+            if (--pending == 0)
+                done_cv.notify_all();
+        });
+    }
+    std::unique_lock lock(mu);
+    done_cv.wait(lock, [&] { return pending == 0; });
+}
+
+/**
  * Shared read-only intra-core memos: candidates that agree on
  * (macsPerCore, glbKiB) — tech and frequency are fixed within one DSE run
  * — search identical tile spaces, so the screen rung pools their Explorer
@@ -168,12 +214,18 @@ class MultiFidelityScheduler
                            std::vector<arch::ArchConfig> candidates,
                            std::size_t threads)
         : opts_(options), candidates_(std::move(candidates)),
-          explorers_(options.mapping.tech), pool_(threads)
+          explorers_(options.mapping.tech),
+          ownedPool_(options.pool ? nullptr
+                                  : std::make_unique<ThreadPool>(threads)),
+          pool_(options.pool ? *options.pool : *ownedPool_)
     {
         // Rung tasks each occupy one pool worker; chains run serially
         // inside them so candidate- and chain-level parallelism never
         // oversubscribe the machine.
         opts_.mapping.saThreads = 1;
+        // Thread the run-level stop token into the mapping layer so a
+        // cancelled polish run also stops at chain granularity.
+        opts_.mapping.stop = opts_.stop;
     }
 
     DseResult
@@ -200,9 +252,25 @@ class MultiFidelityScheduler
         for (std::size_t i = 0; i < n; ++i)
             screen.push_back(i);
         result_.stats.rungs[0].entered = static_cast<int>(n);
+
+        DseProgressEvent entered;
+        entered.kind = DseProgressEvent::Kind::RungEntered;
+        entered.rung = rungName(0);
+        entered.entered = static_cast<int>(n);
+        entered.bestObjective = bestSoFar_;
+        emit(entered);
+
         for (std::size_t i = 0; i < n; ++i)
-            pool_.submit([this, i] { runScreen(i); });
-        pool_.waitIdle();
+            enqueue([this, i] { runScreen(i); });
+
+        // Wait on the run's own task latch, not pool_.waitIdle(): a shared
+        // pool carries other jobs' tasks, which are not ours to wait for.
+        {
+            std::unique_lock lock(waitMu_);
+            allDone_.wait(lock, [this] { return pending_ == 0; });
+        }
+
+        result_.stats.cancelled = opts_.stop.stopRequested();
 
         // The winner comes from the polish cohort: only finalists carry a
         // full-budget evaluation, so cross-fidelity objective comparisons
@@ -230,6 +298,34 @@ class MultiFidelityScheduler
 
     int raceRungs() const { return std::max(0, opts_.schedule.rungs); }
     int polishRung() const { return raceRungs() + 1; }
+
+    void
+    emit(const DseProgressEvent &event)
+    {
+        if (opts_.progress)
+            opts_.progress(event);
+    }
+
+    /**
+     * Submit a task with run-local completion tracking. Next-rung tasks
+     * are enqueued from inside a running task (resolveLocked), i.e. the
+     * increment happens before that task's own decrement — pending_
+     * reaching zero therefore means the whole run has drained.
+     */
+    void
+    enqueue(std::function<void()> fn)
+    {
+        {
+            std::lock_guard lock(waitMu_);
+            ++pending_;
+        }
+        pool_.submit([this, fn = std::move(fn)] {
+            fn();
+            std::lock_guard lock(waitMu_);
+            if (--pending_ == 0)
+                allDone_.notify_all();
+        });
+    }
 
     std::string
     rungName(int rung) const
@@ -284,6 +380,15 @@ class MultiFidelityScheduler
         const arch::ArchConfig &cfg = candidates_[i];
         DseRecord &rec = result_.records[i];
         rec.arch = cfg;
+        if (opts_.stop.stopRequested()) {
+            // Cancelled before evaluation: an unevaluated record must
+            // never look like a winner, so mark it infeasible with an
+            // infinite objective. The cohort still resolves normally.
+            rec.feasible = false;
+            rec.objective = kInf;
+            finishTask(0, i, secondsSince(t0));
+            return;
+        }
         const cost::CostStack stack(cfg, opts_.mapping.tech,
                                     opts_.costParams);
         rec.mc = stack.mcBreakdown();
@@ -333,6 +438,13 @@ class MultiFidelityScheduler
         const auto t0 = std::chrono::steady_clock::now();
         DseRecord &rec = result_.records[i];
         CandState &st = states_[i];
+        if (opts_.stop.stopRequested()) {
+            // Cancelled: keep the record's deepest completed evaluation
+            // (screen or an earlier race rung — still a valid, comparable
+            // result) and let the cohort resolve.
+            finishTask(rung, i, secondsSince(t0));
+            return;
+        }
         ensureEngines(i);
 
         const int iters = rungIters(rung);
@@ -384,8 +496,18 @@ class MultiFidelityScheduler
             if (rec.feasible && std::isfinite(rec.objective))
                 rs.bestObjective = std::min(rs.bestObjective, rec.objective);
         }
-        if (rung == polishRung())
+        bestSoFar_ = std::min(bestSoFar_, rs.bestObjective);
+
+        DseProgressEvent finished;
+        finished.kind = DseProgressEvent::Kind::RungFinished;
+        finished.rung = rs.name;
+        finished.entered = rs.entered;
+        finished.bestObjective = bestSoFar_;
+
+        if (rung == polishRung()) {
+            emit(finished);
             return;
+        }
 
         std::vector<std::size_t> survivors;
         if (rung == 0) {
@@ -442,8 +564,21 @@ class MultiFidelityScheduler
         cohorts_[static_cast<std::size_t>(next)] = survivors;
         result_.stats.rungs[static_cast<std::size_t>(next)].entered =
             static_cast<int>(survivors.size());
+
+        finished.advanced = rs.advanced;
+        finished.prunedBound = rs.prunedBound;
+        finished.prunedRank = rs.prunedRank;
+        emit(finished);
+
+        DseProgressEvent entered;
+        entered.kind = DseProgressEvent::Kind::RungEntered;
+        entered.rung = rungName(next);
+        entered.entered = static_cast<int>(survivors.size());
+        entered.bestObjective = bestSoFar_;
+        emit(entered);
+
         for (std::size_t i : survivors)
-            pool_.submit([this, next, i] { runSaRung(next, i); });
+            enqueue([this, next, i] { runSaRung(next, i); });
     }
 
     DseOptions opts_;
@@ -451,10 +586,17 @@ class MultiFidelityScheduler
     DseResult result_;
     std::vector<CandState> states_;
     ExplorerPool explorers_;
-    ThreadPool pool_;
+    std::unique_ptr<ThreadPool> ownedPool_; ///< null when opts_.pool set
+    ThreadPool &pool_;
     std::mutex mu_;
     std::vector<std::vector<std::size_t>> cohorts_; ///< members per rung
     std::vector<std::size_t> done_;                 ///< finished per rung
+    double bestSoFar_ = kInf; ///< best feasible objective, any rung
+
+    // Run-local task latch (a shared pool cannot be waitIdle()d).
+    std::mutex waitMu_;
+    std::condition_variable allDone_;
+    std::size_t pending_ = 0;
 };
 
 } // namespace
@@ -543,6 +685,9 @@ runDse(const DseOptions &options)
             .run();
 
     DseOptions opts = options;
+    // Thread the run-level stop token into the mapping layer (checked at
+    // chain granularity there, never on the SA inner loop).
+    opts.mapping.stop = options.stop;
     std::size_t outer = budget;
     const int chains = opts.mapping.sa.chains;
     if (opts.mapping.runSa && chains > 1) {
@@ -560,10 +705,27 @@ runDse(const DseOptions &options)
 
     DseResult result;
     result.records.resize(candidates.size());
-    ThreadPool pool(outer);
-    pool.parallelFor(candidates.size(), [&](std::size_t i) {
+
+    if (options.progress) {
+        DseProgressEvent entered;
+        entered.kind = DseProgressEvent::Kind::RungEntered;
+        entered.rung = "exhaustive";
+        entered.entered = static_cast<int>(candidates.size());
+        entered.bestObjective = kInf;
+        options.progress(entered);
+    }
+
+    runOnPool(options.pool, outer, candidates.size(), [&](std::size_t i) {
         const auto t0 = std::chrono::steady_clock::now();
-        result.records[i] = evaluateCandidate(candidates[i], opts);
+        if (opts.stop.stopRequested()) {
+            // Cancelled before evaluation: never a winner (see the
+            // scheduler's runScreen for the same convention).
+            result.records[i].arch = candidates[i];
+            result.records[i].feasible = false;
+            result.records[i].objective = kInf;
+        } else {
+            result.records[i] = evaluateCandidate(candidates[i], opts);
+        }
         result.records[i].evalSeconds = secondsSince(t0);
     });
 
@@ -584,6 +746,17 @@ runDse(const DseOptions &options)
             flat.bestObjective = std::min(flat.bestObjective, rec.objective);
     }
     result.stats.scheduled = false;
+    result.stats.cancelled = options.stop.stopRequested();
+
+    if (options.progress) {
+        DseProgressEvent finished;
+        finished.kind = DseProgressEvent::Kind::RungFinished;
+        finished.rung = "exhaustive";
+        finished.entered = flat.entered;
+        finished.bestObjective = flat.bestObjective;
+        options.progress(finished);
+    }
+
     result.stats.rungs.push_back(std::move(flat));
     return result;
 }

@@ -12,16 +12,58 @@
 #define GEMINI_DSE_DSE_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "src/common/stop_token.hh"
 #include "src/cost/mc_evaluator.hh"
 #include "src/dnn/graph.hh"
 #include "src/dse/candidates.hh"
 #include "src/eval/breakdown.hh"
 #include "src/mapping/engine.hh"
 
+namespace gemini {
+class ThreadPool;
+}
+
 namespace gemini::dse {
+
+/**
+ * Streaming progress of one DSE run, at rung granularity. Rung-level
+ * events are computed by the scheduler's cohort keep-decisions, which are
+ * deterministic for any thread count — so the *sequence* of events (kind,
+ * rung, counts, best objective) is identical across runs and thread
+ * counts, which the API layer's tests rely on. Per-candidate events are
+ * deliberately not emitted: their interleaving would depend on thread
+ * scheduling, and firing a callback per candidate would put overhead on
+ * the evaluation path.
+ */
+struct DseProgressEvent
+{
+    enum class Kind
+    {
+        RungEntered, ///< a rung's cohort was formed and submitted
+        RungFinished ///< a rung's last candidate finished; counts final
+    };
+
+    Kind kind = Kind::RungEntered;
+    std::string rung;    ///< "screen", "race1".., "polish", "exhaustive"
+    int entered = 0;     ///< candidates in the rung's cohort
+    int advanced = 0;    ///< RungFinished: candidates promoted
+    int prunedBound = 0; ///< RungFinished: dropped by the lower bound
+    int prunedRank = 0;  ///< RungFinished: dropped by ranking
+
+    /** Best feasible objective seen so far (infinity until one exists). */
+    double bestObjective = 0.0;
+};
+
+/**
+ * Progress callback. Invoked from worker threads while the scheduler's
+ * bookkeeping lock is held (this is what makes the sequence
+ * deterministic), so it must be fast and must not call back into the run.
+ */
+using DseProgressFn = std::function<void(const DseProgressEvent &)>;
 
 /**
  * Multi-fidelity schedule of the DSE outer loop: a *screen* rung evaluates
@@ -86,6 +128,14 @@ struct DseStats
     bool scheduled = false;        ///< ran the multi-fidelity scheduler
     std::vector<DseRungStats> rungs;
 
+    /**
+     * The run observed a cancellation request: every rung still resolved
+     * (the ledger above is complete and consistent) but candidates whose
+     * evaluation had not started were skipped, so records may carry a
+     * shallower rungReached than an uncancelled run would produce.
+     */
+    bool cancelled = false;
+
     /** Total candidate-evaluation CPU-seconds across all rungs. */
     double cpuSeconds() const;
 };
@@ -120,6 +170,29 @@ struct DseOptions
 
     /** Multi-fidelity budget allocation of the outer loop. */
     DseSchedule schedule;
+
+    /**
+     * Cooperative cancellation, checked once per candidate task (never
+     * on the SA inner loop). A cancelled run terminates quickly and still
+     * returns a structurally valid DseResult: already-evaluated records
+     * keep their deepest completed evaluation, skipped records are marked
+     * infeasible, and the per-rung stats ledger is complete with
+     * stats.cancelled set. Default-constructed = never cancelled.
+     */
+    common::StopToken stop;
+
+    /** Optional rung-granular progress stream (see DseProgressEvent). */
+    DseProgressFn progress;
+
+    /**
+     * External worker pool to run candidate tasks on (nullptr = the run
+     * creates its own pool of `threads` workers). The API layer's
+     * ExplorationService passes its long-lived shared pool here so
+     * concurrent jobs interleave on one machine-wide worker set instead
+     * of stacking pools. The caller keeps ownership; the pool must
+     * outlive the run.
+     */
+    ThreadPool *pool = nullptr;
 };
 
 /** Result of one candidate evaluation. */

@@ -70,7 +70,9 @@ MappingEngine::optimizeInto(MappingResult &result)
     options_.sa.beta = options_.beta;
     options_.sa.gamma = options_.gamma;
 
-    if (options_.runSa) {
+    // A stop observed before any SA work degrades to a plain evaluation of
+    // the start mapping — still a valid, reportable result.
+    if (options_.runSa && !options_.stop.stopRequested()) {
         if (options_.sa.chains > 1) {
             runSaChains(result);
         } else {
@@ -96,6 +98,9 @@ MappingEngine::runSaChains(MappingResult &result)
     std::vector<std::vector<eval::EvalBreakdown>> evals(
         static_cast<std::size_t>(chains));
     std::vector<SaStats> stats(static_cast<std::size_t>(chains));
+    // Chains skipped by a cancellation request (checked once per chain —
+    // the SA inner loop never sees the token).
+    std::vector<char> ran(static_cast<std::size_t>(chains), 0);
 
     auto chain_options_of = [&](std::size_t i) {
         SaOptions chain_options = options_.sa;
@@ -115,6 +120,8 @@ MappingEngine::runSaChains(MappingResult &result)
         ThreadPool pool(pool_threads);
         pool.parallelFor(
             static_cast<std::size_t>(chains), [&](std::size_t i) {
+                if (options_.stop.stopRequested())
+                    return;
                 intracore::Explorer explorer(arch_.macsPerCore,
                                              arch_.glbBytes(),
                                              arch_.freqGHz, options_.tech);
@@ -124,23 +131,37 @@ MappingEngine::runSaChains(MappingResult &result)
                 SaEngine sa(graph_, arch_, analyzer, costs_);
                 const SaOptions chain_options = chain_options_of(i);
                 evals[i] = sa.optimize(maps[i], chain_options, &stats[i]);
+                ran[i] = 1;
             });
     } else {
         // Serial chains share the engine's warm explorer and analyzer
         // cache: later chains re-analyze the shared initial mapping and
         // early-phase states for free.
         for (std::size_t i = 0; i < static_cast<std::size_t>(chains); ++i) {
+            if (options_.stop.stopRequested())
+                break;
             const SaOptions chain_options = chain_options_of(i);
             evals[i] = sa_.optimize(maps[i], chain_options, &stats[i]);
+            ran[i] = 1;
         }
     }
 
-    // Best-of-K selection: strict < with ascending index makes the pick
-    // deterministic regardless of which thread finished first.
-    std::size_t best = 0;
-    double best_cost = stats[0].finalCost;
-    for (std::size_t i = 1; i < static_cast<std::size_t>(chains); ++i) {
-        if (stats[i].finalCost < best_cost) {
+    // Every chain can be skipped when the stop arrives right after the
+    // optimizeInto check; fall back to evaluating the start mapping.
+    if (std::find(ran.begin(), ran.end(), char(1)) == ran.end()) {
+        result.groups = sa_.evaluateAll(result.mapping);
+        return;
+    }
+
+    // Best-of-K selection over the chains that ran: strict < with
+    // ascending index makes the pick deterministic regardless of which
+    // thread finished first.
+    std::size_t best = static_cast<std::size_t>(
+        std::find(ran.begin(), ran.end(), char(1)) - ran.begin());
+    double best_cost = stats[best].finalCost;
+    for (std::size_t i = best + 1; i < static_cast<std::size_t>(chains);
+         ++i) {
+        if (ran[i] && stats[i].finalCost < best_cost) {
             best = i;
             best_cost = stats[i].finalCost;
         }
@@ -149,7 +170,7 @@ MappingEngine::runSaChains(MappingResult &result)
     result.mapping = std::move(maps[best]);
     result.groups = std::move(evals[best]);
     SaStats merged;
-    merged.initialCost = stats[0].initialCost;
+    merged.initialCost = stats[best].initialCost;
     merged.finalCost = best_cost;
     merged.chains = chains;
     merged.bestChain = static_cast<int>(best);

@@ -15,6 +15,7 @@
 
 #include "src/arch/arch_config.hh"
 #include "src/arch/tech_params.hh"
+#include "src/common/stop_token.hh"
 #include "src/cost/cost_stack.hh"
 #include "src/dnn/graph.hh"
 #include "src/eval/breakdown.hh"
@@ -70,6 +71,16 @@ struct MappingOptions
     std::vector<std::int64_t> batchUnits; // empty = auto
 
     arch::TechParams tech;
+
+    /**
+     * Cooperative cancellation, checked at *chain* granularity only (the
+     * SA inner loop stays hook-free — a hard perf requirement). A run
+     * observing the stop skips unstarted chains; whatever already ran is
+     * kept, and with every chain skipped the result degrades to an
+     * evaluation of the start mapping — always a valid MappingResult.
+     * Default-constructed = never cancelled.
+     */
+    common::StopToken stop;
 };
 
 /** Outcome of a mapping run. */

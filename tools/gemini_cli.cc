@@ -1,0 +1,191 @@
+/**
+ * @file
+ * The `gemini` command-line front end: drive the whole co-exploration
+ * loop from a JSON ExperimentSpec, no C++ required.
+ *
+ *   gemini run <spec.json> [--out DIR]   execute; write result.json (+ CSVs)
+ *   gemini validate <spec.json>          parse + validate, report problems
+ *   gemini models                        list model-zoo registry names
+ *   gemini presets                       list architecture preset names
+ *
+ * Artifacts route through common/artifacts (--out DIR or GEMINI_OUT_DIR;
+ * default: the current directory), matching every bench harness.
+ */
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "src/api/results.hh"
+#include "src/api/service.hh"
+#include "src/api/spec.hh"
+#include "src/arch/presets.hh"
+#include "src/common/artifacts.hh"
+#include "src/dnn/zoo.hh"
+
+using namespace gemini;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <command> [args]\n"
+                 "  run <spec.json> [--out DIR]  execute an experiment "
+                 "spec; write result.json\n"
+                 "  validate <spec.json>         check a spec, report "
+                 "problems\n"
+                 "  models                       list model-zoo names\n"
+                 "  presets                      list architecture "
+                 "presets\n",
+                 argv0);
+    return 2;
+}
+
+/** Parse + validate a spec file; nullopt (with diagnostics) on failure. */
+std::optional<api::ExperimentSpec>
+loadSpec(const std::string &path)
+{
+    std::string error;
+    std::optional<api::ExperimentSpec> spec =
+        api::ExperimentSpec::fromFile(path, &error);
+    if (!spec) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+        return std::nullopt;
+    }
+    const std::string problems = spec->validate();
+    if (!problems.empty()) {
+        std::fprintf(stderr, "%s: invalid spec:\n%s\n", path.c_str(),
+                     problems.c_str());
+        return std::nullopt;
+    }
+    return spec;
+}
+
+int
+cmdValidate(const std::string &path)
+{
+    const std::optional<api::ExperimentSpec> spec = loadSpec(path);
+    if (!spec)
+        return 1;
+    std::printf("%s: OK (name \"%s\", mode %s, %zu model(s), spec hash "
+                "0x%016" PRIx64 ")\n",
+                path.c_str(), spec->name.c_str(),
+                spec->mode == api::ExperimentSpec::Mode::Map ? "map" : "dse",
+                spec->models.size(), spec->canonicalHash());
+    return 0;
+}
+
+void
+printProgress(const api::ProgressEvent &e)
+{
+    if (e.kind == api::ProgressEvent::Kind::RungEntered) {
+        std::fprintf(stderr, "[gemini] %-10s entered  in=%d\n",
+                     e.rung.c_str(), e.entered);
+        return;
+    }
+    std::fprintf(stderr,
+                 "[gemini] %-10s finished out=%d pruned(bound/rank)=%d/%d "
+                 "best=%.4g\n",
+                 e.rung.c_str(), e.advanced, e.prunedBound, e.prunedRank,
+                 e.bestObjective);
+}
+
+int
+cmdRun(const std::string &path, int argc, char **argv)
+{
+    const std::optional<api::ExperimentSpec> spec = loadSpec(path);
+    if (!spec)
+        return 1;
+    const std::string out_dir = common::artifactDir(argc, argv);
+
+    api::ExplorationService service(spec->threads);
+    api::JobHandle job = service.submit(*spec, printProgress);
+    const api::ExperimentResult &result = job.wait();
+    if (result.failed()) {
+        std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
+        return 1;
+    }
+
+    const std::string result_json =
+        common::artifactPath(out_dir, "result.json");
+    {
+        std::ofstream out(result_json, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "cannot write %s\n", result_json.c_str());
+            return 1;
+        }
+        out << result.toJson().dump(2) << "\n";
+    }
+
+    if (spec->mode == api::ExperimentSpec::Mode::Dse) {
+        const std::string records_csv =
+            common::artifactPath(out_dir, "dse_result.csv");
+        const std::string rungs_csv =
+            common::artifactPath(out_dir, "dse_rungs.csv");
+        result.dse.writeCsv(records_csv, rungs_csv);
+        if (result.dse.bestIndex >= 0) {
+            const dse::DseRecord &best = result.dse.best();
+            std::printf("winner: %s  MC=$%.2f D=%.3fms E=%.3fJ obj=%.4g\n",
+                        best.arch.toString().c_str(), best.mc.total(),
+                        best.delayGeo * 1e3, best.energyGeo,
+                        best.objective);
+        } else {
+            std::printf("no feasible candidate%s\n",
+                        result.cancelled ? " (run was cancelled)" : "");
+        }
+        std::printf("records -> %s\nrungs   -> %s\n", records_csv.c_str(),
+                    rungs_csv.c_str());
+    } else {
+        for (std::size_t i = 0; i < result.mappings.size(); ++i) {
+            const mapping::MappingResult &m = result.mappings[i];
+            std::printf("model %zu: delay %.3f ms, energy %.4f J, "
+                        "%zu groups\n",
+                        i, m.total.delay * 1e3, m.total.totalEnergy(),
+                        m.mapping.groups.size());
+        }
+    }
+    std::printf("result  -> %s\n", result_json.c_str());
+    return 0;
+}
+
+template <typename Names>
+int
+printNames(const Names &names)
+{
+    for (const std::string &n : names)
+        std::printf("%s\n", n.c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+    const std::string cmd = argv[1];
+    if (cmd == "models")
+        return printNames(dnn::zoo::available());
+    if (cmd == "presets")
+        return printNames(arch::presets::names());
+    if (cmd == "validate") {
+        if (argc < 3) {
+            std::fprintf(stderr, "validate: missing spec file\n");
+            return 2;
+        }
+        return cmdValidate(argv[2]);
+    }
+    if (cmd == "run") {
+        if (argc < 3 || argv[2][0] == '-') {
+            std::fprintf(stderr, "run: missing spec file\n");
+            return 2;
+        }
+        return cmdRun(argv[2], argc, argv);
+    }
+    return usage(argv[0]);
+}
