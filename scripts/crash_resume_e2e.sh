@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# Crash-resume end-to-end differential: run the gemini CLI against a
+# scheduled DSE spec with a durable store, SIGKILL it mid-run, resume from
+# the rung journal, and verify the resumed run lands on the exact winner
+# an uninterrupted run produces. Exercises the whole durability stack for
+# real — child process, real files, real kill — where the unit-test matrix
+# simulates crashes by journal-prefix truncation.
+#
+# Usage: crash_resume_e2e.sh [BUILD_DIR] [SPEC]
+#   BUILD_DIR  directory containing the `gemini` binary (default: build)
+#   SPEC       experiment spec (default: examples/specs/dse_crash_demo.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+spec="${2:-$repo_root/examples/specs/dse_crash_demo.json}"
+gemini="$build_dir/gemini"
+work="$(mktemp -d "${TMPDIR:-/tmp}/gemini_crash_e2e.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+[ -x "$gemini" ] || { echo "no gemini binary at $gemini" >&2; exit 1; }
+
+echo "== reference run (no interruption)"
+"$gemini" run "$spec" --store "$work/store_ref" --out "$work/out_ref" \
+    > "$work/ref.log" 2>&1
+grep '^winner:' "$work/ref.log"
+
+echo "== interrupted run: SIGKILL mid-exploration"
+"$gemini" run "$spec" --store "$work/store" --out "$work/out_kill" \
+    > "$work/kill.log" 2>&1 &
+pid=$!
+# Let it get past the screen rung (journal records exist), then kill -9 —
+# no cleanup handlers, exactly like a crash or OOM kill.
+for _ in $(seq 1 100); do
+    kill -0 "$pid" 2>/dev/null || break
+    if grep -q 'finished' "$work/kill.log" 2>/dev/null; then
+        break
+    fi
+    sleep 0.2
+done
+if kill -9 "$pid" 2>/dev/null; then
+    echo "killed pid $pid"
+else
+    echo "run finished before the kill landed; journal already spent"
+fi
+wait "$pid" 2>/dev/null || true
+
+hash=$(basename "$(ls "$work/store/"*.spec.json)" .spec.json)
+echo "== resuming 0x$hash from the rung journal"
+ls -l "$work/store/"
+"$gemini" resume "0x$hash" --store "$work/store" --out "$work/out_resume" \
+    > "$work/resume.log" 2>&1
+grep -E '^winner:|resumed' "$work/resume.log" || true
+
+echo "== differential: resumed winner vs reference winner"
+python3 - "$work/out_ref/result.json" "$work/out_resume/result.json" <<'EOF'
+import json, sys
+
+def winner(path):
+    with open(path) as f:
+        d = json.load(f)
+    dse = d["dse"]
+    best = dict(dse["records"][dse["best_index"]])
+    best.pop("eval_seconds", None)  # wall-clock metadata, not a decision
+    return dse["best_index"], best
+
+ref_idx, ref = winner(sys.argv[1])
+got_idx, got = winner(sys.argv[2])
+if ref_idx != got_idx:
+    sys.exit(f"best_index differs: ref {ref_idx} vs resumed {got_idx}")
+if ref != got:
+    for k in sorted(set(ref) | set(got)):
+        if ref.get(k) != got.get(k):
+            print(f"  field {k}: ref {ref.get(k)} vs resumed {got.get(k)}")
+    sys.exit("resumed winner record differs from reference")
+print(f"OK: identical winner (index {ref_idx}, "
+      f"objective {ref['objective']!r})")
+EOF
+
+echo "== store hygiene after completion"
+if ls "$work/store/"*.journal >/dev/null 2>&1; then
+    echo "journal still present after successful resume" >&2
+    exit 1
+fi
+echo "PASS"

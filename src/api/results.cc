@@ -524,6 +524,8 @@ dseResultToJson(const dse::DseResult &r)
     Value stats = Value::object();
     stats.set("scheduled", r.stats.scheduled);
     stats.set("cancelled", r.stats.cancelled);
+    stats.set("truncated", r.stats.truncated);
+    stats.set("resumed_rung", r.stats.resumedRung);
     stats.set("rungs", std::move(rungs));
     Value v = Value::object();
     v.set("records", std::move(records));
@@ -560,6 +562,8 @@ dseResultFromJson(const Value &v, const std::string &path,
         ObjectReader sr(*stats, path + ".stats", error);
         sr.getBool("scheduled", result.stats.scheduled);
         sr.getBool("cancelled", result.stats.cancelled);
+        sr.getBool("truncated", result.stats.truncated);
+        sr.getInt("resumed_rung", result.stats.resumedRung);
         if (const Value *rungs = sr.child("rungs")) {
             if (!rungs->isArray()) {
                 if (error && error->empty())

@@ -1,11 +1,18 @@
 #include "src/api/service.hh"
 
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
+#include <stdexcept>
 #include <utility>
 
+#include "src/api/json_reader.hh"
 #include "src/api/results.hh"
+#include "src/api/store.hh"
+#include "src/common/fault_injection.hh"
+#include "src/common/logging.hh"
 #include "src/cost/cost_stack.hh"
 
 namespace gemini::api {
@@ -25,6 +32,35 @@ jobStateName(JobState s)
     return "?";
 }
 
+namespace {
+
+const char *
+errorKindName(ExperimentResult::ErrorKind k)
+{
+    switch (k) {
+      case ExperimentResult::ErrorKind::None: return "none";
+      case ExperimentResult::ErrorKind::InvalidSpec: return "invalid_spec";
+      case ExperimentResult::ErrorKind::Runtime: return "runtime";
+    }
+    return "?";
+}
+
+bool
+errorKindFromName(const std::string &name, ExperimentResult::ErrorKind &out)
+{
+    if (name == "none")
+        out = ExperimentResult::ErrorKind::None;
+    else if (name == "invalid_spec")
+        out = ExperimentResult::ErrorKind::InvalidSpec;
+    else if (name == "runtime")
+        out = ExperimentResult::ErrorKind::Runtime;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
 Value
 ExperimentResult::toJson() const
 {
@@ -37,7 +73,9 @@ ExperimentResult::toJson() const
     v.set("spec_hash", hash);
     v.set("from_cache", fromCache);
     v.set("cancelled", cancelled);
+    v.set("truncated", truncated);
     v.set("error", error);
+    v.set("error_kind", errorKindName(errorKind));
     v.set("spec", spec.toJson());
     if (failed())
         return v;
@@ -54,6 +92,107 @@ ExperimentResult::toJson() const
     return v;
 }
 
+std::optional<ExperimentResult>
+ExperimentResult::fromJson(const Value &v, std::string *error)
+{
+    ObjectReader r(v, "result", error);
+    ExperimentResult res;
+
+    int schema = kSchemaVersion;
+    r.getInt("schema_version", schema);
+    if (r.ok() && schema > kSchemaVersion) {
+        if (error && error->empty())
+            *error = "result.schema_version: written by a newer build (" +
+                     std::to_string(schema) + ")";
+        return std::nullopt;
+    }
+
+    std::string ignored_name;
+    r.getString("name", ignored_name); // mirror of spec.name
+
+    std::string hash_hex;
+    r.getString("spec_hash", hash_hex);
+    if (r.ok()) {
+        char *end = nullptr;
+        if (hash_hex.rfind("0x", 0) == 0)
+            res.specHash = std::strtoull(hash_hex.c_str() + 2, &end, 16);
+        if (hash_hex.rfind("0x", 0) != 0 || *end != '\0') {
+            if (error && error->empty())
+                *error = "result.spec_hash: expected a 0x-prefixed hex "
+                         "string";
+            return std::nullopt;
+        }
+    }
+
+    r.getBool("from_cache", res.fromCache);
+    r.getBool("cancelled", res.cancelled);
+    r.getBool("truncated", res.truncated);
+    r.getString("error", res.error);
+    std::string kind = "none";
+    r.getString("error_kind", kind);
+    if (r.ok() && !errorKindFromName(kind, res.errorKind)) {
+        if (error && error->empty())
+            *error = "result.error_kind: unknown kind \"" + kind + "\"";
+        return std::nullopt;
+    }
+
+    if (const Value *specv = r.require("spec")) {
+        std::optional<ExperimentSpec> spec =
+            ExperimentSpec::fromJson(*specv, error);
+        if (!spec)
+            return std::nullopt;
+        res.spec = std::move(*spec);
+    }
+
+    const Value *dsev = r.child("dse");
+    const Value *archv = r.child("arch");
+    const Value *mcv = r.child("mc");
+    const Value *mappingsv = r.child("mappings");
+    if (!r.finish())
+        return std::nullopt;
+
+    if (res.failed())
+        return res; // failed results carry no payload
+
+    if (res.spec.mode == ExperimentSpec::Mode::Dse) {
+        if (!dsev) {
+            if (error && error->empty())
+                *error = "result.dse: required for a dse-mode result";
+            return std::nullopt;
+        }
+        if (!dseResultFromJson(*dsev, "result.dse", res.dse, error))
+            return std::nullopt;
+    } else {
+        if (!archv || !mcv || !mappingsv) {
+            if (error && error->empty())
+                *error = "result: map-mode results need arch, mc and "
+                         "mappings";
+            return std::nullopt;
+        }
+        if (!archConfigFromJson(*archv, "result.arch", res.mapArch, error))
+            return std::nullopt;
+        if (!costBreakdownFromJson(*mcv, "result.mc", res.mapArchMc,
+                                   error))
+            return std::nullopt;
+        if (!mappingsv->isArray()) {
+            if (error && error->empty())
+                *error = "result.mappings: expected an array";
+            return std::nullopt;
+        }
+        std::size_t i = 0;
+        for (const Value &mv : mappingsv->asArray()) {
+            mapping::MappingResult m;
+            if (!mappingResultFromJson(
+                    mv, "result.mappings[" + std::to_string(i) + "]", m,
+                    error))
+                return std::nullopt;
+            res.mappings.push_back(std::move(m));
+            ++i;
+        }
+    }
+    return res;
+}
+
 /**
  * Shared state between a job's handle copies and its controller thread.
  * The result pointer doubles as the "finished" flag.
@@ -66,6 +205,7 @@ struct JobHandle::Shared
     common::StopSource stop;
     std::uint64_t specHash = 0;
     std::shared_ptr<const ExperimentResult> result;
+    std::exception_ptr exception; ///< original throw of a Runtime failure
 
     void
     finish(JobState final_state, std::shared_ptr<const ExperimentResult> r)
@@ -111,8 +251,25 @@ JobHandle::result() const
     return state_->result;
 }
 
-ExplorationService::ExplorationService(int threads)
-    : pool_(threads <= 0 ? 0 : static_cast<std::size_t>(threads))
+void
+JobHandle::rethrow()
+{
+    const ExperimentResult &r = wait();
+    std::exception_ptr ep;
+    {
+        std::lock_guard lock(state_->mu);
+        ep = state_->exception;
+    }
+    if (ep)
+        std::rethrow_exception(ep);
+    if (r.errorKind == ExperimentResult::ErrorKind::InvalidSpec)
+        throw std::invalid_argument(r.error);
+}
+
+ExplorationService::ExplorationService(int threads,
+                                       std::shared_ptr<ResultStore> store)
+    : pool_(threads <= 0 ? 0 : static_cast<std::size_t>(threads)),
+      store_(std::move(store))
 {
 }
 
@@ -152,7 +309,17 @@ ExplorationService::reapControllersLocked(std::vector<std::thread> &joinable)
 JobHandle
 ExplorationService::submit(ExperimentSpec spec, ProgressFn progress)
 {
-    const std::string canonical = spec.toJson().canonical();
+    SubmitOptions options;
+    options.progress = std::move(progress);
+    return submit(std::move(spec), std::move(options));
+}
+
+JobHandle
+ExplorationService::submit(ExperimentSpec spec, SubmitOptions options)
+{
+    // canonicalText(), not toJson().canonical(): execution-control knobs
+    // (the deadline) must not change the experiment's identity.
+    const std::string canonical = spec.canonicalText();
     auto shared = std::make_shared<JobHandle::Shared>();
     shared->specHash = common::json::fnv1a64(canonical);
 
@@ -177,6 +344,23 @@ ExplorationService::submit(ExperimentSpec spec, ProgressFn progress)
     }
     for (std::thread &t : finished)
         t.join();
+
+    if (!shared->result && store_) {
+        // Memory miss: consult the durable store. A hit warms the
+        // in-memory cache so later resubmissions skip the disk.
+        if (std::shared_ptr<const ExperimentResult> stored =
+                store_->get(shared->specHash, canonical)) {
+            {
+                std::lock_guard lock(mu_);
+                cache_.emplace(shared->specHash,
+                               CacheEntry{canonical, stored});
+            }
+            auto cached = std::make_shared<ExperimentResult>(*stored);
+            cached->fromCache = true;
+            shared->state = JobState::Done;
+            shared->result = std::move(cached);
+        }
+    }
     if (shared->result)
         return JobHandle(std::move(shared));
 
@@ -185,8 +369,8 @@ ExplorationService::submit(ExperimentSpec spec, ProgressFn progress)
     controller.thread =
         std::thread([this, shared, done = controller.done,
                      spec = std::move(spec),
-                     progress = std::move(progress)]() mutable {
-            runJob(shared, std::move(spec), std::move(progress));
+                     options = std::move(options)]() mutable {
+            runJob(shared, std::move(spec), std::move(options));
             done->store(true, std::memory_order_release);
         });
     {
@@ -198,7 +382,7 @@ ExplorationService::submit(ExperimentSpec spec, ProgressFn progress)
 
 void
 ExplorationService::runJob(std::shared_ptr<JobHandle::Shared> job,
-                           ExperimentSpec spec, ProgressFn progress)
+                           ExperimentSpec spec, SubmitOptions options)
 {
     {
         std::lock_guard lock(job->mu);
@@ -214,43 +398,118 @@ ExplorationService::runJob(std::shared_ptr<JobHandle::Shared> job,
     result->spec = std::move(spec);
     if (!resolved) {
         result->error = std::move(error);
+        result->errorKind = ExperimentResult::ErrorKind::InvalidSpec;
         job->finish(JobState::Failed, std::move(result));
         return;
     }
 
-    const ExperimentSpec &s = result->spec;
-    const common::StopToken stop = job->stop.token();
+    try {
+        // Failpoint for the crash/failure matrix: lets tests exercise a
+        // run that throws after validation passed.
+        common::fault::throwIfDue("service.run");
+        runJobBody(job, *result, options, *resolved);
+    } catch (const std::exception &e) {
+        {
+            std::lock_guard lock(job->mu);
+            job->exception = std::current_exception();
+        }
+        result->error = e.what();
+        result->errorKind = ExperimentResult::ErrorKind::Runtime;
+        job->finish(JobState::Failed, std::move(result));
+        return;
+    } catch (...) {
+        {
+            std::lock_guard lock(job->mu);
+            job->exception = std::current_exception();
+        }
+        result->error = "run threw a non-std::exception";
+        result->errorKind = ExperimentResult::ErrorKind::Runtime;
+        job->finish(JobState::Failed, std::move(result));
+        return;
+    }
+
+    const JobState final_state =
+        result->cancelled ? JobState::Cancelled : JobState::Done;
+    if (final_state == JobState::Done && !result->truncated) {
+        {
+            std::lock_guard lock(mu_);
+            cache_.emplace(job->specHash,
+                           CacheEntry{result->spec.canonicalText(),
+                                      result});
+        }
+        if (store_) {
+            std::string serr;
+            if (store_->put(*result, &serr))
+                store_->removeJournal(job->specHash); // spent: run is done
+            else
+                GEMINI_WARN("store: result not persisted: ", serr);
+        }
+    }
+    // Truncated (deadline) results are deliberately NOT cached or
+    // stored: they are valid but incomplete, and their journal stays so
+    // a resume with more time continues the run.
+    job->finish(final_state, std::move(result));
+}
+
+void
+ExplorationService::runJobBody(const std::shared_ptr<JobHandle::Shared> &job,
+                               ExperimentResult &result,
+                               const SubmitOptions &options,
+                               const ResolvedExperiment &resolved)
+{
+    const ExperimentSpec &s = result.spec;
+    common::StopToken stop = job->stop.token();
+    const ProgressFn &progress = options.progress;
 
     if (s.mode == ExperimentSpec::Mode::Dse) {
-        dse::DseOptions options;
-        options.axes = s.axes;
-        options.schedule = s.schedule;
-        options.maxCandidates = s.maxCandidates;
-        options.alpha = s.alpha;
-        options.beta = s.beta;
-        options.gamma = s.gamma;
-        options.mapping = s.mapping;
-        options.costParams = s.costParams;
-        options.threads = s.threads;
-        options.models.reserve(resolved->models.size());
-        for (const dnn::Graph &g : resolved->models)
-            options.models.push_back(&g);
-        options.stop = stop;
-        options.progress = progress;
-        options.pool = &pool_;
+        dse::DseOptions dopts;
+        dopts.axes = s.axes;
+        dopts.schedule = s.schedule;
+        dopts.maxCandidates = s.maxCandidates;
+        dopts.alpha = s.alpha;
+        dopts.beta = s.beta;
+        dopts.gamma = s.gamma;
+        dopts.mapping = s.mapping;
+        dopts.costParams = s.costParams;
+        dopts.threads = s.threads;
+        dopts.models.reserve(resolved.models.size());
+        for (const dnn::Graph &g : resolved.models)
+            dopts.models.push_back(&g);
+        dopts.stop = stop;
+        dopts.progress = progress;
+        dopts.pool = &pool_;
+        dopts.deadlineSeconds = s.deadlineSeconds;
+        if (store_) {
+            // Crash safety: the spec sidecar enables `gemini resume
+            // <hash>`, the journal makes the run itself resumable.
+            store_->putSpec(s, job->specHash);
+            dopts.journalPath = store_->journalPath(job->specHash);
+            dopts.journalTag = job->specHash;
+            dopts.resume = options.resume;
+        }
 
-        result->dse = dse::runDse(options);
-        result->cancelled = result->dse.stats.cancelled;
+        result.dse = dse::runDse(dopts);
+        result.cancelled = result.dse.stats.cancelled;
+        result.truncated = result.dse.stats.truncated;
     } else {
         // Map mode: one engine run per model, driven serially from this
         // controller (chain-level parallelism inside the engine is the
         // spec's sa_threads knob). Progress is one entered/finished pair
         // per model — serial, hence deterministic.
-        result->mapArch = *resolved->archConfig;
-        result->mapArchMc =
-            cost::McEvaluator(s.costParams).evaluate(result->mapArch);
-        for (std::size_t i = 0; i < resolved->models.size(); ++i) {
-            const dnn::Graph &model = resolved->models[i];
+        if (s.deadlineSeconds > 0.0) {
+            // The deadline arms a local copy of the token; engines see it
+            // through MappingOptions::stop and drain at chain boundaries.
+            stop = stop.withDeadline(
+                std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(s.deadlineSeconds)));
+        }
+        result.mapArch = *resolved.archConfig;
+        result.mapArchMc =
+            cost::McEvaluator(s.costParams).evaluate(result.mapArch);
+        for (std::size_t i = 0; i < resolved.models.size(); ++i) {
+            const dnn::Graph &model = resolved.models[i];
             if (progress) {
                 ProgressEvent entered;
                 entered.kind = ProgressEvent::Kind::RungEntered;
@@ -262,10 +521,10 @@ ExplorationService::runJob(std::shared_ptr<JobHandle::Shared> job,
             }
             mapping::MappingOptions mo = s.mapping;
             mo.stop = stop;
-            mapping::MappingEngine engine(model, *resolved->archConfig, mo);
-            result->mappings.push_back(engine.run());
+            mapping::MappingEngine engine(model, *resolved.archConfig, mo);
+            result.mappings.push_back(engine.run());
             if (progress) {
-                const mapping::MappingResult &mr = result->mappings.back();
+                const mapping::MappingResult &mr = result.mappings.back();
                 ProgressEvent finished;
                 finished.kind = ProgressEvent::Kind::RungFinished;
                 finished.rung = "map:" + model.name();
@@ -276,18 +535,9 @@ ExplorationService::runJob(std::shared_ptr<JobHandle::Shared> job,
                 progress(finished);
             }
         }
-        result->cancelled = stop.stopRequested();
+        result.cancelled = stop.cancelRequested();
+        result.truncated = stop.deadlineExpired();
     }
-
-    const JobState final_state =
-        result->cancelled ? JobState::Cancelled : JobState::Done;
-    if (final_state == JobState::Done) {
-        std::lock_guard lock(mu_);
-        cache_.emplace(job->specHash,
-                       CacheEntry{result->spec.toJson().canonical(),
-                                  result});
-    }
-    job->finish(final_state, std::move(result));
 }
 
 std::size_t

@@ -51,7 +51,7 @@ enum class JobState
     Running,
     Done,      ///< completed; result valid and cached
     Cancelled, ///< stop observed; result valid but partial, not cached
-    Failed     ///< spec invalid / model unloadable; see result().error
+    Failed     ///< spec invalid or the run threw; see result().error
 };
 
 const char *jobStateName(JobState s);
@@ -59,6 +59,15 @@ const char *jobStateName(JobState s);
 /** Outcome of one submitted experiment. */
 struct ExperimentResult
 {
+    /** Why a Failed job failed (distinguishable through JobHandle). */
+    enum class ErrorKind
+    {
+        None,        ///< not failed
+        InvalidSpec, ///< rejected before running (validation/resolve)
+        Runtime      ///< the run itself threw; rethrow() restores the
+                     ///< original exception
+    };
+
     /** The spec as executed (fully defaulted). */
     ExperimentSpec spec;
     std::uint64_t specHash = 0;
@@ -66,8 +75,17 @@ struct ExperimentResult
     bool fromCache = false;
     bool cancelled = false;
 
-    /** Nonempty exactly when the job failed before running. */
+    /**
+     * The run hit its wall-clock deadline and returned best-so-far (see
+     * DseStats::truncated). Valid but incomplete: never cached or
+     * stored, and its rung journal is kept so a resubmission with
+     * `resume` (and more time) continues instead of restarting.
+     */
+    bool truncated = false;
+
+    /** Nonempty exactly when the job failed. */
     std::string error;
+    ErrorKind errorKind = ErrorKind::None;
 
     /** DSE-mode outcome (mode == Dse and !failed). */
     dse::DseResult dse;
@@ -87,6 +105,15 @@ struct ExperimentResult
      * result.json.
      */
     common::json::Value toJson() const;
+
+    /**
+     * Inverse of toJson(), used by the result store to round-trip
+     * records. Strict: unknown keys, a bad spec, or a payload that does
+     * not match the spec's mode all fail with a "path.key: reason"
+     * message.
+     */
+    static std::optional<ExperimentResult>
+    fromJson(const common::json::Value &v, std::string *error);
 };
 
 /**
@@ -119,6 +146,15 @@ class JobHandle
     /** Non-blocking: the result once finished, nullptr before. */
     std::shared_ptr<const ExperimentResult> result() const;
 
+    /**
+     * Wait, then rethrow a Failed job's original exception: the very
+     * exception object the run threw (Runtime failures preserve the
+     * type through std::exception_ptr), or std::invalid_argument with
+     * the validation message for InvalidSpec failures. No-op when the
+     * job did not fail.
+     */
+    void rethrow();
+
   private:
     friend class ExplorationService;
     struct Shared;
@@ -130,11 +166,33 @@ class JobHandle
     std::shared_ptr<Shared> state_;
 };
 
+class ResultStore;
+
+/** Per-submission knobs beyond the spec itself. */
+struct SubmitOptions
+{
+    ProgressFn progress;
+
+    /**
+     * Resume an interrupted run from the store's rung journal (if one
+     * exists for this spec hash) instead of starting over. Requires a
+     * store; determinism guarantees the same final winner either way.
+     */
+    bool resume = false;
+};
+
 class ExplorationService
 {
   public:
-    /** Start the shared pool with `threads` workers (0 = hardware). */
-    explicit ExplorationService(int threads = 0);
+    /**
+     * Start the shared pool with `threads` workers (0 = hardware). With
+     * a store, completed results are also published to disk, looked up
+     * before running, and every scheduled DSE run keeps a write-ahead
+     * rung journal there — killed jobs become resumable (see
+     * SubmitOptions::resume).
+     */
+    explicit ExplorationService(int threads = 0,
+                                std::shared_ptr<ResultStore> store = nullptr);
 
     /** Waits for every submitted job to finish (cancel first to hurry). */
     ~ExplorationService();
@@ -150,6 +208,12 @@ class ExplorationService
      * anything.
      */
     JobHandle submit(ExperimentSpec spec, ProgressFn progress = {});
+
+    /** submit() with per-submission options (resume, ...). */
+    JobHandle submit(ExperimentSpec spec, SubmitOptions options);
+
+    /** The persistent store, if this service was built with one. */
+    const std::shared_ptr<ResultStore> &store() const { return store_; }
 
     /** Completed results held by the spec-hash cache. */
     std::size_t cacheSize() const;
@@ -179,12 +243,16 @@ class ExplorationService
     };
 
     void runJob(std::shared_ptr<JobHandle::Shared> job, ExperimentSpec spec,
-                ProgressFn progress);
+                SubmitOptions options);
+    void runJobBody(const std::shared_ptr<JobHandle::Shared> &job,
+                    ExperimentResult &result, const SubmitOptions &options,
+                    const ResolvedExperiment &resolved);
 
     /** Join controllers whose jobs have finished (called from submit). */
     void reapControllersLocked(std::vector<std::thread> &joinable);
 
     ThreadPool pool_;
+    std::shared_ptr<ResultStore> store_;
     mutable std::mutex mu_;
     std::map<std::uint64_t, CacheEntry> cache_;
     std::vector<Controller> controllers_;

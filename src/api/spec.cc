@@ -464,6 +464,7 @@ ExperimentSpec::fromJson(const Value &v, std::string *error)
     }
     r.getInt("max_candidates", spec.maxCandidates);
     r.getInt("threads", spec.threads);
+    r.getDouble("deadline_seconds", spec.deadlineSeconds);
     if (!r.finish())
         return std::nullopt;
 
@@ -522,6 +523,7 @@ ExperimentSpec::toJson() const
     v.set("tech", techToJson(mapping.tech));
     v.set("cost", costToJson(costParams));
     v.set("threads", threads);
+    v.set("deadline_seconds", deadlineSeconds);
     return v;
 }
 
@@ -622,6 +624,9 @@ ExperimentSpec::validate() const
         complain("mapping.sa_threads: must be >= 0");
     if (threads < 0)
         complain("threads: must be >= 0 (0 = hardware concurrency)");
+    if (!(deadlineSeconds >= 0.0) || !std::isfinite(deadlineSeconds))
+        complain("deadline_seconds: must be a finite number >= 0 "
+                 "(0 = no deadline)");
 
     std::string joined;
     for (const std::string &p : problems)
@@ -629,10 +634,23 @@ ExperimentSpec::validate() const
     return joined;
 }
 
+std::string
+ExperimentSpec::canonicalText() const
+{
+    // The deadline changes how long a run may take, not what it
+    // computes: a complete result is bit-identical under any budget. It
+    // is therefore excluded from the identity so reruns with a different
+    // time budget hit the same cache/store entry. Truncated results are
+    // never cached or stored, which keeps this sound.
+    ExperimentSpec identity = *this;
+    identity.deadlineSeconds = 0.0;
+    return identity.toJson().canonical();
+}
+
 std::uint64_t
 ExperimentSpec::canonicalHash() const
 {
-    return common::json::fnv1a64(toJson().canonical());
+    return common::json::fnv1a64(canonicalText());
 }
 
 std::optional<ResolvedExperiment>

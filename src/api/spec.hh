@@ -108,6 +108,16 @@ struct ExperimentSpec
     /** Worker threads (0 = hardware concurrency). */
     int threads = 0;
 
+    /**
+     * Wall-clock budget in seconds (0 = none). A run that exceeds it
+     * degrades gracefully to a valid best-so-far result flagged
+     * truncated (see DseOptions::deadlineSeconds). An execution control,
+     * not part of the experiment's identity: canonicalHash() ignores it,
+     * so the same exploration under different time budgets shares one
+     * cache/store entry (only *complete* results are ever stored).
+     */
+    double deadlineSeconds = 0.0;
+
     // ------------------------------------------------------------------
 
     /**
@@ -140,6 +150,14 @@ struct ExperimentSpec
      * filesystem — file-backed models are checked at resolve time.
      */
     std::string validate() const;
+
+    /**
+     * The canonical text that canonicalHash() fingerprints: the
+     * fully-defaulted wire form with execution-only controls (the
+     * deadline) zeroed. The result store keeps this text next to every
+     * record to detect 64-bit hash collisions.
+     */
+    std::string canonicalText() const;
 
     /** Content fingerprint (see the stability contract above). */
     std::uint64_t canonicalHash() const;

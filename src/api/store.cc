@@ -1,0 +1,342 @@
+#include "src/api/store.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/api/json_reader.hh"
+#include "src/common/fault_injection.hh"
+#include "src/common/fs_atomic.hh"
+#include "src/common/json.hh"
+#include "src/common/logging.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#define GEMINI_HAVE_FLOCK 1
+#endif
+
+namespace gemini::api {
+
+namespace fs = std::filesystem;
+using common::json::Value;
+
+namespace {
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+    return buf;
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream text;
+    text << in.rdbuf();
+    out = text.str();
+    return true;
+}
+
+/** Rename a corrupt record aside so it is never parsed again. */
+void
+quarantine(const std::string &path, const std::string &why)
+{
+    const std::string aside = path + ".quarantined";
+    std::error_code ec;
+    fs::rename(path, aside, ec);
+    if (ec) {
+        // Renaming failed (e.g. read-only store): removing would also
+        // fail, so just warn — get() already reported a miss.
+        GEMINI_WARN("store: cannot quarantine ", path, ": ", ec.message());
+        return;
+    }
+    GEMINI_WARN("store: quarantined ", path, " (", why,
+                "); it will be recomputed, never served");
+}
+
+} // namespace
+
+/**
+ * Cross-process advisory lock on the store directory, held for the
+ * duration of one operation. flock, not fcntl: flock locks follow the
+ * open file description, so two ResultStore instances in one process
+ * exclude each other too (each operation opens its own fd).
+ */
+class ResultStore::DirLock
+{
+  public:
+    explicit DirLock(const std::string &lockPath)
+    {
+#ifdef GEMINI_HAVE_FLOCK
+        fd_ = ::open(lockPath.c_str(), O_WRONLY | O_CREAT | O_CLOEXEC,
+                     0644);
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+        if (fd_ < 0)
+            GEMINI_WARN("store: cannot lock ", lockPath, ": ",
+                        std::strerror(errno),
+                        " (continuing without cross-process exclusion)");
+#else
+        (void)lockPath;
+#endif
+    }
+
+    ~DirLock()
+    {
+#ifdef GEMINI_HAVE_FLOCK
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+#endif
+    }
+
+    DirLock(const DirLock &) = delete;
+    DirLock &operator=(const DirLock &) = delete;
+
+  private:
+#ifdef GEMINI_HAVE_FLOCK
+    int fd_ = -1;
+#endif
+};
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    GEMINI_ASSERT(!ec, "cannot create store directory ", dir_, ": ",
+                  ec.message());
+    lockPath_ = (fs::path(dir_) / ".lock").string();
+}
+
+std::string
+ResultStore::resultPath(std::uint64_t hash) const
+{
+    return (fs::path(dir_) / (hashHex(hash) + ".result.json")).string();
+}
+
+std::string
+ResultStore::specPath(std::uint64_t hash) const
+{
+    return (fs::path(dir_) / (hashHex(hash) + ".spec.json")).string();
+}
+
+std::string
+ResultStore::journalPath(std::uint64_t hash) const
+{
+    return (fs::path(dir_) / (hashHex(hash) + ".journal")).string();
+}
+
+std::shared_ptr<const ExperimentResult>
+ResultStore::get(std::uint64_t hash, const std::string &canonicalSpec)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+
+    const std::string path = resultPath(hash);
+    std::string text;
+    if (!readFile(path, text))
+        return nullptr; // plain miss
+
+    std::string error;
+    const std::optional<Value> v = common::json::parse(text, &error);
+    if (!v) {
+        quarantine(path, "unparseable: " + error);
+        return nullptr;
+    }
+    ObjectReader r(*v, "store", &error);
+    std::string checksum;
+    r.getString("checksum", checksum);
+    const Value *payload = r.require("payload");
+    if (!payload || !r.finish()) {
+        quarantine(path, error);
+        return nullptr;
+    }
+    if (hashHex(common::json::fnv1a64(payload->canonical())) != checksum) {
+        quarantine(path, "checksum mismatch (bit rot or torn write)");
+        return nullptr;
+    }
+
+    ObjectReader pr(*payload, "store.payload", &error);
+    std::string storedSpec;
+    pr.getString("spec_canonical", storedSpec);
+    const Value *resultv = pr.require("result");
+    if (!resultv || !pr.finish()) {
+        quarantine(path, error);
+        return nullptr;
+    }
+    if (storedSpec != canonicalSpec) {
+        // A genuine 64-bit hash collision: the record is intact and
+        // belongs to a *different* experiment. Leave it alone; the
+        // colliding spec runs for real.
+        GEMINI_WARN("store: hash ", hashHex(hash), " collides with a "
+                    "different spec; recomputing instead of serving it");
+        return nullptr;
+    }
+
+    std::optional<ExperimentResult> parsed =
+        ExperimentResult::fromJson(*resultv, &error);
+    if (!parsed) {
+        quarantine(path, error);
+        return nullptr;
+    }
+    return std::make_shared<const ExperimentResult>(std::move(*parsed));
+}
+
+bool
+ResultStore::put(const ExperimentResult &result, std::string *error)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+
+    if (common::fault::shouldFail("store.write")) {
+        if (error)
+            *error = "cannot write store record " +
+                     resultPath(result.specHash) +
+                     ": " + std::strerror(ENOSPC);
+        return false;
+    }
+
+    Value payload = Value::object();
+    payload.set("spec_canonical", result.spec.canonicalText());
+    payload.set("result", result.toJson());
+    const std::string canonical = payload.canonical();
+
+    // Envelope spliced around the exact canonical bytes that were
+    // checksummed (same convention as the rung journal).
+    std::string text = "{\"checksum\":\"";
+    text += hashHex(common::json::fnv1a64(canonical));
+    text += "\",\"payload\":";
+    text += canonical;
+    text += "}\n";
+
+    return common::writeFileAtomic(resultPath(result.specHash), text,
+                                   error);
+}
+
+void
+ResultStore::putSpec(const ExperimentSpec &spec, std::uint64_t hash)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::string error;
+    if (!common::writeFileAtomic(specPath(hash),
+                                 spec.toJson().dump(2) + "\n", &error))
+        GEMINI_WARN("store: ", error);
+}
+
+std::optional<ExperimentSpec>
+ResultStore::loadSpec(std::uint64_t hash, std::string *error)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::string text;
+    const std::string path = specPath(hash);
+    if (!readFile(path, text)) {
+        if (error)
+            *error = "no spec sidecar " + path +
+                     " (was this experiment ever submitted here?)";
+        return std::nullopt;
+    }
+    return ExperimentSpec::fromJsonText(text, error);
+}
+
+std::vector<StoreEntry>
+ResultStore::list()
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+
+    std::vector<StoreEntry> entries;
+    std::error_code ec;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        const std::string suffix = ".result.json";
+        if (name.size() != 16 + suffix.size() ||
+            name.compare(16, suffix.size(), suffix) != 0)
+            continue;
+        char *end = nullptr;
+        const std::uint64_t hash =
+            std::strtoull(name.substr(0, 16).c_str(), &end, 16);
+        if (*end != '\0')
+            continue;
+        StoreEntry e;
+        e.hash = hash;
+        e.path = de.path().string();
+        std::error_code sec;
+        e.bytes = static_cast<std::uint64_t>(de.file_size(sec));
+        e.hasJournal = fs::exists(journalPath(hash));
+        entries.push_back(std::move(e));
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const StoreEntry &a, const StoreEntry &b) {
+                  return a.hash < b.hash;
+              });
+    return entries;
+}
+
+StoreGcStats
+ResultStore::gc()
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+
+    StoreGcStats stats;
+    std::error_code ec;
+    std::vector<fs::path> doomed_quarantined, doomed_tmp, doomed_journals;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.size() > 12 &&
+            name.compare(name.size() - 12, 12, ".quarantined") == 0) {
+            doomed_quarantined.push_back(de.path());
+        } else if (name.find(".tmp.") != std::string::npos) {
+            doomed_tmp.push_back(de.path());
+        } else if (name.size() == 16 + 8 &&
+                   name.compare(16, 8, ".journal") == 0) {
+            // A journal whose result is already stored is spent; one
+            // without a result belongs to a resumable run — keep it.
+            const std::string result_file = name.substr(0, 16) +
+                                            ".result.json";
+            if (fs::exists(fs::path(dir_) / result_file))
+                doomed_journals.push_back(de.path());
+        }
+    }
+    const auto removeAll = [](const std::vector<fs::path> &paths) {
+        int removed = 0;
+        for (const fs::path &p : paths) {
+            std::error_code rec;
+            if (fs::remove(p, rec))
+                ++removed;
+        }
+        return removed;
+    };
+    stats.quarantined = removeAll(doomed_quarantined);
+    stats.tmpFiles = removeAll(doomed_tmp);
+    stats.journals = removeAll(doomed_journals);
+    return stats;
+}
+
+void
+ResultStore::removeJournal(std::uint64_t hash)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::error_code ec;
+    fs::remove(journalPath(hash), ec);
+}
+
+} // namespace gemini::api

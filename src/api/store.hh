@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Persistent disk-backed result store of the ExplorationService: the
+ * in-memory spec-hash cache, made durable. One directory holds one store;
+ * every completed experiment lives in its own file, keyed by the spec's
+ * canonical content hash:
+ *
+ *   <16-hex-hash>.result.json   {"checksum":..,"payload":{
+ *                                  "spec_canonical":.., "result":..}}
+ *   <16-hex-hash>.spec.json     the submitted spec (enables `gemini
+ *                               resume <hash>` without the original file)
+ *   <16-hex-hash>.journal       write-ahead rung journal of an in-flight
+ *                               or interrupted run (see dse/journal.hh)
+ *
+ * Integrity model: records publish atomically (temp + fsync + rename via
+ * common::writeFileAtomic), carry an FNV-1a 64 checksum over the
+ * canonical payload text, and store the full canonical spec so 64-bit
+ * hash collisions are detected by comparison, not assumed away. A record
+ * that fails its checksum or does not parse is *quarantined* (renamed
+ * aside) and reported as a miss — corrupt data is recomputed, never
+ * served. A colliding record (checksum fine, different spec) is left
+ * intact and reported as a miss for the colliding spec.
+ *
+ * Concurrency: every operation takes an advisory file lock on
+ * `<dir>/.lock` (plus an in-process mutex), so two services — or two
+ * processes — sharing one store directory serialize their accesses
+ * instead of corrupting each other's publishes.
+ */
+
+#ifndef GEMINI_API_STORE_HH
+#define GEMINI_API_STORE_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/service.hh"
+
+namespace gemini::api {
+
+/** One stored result, as listed by ResultStore::list(). */
+struct StoreEntry
+{
+    std::uint64_t hash = 0;
+    std::string path;           ///< the .result.json file
+    std::uint64_t bytes = 0;    ///< size of that file
+    bool hasJournal = false;    ///< a rung journal exists for this hash
+};
+
+/** What a garbage-collection pass removed. */
+struct StoreGcStats
+{
+    int quarantined = 0; ///< corrupt records previously renamed aside
+    int tmpFiles = 0;    ///< temp files orphaned by crashed publishes
+    int journals = 0;    ///< journals of runs whose result is stored
+};
+
+class ResultStore
+{
+  public:
+    /** Open (creating if needed) the store at `dir`. */
+    explicit ResultStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look up a result by hash, verifying the stored canonical spec text
+     * against `canonicalSpec`. Returns nullptr on miss, on a detected
+     * hash collision (record left intact), and on a corrupt record
+     * (record quarantined). Never serves bad data.
+     */
+    std::shared_ptr<const ExperimentResult>
+    get(std::uint64_t hash, const std::string &canonicalSpec);
+
+    /**
+     * Publish a completed result under its spec's canonical hash.
+     * Returns false with an actionable message on I/O failure.
+     * Fault-injection site: "store.write".
+     */
+    bool put(const ExperimentResult &result, std::string *error = nullptr);
+
+    /** Write the spec sidecar (idempotent; best-effort). */
+    void putSpec(const ExperimentSpec &spec, std::uint64_t hash);
+
+    /** Load a spec sidecar (for `gemini resume <hash>`). */
+    std::optional<ExperimentSpec> loadSpec(std::uint64_t hash,
+                                           std::string *error = nullptr);
+
+    /** Every readable .result.json entry, sorted by hash. */
+    std::vector<StoreEntry> list();
+
+    /** Remove quarantined records, orphan temp files, spent journals. */
+    StoreGcStats gc();
+
+    /** Path of the rung journal for `hash` (file may not exist). */
+    std::string journalPath(std::uint64_t hash) const;
+
+    /** Delete the journal for `hash` (after its result is stored). */
+    void removeJournal(std::uint64_t hash);
+
+  private:
+    class DirLock;
+
+    std::string resultPath(std::uint64_t hash) const;
+    std::string specPath(std::uint64_t hash) const;
+
+    std::string dir_;
+    std::string lockPath_;
+    std::mutex mu_; ///< serializes in-process access; DirLock handles
+                    ///< cross-process
+};
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_STORE_HH

@@ -1,5 +1,8 @@
 #include "src/common/csv.hh"
 
+#include "src/common/fs_atomic.hh"
+#include "src/common/logging.hh"
+
 namespace gemini {
 
 namespace {
@@ -73,11 +76,14 @@ CsvTable::toString() const
 bool
 CsvTable::writeFile(const std::string &path) const
 {
-    std::ofstream f(path);
-    if (!f)
+    // Publish atomically: a crash mid-write must not leave a truncated
+    // ledger where a complete one used to be.
+    std::string error;
+    if (!common::writeFileAtomic(path, toString(), &error)) {
+        GEMINI_WARN("csv: ", error);
         return false;
-    f << toString();
-    return static_cast<bool>(f);
+    }
+    return true;
 }
 
 } // namespace gemini

@@ -1,0 +1,151 @@
+#include "src/common/fault_injection.hh"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "src/common/logging.hh"
+
+namespace gemini::common::fault {
+
+namespace detail {
+
+std::atomic<bool> g_armed{true};
+
+namespace {
+
+/** One armed site: fire on the Nth hit, optionally on every later one. */
+struct Rule
+{
+    int nth = 1;        // 1-based hit number that fires
+    bool sticky = true; // fire on every hit >= nth
+};
+
+struct State
+{
+    std::mutex mu;
+    bool envLoaded = false;
+    std::map<std::string, Rule, std::less<>> rules;
+    std::map<std::string, int, std::less<>> hits;
+};
+
+State &
+state()
+{
+    static State s;
+    return s;
+}
+
+/**
+ * Parse "site", "site=N" or "site=N+" into (name, rule); false (with a
+ * warning) on malformed input so a typo in GEMINI_FAULT_INJECT can't
+ * silently disarm a CI run.
+ */
+bool
+parseEntry(const std::string &entry, std::string &name, Rule &rule)
+{
+    const std::size_t eq = entry.find('=');
+    name = entry.substr(0, eq);
+    rule = Rule{};
+    if (name.empty()) {
+        GEMINI_WARN("fault inject: empty site name in \"", entry, "\"");
+        return false;
+    }
+    if (eq == std::string::npos)
+        return true; // bare site: every hit fails (nth=1, sticky)
+    std::string count = entry.substr(eq + 1);
+    rule.sticky = false;
+    if (!count.empty() && count.back() == '+') {
+        rule.sticky = true;
+        count.pop_back();
+    }
+    char *end = nullptr;
+    const long n = std::strtol(count.c_str(), &end, 10);
+    if (count.empty() || *end != '\0' || n < 1) {
+        GEMINI_WARN("fault inject: bad hit count in \"", entry,
+                    "\" (want site, site=N or site=N+)");
+        return false;
+    }
+    rule.nth = static_cast<int>(n);
+    return true;
+}
+
+/** Install `spec` as the full rule set; counters restart from zero. */
+void
+configureLocked(State &s, const std::string &spec)
+{
+    s.rules.clear();
+    s.hits.clear();
+    std::size_t begin = 0;
+    while (begin <= spec.size()) {
+        std::size_t comma = spec.find(',', begin);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string entry = spec.substr(begin, comma - begin);
+        begin = comma + 1;
+        if (entry.empty())
+            continue;
+        std::string name;
+        Rule rule;
+        if (parseEntry(entry, name, rule))
+            s.rules[name] = rule;
+    }
+    g_armed.store(!s.rules.empty(), std::memory_order_relaxed);
+}
+
+/** First-use load of GEMINI_FAULT_INJECT (once; configure() overrides). */
+void
+loadEnvLocked(State &s)
+{
+    if (s.envLoaded)
+        return;
+    s.envLoaded = true;
+    if (const char *env = std::getenv("GEMINI_FAULT_INJECT"))
+        configureLocked(s, env);
+    g_armed.store(!s.rules.empty(), std::memory_order_relaxed);
+}
+
+} // namespace
+
+bool
+shouldFailSlow(std::string_view site)
+{
+    State &s = state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    loadEnvLocked(s);
+    const auto it = s.rules.find(site);
+    if (it == s.rules.end())
+        return false;
+    const int hit = ++s.hits[std::string(site)];
+    const Rule &rule = it->second;
+    return rule.sticky ? hit >= rule.nth : hit == rule.nth;
+}
+
+} // namespace detail
+
+void
+configure(const std::string &spec)
+{
+    detail::State &s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.envLoaded = true; // explicit config wins over the environment
+    detail::configureLocked(s, spec);
+}
+
+void
+reset()
+{
+    configure("");
+}
+
+int
+hitCount(std::string_view site)
+{
+    detail::State &s = detail::state();
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.hits.find(site);
+    return it == s.hits.end() ? 0 : it->second;
+}
+
+} // namespace gemini::common::fault

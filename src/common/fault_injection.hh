@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Site-tagged fault injection for the durability layer. Production code
+ * marks its failure-prone operations with named sites ("store.write",
+ * "journal.append", "atomic.rename", "deadline", ...); tests and CI arm
+ * those sites to fail deterministically, which is how the crash-resume
+ * matrix simulates torn writes, full disks and expired deadlines without
+ * ever depending on real I/O errors.
+ *
+ * Configuration comes from the GEMINI_FAULT_INJECT environment variable
+ * (read once, at first use) or the configure() test API (which overrides
+ * the environment). The syntax is a comma-separated site list:
+ *
+ *   site        every hit of `site` fails
+ *   site=N      only the Nth hit fails (1-based, one-shot)
+ *   site=N+     the Nth and every later hit fail (sticky)
+ *
+ * Cost contract: when nothing is armed, a fault check is one relaxed
+ * atomic load — injection points may sit on warm paths (never on the SA
+ * inner loop) without measurable overhead.
+ */
+
+#ifndef GEMINI_COMMON_FAULT_INJECTION_HH
+#define GEMINI_COMMON_FAULT_INJECTION_HH
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gemini::common::fault {
+
+/** Thrown by throwIfDue() when an armed site fires. */
+struct InjectedFault : std::runtime_error
+{
+    explicit InjectedFault(const std::string &site)
+        : std::runtime_error("injected fault at site \"" + site + "\""),
+          site(site)
+    {
+    }
+
+    std::string site;
+};
+
+namespace detail {
+// Starts true meaning "possibly armed": the first shouldFail() takes the
+// slow path, loads GEMINI_FAULT_INJECT once, and settles the flag. After
+// that a disarmed process never touches the lock again.
+extern std::atomic<bool> g_armed;
+bool shouldFailSlow(std::string_view site);
+} // namespace detail
+
+/** True when any site may be armed (env var or configure()). */
+inline bool
+armed()
+{
+    return detail::g_armed.load(std::memory_order_relaxed);
+}
+
+/**
+ * Count a hit of `site` and report whether it must fail. The counter
+ * advances only while injection is armed, so production runs pay nothing
+ * and tests see 1-based hit numbers from the moment they configure.
+ */
+inline bool
+shouldFail(std::string_view site)
+{
+    return armed() && detail::shouldFailSlow(site);
+}
+
+/** shouldFail(), but failing by throwing InjectedFault. */
+inline void
+throwIfDue(std::string_view site)
+{
+    if (shouldFail(site))
+        throw InjectedFault(std::string(site));
+}
+
+/**
+ * Replace the active configuration (test API; overrides the environment
+ * until reset). An empty spec disarms everything. Malformed entries are
+ * ignored with a warning rather than aborting the host program.
+ */
+void configure(const std::string &spec);
+
+/** Disarm every site and zero all hit counters. */
+void reset();
+
+/** Hits recorded at `site` since the last configure()/reset(). */
+int hitCount(std::string_view site);
+
+} // namespace gemini::common::fault
+
+#endif // GEMINI_COMMON_FAULT_INJECTION_HH

@@ -1,0 +1,160 @@
+#include "src/common/fs_atomic.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "src/common/fault_injection.hh"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define GEMINI_HAVE_POSIX_FS 1
+#endif
+
+namespace gemini::common {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &what, const std::string &path,
+         int err)
+{
+    if (!error)
+        return;
+    *error = what + " " + path + ": " +
+             (err ? std::strerror(err) : "short write");
+}
+
+#ifdef GEMINI_HAVE_POSIX_FS
+
+/** Write all of `content` to fd, tolerating partial writes/EINTR. */
+bool
+writeAll(int fd, const std::string &content)
+{
+    std::size_t done = 0;
+    while (done < content.size()) {
+        const ssize_t n =
+            ::write(fd, content.data() + done, content.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0) {
+            errno = ENOSPC; // a 0-byte write with space left never happens
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Flush the directory entry so the rename survives a power loss. */
+void
+fsyncParentDir(const std::string &path)
+{
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    const std::string dir = parent.empty() ? "." : parent.string();
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd >= 0) {
+        ::fsync(fd); // best-effort: some filesystems reject dir fsync
+        ::close(fd);
+    }
+}
+
+bool
+writeFileAtomicPosix(const std::string &path, const std::string &content,
+                     std::string *error)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) {
+        setError(error, "cannot create temp file", tmp, errno);
+        return false;
+    }
+    bool ok = writeAll(fd, content);
+    if (ok && fault::shouldFail("atomic.write")) {
+        ok = false;
+        errno = ENOSPC;
+    }
+    if (ok && ::fsync(fd) != 0)
+        ok = false;
+    if (!ok)
+        setError(error, "cannot write temp file", tmp, errno);
+    if (::close(fd) != 0 && ok) {
+        ok = false;
+        setError(error, "cannot write temp file", tmp, errno);
+    }
+    if (ok && fault::shouldFail("atomic.rename")) {
+        ok = false;
+        errno = EIO;
+        setError(error, "cannot publish", path, errno);
+    }
+    if (ok && std::rename(tmp.c_str(), path.c_str()) != 0) {
+        ok = false;
+        setError(error, "cannot publish", path, errno);
+    }
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    fsyncParentDir(path);
+    return true;
+}
+
+#else // !GEMINI_HAVE_POSIX_FS
+
+/** Portable fallback: still temp+rename, but without durability fsyncs. */
+bool
+writeFileAtomicPortable(const std::string &path, const std::string &content,
+                        std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (!f) {
+            setError(error, "cannot create temp file", tmp, errno);
+            return false;
+        }
+        const std::size_t n =
+            std::fwrite(content.data(), 1, content.size(), f);
+        bool ok = n == content.size() && !fault::shouldFail("atomic.write");
+        if (std::fclose(f) != 0)
+            ok = false;
+        if (!ok) {
+            setError(error, "cannot write temp file", tmp, errno);
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    std::remove(path.c_str()); // Windows rename does not overwrite
+    if (fault::shouldFail("atomic.rename") ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot publish", path, errno ? errno : EIO);
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+#endif // GEMINI_HAVE_POSIX_FS
+
+} // namespace
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *error)
+{
+#ifdef GEMINI_HAVE_POSIX_FS
+    return writeFileAtomicPosix(path, content, error);
+#else
+    return writeFileAtomicPortable(path, content, error);
+#endif
+}
+
+} // namespace gemini::common

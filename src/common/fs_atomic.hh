@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Crash-safe file publication: write to a temp file in the destination
+ * directory, flush to stable storage, then rename over the target. A
+ * reader (or a process restarted after a crash) sees either the complete
+ * old contents or the complete new contents — never a truncated or
+ * interleaved file. Every artifact the explorer persists (store records,
+ * result.json, CSV ledgers) publishes through here; the write-ahead rung
+ * journal is the one deliberate exception (it appends, see dse/journal).
+ */
+
+#ifndef GEMINI_COMMON_FS_ATOMIC_HH
+#define GEMINI_COMMON_FS_ATOMIC_HH
+
+#include <string>
+
+namespace gemini::common {
+
+/**
+ * Atomically replace `path` with `content`. On failure returns false and,
+ * when `error` is non-null, fills it with an actionable message (which
+ * syscall failed, on which file, and the errno text — an ENOSPC reads as
+ * "no space left on device", not as a silently short file). The temp file
+ * is cleaned up on every failure path.
+ *
+ * Fault-injection sites: "atomic.write" (temp-file write/flush) and
+ * "atomic.rename" (the publish rename).
+ */
+bool writeFileAtomic(const std::string &path, const std::string &content,
+                     std::string *error = nullptr);
+
+} // namespace gemini::common
+
+#endif // GEMINI_COMMON_FS_ATOMIC_HH

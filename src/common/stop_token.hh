@@ -12,13 +12,24 @@
  * std::stop_token exists but is tied to std::jthread; this standalone
  * version keeps the DSE/mapping layers free of any threading-model
  * assumption (tokens are also checked from plain thread-pool tasks).
+ *
+ * A token may additionally carry a wall-clock *deadline* (withDeadline):
+ * past the deadline the token reports stop exactly as if the source had
+ * been cancelled, and deadlineExpired() lets callers distinguish "user
+ * cancelled" from "ran out of time" — the DSE uses that to flag a
+ * best-effort result as `truncated` rather than `cancelled`. The expiry
+ * latches on first observation, so every later check agrees (the same
+ * one-way guarantee explicit cancellation gives).
  */
 
 #ifndef GEMINI_COMMON_STOP_TOKEN_HH
 #define GEMINI_COMMON_STOP_TOKEN_HH
 
 #include <atomic>
+#include <chrono>
 #include <memory>
+
+#include "src/common/fault_injection.hh"
 
 namespace gemini::common {
 
@@ -34,14 +45,60 @@ class StopToken
   public:
     StopToken() = default;
 
+    /** Cancelled by the source OR past the deadline. */
     bool
     stopRequested() const
+    {
+        return cancelRequested() || deadlineExpired();
+    }
+
+    /** Cancelled explicitly via StopSource::requestStop(). */
+    bool
+    cancelRequested() const
     {
         return flag_ && flag_->load(std::memory_order_relaxed);
     }
 
+    /**
+     * Past the wall-clock deadline (latched: once observed expired it
+     * stays expired, even if the clock were to misbehave). The fault
+     * site "deadline" forces expiry for the crash/degradation tests.
+     */
+    bool
+    deadlineExpired() const
+    {
+        if (!deadline_)
+            return false;
+        if (deadline_->fired.load(std::memory_order_relaxed))
+            return true;
+        if (std::chrono::steady_clock::now() >= deadline_->at ||
+            fault::shouldFail("deadline")) {
+            deadline_->fired.store(true, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * A copy of this token that additionally expires at `at`. The cancel
+     * flag stays shared with the original source; the deadline state is
+     * shared among all copies of the returned token, so one observation
+     * of expiry is visible to every holder.
+     */
+    StopToken
+    withDeadline(std::chrono::steady_clock::time_point at) const
+    {
+        StopToken t = *this;
+        t.deadline_ = std::make_shared<Deadline>();
+        t.deadline_->at = at;
+        return t;
+    }
+
     /** True when attached to a StopSource (even if not yet stopped). */
     bool attached() const { return flag_ != nullptr; }
+
+    /** True when this token carries a deadline. */
+    bool hasDeadline() const { return deadline_ != nullptr; }
 
   private:
     friend class StopSource;
@@ -50,7 +107,14 @@ class StopToken
     {
     }
 
+    struct Deadline
+    {
+        std::chrono::steady_clock::time_point at;
+        std::atomic<bool> fired{false};
+    };
+
     std::shared_ptr<const std::atomic<bool>> flag_;
+    std::shared_ptr<Deadline> deadline_;
 };
 
 /** Owner of the cancellation flag. */

@@ -15,6 +15,7 @@
 #include "src/common/logging.hh"
 #include "src/common/thread_pool.hh"
 #include "src/cost/cost_stack.hh"
+#include "src/dse/journal.hh"
 
 namespace gemini::dse {
 
@@ -247,21 +248,47 @@ class MultiFidelityScheduler
             rs.bestObjective = kInf;
         }
 
-        auto &screen = cohorts_[0];
-        screen.reserve(n);
-        for (std::size_t i = 0; i < n; ++i)
-            screen.push_back(i);
-        result_.stats.rungs[0].entered = static_cast<int>(n);
+        int start = 0; // first rung whose cohort we evaluate
+        journal_ = !opts_.journalPath.empty();
+        if (journal_ && opts_.resume) {
+            start = tryResume();
+            if (resumedComplete_)
+                return std::move(result_); // journal held the final record
+        }
+        if (journal_ && result_.stats.resumedRung < 0) {
+            // Fresh (or failed-resume) run: any journal at this path is
+            // stale — start over.
+            std::string jerr;
+            if (!journalStart(opts_.journalPath, &jerr)) {
+                GEMINI_WARN("rung journal disabled: ", jerr);
+                journal_ = false;
+            }
+        }
+
+        if (start == 0) {
+            auto &screen = cohorts_[0];
+            screen.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                screen.push_back(i);
+            result_.stats.rungs[0].entered = static_cast<int>(n);
+        }
+        // Resumed starts (> 0) found cohorts_[start] and the stats ledger
+        // already restored from the journal snapshot by tryResume().
 
         DseProgressEvent entered;
         entered.kind = DseProgressEvent::Kind::RungEntered;
-        entered.rung = rungName(0);
-        entered.entered = static_cast<int>(n);
+        entered.rung = rungName(start);
+        entered.entered =
+            static_cast<int>(cohorts_[static_cast<std::size_t>(start)].size());
         entered.bestObjective = bestSoFar_;
         emit(entered);
 
-        for (std::size_t i = 0; i < n; ++i)
-            enqueue([this, i] { runScreen(i); });
+        for (std::size_t i : cohorts_[static_cast<std::size_t>(start)]) {
+            if (start == 0)
+                enqueue([this, i] { runScreen(i); });
+            else
+                enqueue([this, start, i] { runSaRung(start, i); });
+        }
 
         // Wait on the run's own task latch, not pool_.waitIdle(): a shared
         // pool carries other jobs' tasks, which are not ours to wait for.
@@ -270,7 +297,8 @@ class MultiFidelityScheduler
             allDone_.wait(lock, [this] { return pending_ == 0; });
         }
 
-        result_.stats.cancelled = opts_.stop.stopRequested();
+        result_.stats.cancelled = opts_.stop.cancelRequested();
+        result_.stats.truncated = opts_.stop.deadlineExpired();
 
         // The winner comes from the polish cohort: only finalists carry a
         // full-budget evaluation, so cross-fidelity objective comparisons
@@ -286,6 +314,12 @@ class MultiFidelityScheduler
                 result_.bestIndex = static_cast<int>(i);
             }
         }
+
+        // A stopped run's last rungs resolved with skipped candidates —
+        // not the deterministic resolution — so they are never journaled;
+        // a later resume redoes them from the last clean record.
+        if (journal_ && !opts_.stop.stopRequested())
+            journalFinal();
         return std::move(result_);
     }
 
@@ -371,6 +405,125 @@ class MultiFidelityScheduler
     {
         return mapping::SaEngine::chainSeed(opts_.mapping.sa.seed,
                                             0x5A + rung);
+    }
+
+    /** Append the keep-decision of `rung` to the journal (mu_ held). */
+    void
+    journalRungLocked(int rung, const std::vector<std::size_t> &survivors)
+    {
+        JournalRecord rec;
+        rec.tag = opts_.journalTag;
+        rec.rung = rung;
+        rec.rungName = rungName(rung);
+        rec.bestSoFar = bestSoFar_;
+        rec.snapshot.records = result_.records;
+        rec.snapshot.stats = result_.stats;
+        rec.snapshot.bestIndex = -1; // no winner until polish resolves
+        rec.survivors = survivors;
+        rec.warmStarts.reserve(survivors.size());
+        for (const std::size_t i : survivors)
+            rec.warmStarts.push_back(states_[i].mappings);
+        std::string jerr;
+        if (!journalAppend(opts_.journalPath, rec, &jerr)) {
+            GEMINI_WARN("rung journal disabled: ", jerr);
+            journal_ = false; // run on; only resumability is lost
+        }
+    }
+
+    /** Append the final record (complete result, winner included). */
+    void
+    journalFinal()
+    {
+        JournalRecord rec;
+        rec.tag = opts_.journalTag;
+        rec.rung = polishRung();
+        rec.rungName = rungName(polishRung());
+        rec.final = true;
+        rec.bestSoFar = bestSoFar_;
+        rec.snapshot = result_;
+        std::string jerr;
+        if (!journalAppend(opts_.journalPath, rec, &jerr))
+            GEMINI_WARN("cannot journal final record: ", jerr);
+    }
+
+    /**
+     * Replay the journal's valid prefix. Returns the first rung left to
+     * evaluate (cohort and ledger restored), or 0 for a fresh run. When
+     * the journal already holds the final record, result_ is rebuilt
+     * wholesale and resumedComplete_ is set instead.
+     */
+    int
+    tryResume()
+    {
+        const std::string &path = opts_.journalPath;
+        JournalLoadResult loaded = journalLoad(path, opts_.journalTag);
+        if (!loaded.error.empty()) {
+            GEMINI_WARN("cannot resume from ", path, ": ", loaded.error,
+                        "; starting fresh");
+            return 0;
+        }
+        if (loaded.records.empty()) {
+            if (loaded.droppedTail > 0)
+                GEMINI_WARN("journal ", path, ": no valid records (",
+                            loaded.droppedTail,
+                            " corrupt line(s)); starting fresh");
+            return 0;
+        }
+        if (loaded.droppedTail > 0)
+            GEMINI_WARN("journal ", path, ": dropped ", loaded.droppedTail,
+                        " torn/corrupt trailing line(s); falling back one "
+                        "rung");
+
+        JournalRecord &last = loaded.records.back();
+        const int n_rungs = polishRung() + 1;
+        if (last.snapshot.records.size() != candidates_.size() ||
+            static_cast<int>(last.snapshot.stats.rungs.size()) != n_rungs) {
+            GEMINI_WARN("journal ", path, ": shape mismatch (different "
+                        "candidate list or schedule); starting fresh");
+            return 0;
+        }
+
+        if (last.final) {
+            result_ = std::move(last.snapshot);
+            result_.stats.resumedRung = last.rung;
+            resumedComplete_ = true;
+            return 0;
+        }
+
+        if (last.rung < 0 || last.rung >= polishRung() ||
+            last.survivors.empty()) {
+            GEMINI_WARN("journal ", path,
+                        ": malformed last record; starting fresh");
+            return 0;
+        }
+        for (std::size_t k = 0; k < last.survivors.size(); ++k) {
+            const std::size_t i = last.survivors[k];
+            if (i >= candidates_.size() ||
+                !(candidates_[i] == last.snapshot.records[i].arch) ||
+                last.warmStarts[k].size() != opts_.models.size()) {
+                GEMINI_WARN("journal ", path, ": survivor set does not "
+                            "match this experiment; starting fresh");
+                return 0;
+            }
+        }
+
+        // Torn tail gone from memory; make the file agree before our own
+        // appends, so garbage can never glue onto the next record.
+        std::string terr;
+        if (loaded.validBytes > 0 &&
+            !journalTruncate(path, loaded.validBytes, &terr))
+            GEMINI_WARN("journal ", path, ": ", terr);
+
+        result_.records = std::move(last.snapshot.records);
+        result_.stats.rungs = std::move(last.snapshot.stats.rungs);
+        result_.stats.resumedRung = last.rung;
+        bestSoFar_ = last.bestSoFar;
+        const int next = last.rung + 1;
+        cohorts_[static_cast<std::size_t>(next)] = last.survivors;
+        for (std::size_t k = 0; k < last.survivors.size(); ++k)
+            states_[last.survivors[k]].mappings =
+                std::move(last.warmStarts[k]);
+        return next;
     }
 
     void
@@ -565,6 +718,13 @@ class MultiFidelityScheduler
         result_.stats.rungs[static_cast<std::size_t>(next)].entered =
             static_cast<int>(survivors.size());
 
+        // Write-ahead: the keep-decision goes to stable storage before
+        // any next-rung task is enqueued. A stopped rung resolved with
+        // skipped candidates — not the deterministic decision — so it is
+        // never journaled; resume redoes it from the previous record.
+        if (journal_ && !opts_.stop.stopRequested())
+            journalRungLocked(rung, survivors);
+
         finished.advanced = rs.advanced;
         finished.prunedBound = rs.prunedBound;
         finished.prunedRank = rs.prunedRank;
@@ -592,6 +752,9 @@ class MultiFidelityScheduler
     std::vector<std::vector<std::size_t>> cohorts_; ///< members per rung
     std::vector<std::size_t> done_;                 ///< finished per rung
     double bestSoFar_ = kInf; ///< best feasible objective, any rung
+
+    bool journal_ = false; ///< journaling active (path set, no I/O error)
+    bool resumedComplete_ = false; ///< journal held the final record
 
     // Run-local task latch (a shared pool cannot be waitIdle()d).
     std::mutex waitMu_;
@@ -646,8 +809,20 @@ evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
 }
 
 DseResult
-runDse(const DseOptions &options)
+runDse(const DseOptions &user_options)
 {
+    // Arm the wall-clock deadline (if any) on a run-local token: every
+    // stop check below — and in the mapping layer, which inherits this
+    // token — then reports stop on cancel *or* expiry, while the two
+    // causes stay distinguishable for the stats flags.
+    DseOptions options = user_options;
+    if (options.deadlineSeconds > 0.0) {
+        options.stop = options.stop.withDeadline(
+            std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(options.deadlineSeconds)));
+    }
+
     GEMINI_ASSERT(!options.models.empty(), "DSE needs at least one model");
     std::vector<arch::ArchConfig> candidates =
         enumerateCandidates(options.axes);
@@ -746,7 +921,8 @@ runDse(const DseOptions &options)
             flat.bestObjective = std::min(flat.bestObjective, rec.objective);
     }
     result.stats.scheduled = false;
-    result.stats.cancelled = options.stop.stopRequested();
+    result.stats.cancelled = options.stop.cancelRequested();
+    result.stats.truncated = options.stop.deadlineExpired();
 
     if (options.progress) {
         DseProgressEvent finished;

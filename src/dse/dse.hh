@@ -129,12 +129,29 @@ struct DseStats
     std::vector<DseRungStats> rungs;
 
     /**
-     * The run observed a cancellation request: every rung still resolved
-     * (the ledger above is complete and consistent) but candidates whose
-     * evaluation had not started were skipped, so records may carry a
-     * shallower rungReached than an uncancelled run would produce.
+     * The run observed an *explicit* cancellation request: every rung
+     * still resolved (the ledger above is complete and consistent) but
+     * candidates whose evaluation had not started were skipped, so
+     * records may carry a shallower rungReached than an uncancelled run
+     * would produce.
      */
     bool cancelled = false;
+
+    /**
+     * The run hit its wall-clock deadline (DseOptions::deadlineSeconds)
+     * and degraded gracefully: like `cancelled`, the result is valid
+     * best-so-far with a complete rung ledger — but it reflects a time
+     * budget, not a user's intent, so the API layer never caches it and
+     * keeps the rung journal so the run can be resumed with more time.
+     */
+    bool truncated = false;
+
+    /**
+     * Rung this run resumed *after* via the rung journal (-1 = fresh
+     * run). Rungs up to and including this index were replayed from the
+     * journal, not re-evaluated.
+     */
+    int resumedRung = -1;
 
     /** Total candidate-evaluation CPU-seconds across all rungs. */
     double cpuSeconds() const;
@@ -180,6 +197,40 @@ struct DseOptions
      * stats.cancelled set. Default-constructed = never cancelled.
      */
     common::StopToken stop;
+
+    /**
+     * Wall-clock budget in seconds (0 = none). When set, the run's stop
+     * token is armed with a deadline: past it the run winds down exactly
+     * like a cancellation but reports stats.truncated instead of
+     * stats.cancelled — a valid best-so-far result with the rung ledger
+     * intact, distinguishable from a user abort.
+     */
+    double deadlineSeconds = 0.0;
+
+    /**
+     * Write-ahead rung journal file (empty = no journaling; ignored by
+     * the flat driver, which has no rung structure to replay). Every
+     * cohort keep-decision appends a checksummed record of the survivor
+     * set and warm-start mappings (see dse/journal.hh).
+     */
+    std::string journalPath;
+
+    /**
+     * Resume from `journalPath` instead of starting fresh: completed
+     * rungs are replayed from the journal and evaluation continues at
+     * the first unresolved rung. Because keep-decisions and rung seeds
+     * are deterministic, the resumed run produces the bit-identical
+     * final winner of an uninterrupted run. A missing/torn/foreign
+     * journal degrades to a fresh run (with a warning), never an error.
+     */
+    bool resume = false;
+
+    /**
+     * Identity tag stored in every journal record (the API layer passes
+     * the canonical spec hash). Resume refuses records with a different
+     * tag, so a stale journal from another experiment is never replayed.
+     */
+    std::uint64_t journalTag = 0;
 
     /** Optional rung-granular progress stream (see DseProgressEvent). */
     DseProgressFn progress;

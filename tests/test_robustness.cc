@@ -1,0 +1,807 @@
+/**
+ * @file
+ * Durability & crash-safety tests: fault-injection semantics, atomic file
+ * publishes, result-store integrity (checksums, quarantine, collisions,
+ * cross-instance locking), the write-ahead rung journal (torn tails,
+ * foreign tags, contiguity), the crash-resume differential matrix over
+ * every journal prefix, wall-clock deadlines, and failure-kind
+ * preservation through JobHandle::rethrow().
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/service.hh"
+#include "src/api/spec.hh"
+#include "src/api/store.hh"
+#include "src/common/fault_injection.hh"
+#include "src/common/fs_atomic.hh"
+#include "src/common/stop_token.hh"
+#include "src/dnn/zoo.hh"
+#include "src/dse/dse.hh"
+#include "src/dse/journal.hh"
+
+namespace gemini {
+namespace {
+
+namespace fs = std::filesystem;
+namespace fault = common::fault;
+
+/** Fresh scratch directory per test; fault injection disarmed around it. */
+class RobustnessTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::reset();
+        const ::testing::TestInfo *info =
+            ::testing::UnitTest::GetInstance()->current_test_info();
+        dir_ = (fs::temp_directory_path() /
+                (std::string("gemini_robust_") + info->test_suite_name() +
+                 "_" + info->name()))
+                   .string();
+        fs::remove_all(dir_);
+        fs::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+        fs::remove_all(dir_);
+    }
+
+    std::string
+    path(const std::string &name) const
+    {
+        return (fs::path(dir_) / name).string();
+    }
+
+    static std::string
+    slurp(const std::string &p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        std::ostringstream text;
+        text << in.rdbuf();
+        return text.str();
+    }
+
+    std::string dir_;
+};
+
+/** The tiny DSE spec the service tests use: 8 candidates, 2-core grids. */
+api::ExperimentSpec
+tinySpec()
+{
+    api::ExperimentSpec spec;
+    spec.name = "tiny-robust";
+    spec.mode = api::ExperimentSpec::Mode::Dse;
+    spec.models = {{.zoo = "tiny_conv", .file = ""}};
+    spec.axes.topsTarget = 1.0;
+    spec.axes.xCuts = {1, 2};
+    spec.axes.yCuts = {1};
+    spec.axes.dramGBpsPerTops = {2.0};
+    spec.axes.nocGBps = {16, 32};
+    spec.axes.d2dRatio = {0.5};
+    spec.axes.glbKiB = {256, 512};
+    spec.axes.macsPerCore = {256};
+    spec.mapping.batch = 2;
+    spec.mapping.sa.iterations = 40;
+    spec.mapping.maxGroupLayers = 4;
+    spec.threads = 2;
+    return spec;
+}
+
+// ------------------------------------------------------ fault sites ----
+
+using FaultInjection = RobustnessTest;
+
+TEST_F(FaultInjection, DisarmedByDefaultThenConfigures)
+{
+    EXPECT_FALSE(fault::shouldFail("store.write"));
+    fault::configure("store.write");
+    EXPECT_TRUE(fault::armed());
+    EXPECT_TRUE(fault::shouldFail("store.write"));
+    EXPECT_TRUE(fault::shouldFail("store.write")); // bare site = every hit
+    EXPECT_FALSE(fault::shouldFail("journal.append")); // other sites clean
+    EXPECT_EQ(fault::hitCount("store.write"), 2);
+    fault::reset();
+    EXPECT_FALSE(fault::shouldFail("store.write"));
+    EXPECT_EQ(fault::hitCount("store.write"), 0);
+}
+
+TEST_F(FaultInjection, NthHitAndStickyGrammar)
+{
+    fault::configure("a=2,b=2+");
+    EXPECT_FALSE(fault::shouldFail("a")); // hit 1
+    EXPECT_TRUE(fault::shouldFail("a"));  // hit 2: the one-shot
+    EXPECT_FALSE(fault::shouldFail("a")); // hit 3: spent
+    EXPECT_FALSE(fault::shouldFail("b"));
+    EXPECT_TRUE(fault::shouldFail("b"));
+    EXPECT_TRUE(fault::shouldFail("b")); // sticky stays on
+}
+
+TEST_F(FaultInjection, ThrowIfDueCarriesTheSite)
+{
+    fault::configure("boom");
+    try {
+        fault::throwIfDue("boom");
+        FAIL() << "expected InjectedFault";
+    } catch (const fault::InjectedFault &e) {
+        EXPECT_EQ(e.site, "boom");
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+}
+
+// ----------------------------------------------------- atomic files ----
+
+using AtomicFile = RobustnessTest;
+
+TEST_F(AtomicFile, PublishesAndOverwrites)
+{
+    const std::string target = path("a.json");
+    ASSERT_TRUE(common::writeFileAtomic(target, "first"));
+    EXPECT_EQ(slurp(target), "first");
+    ASSERT_TRUE(common::writeFileAtomic(target, "second"));
+    EXPECT_EQ(slurp(target), "second");
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_))
+        EXPECT_EQ(de.path().filename().string().find(".tmp."),
+                  std::string::npos);
+}
+
+TEST_F(AtomicFile, InjectedWriteFailureLeavesTargetIntact)
+{
+    const std::string target = path("a.json");
+    ASSERT_TRUE(common::writeFileAtomic(target, "good"));
+    fault::configure("atomic.write");
+    std::string error;
+    EXPECT_FALSE(common::writeFileAtomic(target, "torn", &error));
+    EXPECT_NE(error.find("cannot write temp file"), std::string::npos);
+    EXPECT_NE(error.find("No space left"), std::string::npos);
+    EXPECT_EQ(slurp(target), "good") << "failed publish must not tear";
+    fault::reset();
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_))
+        EXPECT_EQ(de.path().filename().string().find(".tmp."),
+                  std::string::npos)
+            << "temp file leaked by failed publish";
+}
+
+TEST_F(AtomicFile, InjectedRenameFailureLeavesTargetIntact)
+{
+    const std::string target = path("a.json");
+    ASSERT_TRUE(common::writeFileAtomic(target, "good"));
+    fault::configure("atomic.rename");
+    std::string error;
+    EXPECT_FALSE(common::writeFileAtomic(target, "torn", &error));
+    EXPECT_EQ(slurp(target), "good");
+}
+
+// ----------------------------------------------------- result store ----
+
+class ResultStoreTest : public RobustnessTest
+{
+  protected:
+    /** One real completed result, computed once for the whole suite. */
+    static const api::ExperimentResult &
+    doneResult()
+    {
+        static const api::ExperimentResult result = [] {
+            api::ExplorationService service(2);
+            api::JobHandle job = service.submit(tinySpec());
+            api::ExperimentResult r = job.wait();
+            EXPECT_EQ(job.state(), api::JobState::Done);
+            return r;
+        }();
+        return result;
+    }
+
+    static std::string
+    canonicalSpecOf(const api::ExperimentResult &r)
+    {
+        return r.spec.canonicalText();
+    }
+};
+
+TEST_F(ResultStoreTest, ResultJsonRoundTripsExactly)
+{
+    const api::ExperimentResult &r = doneResult();
+    std::string error;
+    const std::optional<api::ExperimentResult> back =
+        api::ExperimentResult::fromJson(r.toJson(), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->toJson().canonical(), r.toJson().canonical());
+    EXPECT_EQ(back->specHash, r.specHash);
+}
+
+TEST_F(ResultStoreTest, PutGetRoundTrip)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    std::string error;
+    ASSERT_TRUE(store.put(r, &error)) << error;
+
+    const std::shared_ptr<const api::ExperimentResult> got =
+        store.get(r.specHash, canonicalSpecOf(r));
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->toJson().canonical(), r.toJson().canonical());
+
+    const std::vector<api::StoreEntry> entries = store.list();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].hash, r.specHash);
+    EXPECT_FALSE(entries[0].hasJournal);
+}
+
+TEST_F(ResultStoreTest, HashCollisionIsAMissAndLeavesRecordIntact)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+    // Same hash, different canonical spec: a simulated 64-bit collision.
+    EXPECT_EQ(store.get(r.specHash, "{\"other\":\"spec\"}"), nullptr);
+    // The record still belongs to its real owner.
+    EXPECT_NE(store.get(r.specHash, canonicalSpecOf(r)), nullptr);
+}
+
+TEST_F(ResultStoreTest, CorruptedChecksumQuarantinedNeverServed)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+    const std::vector<api::StoreEntry> entries = store.list();
+    ASSERT_EQ(entries.size(), 1u);
+
+    // Flip one payload byte: checksum must catch it.
+    std::string text = slurp(entries[0].path);
+    const std::size_t pos = text.size() / 2;
+    text[pos] = text[pos] == '1' ? '2' : '1';
+    {
+        std::ofstream out(entries[0].path, std::ios::binary);
+        out << text;
+    }
+    EXPECT_EQ(store.get(r.specHash, canonicalSpecOf(r)), nullptr);
+    EXPECT_FALSE(fs::exists(entries[0].path)) << "renamed aside";
+    EXPECT_TRUE(fs::exists(entries[0].path + ".quarantined"));
+    // Once quarantined, the hash is a plain (recomputable) miss.
+    EXPECT_EQ(store.get(r.specHash, canonicalSpecOf(r)), nullptr);
+}
+
+TEST_F(ResultStoreTest, TruncatedRecordQuarantined)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+    const std::string p = store.list()[0].path;
+    const std::string text = slurp(p);
+    {
+        std::ofstream out(p, std::ios::binary);
+        out << text.substr(0, text.size() / 3); // torn mid-record
+    }
+    EXPECT_EQ(store.get(r.specHash, canonicalSpecOf(r)), nullptr);
+    EXPECT_TRUE(fs::exists(p + ".quarantined"));
+}
+
+TEST_F(ResultStoreTest, InjectedWriteFailureIsActionable)
+{
+    fault::configure("store.write");
+    api::ResultStore store(dir_);
+    std::string error;
+    EXPECT_FALSE(store.put(doneResult(), &error));
+    EXPECT_NE(error.find("No space left"), std::string::npos);
+    EXPECT_NE(error.find(".result.json"), std::string::npos);
+}
+
+TEST_F(ResultStoreTest, GcSweepsQuarantineTempAndSpentJournals)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+
+    { // quarantined record
+        std::ofstream(path("dead.result.json.quarantined")) << "x";
+    }
+    { // orphan temp from a crashed publish
+        std::ofstream(path("0123456789abcdef.result.json.tmp.42")) << "x";
+    }
+    { // spent journal: its result is stored
+        std::ofstream(store.journalPath(r.specHash)) << "x";
+    }
+    { // live journal: no stored result — must survive gc
+        std::ofstream(store.journalPath(r.specHash + 1)) << "x";
+    }
+
+    const api::StoreGcStats stats = store.gc();
+    EXPECT_EQ(stats.quarantined, 1);
+    EXPECT_EQ(stats.tmpFiles, 1);
+    EXPECT_EQ(stats.journals, 1);
+    EXPECT_FALSE(fs::exists(store.journalPath(r.specHash)));
+    EXPECT_TRUE(fs::exists(store.journalPath(r.specHash + 1)))
+        << "resumable journal swept";
+    EXPECT_NE(store.get(r.specHash, canonicalSpecOf(r)), nullptr)
+        << "gc must never touch good records";
+}
+
+TEST_F(ResultStoreTest, TwoInstancesShareOneDirectorySafely)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore a(dir_), b(dir_);
+    const std::string canonical = canonicalSpecOf(r);
+    const std::string want = r.toJson().canonical();
+
+    std::atomic<int> bad{0};
+    std::thread writer([&] {
+        for (int i = 0; i < 25; ++i)
+            if (!a.put(r))
+                ++bad;
+    });
+    std::thread reader([&] {
+        for (int i = 0; i < 25; ++i) {
+            // Advisory locking serializes against the writer: a get sees
+            // either a miss (not yet written) or a fully intact record.
+            if (const auto got = b.get(r.specHash, canonical))
+                if (got->toJson().canonical() != want)
+                    ++bad;
+        }
+    });
+    writer.join();
+    reader.join();
+    EXPECT_EQ(bad.load(), 0);
+    ASSERT_EQ(a.list().size(), 1u);
+    EXPECT_NE(b.get(r.specHash, canonical), nullptr);
+}
+
+// ------------------------------------------------------ rung journal ----
+
+class RungJournalTest : public RobustnessTest
+{
+  protected:
+    static dse::JournalRecord
+    record(int rung, std::uint64_t tag = 7)
+    {
+        dse::JournalRecord rec;
+        rec.tag = tag;
+        rec.rung = rung;
+        rec.rungName = "rung" + std::to_string(rung);
+        rec.bestSoFar = 1.0 + rung;
+        rec.survivors = {0, 2};
+        rec.warmStarts = {{}, {}};
+        return rec;
+    }
+
+    static std::vector<std::string>
+    lines(const std::string &p)
+    {
+        std::ifstream in(p, std::ios::binary);
+        std::vector<std::string> out;
+        std::string line;
+        while (std::getline(in, line))
+            out.push_back(line);
+        return out;
+    }
+};
+
+TEST_F(RungJournalTest, AppendLoadRoundTrip)
+{
+    const std::string p = path("j");
+    std::string error;
+    ASSERT_TRUE(dse::journalAppend(p, record(0), &error)) << error;
+    ASSERT_TRUE(dse::journalAppend(p, record(1), &error)) << error;
+
+    const dse::JournalLoadResult loaded = dse::journalLoad(p, 7);
+    EXPECT_TRUE(loaded.error.empty()) << loaded.error;
+    ASSERT_EQ(loaded.records.size(), 2u);
+    EXPECT_EQ(loaded.droppedTail, 0);
+    EXPECT_EQ(loaded.records[1].rung, 1);
+    EXPECT_EQ(loaded.records[1].rungName, "rung1");
+    EXPECT_EQ(loaded.records[1].bestSoFar, 2.0);
+    EXPECT_EQ(loaded.records[1].survivors, (std::vector<std::size_t>{0, 2}));
+    EXPECT_EQ(loaded.validBytes, fs::file_size(p));
+}
+
+TEST_F(RungJournalTest, MissingFileIsEmptyNotAnError)
+{
+    const dse::JournalLoadResult loaded = dse::journalLoad(path("none"), 7);
+    EXPECT_TRUE(loaded.error.empty());
+    EXPECT_TRUE(loaded.records.empty());
+    EXPECT_EQ(loaded.droppedTail, 0);
+}
+
+TEST_F(RungJournalTest, TornTailDetectedDroppedAndTruncatable)
+{
+    const std::string p = path("j");
+    ASSERT_TRUE(dse::journalAppend(p, record(0)));
+    ASSERT_TRUE(dse::journalAppend(p, record(1)));
+    const std::uint64_t clean_bytes = fs::file_size(p);
+    { // a crash mid-append: half a line, no trailing newline
+        std::ofstream out(p, std::ios::binary | std::ios::app);
+        out << "{\"checksum\":\"dead";
+    }
+
+    const dse::JournalLoadResult loaded = dse::journalLoad(p, 7);
+    ASSERT_EQ(loaded.records.size(), 2u);
+    EXPECT_EQ(loaded.droppedTail, 1);
+    EXPECT_EQ(loaded.validBytes, clean_bytes);
+
+    // Resume protocol: truncate to the valid prefix, then append onward.
+    std::string error;
+    ASSERT_TRUE(dse::journalTruncate(p, loaded.validBytes, &error)) << error;
+    ASSERT_TRUE(dse::journalAppend(p, record(2)));
+    EXPECT_EQ(dse::journalLoad(p, 7).records.size(), 3u);
+    EXPECT_EQ(dse::journalLoad(p, 7).droppedTail, 0);
+}
+
+TEST_F(RungJournalTest, CorruptMiddleDropsEverythingAfter)
+{
+    const std::string p = path("j");
+    for (int r = 0; r < 3; ++r)
+        ASSERT_TRUE(dse::journalAppend(p, record(r)));
+    std::vector<std::string> ls = lines(p);
+    ASSERT_EQ(ls.size(), 3u);
+    ls[1][ls[1].size() / 2] ^= 1; // bit-flip inside record 1
+    {
+        std::ofstream out(p, std::ios::binary);
+        for (const std::string &l : ls)
+            out << l << "\n";
+    }
+    const dse::JournalLoadResult loaded = dse::journalLoad(p, 7);
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.records[0].rung, 0);
+    EXPECT_EQ(loaded.droppedTail, 2) << "rest of file is untrusted";
+}
+
+TEST_F(RungJournalTest, ForeignTagNeverResumes)
+{
+    const std::string p = path("j");
+    ASSERT_TRUE(dse::journalAppend(p, record(0, /*tag=*/7)));
+    const dse::JournalLoadResult loaded = dse::journalLoad(p, /*tag=*/8);
+    EXPECT_TRUE(loaded.records.empty());
+    EXPECT_EQ(loaded.droppedTail, 1);
+}
+
+TEST_F(RungJournalTest, RungGapEndsTheValidPrefix)
+{
+    const std::string p = path("j");
+    ASSERT_TRUE(dse::journalAppend(p, record(0)));
+    ASSERT_TRUE(dse::journalAppend(p, record(2))); // rung 1 missing
+    const dse::JournalLoadResult loaded = dse::journalLoad(p, 7);
+    ASSERT_EQ(loaded.records.size(), 1u);
+    EXPECT_EQ(loaded.droppedTail, 1);
+}
+
+TEST_F(RungJournalTest, InjectedAppendFailureReportsAndLeavesFileClean)
+{
+    const std::string p = path("j");
+    ASSERT_TRUE(dse::journalAppend(p, record(0)));
+    fault::configure("journal.append");
+    std::string error;
+    EXPECT_FALSE(dse::journalAppend(p, record(1), &error));
+    EXPECT_FALSE(error.empty());
+    fault::reset();
+    EXPECT_EQ(dse::journalLoad(p, 7).records.size(), 1u);
+}
+
+// ----------------------------------------------- crash-resume matrix ----
+
+class CrashResumeTest : public RobustnessTest
+{
+  protected:
+    CrashResumeTest() : model_(dnn::zoo::tinyConvChain(3))
+    {
+        options_.axes.topsTarget = 1.0;
+        options_.axes.xCuts = {1, 2};
+        options_.axes.yCuts = {1};
+        options_.axes.dramGBpsPerTops = {2.0};
+        options_.axes.nocGBps = {16, 32};
+        options_.axes.d2dRatio = {0.5};
+        options_.axes.glbKiB = {256, 512};
+        options_.axes.macsPerCore = {256};
+        options_.models = {&model_};
+        options_.mapping.batch = 2;
+        options_.mapping.sa.iterations = 40;
+        options_.mapping.maxGroupLayers = 4;
+        options_.threads = 2;
+        options_.schedule.enabled = true;
+        options_.schedule.rungs = 2;
+        options_.schedule.keepFraction = 0.5;
+        options_.schedule.baseIters = 16;
+        options_.schedule.minKeep = 2;
+        options_.journalTag = 42;
+    }
+
+    static void
+    expectBitIdentical(const dse::DseResult &got, const dse::DseResult &ref)
+    {
+        ASSERT_EQ(got.records.size(), ref.records.size());
+        EXPECT_EQ(got.bestIndex, ref.bestIndex);
+        for (std::size_t i = 0; i < ref.records.size(); ++i) {
+            // Exact ==, not NEAR: resume must replay, not re-approximate.
+            EXPECT_EQ(got.records[i].objective, ref.records[i].objective)
+                << "candidate " << i;
+            EXPECT_TRUE(got.records[i].arch == ref.records[i].arch);
+            EXPECT_EQ(got.records[i].rungReached, ref.records[i].rungReached);
+            EXPECT_EQ(got.records[i].saIters, ref.records[i].saIters);
+        }
+        ASSERT_EQ(got.stats.rungs.size(), ref.stats.rungs.size());
+        for (std::size_t r = 0; r < ref.stats.rungs.size(); ++r) {
+            EXPECT_EQ(got.stats.rungs[r].entered, ref.stats.rungs[r].entered);
+            EXPECT_EQ(got.stats.rungs[r].advanced,
+                      ref.stats.rungs[r].advanced);
+        }
+    }
+
+    dnn::Graph model_;
+    dse::DseOptions options_;
+};
+
+TEST_F(CrashResumeTest, EveryJournalPrefixResumesToTheSameWinner)
+{
+    options_.journalPath = path("journal");
+    const dse::DseResult ref = dse::runDse(options_);
+    ASSERT_GE(ref.bestIndex, 0);
+
+    // The full journal: one line per resolved rung plus the final record.
+    std::vector<std::string> ls;
+    {
+        std::ifstream in(options_.journalPath, std::ios::binary);
+        std::string line;
+        while (std::getline(in, line))
+            ls.push_back(line);
+    }
+    ASSERT_GE(ls.size(), 2u) << "scheduler should journal every rung";
+
+    // Crash matrix: kill the run after 0, 1, .., all journal lines and
+    // resume each time. k=0 degrades to a fresh run; k=all replays the
+    // final record without re-evaluating; every k lands on the
+    // bit-identical winner.
+    for (std::size_t k = 0; k <= ls.size(); ++k) {
+        dse::DseOptions o = options_;
+        o.journalPath = path("journal_k" + std::to_string(k));
+        {
+            std::ofstream out(o.journalPath, std::ios::binary);
+            for (std::size_t i = 0; i < k; ++i)
+                out << ls[i] << "\n";
+        }
+        o.resume = true;
+        const dse::DseResult got = dse::runDse(o);
+        expectBitIdentical(got, ref);
+        if (k == 0)
+            EXPECT_EQ(got.stats.resumedRung, -1) << "fresh run";
+        else
+            EXPECT_EQ(got.stats.resumedRung, static_cast<int>(k) - 1);
+    }
+}
+
+TEST_F(CrashResumeTest, TornTailFallsBackOneRungAndStillMatches)
+{
+    options_.journalPath = path("journal");
+    const dse::DseResult ref = dse::runDse(options_);
+
+    // Corrupt the final line (crash mid-append of the last record).
+    std::string text = slurp(options_.journalPath);
+    text.resize(text.size() - text.size() / 4);
+    dse::DseOptions o = options_;
+    o.journalPath = path("torn");
+    {
+        std::ofstream out(o.journalPath, std::ios::binary);
+        out << text;
+    }
+    o.resume = true;
+    const dse::DseResult got = dse::runDse(o);
+    expectBitIdentical(got, ref);
+}
+
+TEST_F(CrashResumeTest, ForeignJournalIsIgnoredNotTrusted)
+{
+    options_.journalPath = path("journal");
+    const dse::DseResult ref = dse::runDse(options_);
+
+    dse::DseOptions o = options_;
+    o.journalTag = 43; // a different experiment
+    o.resume = true;
+    const dse::DseResult got = dse::runDse(o);
+    expectBitIdentical(got, ref); // fresh run, same deterministic result
+    EXPECT_EQ(got.stats.resumedRung, -1);
+}
+
+TEST_F(CrashResumeTest, JournalAppendFailureDegradesToUnjournaledRun)
+{
+    dse::DseOptions plain = options_;
+    plain.journalPath.clear();
+    const dse::DseResult ref = dse::runDse(plain);
+
+    fault::configure("journal.append");
+    options_.journalPath = path("journal");
+    const dse::DseResult got = dse::runDse(options_);
+    fault::reset();
+    expectBitIdentical(got, ref); // journaling is never load-bearing
+}
+
+// --------------------------------------------------------- deadlines ----
+
+using DeadlineTest = RobustnessTest;
+
+TEST_F(DeadlineTest, TokenDistinguishesCancelFromDeadline)
+{
+    common::StopSource source;
+    common::StopToken token = source.token();
+    EXPECT_FALSE(token.hasDeadline());
+    EXPECT_FALSE(token.deadlineExpired());
+
+    const common::StopToken past = token.withDeadline(
+        std::chrono::steady_clock::now() - std::chrono::seconds(1));
+    EXPECT_TRUE(past.hasDeadline());
+    EXPECT_TRUE(past.deadlineExpired());
+    EXPECT_FALSE(past.cancelRequested());
+    EXPECT_TRUE(past.stopRequested());
+
+    const common::StopToken future = token.withDeadline(
+        std::chrono::steady_clock::now() + std::chrono::hours(1));
+    EXPECT_FALSE(future.deadlineExpired());
+    source.requestStop();
+    EXPECT_TRUE(future.cancelRequested());
+}
+
+TEST_F(DeadlineTest, InjectedExpiryLatches)
+{
+    common::StopSource source;
+    const common::StopToken token = source.token().withDeadline(
+        std::chrono::steady_clock::now() + std::chrono::hours(1));
+    fault::configure("deadline");
+    EXPECT_TRUE(token.deadlineExpired());
+    fault::reset();
+    EXPECT_TRUE(token.deadlineExpired()) << "expiry is latched";
+}
+
+TEST_F(DeadlineTest, TruncatedRunIsValidFlaggedAndNotCached)
+{
+    auto store = std::make_shared<api::ResultStore>(dir_);
+    api::ExplorationService service(2, store);
+
+    api::ExperimentSpec spec = tinySpec();
+    spec.deadlineSeconds = 3600.0; // generous — the fault expires it
+    fault::configure("deadline");
+    api::JobHandle job = service.submit(spec);
+    const api::ExperimentResult &result = job.wait();
+    fault::reset();
+
+    EXPECT_EQ(job.state(), api::JobState::Done);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_FALSE(result.cancelled) << "deadline is not a cancel";
+    EXPECT_EQ(service.cacheSize(), 0u) << "truncated results not cached";
+    EXPECT_EQ(store->get(job.specHash(), spec.canonicalText()), nullptr)
+        << "truncated results not stored";
+
+    // With time restored, the identical spec runs for real and completes.
+    api::SubmitOptions resume;
+    resume.resume = true;
+    api::JobHandle again = service.submit(spec, resume);
+    const api::ExperimentResult &full = again.wait();
+    EXPECT_EQ(again.state(), api::JobState::Done);
+    EXPECT_FALSE(full.truncated);
+    EXPECT_FALSE(full.fromCache);
+    EXPECT_GE(full.dse.bestIndex, 0);
+    EXPECT_EQ(service.cacheSize(), 1u);
+}
+
+TEST_F(DeadlineTest, SpecDeadlineValidates)
+{
+    api::ExperimentSpec spec = tinySpec();
+    spec.deadlineSeconds = -1.0;
+    EXPECT_NE(spec.validate().find("deadline_seconds"), std::string::npos);
+    spec.deadlineSeconds = 2.5;
+    EXPECT_TRUE(spec.validate().empty());
+    // Execution control, not identity: the hash ignores the deadline.
+    api::ExperimentSpec no_deadline = tinySpec();
+    EXPECT_EQ(spec.canonicalHash(), no_deadline.canonicalHash());
+    // But the wire format round-trips it.
+    std::string error;
+    const std::optional<api::ExperimentSpec> back =
+        api::ExperimentSpec::fromJsonText(spec.toJson().dump(2), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->deadlineSeconds, 2.5);
+}
+
+// -------------------------------------------------------- failed jobs ----
+
+using FailedJobsTest = RobustnessTest;
+
+TEST_F(FailedJobsTest, InvalidSpecKindRethrowsInvalidArgument)
+{
+    api::ExperimentSpec spec = tinySpec();
+    spec.models[0].zoo = "no_such_model";
+    api::ExplorationService service(1);
+    api::JobHandle job = service.submit(spec);
+    const api::ExperimentResult &result = job.wait();
+    EXPECT_EQ(job.state(), api::JobState::Failed);
+    EXPECT_TRUE(result.failed());
+    EXPECT_EQ(result.errorKind, api::ExperimentResult::ErrorKind::InvalidSpec);
+    EXPECT_THROW(job.rethrow(), std::invalid_argument);
+}
+
+TEST_F(FailedJobsTest, RuntimeThrowPreservesExceptionType)
+{
+    fault::configure("service.run");
+    api::ExplorationService service(1);
+    api::JobHandle job = service.submit(tinySpec());
+    const api::ExperimentResult &result = job.wait();
+    fault::reset();
+
+    EXPECT_EQ(job.state(), api::JobState::Failed);
+    EXPECT_EQ(result.errorKind, api::ExperimentResult::ErrorKind::Runtime);
+    EXPECT_NE(result.error.find("service.run"), std::string::npos);
+    try {
+        job.rethrow();
+        FAIL() << "expected the original InjectedFault";
+    } catch (const fault::InjectedFault &e) {
+        EXPECT_EQ(e.site, "service.run"); // the very exception, typed
+    }
+    EXPECT_EQ(service.cacheSize(), 0u);
+}
+
+TEST_F(FailedJobsTest, RethrowIsANoOpOnSuccess)
+{
+    api::ExplorationService service(2);
+    api::JobHandle job = service.submit(tinySpec());
+    job.wait();
+    EXPECT_EQ(job.state(), api::JobState::Done);
+    EXPECT_NO_THROW(job.rethrow());
+}
+
+// ---------------------------------------------------- service + store ----
+
+using ServiceStoreTest = RobustnessTest;
+
+TEST_F(ServiceStoreTest, SecondServiceServesFromDisk)
+{
+    const api::ExperimentSpec spec = tinySpec();
+    std::uint64_t hash = 0;
+    std::string want;
+    {
+        api::ExplorationService service(2,
+                                        std::make_shared<api::ResultStore>(
+                                            dir_));
+        api::JobHandle job = service.submit(spec);
+        const api::ExperimentResult &r = job.wait();
+        ASSERT_EQ(job.state(), api::JobState::Done);
+        hash = r.specHash;
+        want = r.dse.best().arch.toString();
+        EXPECT_FALSE(fs::exists(service.store()->journalPath(hash)))
+            << "journal of a completed run is spent";
+    }
+    // A brand-new service (fresh memory cache) hits the disk store.
+    api::ExplorationService service(2,
+                                    std::make_shared<api::ResultStore>(dir_));
+    api::JobHandle job = service.submit(spec);
+    const api::ExperimentResult &r = job.wait();
+    EXPECT_EQ(job.state(), api::JobState::Done);
+    EXPECT_TRUE(r.fromCache);
+    EXPECT_EQ(r.specHash, hash);
+    EXPECT_EQ(r.dse.best().arch.toString(), want);
+    EXPECT_EQ(service.cacheSize(), 1u) << "disk hit warms the memory cache";
+}
+
+TEST_F(ServiceStoreTest, StoreWriteFailureDoesNotFailTheJob)
+{
+    fault::configure("store.write");
+    auto store = std::make_shared<api::ResultStore>(dir_);
+    api::ExplorationService service(2, store);
+    api::JobHandle job = service.submit(tinySpec());
+    const api::ExperimentResult &r = job.wait();
+    fault::reset();
+
+    EXPECT_EQ(job.state(), api::JobState::Done) << "persistence is "
+                                                   "best-effort";
+    EXPECT_FALSE(r.failed());
+    EXPECT_EQ(store->get(r.specHash, r.spec.canonicalText()), nullptr);
+}
+
+} // namespace
+} // namespace gemini

@@ -3,26 +3,37 @@
  * The `gemini` command-line front end: drive the whole co-exploration
  * loop from a JSON ExperimentSpec, no C++ required.
  *
- *   gemini run <spec.json> [--out DIR]   execute; write result.json (+ CSVs)
- *   gemini validate <spec.json>          parse + validate, report problems
- *   gemini models                        list model-zoo registry names
- *   gemini presets                       list architecture preset names
+ *   gemini run <spec.json> [--out DIR] [--store DIR] [--deadline SEC]
+ *              [--resume]               execute; write result.json (+ CSVs)
+ *   gemini resume <hash|spec.json> --store DIR [--out DIR]
+ *                                       continue an interrupted run from
+ *                                       its rung journal
+ *   gemini store ls|gc [--store DIR]    inspect / garbage-collect a store
+ *   gemini validate <spec.json>         parse + validate, report problems
+ *   gemini models                       list model-zoo registry names
+ *   gemini presets                      list architecture preset names
  *
  * Artifacts route through common/artifacts (--out DIR or GEMINI_OUT_DIR;
- * default: the current directory), matching every bench harness.
+ * default: the current directory), matching every bench harness. The
+ * store directory comes from --store or GEMINI_STORE_DIR. result.json is
+ * published atomically (temp + rename), so a killed run never leaves a
+ * half-written file behind.
  */
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <fstream>
+#include <memory>
 #include <string>
 
 #include "src/api/results.hh"
 #include "src/api/service.hh"
 #include "src/api/spec.hh"
+#include "src/api/store.hh"
 #include "src/arch/presets.hh"
 #include "src/common/artifacts.hh"
+#include "src/common/fs_atomic.hh"
 #include "src/dnn/zoo.hh"
 
 using namespace gemini;
@@ -32,17 +43,70 @@ namespace {
 int
 usage(const char *argv0)
 {
-    std::fprintf(stderr,
-                 "usage: %s <command> [args]\n"
-                 "  run <spec.json> [--out DIR]  execute an experiment "
-                 "spec; write result.json\n"
-                 "  validate <spec.json>         check a spec, report "
-                 "problems\n"
-                 "  models                       list model-zoo names\n"
-                 "  presets                      list architecture "
-                 "presets\n",
-                 argv0);
+    std::fprintf(
+        stderr,
+        "usage: %s <command> [args]\n"
+        "  run <spec.json> [--out DIR] [--store DIR] [--deadline SEC] "
+        "[--resume]\n"
+        "                               execute an experiment spec; "
+        "write result.json\n"
+        "  resume <hash|spec.json> --store DIR [--out DIR]\n"
+        "                               continue an interrupted run from "
+        "its journal\n"
+        "  store ls|gc [--store DIR]    list / garbage-collect stored "
+        "results\n"
+        "  validate <spec.json>         check a spec, report problems\n"
+        "  models                       list model-zoo names\n"
+        "  presets                      list architecture presets\n"
+        "\n"
+        "  --store DIR defaults to the GEMINI_STORE_DIR environment "
+        "variable.\n"
+        "  --deadline SEC bounds wall-clock time; a hit deadline returns "
+        "the\n"
+        "  best-so-far result flagged \"truncated\" and keeps the rung "
+        "journal\n"
+        "  so `resume` can continue with more time.\n",
+        argv0);
     return 2;
+}
+
+/** `--store DIR` from argv, else GEMINI_STORE_DIR, else "". */
+std::string
+storeDir(int argc, char **argv)
+{
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--store") == 0)
+            return argv[i + 1];
+    const char *env = std::getenv("GEMINI_STORE_DIR");
+    return env ? env : "";
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+/** `--deadline SEC` from argv; negative = not given. */
+double
+deadlineArg(int argc, char **argv)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--deadline") != 0)
+            continue;
+        char *end = nullptr;
+        const double v = std::strtod(argv[i + 1], &end);
+        if (end == argv[i + 1] || *end != '\0' || v < 0.0) {
+            std::fprintf(stderr, "--deadline: expected seconds >= 0, got "
+                         "\"%s\"\n", argv[i + 1]);
+            std::exit(2);
+        }
+        return v;
+    }
+    return -1.0;
 }
 
 /** Parse + validate a spec file; nullopt (with diagnostics) on failure. */
@@ -94,34 +158,50 @@ printProgress(const api::ProgressEvent &e)
                  e.bestObjective);
 }
 
+/** Run `spec` (optionally resuming) and publish artifacts. */
 int
-cmdRun(const std::string &path, int argc, char **argv)
+executeSpec(api::ExperimentSpec spec, bool resume, int argc, char **argv)
 {
-    const std::optional<api::ExperimentSpec> spec = loadSpec(path);
-    if (!spec)
-        return 1;
     const std::string out_dir = common::artifactDir(argc, argv);
+    const std::string store_dir = storeDir(argc, argv);
+    const double deadline = deadlineArg(argc, argv);
+    if (deadline >= 0.0)
+        spec.deadlineSeconds = deadline;
+    if (resume && store_dir.empty()) {
+        std::fprintf(stderr, "resume needs --store DIR (or "
+                     "GEMINI_STORE_DIR): the rung journal lives in the "
+                     "store\n");
+        return 2;
+    }
 
-    api::ExplorationService service(spec->threads);
-    api::JobHandle job = service.submit(*spec, printProgress);
+    std::shared_ptr<api::ResultStore> store;
+    if (!store_dir.empty())
+        store = std::make_shared<api::ResultStore>(store_dir);
+
+    api::ExplorationService service(spec.threads, store);
+    api::SubmitOptions options;
+    options.progress = printProgress;
+    options.resume = resume;
+    api::JobHandle job = service.submit(std::move(spec), std::move(options));
     const api::ExperimentResult &result = job.wait();
     if (result.failed()) {
         std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
         return 1;
     }
+    if (result.fromCache)
+        std::printf("served from cache (hash 0x%016" PRIx64 ")\n",
+                    result.specHash);
 
     const std::string result_json =
         common::artifactPath(out_dir, "result.json");
-    {
-        std::ofstream out(result_json, std::ios::binary);
-        if (!out) {
-            std::fprintf(stderr, "cannot write %s\n", result_json.c_str());
-            return 1;
-        }
-        out << result.toJson().dump(2) << "\n";
+    std::string werror;
+    if (!common::writeFileAtomic(result_json,
+                                 result.toJson().dump(2) + "\n", &werror)) {
+        std::fprintf(stderr, "%s\n", werror.c_str());
+        return 1;
     }
 
-    if (spec->mode == api::ExperimentSpec::Mode::Dse) {
+    if (result.spec.mode == api::ExperimentSpec::Mode::Dse) {
         const std::string records_csv =
             common::artifactPath(out_dir, "dse_result.csv");
         const std::string rungs_csv =
@@ -149,7 +229,94 @@ cmdRun(const std::string &path, int argc, char **argv)
         }
     }
     std::printf("result  -> %s\n", result_json.c_str());
+    if (result.truncated) {
+        std::printf("deadline hit: result is best-so-far (truncated)");
+        if (store)
+            std::printf("; continue with\n  gemini resume 0x%016" PRIx64
+                        " --store %s",
+                        result.specHash, store->dir().c_str());
+        std::printf("\n");
+        return 3; // distinguishable from success and from failure
+    }
     return 0;
+}
+
+int
+cmdRun(const std::string &path, int argc, char **argv)
+{
+    std::optional<api::ExperimentSpec> spec = loadSpec(path);
+    if (!spec)
+        return 1;
+    return executeSpec(std::move(*spec), hasFlag(argc, argv, "--resume"),
+                       argc, argv);
+}
+
+int
+cmdResume(const std::string &target, int argc, char **argv)
+{
+    // `resume <16-hex-hash>` pulls the spec sidecar from the store;
+    // `resume <spec.json>` rehashes the file. Both then run with
+    // SubmitOptions::resume so the journal warm-starts the scheduler.
+    std::string hex = target;
+    if (hex.rfind("0x", 0) == 0)
+        hex = hex.substr(2);
+    const bool looks_like_hash =
+        hex.size() == 16 &&
+        hex.find_first_not_of("0123456789abcdefABCDEF") == std::string::npos;
+    if (!looks_like_hash) {
+        std::optional<api::ExperimentSpec> spec = loadSpec(target);
+        if (!spec)
+            return 1;
+        return executeSpec(std::move(*spec), /*resume=*/true, argc, argv);
+    }
+
+    const std::string store_dir = storeDir(argc, argv);
+    if (store_dir.empty()) {
+        std::fprintf(stderr, "resume <hash> needs --store DIR (or "
+                     "GEMINI_STORE_DIR)\n");
+        return 2;
+    }
+    api::ResultStore store(store_dir);
+    const std::uint64_t hash =
+        std::strtoull(hex.c_str(), nullptr, 16);
+    std::string error;
+    std::optional<api::ExperimentSpec> spec = store.loadSpec(hash, &error);
+    if (!spec) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+    }
+    return executeSpec(std::move(*spec), /*resume=*/true, argc, argv);
+}
+
+int
+cmdStore(const std::string &sub, int argc, char **argv)
+{
+    const std::string store_dir = storeDir(argc, argv);
+    if (store_dir.empty()) {
+        std::fprintf(stderr, "store %s needs --store DIR (or "
+                     "GEMINI_STORE_DIR)\n", sub.c_str());
+        return 2;
+    }
+    api::ResultStore store(store_dir);
+    if (sub == "ls") {
+        const std::vector<api::StoreEntry> entries = store.list();
+        for (const api::StoreEntry &e : entries)
+            std::printf("0x%016" PRIx64 "  %8" PRIu64 " B%s\n", e.hash,
+                        e.bytes, e.hasJournal ? "  [journal]" : "");
+        std::printf("%zu result(s) in %s\n", entries.size(),
+                    store.dir().c_str());
+        return 0;
+    }
+    if (sub == "gc") {
+        const api::StoreGcStats stats = store.gc();
+        std::printf("removed %d quarantined, %d temp file(s), %d spent "
+                    "journal(s)\n",
+                    stats.quarantined, stats.tmpFiles, stats.journals);
+        return 0;
+    }
+    std::fprintf(stderr, "store: unknown subcommand \"%s\" (ls|gc)\n",
+                 sub.c_str());
+    return 2;
 }
 
 template <typename Names>
@@ -186,6 +353,20 @@ main(int argc, char **argv)
             return 2;
         }
         return cmdRun(argv[2], argc, argv);
+    }
+    if (cmd == "resume") {
+        if (argc < 3 || argv[2][0] == '-') {
+            std::fprintf(stderr, "resume: missing hash or spec file\n");
+            return 2;
+        }
+        return cmdResume(argv[2], argc, argv);
+    }
+    if (cmd == "store") {
+        if (argc < 3) {
+            std::fprintf(stderr, "store: missing subcommand (ls|gc)\n");
+            return 2;
+        }
+        return cmdStore(argv[2], argc, argv);
     }
     return usage(argv[0]);
 }
