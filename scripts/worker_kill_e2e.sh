@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Supervised-execution end-to-end differential: run the gemini CLI in
+# worker mode (--workers), SIGKILL one of its worker subprocesses in the
+# middle of the exploration, and verify the run (a) survives — the
+# supervisor respawns the worker and retries the candidate — and (b)
+# still lands on the exact winner an in-process run produces. This drives
+# the crash-isolation stack for real: real subprocesses, a real kill -9,
+# no fault injection.
+#
+# Usage: worker_kill_e2e.sh [BUILD_DIR] [SPEC]
+#   BUILD_DIR  directory containing the `gemini` binary (default: build)
+#   SPEC       experiment spec (default: examples/specs/dse_crash_demo.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+spec="${2:-$repo_root/examples/specs/dse_crash_demo.json}"
+gemini="$build_dir/gemini"
+work="$(mktemp -d "${TMPDIR:-/tmp}/gemini_wkill_e2e.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+[ -x "$gemini" ] || { echo "no gemini binary at $gemini" >&2; exit 1; }
+
+echo "== reference run (in-process execution)"
+"$gemini" run "$spec" --store "$work/store_ref" --out "$work/out_ref" \
+    > "$work/ref.log" 2>&1
+grep '^winner:' "$work/ref.log"
+
+# Separate store: execution mode is excluded from the canonical spec
+# hash, so sharing a store would serve the reference result from cache
+# and never spawn a worker.
+echo "== worker-mode run with a worker SIGKILLed mid-exploration"
+"$gemini" run "$spec" --store "$work/store_wk" --out "$work/out_workers" \
+    --workers 2 > "$work/workers.log" 2>&1 &
+pid=$!
+
+# Wait for worker subprocesses to exist, then SIGKILL one of them —
+# the supervisor must treat it like any crash: respawn and retry.
+killed=""
+for _ in $(seq 1 200); do
+    kill -0 "$pid" 2>/dev/null || break
+    workers=$(pgrep -P "$pid" -f "worker" 2>/dev/null || true)
+    if [ -n "$workers" ]; then
+        victim=$(echo "$workers" | head -n1)
+        if kill -9 "$victim" 2>/dev/null; then
+            killed="$victim"
+            echo "SIGKILLed worker pid $victim"
+            break
+        fi
+    fi
+    sleep 0.1
+done
+[ -n "$killed" ] || echo "run finished before a worker could be killed"
+
+wait "$pid" || { echo "worker-mode run failed" >&2; cat "$work/workers.log" >&2; exit 1; }
+grep '^winner:' "$work/workers.log"
+
+echo "== differential: worker-mode winner vs in-process winner"
+python3 - "$work/out_ref/result.json" "$work/out_workers/result.json" <<'EOF'
+import json, sys
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["dse"]
+
+ref, got = load(sys.argv[1]), load(sys.argv[2])
+if ref["best_index"] != got["best_index"]:
+    sys.exit(f"best_index differs: in-process {ref['best_index']} vs "
+             f"workers {got['best_index']}")
+poisoned = [i for i, r in enumerate(got["records"]) if r.get("poisoned")]
+if poisoned:
+    # A SIGKILLed worker's candidate is retried on a fresh worker, so
+    # nothing should end up quarantined in this scenario.
+    sys.exit(f"unexpected poisoned candidates: {poisoned}")
+for i, (a, b) in enumerate(zip(ref["records"], got["records"])):
+    a, b = dict(a), dict(b)
+    for k in ("eval_seconds",):  # wall-clock metadata, not a decision
+        a.pop(k, None); b.pop(k, None)
+    if a != b:
+        for k in sorted(set(a) | set(b)):
+            if a.get(k) != b.get(k):
+                print(f"  record {i} field {k}: {a.get(k)} vs {b.get(k)}")
+        sys.exit(f"record {i} differs between in-process and worker mode")
+print(f"OK: bit-identical records and winner (index {ref['best_index']}, "
+      f"objective {ref['records'][ref['best_index']]['objective']!r})")
+EOF
+
+if [ -n "$killed" ]; then
+    echo "== supervisor recovered from the kill"
+    # Whether the kill landed mid-eval (watchdog fires) or between
+    # requests (next write fails fast), the supervisor logs the recovery.
+    grep -i 'killing worker\|attempt' "$work/workers.log" | head -5 || true
+fi
+echo "PASS"

@@ -424,6 +424,8 @@ dseRecordToJson(const dse::DseRecord &rec)
     setExtended(v, "objective_lower_bound", rec.objectiveLowerBound);
     v.set("rung_reached", rec.rungReached);
     v.set("pruned_by_bound", rec.prunedByBound);
+    v.set("poisoned", rec.poisoned);
+    v.set("poison_reason", rec.poisonReason);
     v.set("sa_iters", rec.saIters);
     v.set("eval_seconds", rec.evalSeconds);
     return v;
@@ -467,6 +469,9 @@ dseRecordFromJson(const Value &v, const std::string &path,
     r.getExtendedDouble("objective_lower_bound", rec.objectiveLowerBound);
     r.getInt("rung_reached", rec.rungReached);
     r.getBool("pruned_by_bound", rec.prunedByBound);
+    // Optional keys (absent in pre-worker-mode files): defaults hold.
+    r.getBool("poisoned", rec.poisoned);
+    r.getString("poison_reason", rec.poisonReason);
     r.getInt("sa_iters", rec.saIters);
     r.getDouble("eval_seconds", rec.evalSeconds);
     if (!r.finish())
@@ -484,6 +489,7 @@ rungStatsToJson(const dse::DseRungStats &rs)
     v.set("advanced", rs.advanced);
     v.set("pruned_bound", rs.prunedBound);
     v.set("pruned_rank", rs.prunedRank);
+    v.set("poisoned", rs.poisoned);
     v.set("sa_iters", rs.saIters);
     v.set("cpu_seconds", rs.cpuSeconds);
     setExtended(v, "best_objective", rs.bestObjective);
@@ -501,6 +507,7 @@ rungStatsFromJson(const Value &v, const std::string &path,
     r.getInt("advanced", rs.advanced);
     r.getInt("pruned_bound", rs.prunedBound);
     r.getInt("pruned_rank", rs.prunedRank);
+    r.getInt("poisoned", rs.poisoned); // optional: absent in old files
     r.getInt("sa_iters", rs.saIters);
     r.getDouble("cpu_seconds", rs.cpuSeconds);
     r.getExtendedDouble("best_objective", rs.bestObjective);

@@ -11,6 +11,8 @@
 #include "src/api/json_reader.hh"
 #include "src/api/results.hh"
 #include "src/api/store.hh"
+#include "src/api/supervisor.hh"
+#include "src/common/subprocess.hh"
 #include "src/common/fault_injection.hh"
 #include "src/common/logging.hh"
 #include "src/cost/cost_stack.hh"
@@ -486,6 +488,41 @@ ExplorationService::runJobBody(const std::shared_ptr<JobHandle::Shared> &job,
             dopts.journalPath = store_->journalPath(job->specHash);
             dopts.journalTag = job->specHash;
             dopts.resume = options.resume;
+        }
+
+        // Supervised execution: evaluations run in worker subprocesses
+        // behind a supervisor. Must outlive runDse; if the first worker
+        // cannot be brought up, degrade to in-process rather than fail
+        // the job (winners are bit-identical either way).
+        std::unique_ptr<WorkerSupervisor> supervisor;
+        if (s.execution.mode == ExecutionSpec::Mode::Workers) {
+            SupervisorOptions sopts;
+            sopts.workers = s.execution.workers > 0
+                                ? s.execution.workers
+                                : static_cast<int>(pool_.threadCount());
+            sopts.maxRetries = s.execution.maxRetries;
+            sopts.candidateDeadlineSeconds =
+                s.execution.candidateDeadlineSeconds;
+            sopts.candidateRssMiB = s.execution.candidateRssMiB;
+            sopts.specText = s.toJson().dump();
+            const char *bin = std::getenv("GEMINI_WORKER_BIN");
+            sopts.workerArgv = {bin && *bin ? std::string(bin)
+                                            : common::selfExePath(),
+                                "worker"};
+            auto sup = std::make_unique<WorkerSupervisor>(sopts);
+            std::string serr;
+            if (sup->start(&serr)) {
+                supervisor = std::move(sup);
+                dopts.execution = dse::ExecutionMode::Workers;
+                dopts.remoteEval =
+                    [sup = supervisor.get()](
+                        const dse::RemoteEvalRequest &rq) {
+                        return sup->evaluate(rq);
+                    };
+            } else {
+                GEMINI_WARN("worker mode unavailable (", serr,
+                            "); degrading to in-process execution");
+            }
         }
 
         result.dse = dse::runDse(dopts);

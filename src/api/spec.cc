@@ -232,6 +232,46 @@ readCost(const Value &v, const std::string &path, cost::CostParams &c,
     return r.finish();
 }
 
+bool
+readExecution(const Value &v, const std::string &path, ExecutionSpec &e,
+              std::string *error)
+{
+    ObjectReader r(v, path, error);
+    std::string mode = e.mode == ExecutionSpec::Mode::Workers ? "workers"
+                                                              : "in_process";
+    r.getString("mode", mode);
+    if (!r.ok())
+        return false;
+    if (mode == "in_process") {
+        e.mode = ExecutionSpec::Mode::InProcess;
+    } else if (mode == "workers") {
+        e.mode = ExecutionSpec::Mode::Workers;
+    } else {
+        if (error && error->empty())
+            *error = path + ".mode: unknown mode \"" + mode +
+                     "\" (valid: in_process, workers)";
+        return false;
+    }
+    r.getInt("workers", e.workers);
+    r.getInt("max_retries", e.maxRetries);
+    r.getDouble("candidate_deadline_seconds", e.candidateDeadlineSeconds);
+    r.getInt("candidate_rss_mib", e.candidateRssMiB);
+    return r.finish();
+}
+
+Value
+executionToJson(const ExecutionSpec &e)
+{
+    Value v = Value::object();
+    v.set("mode", e.mode == ExecutionSpec::Mode::Workers ? "workers"
+                                                         : "in_process");
+    v.set("workers", e.workers);
+    v.set("max_retries", e.maxRetries);
+    v.set("candidate_deadline_seconds", e.candidateDeadlineSeconds);
+    v.set("candidate_rss_mib", e.candidateRssMiB);
+    return v;
+}
+
 Value
 objectiveToJson(const ExperimentSpec &spec)
 {
@@ -462,6 +502,11 @@ ExperimentSpec::fromJson(const Value &v, std::string *error)
         if (!readCost(*costv, "spec.cost", spec.costParams, error))
             return std::nullopt;
     }
+    if (const Value *execution = r.child("execution")) {
+        if (!readExecution(*execution, "spec.execution", spec.execution,
+                           error))
+            return std::nullopt;
+    }
     r.getInt("max_candidates", spec.maxCandidates);
     r.getInt("threads", spec.threads);
     r.getDouble("deadline_seconds", spec.deadlineSeconds);
@@ -524,6 +569,7 @@ ExperimentSpec::toJson() const
     v.set("cost", costToJson(costParams));
     v.set("threads", threads);
     v.set("deadline_seconds", deadlineSeconds);
+    v.set("execution", executionToJson(execution));
     return v;
 }
 
@@ -627,6 +673,17 @@ ExperimentSpec::validate() const
     if (!(deadlineSeconds >= 0.0) || !std::isfinite(deadlineSeconds))
         complain("deadline_seconds: must be a finite number >= 0 "
                  "(0 = no deadline)");
+    if (execution.workers < 0)
+        complain("execution.workers: must be >= 0 (0 = thread count)");
+    if (execution.maxRetries < 0)
+        complain("execution.max_retries: must be >= 0");
+    if (!(execution.candidateDeadlineSeconds >= 0.0) ||
+        !std::isfinite(execution.candidateDeadlineSeconds))
+        complain("execution.candidate_deadline_seconds: must be a finite "
+                 "number >= 0 (0 = no per-candidate deadline)");
+    if (execution.candidateRssMiB < 0)
+        complain("execution.candidate_rss_mib: must be >= 0 "
+                 "(0 = unlimited)");
 
     std::string joined;
     for (const std::string &p : problems)
@@ -644,6 +701,11 @@ ExperimentSpec::canonicalText() const
     // never cached or stored, which keeps this sound.
     ExperimentSpec identity = *this;
     identity.deadlineSeconds = 0.0;
+    // Execution controls (worker pool, retry/quarantine budgets) decide
+    // *where* candidates evaluate, not what they compute — worker and
+    // in-process runs produce bit-identical winners — so they share the
+    // deadline's exclusion.
+    identity.execution = ExecutionSpec{};
     return identity.toJson().canonical();
 }
 

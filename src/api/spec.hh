@@ -66,6 +66,38 @@ struct ArchSpec
 };
 
 /**
+ * How (not what) a DSE experiment evaluates its candidates: in the
+ * service process, or sharded over supervised `gemini worker`
+ * subprocesses with crash isolation, a heartbeat watchdog, per-candidate
+ * budgets, and poison quarantine (see api::WorkerSupervisor). Execution
+ * controls never affect the result when nothing is poisoned — worker
+ * and in-process runs produce bit-identical winners — so this whole
+ * section is excluded from canonicalHash(), like the deadline.
+ */
+struct ExecutionSpec
+{
+    enum class Mode
+    {
+        InProcess,
+        Workers
+    };
+
+    Mode mode = Mode::InProcess;
+
+    /** Worker subprocesses (0 = the run's thread count). */
+    int workers = 0;
+
+    /** Fresh-worker retries per candidate before poison quarantine. */
+    int maxRetries = 2;
+
+    /** Per-candidate wall-clock budget in seconds (0 = none). */
+    double candidateDeadlineSeconds = 0.0;
+
+    /** Per-worker resident-set budget in MiB (0 = unlimited). */
+    int candidateRssMiB = 0;
+};
+
+/**
  * A complete experiment description. Defaults reproduce the C++ option
  * structs' defaults; see the file comment for the stability contract.
  */
@@ -117,6 +149,13 @@ struct ExperimentSpec
      * cache/store entry (only *complete* results are ever stored).
      */
     double deadlineSeconds = 0.0;
+
+    /**
+     * Candidate execution controls (worker pool, retry and quarantine
+     * budgets). Like the deadline, execution-only: excluded from
+     * canonicalHash().
+     */
+    ExecutionSpec execution;
 
     // ------------------------------------------------------------------
 

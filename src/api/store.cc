@@ -66,6 +66,39 @@ quarantine(const std::string &path, const std::string &why)
                 "); it will be recomputed, never served");
 }
 
+/**
+ * Poisoned candidates inside a stored result, by raw JSON navigation
+ * (payload.result.dse.records[*].poisoned) — cheap relative to a full
+ * ExperimentResult::fromJson, and 0 for unreadable or map-mode records.
+ */
+int
+countPoisoned(const std::string &path)
+{
+    std::string text;
+    if (!readFile(path, text))
+        return 0;
+    const std::optional<Value> v = common::json::parse(text, nullptr);
+    if (!v || !v->isObject())
+        return 0;
+    const Value *node = v->find("payload");
+    for (const char *key : {"result", "dse", "records"}) {
+        if (!node || !node->isObject())
+            return 0;
+        node = node->find(key);
+    }
+    if (!node || !node->isArray())
+        return 0;
+    int poisoned = 0;
+    for (const Value &rec : node->asArray()) {
+        if (!rec.isObject())
+            continue;
+        const Value *p = rec.find("poisoned");
+        if (p && p->isBool() && p->asBool())
+            ++poisoned;
+    }
+    return poisoned;
+}
+
 } // namespace
 
 /**
@@ -269,10 +302,10 @@ ResultStore::list()
         if (name.size() != 16 + suffix.size() ||
             name.compare(16, suffix.size(), suffix) != 0)
             continue;
+        const std::string hex = name.substr(0, 16);
         char *end = nullptr;
-        const std::uint64_t hash =
-            std::strtoull(name.substr(0, 16).c_str(), &end, 16);
-        if (*end != '\0')
+        const std::uint64_t hash = std::strtoull(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + hex.size())
             continue;
         StoreEntry e;
         e.hash = hash;
@@ -280,6 +313,7 @@ ResultStore::list()
         std::error_code sec;
         e.bytes = static_cast<std::uint64_t>(de.file_size(sec));
         e.hasJournal = fs::exists(journalPath(hash));
+        e.poisoned = countPoisoned(e.path);
         entries.push_back(std::move(e));
     }
     std::sort(entries.begin(), entries.end(),
@@ -289,8 +323,24 @@ ResultStore::list()
     return entries;
 }
 
+int
+ResultStore::quarantinedFiles()
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    int count = 0;
+    std::error_code ec;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.size() > 12 &&
+            name.compare(name.size() - 12, 12, ".quarantined") == 0)
+            ++count;
+    }
+    return count;
+}
+
 StoreGcStats
-ResultStore::gc()
+ResultStore::gc(bool dryRun)
 {
     std::lock_guard lock(mu_);
     DirLock dirLock(lockPath_);
@@ -315,9 +365,14 @@ ResultStore::gc()
                 doomed_journals.push_back(de.path());
         }
     }
-    const auto removeAll = [](const std::vector<fs::path> &paths) {
+    const auto removeAll = [&](const std::vector<fs::path> &paths) {
         int removed = 0;
         for (const fs::path &p : paths) {
+            stats.paths.push_back(p.string());
+            if (dryRun) {
+                ++removed;
+                continue;
+            }
             std::error_code rec;
             if (fs::remove(p, rec))
                 ++removed;

@@ -48,14 +48,16 @@ struct StoreEntry
     std::string path;           ///< the .result.json file
     std::uint64_t bytes = 0;    ///< size of that file
     bool hasJournal = false;    ///< a rung journal exists for this hash
+    int poisoned = 0;           ///< quarantined candidates in the result
 };
 
-/** What a garbage-collection pass removed. */
+/** What a garbage-collection pass removed (or, dry run, would remove). */
 struct StoreGcStats
 {
     int quarantined = 0; ///< corrupt records previously renamed aside
     int tmpFiles = 0;    ///< temp files orphaned by crashed publishes
     int journals = 0;    ///< journals of runs whose result is stored
+    std::vector<std::string> paths; ///< every victim, for reporting
 };
 
 class ResultStore
@@ -92,8 +94,15 @@ class ResultStore
     /** Every readable .result.json entry, sorted by hash. */
     std::vector<StoreEntry> list();
 
-    /** Remove quarantined records, orphan temp files, spent journals. */
-    StoreGcStats gc();
+    /** Corrupt records renamed aside by get() and not yet collected. */
+    int quarantinedFiles();
+
+    /**
+     * Remove quarantined records, orphan temp files, spent journals.
+     * With `dryRun` nothing is deleted; the stats report what a real
+     * pass would remove (counts and paths).
+     */
+    StoreGcStats gc(bool dryRun = false);
 
     /** Path of the rung journal for `hash` (file may not exist). */
     std::string journalPath(std::uint64_t hash) const;

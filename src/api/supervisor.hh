@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The supervisor half of the supervised execution mode: a pool of
+ * `gemini worker` subprocesses (see worker.hh for the frame protocol),
+ * one candidate evaluation outstanding per worker, with a lifecycle
+ * policy that keeps one bad candidate from taking down the run:
+ *
+ *   - a worker that dies, stops heartbeating, overruns the per-candidate
+ *     wall-clock deadline, or exceeds the RSS budget is SIGKILLed;
+ *   - the candidate is retried on a freshly spawned worker (exponential
+ *     backoff on consecutive spawn failures) up to `maxRetries` times;
+ *   - a candidate that still fails is quarantined as *poisoned*: the
+ *     evaluation returns an infeasible outcome tagged with the reason
+ *     instead of aborting the exploration.
+ *
+ * evaluate() is called concurrently from the DSE scheduler's pool
+ * threads; each call checks out a worker slot and blocks until one is
+ * free, so in-flight parallelism equals the worker count.
+ */
+
+#ifndef GEMINI_API_SUPERVISOR_HH
+#define GEMINI_API_SUPERVISOR_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/subprocess.hh"
+#include "src/dse/dse.hh"
+
+namespace gemini::api {
+
+struct SupervisorOptions
+{
+    /** Worker processes (= max concurrent evaluations). */
+    int workers = 1;
+    /** Retries on a fresh worker before a candidate is quarantined. */
+    int maxRetries = 2;
+    /** Per-candidate wall-clock budget in seconds; 0 = unlimited. */
+    double candidateDeadlineSeconds = 0.0;
+    /** Per-worker resident-set budget in MiB; 0 = unlimited. */
+    int candidateRssMiB = 0;
+    /** Max silence between worker frames before the watchdog kills. */
+    double heartbeatTimeoutSeconds = 10.0;
+    /** Budget for spawn + init handshake of one worker. */
+    double handshakeTimeoutSeconds = 30.0;
+    /** Full ExperimentSpec JSON text, sent to every worker at init. */
+    std::string specText;
+    /** Worker command line, e.g. {"/path/to/gemini", "worker"}. */
+    std::vector<std::string> workerArgv;
+};
+
+/** Lifecycle counters, for logs and the stress tests. */
+struct SupervisorStats
+{
+    int spawns = 0;   ///< successful worker spawns (incl. respawns)
+    int kills = 0;    ///< workers SIGKILLed by the watchdog/budgets
+    int retries = 0;  ///< candidate attempts after the first
+    int poisoned = 0; ///< candidates quarantined
+};
+
+class WorkerSupervisor
+{
+  public:
+    explicit WorkerSupervisor(SupervisorOptions options);
+    ~WorkerSupervisor();
+
+    WorkerSupervisor(const WorkerSupervisor &) = delete;
+    WorkerSupervisor &operator=(const WorkerSupervisor &) = delete;
+
+    /**
+     * Spawn and handshake the first worker. Failure here means worker
+     * mode is unavailable (bad binary, spec the worker rejects...) and
+     * the caller should degrade to in-process execution. Remaining
+     * workers are spawned lazily as evaluations demand them.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Evaluate one candidate on a worker, applying the full lifecycle
+     * policy. Never throws on worker failure: a candidate that exhausts
+     * its retries comes back with `poisoned = true` and the reason.
+     * Thread-safe; blocks while all workers are busy.
+     */
+    dse::RemoteEvalOutcome evaluate(const dse::RemoteEvalRequest &request);
+
+    SupervisorStats stats() const;
+
+  private:
+    struct Slot
+    {
+        std::unique_ptr<common::Subprocess> proc; ///< null = not spawned
+        std::uint64_t nextSeq = 1;
+        int consecutiveSpawnFailures = 0; ///< drives the backoff
+        bool busy = false;
+    };
+
+    int acquireSlot();
+    void releaseSlot(int index);
+
+    /** Spawn + init handshake; kills the worker on handshake failure. */
+    bool spawnWorker(Slot &slot, std::string *error);
+    /** SIGKILL + reap + drop the slot's worker. */
+    void killWorker(Slot &slot, const std::string &why);
+    /**
+     * One attempt: send the eval frame, pump heartbeat/result frames
+     * enforcing watchdog + budgets. Returns true with `outcome` filled
+     * on success; false with `why` on any failure (the worker has been
+     * killed unless it answered with a structured error frame).
+     */
+    bool attemptOnWorker(Slot &slot, const dse::RemoteEvalRequest &request,
+                         dse::RemoteEvalOutcome &outcome, std::string &why);
+
+    SupervisorOptions opts_;
+    mutable std::mutex mu_;
+    std::condition_variable slotFree_;
+    std::vector<Slot> slots_;
+    SupervisorStats stats_;
+};
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_SUPERVISOR_HH

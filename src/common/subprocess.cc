@@ -1,0 +1,360 @@
+#include "src/common/subprocess.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <mutex>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "src/common/logging.hh"
+
+namespace gemini::common {
+
+namespace {
+
+/**
+ * A write to a worker that died mid-request must surface as EPIPE (the
+ * supervisor's retry path), not as a process-killing SIGPIPE. Installed
+ * once, before the first spawn.
+ */
+void
+ignoreSigpipeOnce()
+{
+    static std::once_flag once;
+    std::call_once(once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::string
+errnoString(const char *what)
+{
+    return std::string(what) + ": " + std::strerror(errno);
+}
+
+/** Write all of `data`, retrying short writes and EINTR. */
+bool
+writeAll(int fd, const char *data, std::size_t len, std::string *error)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        const ssize_t n = ::write(fd, data + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoString("write");
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+double
+secondsLeft(std::chrono::steady_clock::time_point deadline)
+{
+    return std::chrono::duration<double>(deadline -
+                                         std::chrono::steady_clock::now())
+        .count();
+}
+
+/**
+ * Read exactly `len` bytes before `deadline` (blocking forever when
+ * `forever`). Uses poll() slices so a stalled peer cannot wedge the
+ * caller past its deadline.
+ */
+FrameStatus
+readExact(int fd, char *out, std::size_t len, bool forever,
+          std::chrono::steady_clock::time_point deadline, std::string *error)
+{
+    std::size_t off = 0;
+    while (off < len) {
+        int timeout_ms = -1;
+        if (!forever) {
+            const double left = secondsLeft(deadline);
+            if (left <= 0.0)
+                return FrameStatus::Timeout;
+            timeout_ms = static_cast<int>(left * 1000.0) + 1;
+        }
+        struct pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int pr = ::poll(&pfd, 1, timeout_ms);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoString("poll");
+            return FrameStatus::Error;
+        }
+        if (pr == 0)
+            return FrameStatus::Timeout;
+        const ssize_t n = ::read(fd, out + off, len - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = errnoString("read");
+            return FrameStatus::Error;
+        }
+        if (n == 0)
+            return FrameStatus::Eof;
+        off += static_cast<std::size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+} // namespace
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Eof:
+        return "eof";
+      case FrameStatus::Timeout:
+        return "timeout";
+      case FrameStatus::Oversized:
+        return "oversized";
+      case FrameStatus::Error:
+        return "error";
+    }
+    return "unknown";
+}
+
+bool
+writeFrame(int fd, std::string_view payload, std::string *error)
+{
+    ignoreSigpipeOnce();
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    char header[4];
+    header[0] = static_cast<char>(len & 0xFF);
+    header[1] = static_cast<char>((len >> 8) & 0xFF);
+    header[2] = static_cast<char>((len >> 16) & 0xFF);
+    header[3] = static_cast<char>((len >> 24) & 0xFF);
+    return writeAll(fd, header, sizeof(header), error) &&
+           writeAll(fd, payload.data(), payload.size(), error);
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, double timeout_seconds,
+          std::uint32_t max_bytes, std::string *error)
+{
+    const bool forever = timeout_seconds < 0.0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(forever ? 0.0 : timeout_seconds));
+
+    char header[4];
+    FrameStatus st =
+        readExact(fd, header, sizeof(header), forever, deadline, error);
+    if (st != FrameStatus::Ok)
+        return st;
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(static_cast<unsigned char>(header[0])) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[1]))
+         << 8) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[2]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<unsigned char>(header[3]))
+         << 24);
+    if (len > max_bytes)
+        return FrameStatus::Oversized;
+    payload.resize(len);
+    if (len == 0)
+        return FrameStatus::Ok;
+    return readExact(fd, payload.data(), len, forever, deadline, error);
+}
+
+Subprocess::~Subprocess()
+{
+    if (running())
+        kill();
+    if (pid_ > 0 && !reaped_)
+        wait();
+    closeFds();
+}
+
+void
+Subprocess::closeFds()
+{
+    if (stdin_ >= 0) {
+        ::close(stdin_);
+        stdin_ = -1;
+    }
+    if (stdout_ >= 0) {
+        ::close(stdout_);
+        stdout_ = -1;
+    }
+}
+
+bool
+Subprocess::spawn(const std::vector<std::string> &argv, std::string *error)
+{
+    GEMINI_ASSERT(pid_ < 0, "Subprocess::spawn called twice");
+    if (argv.empty()) {
+        if (error)
+            *error = "empty argv";
+        return false;
+    }
+    ignoreSigpipeOnce();
+
+    int to_child[2] = {-1, -1};   // parent writes [1], child reads [0]
+    int from_child[2] = {-1, -1}; // child writes [1], parent reads [0]
+    if (::pipe(to_child) != 0) {
+        if (error)
+            *error = errnoString("pipe");
+        return false;
+    }
+    if (::pipe(from_child) != 0) {
+        if (error)
+            *error = errnoString("pipe");
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        return false;
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = errnoString("fork");
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        return false;
+    }
+
+    if (pid == 0) {
+        // Child: protocol on stdin/stdout, stderr inherited.
+        ::dup2(to_child[0], STDIN_FILENO);
+        ::dup2(from_child[1], STDOUT_FILENO);
+        ::close(to_child[0]);
+        ::close(to_child[1]);
+        ::close(from_child[0]);
+        ::close(from_child[1]);
+        std::vector<char *> cargv;
+        cargv.reserve(argv.size() + 1);
+        for (const std::string &a : argv)
+            cargv.push_back(const_cast<char *>(a.c_str()));
+        cargv.push_back(nullptr);
+        ::execvp(cargv[0], cargv.data());
+        // exec failed: die loudly; the parent's handshake sees EOF.
+        std::fprintf(stderr, "[worker] exec %s failed: %s\n", cargv[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+
+    // Parent: keep only our ends; mark the request pipe close-on-exec so
+    // sibling workers spawned later cannot hold it open (a leaked write
+    // end would mask a dead supervisor from the worker's EOF check).
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    ::fcntl(to_child[1], F_SETFD, FD_CLOEXEC);
+    ::fcntl(from_child[0], F_SETFD, FD_CLOEXEC);
+    pid_ = pid;
+    stdin_ = to_child[1];
+    stdout_ = from_child[0];
+    reaped_ = false;
+    status_ = -1;
+    return true;
+}
+
+bool
+Subprocess::running()
+{
+    if (pid_ <= 0 || reaped_)
+        return false;
+    int status = 0;
+    const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+    if (r == pid_) {
+        reaped_ = true;
+        status_ = status;
+        return false;
+    }
+    return r == 0;
+}
+
+void
+Subprocess::kill(int sig)
+{
+    if (pid_ > 0 && !reaped_)
+        ::kill(pid_, sig);
+}
+
+int
+Subprocess::wait()
+{
+    if (pid_ <= 0)
+        return -1;
+    if (!reaped_) {
+        int status = 0;
+        pid_t r;
+        do {
+            r = ::waitpid(pid_, &status, 0);
+        } while (r < 0 && errno == EINTR);
+        if (r == pid_) {
+            reaped_ = true;
+            status_ = status;
+        }
+    }
+    return status_;
+}
+
+void
+Subprocess::closeStdin()
+{
+    if (stdin_ >= 0) {
+        ::close(stdin_);
+        stdin_ = -1;
+    }
+}
+
+long
+processRssMiB(pid_t pid)
+{
+#if defined(__linux__)
+    const std::string path = "/proc/" + std::to_string(pid) + "/status";
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return -1;
+    long rss_kib = -1;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "VmRSS:", 6) == 0) {
+            rss_kib = std::strtol(line + 6, nullptr, 10);
+            break;
+        }
+    }
+    std::fclose(f);
+    return rss_kib >= 0 ? rss_kib / 1024 : -1;
+#else
+    (void)pid;
+    return -1;
+#endif
+}
+
+std::string
+selfExePath()
+{
+#if defined(__linux__)
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return std::string(buf);
+#else
+    return "";
+#endif
+}
+
+} // namespace gemini::common

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Child-process and pipe-framing utilities for the supervised worker
+ * execution mode: spawn a child with piped stdin/stdout, exchange
+ * length-prefixed JSON frames with poll()-based timeouts, probe a child's
+ * resident-set size, and locate the running executable (so the service
+ * can respawn itself in `gemini worker` mode).
+ *
+ * The frame format is a 4-byte little-endian payload length followed by
+ * the payload bytes. Readers enforce a maximum frame size so a corrupt or
+ * hostile peer can announce neither a multi-gigabyte allocation nor an
+ * endless read; writers ignore SIGPIPE process-wide (installed once, on
+ * first spawn) so a dead peer surfaces as EPIPE instead of killing the
+ * supervisor.
+ */
+
+#ifndef GEMINI_COMMON_SUBPROCESS_HH
+#define GEMINI_COMMON_SUBPROCESS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <sys/types.h>
+
+namespace gemini::common {
+
+/** Upper bound a frame reader will accept (announced payload length). */
+constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/** Outcome of one readFrame() call. */
+enum class FrameStatus
+{
+    Ok,        ///< a complete frame was read into the payload
+    Eof,       ///< peer closed the pipe (possibly mid-frame: torn)
+    Timeout,   ///< deadline expired before a complete frame arrived
+    Oversized, ///< announced length exceeds the caller's maximum
+    Error      ///< read()/poll() failed (see *error)
+};
+
+/** Human-readable name of a FrameStatus (for logs and poison reasons). */
+const char *frameStatusName(FrameStatus status);
+
+/**
+ * Write one frame (4-byte LE length + payload) to `fd`.
+ * @return false on any write error (EPIPE from a dead peer included),
+ * with the reason in *error when non-null.
+ */
+bool writeFrame(int fd, std::string_view payload, std::string *error = nullptr);
+
+/**
+ * Read one complete frame from `fd` within `timeout_seconds` (< 0 blocks
+ * forever). Partial data past the deadline reports Timeout; the bytes read
+ * so far are discarded, so a Timeout poisons the stream — callers must
+ * treat the peer as corrupt (kill it), never retry the read.
+ */
+FrameStatus readFrame(int fd, std::string &payload, double timeout_seconds,
+                      std::uint32_t max_bytes = kMaxFrameBytes,
+                      std::string *error = nullptr);
+
+/**
+ * One spawned child with piped stdin/stdout (stderr is inherited, so
+ * worker diagnostics land on the supervisor's stderr). Non-copyable; the
+ * destructor SIGKILLs and reaps a still-running child.
+ */
+class Subprocess
+{
+  public:
+    Subprocess() = default;
+    ~Subprocess();
+
+    Subprocess(const Subprocess &) = delete;
+    Subprocess &operator=(const Subprocess &) = delete;
+
+    /**
+     * fork+exec `argv` (argv[0] is the executable; PATH is searched).
+     * Failure to fork or create pipes is reported synchronously; an
+     * exec failure surfaces as the child dying instantly (the caller's
+     * protocol handshake catches it).
+     */
+    bool spawn(const std::vector<std::string> &argv, std::string *error);
+
+    /** Child is spawned and not yet reaped as exited. */
+    bool running();
+
+    /** Send `sig` (default SIGKILL) to a running child. */
+    void kill(int sig = 9);
+
+    /** Blocking reap. @return raw waitpid status, or -1 if none. */
+    int wait();
+
+    pid_t pid() const { return pid_; }
+    int stdinFd() const { return stdin_; }  ///< write requests here
+    int stdoutFd() const { return stdout_; } ///< read responses here
+
+    /** Close the child's stdin (EOF tells a worker to exit cleanly). */
+    void closeStdin();
+
+  private:
+    void closeFds();
+
+    pid_t pid_ = -1;
+    int stdin_ = -1;
+    int stdout_ = -1;
+    bool reaped_ = false;
+    int status_ = -1;
+};
+
+/**
+ * Resident-set size of `pid` in MiB via /proc (Linux).
+ * @return -1 when unknown (non-Linux, or the process is gone).
+ */
+long processRssMiB(pid_t pid);
+
+/** Absolute path of the running executable ("" when undeterminable). */
+std::string selfExePath();
+
+} // namespace gemini::common
+
+#endif // GEMINI_COMMON_SUBPROCESS_HH

@@ -1,6 +1,7 @@
 #include "src/common/thread_pool.hh"
 
 #include <atomic>
+#include <utility>
 
 namespace gemini {
 
@@ -62,6 +63,17 @@ ThreadPool::parallelFor(std::size_t count,
         });
     }
     waitIdle();
+    // Synchronous semantics: an fn(i) that threw surfaces here, on the
+    // calling thread, exactly as a serial loop would.
+    if (std::exception_ptr err = takeTaskError())
+        std::rethrow_exception(err);
+}
+
+std::exception_ptr
+ThreadPool::takeTaskError()
+{
+    std::unique_lock lock(mutex_);
+    return std::exchange(taskError_, nullptr);
 }
 
 void
@@ -81,9 +93,18 @@ ThreadPool::workerLoop()
             tasks_.pop();
             ++inFlight_;
         }
-        task();
+        std::exception_ptr err;
+        try {
+            task();
+        } catch (...) {
+            // Never let a task kill this worker thread; stash the first
+            // exception for takeTaskError()/parallelFor() to surface.
+            err = std::current_exception();
+        }
         {
             std::unique_lock lock(mutex_);
+            if (err && !taskError_)
+                taskError_ = err;
             --inFlight_;
             if (tasks_.empty() && inFlight_ == 0)
                 idle_.notify_all();

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -21,6 +22,13 @@ namespace gemini {
 /**
  * A small task-queue thread pool. Tasks are void() callables; waitIdle()
  * blocks until every submitted task has finished.
+ *
+ * Tasks are exception-safe: a throwing task never terminates its worker
+ * thread. The first escaped exception is captured as an exception_ptr —
+ * parallelFor() rethrows it to its caller after the loop drains, and
+ * callers that submit() directly can collect it with takeTaskError()
+ * (the DSE scheduler does its own capture inside its task wrappers and
+ * surfaces errors through the service's JobHandle::rethrow()).
  */
 class ThreadPool
 {
@@ -50,6 +58,12 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &fn);
 
+    /**
+     * Take (and clear) the first exception that escaped a submitted task
+     * since the last take. Null when every task completed cleanly.
+     */
+    std::exception_ptr takeTaskError();
+
   private:
     void workerLoop();
 
@@ -60,6 +74,7 @@ class ThreadPool
     std::condition_variable idle_;
     std::size_t inFlight_ = 0;
     bool shutdown_ = false;
+    std::exception_ptr taskError_; ///< first escaped task exception
 };
 
 } // namespace gemini

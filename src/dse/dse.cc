@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <exception>
 #include <limits>
 #include <map>
 #include <memory>
@@ -25,6 +26,15 @@ DseStats::cpuSeconds() const
     double total = 0.0;
     for (const DseRungStats &r : rungs)
         total += r.cpuSeconds;
+    return total;
+}
+
+int
+DseStats::poisonedCount() const
+{
+    int total = 0;
+    for (const DseRungStats &r : rungs)
+        total += r.poisoned;
     return total;
 }
 
@@ -108,7 +118,7 @@ runOnPool(ThreadPool *external, std::size_t own_threads, std::size_t count,
 {
     if (!external) {
         ThreadPool pool(own_threads);
-        pool.parallelFor(count, fn);
+        pool.parallelFor(count, fn); // rethrows the first fn() exception
         return;
     }
     std::mutex mu;
@@ -119,14 +129,26 @@ runOnPool(ThreadPool *external, std::size_t own_threads, std::size_t count,
     const std::size_t tasks =
         std::max<std::size_t>(1, external->threadCount());
     std::size_t pending = tasks;
+    std::exception_ptr error;
     std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> aborted{false};
     for (std::size_t w = 0; w < tasks; ++w) {
         external->submit([&] {
-            for (;;) {
+            while (!aborted.load(std::memory_order_relaxed)) {
                 const std::size_t i = cursor.fetch_add(1);
                 if (i >= count)
                     break;
-                fn(i);
+                try {
+                    fn(i);
+                } catch (...) {
+                    // First failure wins; remaining indices are skipped
+                    // (every chunk task sees `aborted`) and the latch
+                    // still drains, so the waiter below never deadlocks.
+                    aborted.store(true, std::memory_order_relaxed);
+                    std::lock_guard elock(mu);
+                    if (!error)
+                        error = std::current_exception();
+                }
             }
             // Notify under the lock so the waiter cannot observe
             // pending == 0 and destroy the latch before notify runs.
@@ -137,6 +159,8 @@ runOnPool(ThreadPool *external, std::size_t own_threads, std::size_t count,
     }
     std::unique_lock lock(mu);
     done_cv.wait(lock, [&] { return pending == 0; });
+    if (error)
+        std::rethrow_exception(error);
 }
 
 /**
@@ -216,6 +240,8 @@ class MultiFidelityScheduler
                            std::size_t threads)
         : opts_(options), candidates_(std::move(candidates)),
           explorers_(options.mapping.tech),
+          remote_(options.execution == ExecutionMode::Workers &&
+                  options.remoteEval),
           ownedPool_(options.pool ? nullptr
                                   : std::make_unique<ThreadPool>(threads)),
           pool_(options.pool ? *options.pool : *ownedPool_)
@@ -292,10 +318,18 @@ class MultiFidelityScheduler
 
         // Wait on the run's own task latch, not pool_.waitIdle(): a shared
         // pool carries other jobs' tasks, which are not ours to wait for.
+        std::exception_ptr task_error;
         {
             std::unique_lock lock(waitMu_);
             allDone_.wait(lock, [this] { return pending_ == 0; });
+            task_error = error_;
         }
+        // A task that threw aborted the run: remaining tasks drained
+        // without evaluating, nothing was journaled past the last clean
+        // rung, and the error propagates to the caller (the service
+        // preserves it through JobHandle::rethrow()).
+        if (task_error)
+            std::rethrow_exception(task_error);
 
         result_.stats.cancelled = opts_.stop.cancelRequested();
         result_.stats.truncated = opts_.stop.deadlineExpired();
@@ -354,7 +388,17 @@ class MultiFidelityScheduler
             ++pending_;
         }
         pool_.submit([this, fn = std::move(fn)] {
-            fn();
+            try {
+                fn();
+            } catch (...) {
+                // Capture the first failure and abort the run: later
+                // tasks short-circuit (see the aborted_ checks), the
+                // drained latch releases run(), and run() rethrows.
+                aborted_.store(true, std::memory_order_relaxed);
+                std::lock_guard lock(waitMu_);
+                if (!error_)
+                    error_ = std::current_exception();
+            }
             std::lock_guard lock(waitMu_);
             if (--pending_ == 0)
                 allDone_.notify_all();
@@ -533,7 +577,7 @@ class MultiFidelityScheduler
         const arch::ArchConfig &cfg = candidates_[i];
         DseRecord &rec = result_.records[i];
         rec.arch = cfg;
-        if (opts_.stop.stopRequested()) {
+        if (opts_.stop.stopRequested() || abortRequested()) {
             // Cancelled before evaluation: an unevaluated record must
             // never look like a winner, so mark it infeasible with an
             // infinite objective. The cohort still resolves normally.
@@ -542,6 +586,8 @@ class MultiFidelityScheduler
             finishTask(0, i, secondsSince(t0));
             return;
         }
+        // MC and the objective lower bound are pure arithmetic — always
+        // computed locally, even in worker mode.
         const cost::CostStack stack(cfg, opts_.mapping.tech,
                                     opts_.costParams);
         rec.mc = stack.mcBreakdown();
@@ -550,21 +596,36 @@ class MultiFidelityScheduler
             opts_.beta, opts_.gamma);
 
         CandState &st = states_[i];
-        st.mappings.reserve(opts_.models.size());
-        rec.perModel.reserve(opts_.models.size());
-        for (const dnn::Graph *model : opts_.models) {
-            // Screen engines are throwaway: only the stripe mapping and
-            // the pooled explorer memo survive into the race rungs, so
-            // per-candidate analyzer caches never pile up across the
-            // whole (possibly huge) candidate list.
-            mapping::MappingOptions mo = opts_.mapping;
-            mo.runSa = false;
-            mapping::MappingEngine engine(*model, cfg, mo);
-            const std::size_t seeded = explorers_.seed(engine);
-            mapping::MappingResult res = engine.run();
-            explorers_.collect(engine, seeded);
-            st.mappings.push_back(std::move(res.mapping));
-            rec.perModel.push_back(res.total);
+        if (remote_) {
+            RemoteEvalRequest rq;
+            rq.index = i;
+            rq.arch = &cfg;
+            rq.rung = 0;
+            RemoteEvalOutcome out = opts_.remoteEval(rq);
+            if (out.poisoned) {
+                markPoisoned(rec, 0, std::move(out.poisonReason));
+                finishTask(0, i, secondsSince(t0));
+                return;
+            }
+            st.mappings = std::move(out.mappings);
+            rec.perModel = std::move(out.perModel);
+        } else {
+            st.mappings.reserve(opts_.models.size());
+            rec.perModel.reserve(opts_.models.size());
+            for (const dnn::Graph *model : opts_.models) {
+                // Screen engines are throwaway: only the stripe mapping
+                // and the pooled explorer memo survive into the race
+                // rungs, so per-candidate analyzer caches never pile up
+                // across the whole (possibly huge) candidate list.
+                mapping::MappingOptions mo = opts_.mapping;
+                mo.runSa = false;
+                mapping::MappingEngine engine(*model, cfg, mo);
+                const std::size_t seeded = explorers_.seed(engine);
+                mapping::MappingResult res = engine.run();
+                explorers_.collect(engine, seeded);
+                st.mappings.push_back(std::move(res.mapping));
+                rec.perModel.push_back(res.total);
+            }
         }
         finishRecord(rec, opts_);
         rec.rungReached = 0;
@@ -591,32 +652,78 @@ class MultiFidelityScheduler
         const auto t0 = std::chrono::steady_clock::now();
         DseRecord &rec = result_.records[i];
         CandState &st = states_[i];
-        if (opts_.stop.stopRequested()) {
+        if (opts_.stop.stopRequested() || abortRequested()) {
             // Cancelled: keep the record's deepest completed evaluation
             // (screen or an earlier race rung — still a valid, comparable
             // result) and let the cohort resolve.
             finishTask(rung, i, secondsSince(t0));
             return;
         }
-        ensureEngines(i);
-
         const int iters = rungIters(rung);
         const int chains = rungChains(rung);
-        for (std::size_t m = 0; m < opts_.models.size(); ++m) {
-            mapping::MappingEngine &engine = *st.engines[m];
-            mapping::MappingOptions &mo = engine.mutableOptions();
-            mo.runSa = true;
-            mo.sa.iterations = iters;
-            mo.sa.chains = chains;
-            mo.sa.seed = rungSeed(rung);
-            mapping::MappingResult res = engine.runFrom(st.mappings[m]);
-            st.mappings[m] = std::move(res.mapping);
-            rec.perModel[m] = res.total;
-            rec.saIters += iters * chains;
+        if (remote_) {
+            RemoteEvalRequest rq;
+            rq.index = i;
+            rq.arch = &candidates_[i];
+            rq.rung = rung;
+            rq.iters = iters;
+            rq.chains = chains;
+            rq.seed = rungSeed(rung);
+            rq.warmStarts = &st.mappings;
+            RemoteEvalOutcome out = opts_.remoteEval(rq);
+            if (out.poisoned) {
+                markPoisoned(rec, rung, std::move(out.poisonReason));
+                finishTask(rung, i, secondsSince(t0));
+                return;
+            }
+            st.mappings = std::move(out.mappings);
+            rec.perModel = std::move(out.perModel);
+            rec.saIters += iters * chains *
+                           static_cast<int>(opts_.models.size());
+        } else {
+            ensureEngines(i);
+            for (std::size_t m = 0; m < opts_.models.size(); ++m) {
+                mapping::MappingEngine &engine = *st.engines[m];
+                mapping::MappingOptions &mo = engine.mutableOptions();
+                mo.runSa = true;
+                mo.sa.iterations = iters;
+                mo.sa.chains = chains;
+                mo.sa.seed = rungSeed(rung);
+                mapping::MappingResult res = engine.runFrom(st.mappings[m]);
+                st.mappings[m] = std::move(res.mapping);
+                rec.perModel[m] = res.total;
+                rec.saIters += iters * chains;
+            }
         }
         finishRecord(rec, opts_);
         rec.rungReached = rung;
         finishTask(rung, i, secondsSince(t0));
+    }
+
+    bool
+    abortRequested() const
+    {
+        return aborted_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Quarantine a candidate whose evaluation exhausted its worker
+     * retries: infeasible-with-inf (so it can never rank or win), tagged
+     * poisoned with the supervisor's reason, and counted in the rung
+     * ledger. The run continues; resolveLocked drops poisoned records
+     * from every survivor set.
+     */
+    void
+    markPoisoned(DseRecord &rec, int rung, std::string reason)
+    {
+        rec.feasible = false;
+        rec.objective = kInf;
+        rec.poisoned = true;
+        rec.poisonReason = std::move(reason);
+        GEMINI_WARN("candidate ", rec.arch.toString(), " quarantined at ",
+                    rungName(rung), ": ", rec.poisonReason);
+        std::lock_guard lock(mu_);
+        ++result_.stats.rungs[static_cast<std::size_t>(rung)].poisoned;
     }
 
     void
@@ -669,9 +776,13 @@ class MultiFidelityScheduler
             const double best_achievable = rs.bestObjective;
             for (std::size_t i : members) {
                 DseRecord &rec = result_.records[i];
-                if (opts_.schedule.lowerBoundPrune &&
-                    std::isfinite(best_achievable) &&
-                    rec.objectiveLowerBound > best_achievable) {
+                if (rec.poisoned) {
+                    // Quarantined: never a survivor (and not counted as a
+                    // prune — the rung ledger tracks it separately).
+                    states_[i] = CandState{};
+                } else if (opts_.schedule.lowerBoundPrune &&
+                           std::isfinite(best_achievable) &&
+                           rec.objectiveLowerBound > best_achievable) {
                     rec.prunedByBound = true;
                     ++rs.prunedBound;
                     states_[i] = CandState{};
@@ -682,7 +793,17 @@ class MultiFidelityScheduler
         } else {
             // Rank by objective (infeasible and non-finite last), ties by
             // candidate index: deterministic for any completion order.
-            std::vector<std::size_t> ranked = members;
+            // Poisoned candidates are out of the race entirely: their
+            // exclusion must not depend on how many healthy candidates
+            // the keep-fraction would otherwise retain.
+            std::vector<std::size_t> ranked;
+            ranked.reserve(members.size());
+            for (std::size_t i : members) {
+                if (result_.records[i].poisoned)
+                    states_[i] = CandState{};
+                else
+                    ranked.push_back(i);
+            }
             auto key = [this](std::size_t i) {
                 const DseRecord &rec = result_.records[i];
                 return (rec.feasible && std::isfinite(rec.objective))
@@ -719,10 +840,11 @@ class MultiFidelityScheduler
             static_cast<int>(survivors.size());
 
         // Write-ahead: the keep-decision goes to stable storage before
-        // any next-rung task is enqueued. A stopped rung resolved with
-        // skipped candidates — not the deterministic decision — so it is
-        // never journaled; resume redoes it from the previous record.
-        if (journal_ && !opts_.stop.stopRequested())
+        // any next-rung task is enqueued. A stopped (or error-aborted)
+        // rung resolved with skipped candidates — not the deterministic
+        // decision — so it is never journaled; resume redoes it from the
+        // previous record.
+        if (journal_ && !opts_.stop.stopRequested() && !abortRequested())
             journalRungLocked(rung, survivors);
 
         finished.advanced = rs.advanced;
@@ -746,6 +868,7 @@ class MultiFidelityScheduler
     DseResult result_;
     std::vector<CandState> states_;
     ExplorerPool explorers_;
+    const bool remote_; ///< evaluate candidates via opts_.remoteEval
     std::unique_ptr<ThreadPool> ownedPool_; ///< null when opts_.pool set
     ThreadPool &pool_;
     std::mutex mu_;
@@ -760,6 +883,8 @@ class MultiFidelityScheduler
     std::mutex waitMu_;
     std::condition_variable allDone_;
     std::size_t pending_ = 0;
+    std::exception_ptr error_;        ///< first escaped task exception
+    std::atomic<bool> aborted_{false}; ///< error seen; tasks short-circuit
 };
 
 } // namespace
@@ -782,6 +907,52 @@ DseResult::bestUnder(double alpha, double beta, double gamma) const
     }
     return best;
 }
+
+namespace {
+
+/**
+ * Flat-driver variant of evaluateCandidate that routes the per-model
+ * evaluation through options.remoteEval (rung -1 = one full-budget run).
+ * MC and the lower bound stay local; a poisoned outcome becomes an
+ * infeasible-with-inf quarantined record, exactly like the scheduler's.
+ */
+DseRecord
+evaluateCandidateRemote(const arch::ArchConfig &cfg,
+                        const DseOptions &options, std::size_t index)
+{
+    DseRecord rec;
+    rec.arch = cfg;
+    const cost::CostStack stack(cfg, options.mapping.tech,
+                                options.costParams);
+    rec.mc = stack.mcBreakdown();
+    rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
+        options.models, options.mapping.batch, rec.mc.total(),
+        options.alpha, options.beta, options.gamma);
+
+    RemoteEvalRequest rq;
+    rq.index = index;
+    rq.arch = &cfg;
+    rq.rung = -1;
+    RemoteEvalOutcome out = options.remoteEval(rq);
+    if (out.poisoned) {
+        rec.feasible = false;
+        rec.objective = kInf;
+        rec.poisoned = true;
+        rec.poisonReason = std::move(out.poisonReason);
+        GEMINI_WARN("candidate ", rec.arch.toString(), " quarantined: ",
+                    rec.poisonReason);
+        return rec;
+    }
+    rec.perModel = std::move(out.perModel);
+    if (options.mapping.runSa)
+        rec.saIters = options.mapping.sa.iterations *
+                      std::max(1, options.mapping.sa.chains) *
+                      static_cast<int>(options.models.size());
+    finishRecord(rec, options);
+    return rec;
+}
+
+} // namespace
 
 DseRecord
 evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
@@ -890,6 +1061,8 @@ runDse(const DseOptions &user_options)
         options.progress(entered);
     }
 
+    const bool remote =
+        opts.execution == ExecutionMode::Workers && opts.remoteEval;
     runOnPool(options.pool, outer, candidates.size(), [&](std::size_t i) {
         const auto t0 = std::chrono::steady_clock::now();
         if (opts.stop.stopRequested()) {
@@ -898,6 +1071,9 @@ runDse(const DseOptions &user_options)
             result.records[i].arch = candidates[i];
             result.records[i].feasible = false;
             result.records[i].objective = kInf;
+        } else if (remote) {
+            result.records[i] =
+                evaluateCandidateRemote(candidates[i], opts, i);
         } else {
             result.records[i] = evaluateCandidate(candidates[i], opts);
         }
@@ -917,6 +1093,8 @@ runDse(const DseOptions &user_options)
     flat.bestObjective = kInf;
     for (const DseRecord &rec : result.records) {
         flat.cpuSeconds += rec.evalSeconds;
+        if (rec.poisoned)
+            ++flat.poisoned;
         if (rec.feasible && std::isfinite(rec.objective))
             flat.bestObjective = std::min(flat.bestObjective, rec.objective);
     }

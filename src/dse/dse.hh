@@ -117,6 +117,7 @@ struct DseRungStats
     int advanced = 0;    ///< candidates promoted to the next rung
     int prunedBound = 0; ///< dropped by the objective lower bound
     int prunedRank = 0;  ///< dropped by the keep-fraction ranking
+    int poisoned = 0;    ///< quarantined at this rung (worker mode)
     int saIters = 0;     ///< per-candidate per-model SA budget of the rung
     double cpuSeconds = 0.0;    ///< summed per-candidate eval seconds
     double bestObjective = 0.0; ///< best feasible objective after the rung
@@ -155,7 +156,72 @@ struct DseStats
 
     /** Total candidate-evaluation CPU-seconds across all rungs. */
     double cpuSeconds() const;
+
+    /** Total candidates quarantined as poisoned (all rungs). */
+    int poisonedCount() const;
 };
+
+/**
+ * How candidate evaluations execute (see ExecutionMode on DseOptions):
+ * in the calling process (the default), or sharded across supervised
+ * worker subprocesses so a crashing/hanging/runaway candidate cannot
+ * take down the exploration (or, in the service, other tenants' jobs).
+ */
+enum class ExecutionMode
+{
+    InProcess,
+    Workers
+};
+
+/**
+ * One remote candidate-evaluation request, as handed to the API layer's
+ * worker supervisor. The dse layer stays below the api layer: it only
+ * describes *what* to evaluate; spec serialization, pipes and process
+ * lifecycle live behind the RemoteEvaluator callback.
+ */
+struct RemoteEvalRequest
+{
+    std::size_t index = 0; ///< candidate index (stable fault/retry identity)
+    const arch::ArchConfig *arch = nullptr;
+
+    /**
+     * Scheduler rung: 0 = screen (stripe-only, runSa forced off),
+     * 1..N = race/polish (warm-started SA with the budget below),
+     * -1 = flat driver (one full-budget evaluation per spec options).
+     */
+    int rung = -1;
+    int iters = 0;          ///< per-model SA iterations (rungs >= 1)
+    int chains = 1;         ///< SA chains (rungs >= 1)
+    std::uint64_t seed = 0; ///< SA seed (rungs >= 1)
+
+    /** Per-model warm-start mappings (rungs >= 1; null otherwise). */
+    const std::vector<mapping::LpMapping> *warmStarts = nullptr;
+};
+
+/** Outcome of one remote evaluation. */
+struct RemoteEvalOutcome
+{
+    /**
+     * The candidate exhausted its retry budget (worker crashes, hangs,
+     * or resource-budget kills) and is quarantined: the scheduler marks
+     * its record infeasible-with-inf and `poisoned`, excludes it from
+     * survivor sets, and the run continues.
+     */
+    bool poisoned = false;
+    std::string poisonReason;
+
+    std::vector<eval::EvalBreakdown> perModel; ///< one per model
+    std::vector<mapping::LpMapping> mappings;  ///< next warm starts
+};
+
+/**
+ * Evaluation callback for ExecutionMode::Workers, installed by the API
+ * layer (see api::WorkerSupervisor). Must be thread-safe: the scheduler
+ * calls it concurrently from its candidate tasks. May throw to abort the
+ * whole run (a poisoned *candidate* is reported in the outcome instead).
+ */
+using RemoteEvaluator =
+    std::function<RemoteEvalOutcome(const RemoteEvalRequest &)>;
 
 /** Options of one DSE run. */
 struct DseOptions
@@ -236,6 +302,18 @@ struct DseOptions
     DseProgressFn progress;
 
     /**
+     * Candidate execution mode. Workers is honored only when `remoteEval`
+     * is also set (the API layer wires a supervisor in; with no evaluator
+     * the run degrades to in-process, never errors). Keep-decisions are
+     * bit-deterministic either way: a worker-mode run's winner equals the
+     * in-process winner whenever no candidate was poisoned.
+     */
+    ExecutionMode execution = ExecutionMode::InProcess;
+
+    /** Out-of-process evaluator (set by the API layer; see above). */
+    RemoteEvaluator remoteEval;
+
+    /**
      * External worker pool to run candidate tasks on (nullptr = the run
      * creates its own pool of `threads` workers). The API layer's
      * ExplorationService passes its long-lived shared pool here so
@@ -273,6 +351,15 @@ struct DseRecord
 
     /** Dropped at the screen because its lower bound cannot win. */
     bool prunedByBound = false;
+
+    /**
+     * Worker-mode quarantine: the candidate's evaluation kept killing its
+     * worker (crash, hang, or budget overrun) through every retry, so it
+     * was recorded infeasible-with-inf and dropped from all survivor
+     * sets instead of aborting the run. `poisonReason` says why.
+     */
+    bool poisoned = false;
+    std::string poisonReason;
 
     /** Total SA iterations spent on this candidate (all rungs, models). */
     int saIters = 0;

@@ -10,7 +10,8 @@ recordsTable(const DseResult &result)
                   "mc_total", "mc_silicon", "mc_dram", "mc_package",
                   "delay_geo_s", "energy_geo_j", "objective", "norm_edp",
                   "norm_mc", "feasible", "best", "rung", "pruned_bound",
-                  "obj_lower_bound", "sa_iters", "eval_seconds"});
+                  "poisoned", "obj_lower_bound", "sa_iters",
+                  "eval_seconds"});
     const DseRecord *best = result.bestIndex >= 0
                                 ? &result.records[static_cast<std::size_t>(
                                       result.bestIndex)]
@@ -31,7 +32,8 @@ recordsTable(const DseResult &result)
                    r.feasible ? 1 : 0,
                    static_cast<int>(i) == result.bestIndex ? 1 : 0,
                    r.rungReached, r.prunedByBound ? 1 : 0,
-                   r.objectiveLowerBound, r.saIters, r.evalSeconds);
+                   r.poisoned ? 1 : 0, r.objectiveLowerBound, r.saIters,
+                   r.evalSeconds);
     }
     return csv;
 }
@@ -40,11 +42,12 @@ CsvTable
 rungStatsTable(const DseStats &stats)
 {
     CsvTable csv({"rung", "entered", "advanced", "pruned_bound",
-                  "pruned_rank", "sa_iters", "cpu_seconds",
+                  "pruned_rank", "poisoned", "sa_iters", "cpu_seconds",
                   "best_objective"});
     for (const DseRungStats &r : stats.rungs)
         csv.addRow(r.name, r.entered, r.advanced, r.prunedBound,
-                   r.prunedRank, r.saIters, r.cpuSeconds, r.bestObjective);
+                   r.prunedRank, r.poisoned, r.saIters, r.cpuSeconds,
+                   r.bestObjective);
     return csv;
 }
 

@@ -10,6 +10,9 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -22,12 +25,17 @@
 #include "src/api/service.hh"
 #include "src/api/spec.hh"
 #include "src/api/store.hh"
+#include "src/api/supervisor.hh"
+#include "src/api/worker.hh"
 #include "src/common/fault_injection.hh"
 #include "src/common/fs_atomic.hh"
 #include "src/common/stop_token.hh"
+#include "src/common/subprocess.hh"
+#include "src/common/thread_pool.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/dse.hh"
 #include "src/dse/journal.hh"
+#include "src/mapping/engine.hh"
 
 namespace gemini {
 namespace {
@@ -801,6 +809,654 @@ TEST_F(ServiceStoreTest, StoreWriteFailureDoesNotFailTheJob)
                                                    "best-effort";
     EXPECT_FALSE(r.failed());
     EXPECT_EQ(store->get(r.specHash, r.spec.canonicalText()), nullptr);
+}
+
+// --------------------------------------------- thread-pool exceptions ----
+
+using ThreadPoolExceptions = RobustnessTest;
+
+TEST_F(ThreadPoolExceptions, ParallelForRethrowsAndPoolSurvives)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    try {
+        pool.parallelFor(8, [&](std::size_t i) {
+            ++ran;
+            if (i == 3)
+                throw std::runtime_error("task 3 exploded");
+        });
+        FAIL() << "expected the task exception to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("task 3"), std::string::npos);
+    }
+    // The pool's workers survived the throw and still run tasks.
+    std::atomic<int> again{0};
+    pool.parallelFor(4, [&](std::size_t) { ++again; });
+    EXPECT_EQ(again.load(), 4);
+    EXPECT_EQ(pool.takeTaskError(), nullptr) << "error was consumed";
+}
+
+TEST_F(ThreadPoolExceptions, SubmitCapturesFirstErrorViaTake)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::logic_error("boom"); });
+    pool.submit([] {}); // a clean task does not clobber the capture
+    pool.waitIdle();
+    const std::exception_ptr err = pool.takeTaskError();
+    ASSERT_NE(err, nullptr);
+    EXPECT_THROW(std::rethrow_exception(err), std::logic_error);
+    EXPECT_EQ(pool.takeTaskError(), nullptr) << "take clears the slot";
+}
+
+// ------------------------------------------------- frame protocol fuzz ----
+
+/** A raw pipe; both ends closed on teardown. */
+class FrameProtocolTest : public RobustnessTest
+{
+  protected:
+    void
+    SetUp() override
+    {
+        RobustnessTest::SetUp();
+        ASSERT_EQ(::pipe(fds_), 0);
+    }
+
+    void
+    TearDown() override
+    {
+        closeWrite();
+        if (fds_[0] >= 0)
+            ::close(fds_[0]);
+        RobustnessTest::TearDown();
+    }
+
+    void
+    closeWrite()
+    {
+        if (fds_[1] >= 0) {
+            ::close(fds_[1]);
+            fds_[1] = -1;
+        }
+    }
+
+    void
+    writeRaw(const std::string &bytes)
+    {
+        ASSERT_EQ(::write(fds_[1], bytes.data(), bytes.size()),
+                  static_cast<ssize_t>(bytes.size()));
+    }
+
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(FrameProtocolTest, RoundTripsPayloadsOfManySizes)
+{
+    std::string payload;
+    // 70000 exceeds the 64 KiB pipe buffer: the writer must run on its
+    // own thread (as the worker does) or writeFrame would deadlock here.
+    for (const std::size_t n : {0u, 1u, 100u, 70000u}) {
+        const std::string sent(n, 'x');
+        std::thread writer(
+            [&] { ASSERT_TRUE(common::writeFrame(fds_[1], sent)); });
+        ASSERT_EQ(common::readFrame(fds_[0], payload, 5.0),
+                  common::FrameStatus::Ok);
+        writer.join();
+        EXPECT_EQ(payload, sent);
+    }
+}
+
+TEST_F(FrameProtocolTest, TruncatedHeaderIsEofNotHang)
+{
+    writeRaw(std::string("\x05\x00", 2)); // half a header, then crash
+    closeWrite();
+    std::string payload;
+    EXPECT_EQ(common::readFrame(fds_[0], payload, 1.0),
+              common::FrameStatus::Eof);
+}
+
+TEST_F(FrameProtocolTest, TornPayloadIsEofNotHang)
+{
+    writeRaw(std::string("\x64\x00\x00\x00", 4)); // promises 100 bytes...
+    writeRaw("only ten!!");                       // ...delivers 10
+    closeWrite();
+    std::string payload;
+    EXPECT_EQ(common::readFrame(fds_[0], payload, 1.0),
+              common::FrameStatus::Eof);
+}
+
+TEST_F(FrameProtocolTest, SilentPeerIsTimeoutNotHang)
+{
+    std::string payload;
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(common::readFrame(fds_[0], payload, 0.1),
+              common::FrameStatus::Timeout);
+    EXPECT_LT(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count(),
+              5.0);
+}
+
+TEST_F(FrameProtocolTest, OversizedLengthRejectedWithoutAllocating)
+{
+    // ASCII garbage read as a length: "GARB" = ~1.1 GB, way past the cap.
+    writeRaw("GARBAGE FRAME");
+    std::string payload;
+    EXPECT_EQ(common::readFrame(fds_[0], payload, 1.0),
+              common::FrameStatus::Oversized);
+}
+
+TEST_F(FrameProtocolTest, StalledMidPayloadTimesOut)
+{
+    writeRaw(std::string("\x64\x00\x00\x00", 4));
+    writeRaw("partial"); // peer wedges mid-frame, pipe stays open
+    std::string payload;
+    EXPECT_EQ(common::readFrame(fds_[0], payload, 0.1),
+              common::FrameStatus::Timeout);
+}
+
+TEST_F(FrameProtocolTest, GarbagePayloadFailsProtocolParseNotCrash)
+{
+    ASSERT_TRUE(common::writeFrame(fds_[1], "{\"kind\":42}"));
+    std::string payload;
+    ASSERT_EQ(common::readFrame(fds_[0], payload, 1.0),
+              common::FrameStatus::Ok);
+    api::WorkerResponse resp;
+    std::string error;
+    EXPECT_FALSE(api::WorkerResponse::fromText(payload, resp, &error));
+    EXPECT_FALSE(error.empty());
+
+    api::WorkerRequest rq;
+    EXPECT_FALSE(api::WorkerRequest::fromText("not json at all", rq, &error));
+    EXPECT_FALSE(
+        api::WorkerRequest::fromText("{\"kind\":\"eval\",\"seq\":1,"
+                                     "\"bogus_key\":true}",
+                                     rq, &error));
+}
+
+// ------------------------------------------------- worker wire protocol ----
+
+using WorkerProtocolTest = RobustnessTest;
+
+TEST_F(WorkerProtocolTest, EvalRequestRoundTripsFullSeedWidth)
+{
+    api::WorkerRequest rq;
+    rq.kind = api::WorkerRequest::Kind::Eval;
+    rq.seq = 7;
+    rq.index = 12;
+    rq.rung = 2;
+    rq.iters = 160;
+    rq.chains = 2;
+    // All 64 bits must survive: JSON numbers are doubles, so the seed
+    // crosses the wire as a hex string.
+    rq.seed = 0xDEADBEEFCAFEBABEull;
+    rq.arch = arch::ArchConfig{};
+
+    api::WorkerRequest back;
+    std::string error;
+    ASSERT_TRUE(api::WorkerRequest::fromText(rq.toText(), back, &error))
+        << error;
+    EXPECT_EQ(back.kind, api::WorkerRequest::Kind::Eval);
+    EXPECT_EQ(back.seq, 7u);
+    EXPECT_EQ(back.index, 12u);
+    EXPECT_EQ(back.rung, 2);
+    EXPECT_EQ(back.iters, 160);
+    EXPECT_EQ(back.chains, 2);
+    EXPECT_EQ(back.seed, 0xDEADBEEFCAFEBABEull);
+}
+
+TEST_F(WorkerProtocolTest, ResponsesRoundTripAndRejectUnknownKinds)
+{
+    api::WorkerResponse resp;
+    resp.kind = api::WorkerResponse::Kind::Error;
+    resp.seq = 3;
+    resp.message = "engine threw";
+    api::WorkerResponse back;
+    std::string error;
+    ASSERT_TRUE(api::WorkerResponse::fromText(resp.toText(), back, &error))
+        << error;
+    EXPECT_EQ(back.kind, api::WorkerResponse::Kind::Error);
+    EXPECT_EQ(back.seq, 3u);
+    EXPECT_EQ(back.message, "engine threw");
+
+    EXPECT_FALSE(api::WorkerResponse::fromText("{\"kind\":\"explode\"}",
+                                               back, &error));
+    api::WorkerRequest rq;
+    EXPECT_FALSE(api::WorkerRequest::fromText("{\"kind\":\"explode\"}", rq,
+                                              &error));
+}
+
+// ------------------------------------------------ supervisor lifecycle ----
+
+/**
+ * Hostile fake workers, scripted in /bin/sh: the supervisor must treat
+ * every misbehavior — instant death, garbage handshake, wedging after a
+ * valid handshake — as a lifecycle event, never as a hang or a crash.
+ */
+class SupervisorTest : public RobustnessTest
+{
+  protected:
+    static api::SupervisorOptions
+    baseOptions()
+    {
+        api::SupervisorOptions o;
+        o.workers = 1;
+        o.maxRetries = 1;
+        o.heartbeatTimeoutSeconds = 0.3;
+        o.handshakeTimeoutSeconds = 2.0;
+        o.specText = "{}"; // fake workers never parse it
+        return o;
+    }
+
+    /** A worker that handshakes correctly, then wedges forever. */
+    static std::vector<std::string>
+    readyThenSilent()
+    {
+        // 16-byte LE length header + the ready frame, then a wedge.
+        // `exec` so the supervisor's SIGKILL reaches the sleeper itself,
+        // not just its parent shell (an orphaned sleep would hold the
+        // inherited stderr pipe open long after the test ends).
+        return {"/bin/sh", "-c",
+                "printf '\\020'; head -c3 /dev/zero; "
+                "printf '{\"kind\":\"ready\"}'; exec sleep 60"};
+    }
+
+    dse::RemoteEvalRequest
+    request()
+    {
+        dse::RemoteEvalRequest rq;
+        rq.index = 0;
+        rq.arch = &arch_;
+        rq.rung = 0;
+        return rq;
+    }
+
+    arch::ArchConfig arch_{};
+};
+
+TEST_F(SupervisorTest, StartFailsWhenWorkerDiesInstantly)
+{
+    api::SupervisorOptions o = baseOptions();
+    o.workerArgv = {"/bin/true"};
+    api::WorkerSupervisor sup(o);
+    std::string error;
+    EXPECT_FALSE(sup.start(&error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(SupervisorTest, StartFailsOnGarbageHandshake)
+{
+    api::SupervisorOptions o = baseOptions();
+    o.workerArgv = {"/bin/sh", "-c", "echo GARBAGEGARBAGE; exec sleep 60"};
+    api::WorkerSupervisor sup(o);
+    std::string error;
+    EXPECT_FALSE(sup.start(&error));
+    EXPECT_NE(error.find("oversized"), std::string::npos) << error;
+}
+
+TEST_F(SupervisorTest, WatchdogKillsSilentWorkerAndQuarantines)
+{
+    api::SupervisorOptions o = baseOptions();
+    o.workerArgv = readyThenSilent();
+    api::WorkerSupervisor sup(o);
+    std::string error;
+    ASSERT_TRUE(sup.start(&error)) << error;
+
+    const dse::RemoteEvalOutcome out = sup.evaluate(request());
+    EXPECT_TRUE(out.poisoned);
+    EXPECT_NE(out.poisonReason.find("heartbeat"), std::string::npos)
+        << out.poisonReason;
+    const api::SupervisorStats stats = sup.stats();
+    EXPECT_EQ(stats.spawns, 2) << "initial + one respawn (maxRetries=1)";
+    EXPECT_EQ(stats.kills, 2);
+    EXPECT_EQ(stats.retries, 1);
+    EXPECT_EQ(stats.poisoned, 1);
+}
+
+TEST_F(SupervisorTest, SpawnFaultExhaustsRetriesIntoQuarantine)
+{
+    api::SupervisorOptions o = baseOptions();
+    o.workerArgv = readyThenSilent(); // never reached: spawn site fires
+    api::WorkerSupervisor sup(o);
+    fault::configure("worker.spawn");
+    const dse::RemoteEvalOutcome out = sup.evaluate(request());
+    fault::reset();
+    EXPECT_TRUE(out.poisoned);
+    EXPECT_NE(out.poisonReason.find("worker.spawn"), std::string::npos);
+    EXPECT_EQ(sup.stats().spawns, 0);
+}
+
+TEST_F(SupervisorTest, WriteFaultKillsAndQuarantines)
+{
+    api::SupervisorOptions o = baseOptions();
+    o.workerArgv = readyThenSilent();
+    api::WorkerSupervisor sup(o);
+    std::string error;
+    ASSERT_TRUE(sup.start(&error)) << error;
+    fault::configure("worker.write");
+    const dse::RemoteEvalOutcome out = sup.evaluate(request());
+    fault::reset();
+    EXPECT_TRUE(out.poisoned);
+    EXPECT_NE(out.poisonReason.find("worker.write"), std::string::npos);
+    EXPECT_GE(sup.stats().kills, 1);
+}
+
+// --------------------------------------------- remote-mode scheduling ----
+
+/**
+ * The dse layer's ExecutionMode::Workers path, driven by an in-process
+ * RemoteEvaluator that mirrors the worker's evaluation semantics — the
+ * scheduler-side determinism and quarantine bookkeeping, minus the
+ * subprocess machinery (covered by SupervisorTest and WorkerModeTest).
+ */
+class RemoteEvalTest : public CrashResumeTest
+{
+  protected:
+    dse::RemoteEvaluator
+    localEvaluator(std::function<bool(std::size_t)> poison = nullptr)
+    {
+        return [this, poison](const dse::RemoteEvalRequest &rq) {
+            dse::RemoteEvalOutcome out;
+            if (poison && poison(rq.index)) {
+                out.poisoned = true;
+                out.poisonReason = "scripted quarantine";
+                return out;
+            }
+            mapping::MappingOptions mo = options_.mapping;
+            mo.saThreads = 1;
+            if (rq.rung == 0) {
+                mo.runSa = false;
+            } else if (rq.rung >= 1) {
+                mo.runSa = true;
+                mo.sa.iterations = rq.iters;
+                mo.sa.chains = rq.chains;
+                mo.sa.seed = rq.seed;
+            }
+            for (std::size_t m = 0; m < options_.models.size(); ++m) {
+                mapping::MappingEngine engine(*options_.models[m], *rq.arch,
+                                              mo);
+                mapping::MappingResult res =
+                    rq.rung >= 1 ? engine.runFrom((*rq.warmStarts)[m])
+                                 : engine.run();
+                out.mappings.push_back(std::move(res.mapping));
+                out.perModel.push_back(res.total);
+            }
+            return out;
+        };
+    }
+};
+
+TEST_F(RemoteEvalTest, WorkersModeIsBitIdenticalToInProcess)
+{
+    const dse::DseResult ref = dse::runDse(options_);
+
+    dse::DseOptions o = options_;
+    o.execution = dse::ExecutionMode::Workers;
+    o.remoteEval = localEvaluator();
+    const dse::DseResult got = dse::runDse(o);
+    expectBitIdentical(got, ref);
+    EXPECT_EQ(got.stats.poisonedCount(), 0);
+}
+
+TEST_F(RemoteEvalTest, FlatWorkersModeIsBitIdenticalToInProcess)
+{
+    options_.schedule.enabled = false;
+    const dse::DseResult ref = dse::runDse(options_);
+
+    dse::DseOptions o = options_;
+    o.execution = dse::ExecutionMode::Workers;
+    o.remoteEval = localEvaluator();
+    const dse::DseResult got = dse::runDse(o);
+    expectBitIdentical(got, ref);
+}
+
+TEST_F(RemoteEvalTest, PoisonedCandidateIsQuarantinedNotFatal)
+{
+    dse::DseOptions o = options_;
+    o.execution = dse::ExecutionMode::Workers;
+    o.remoteEval = localEvaluator([](std::size_t i) { return i == 1; });
+    const dse::DseResult got = dse::runDse(o);
+
+    ASSERT_GT(got.records.size(), 2u);
+    EXPECT_TRUE(got.records[1].poisoned);
+    EXPECT_FALSE(got.records[1].feasible);
+    EXPECT_EQ(got.records[1].poisonReason, "scripted quarantine");
+    EXPECT_EQ(got.stats.poisonedCount(), 1);
+    EXPECT_GE(got.bestIndex, 0) << "the run survives the poison";
+    EXPECT_NE(got.bestIndex, 1);
+}
+
+TEST_F(RemoteEvalTest, JournaledResumeReplaysTheQuarantineDecision)
+{
+    dse::DseOptions o = options_;
+    o.journalPath = path("journal");
+    o.execution = dse::ExecutionMode::Workers;
+    o.remoteEval = localEvaluator([](std::size_t i) { return i == 1; });
+    const dse::DseResult ref = dse::runDse(o);
+    ASSERT_TRUE(ref.records[1].poisoned);
+
+    // Keep only the screen rung's journal line (a crash right after it),
+    // then resume WITHOUT any poisoning evaluator: the quarantine must
+    // come back from the journal, not from a lucky re-decision.
+    std::vector<std::string> ls;
+    {
+        std::ifstream in(o.journalPath, std::ios::binary);
+        std::string line;
+        while (std::getline(in, line))
+            ls.push_back(line);
+    }
+    ASSERT_GE(ls.size(), 2u);
+    dse::DseOptions r = options_; // plain in-process execution
+    r.journalPath = path("prefix");
+    {
+        std::ofstream out(r.journalPath, std::ios::binary);
+        out << ls[0] << "\n";
+    }
+    r.resume = true;
+    const dse::DseResult got = dse::runDse(r);
+    expectBitIdentical(got, ref);
+    EXPECT_TRUE(got.records[1].poisoned) << "quarantine replayed";
+    EXPECT_EQ(got.stats.resumedRung, 0);
+}
+
+TEST_F(RemoteEvalTest, TaskExceptionAbortsRunAndPropagates)
+{
+    dse::DseOptions o = options_;
+    o.execution = dse::ExecutionMode::Workers;
+    o.remoteEval = [](const dse::RemoteEvalRequest &)
+        -> dse::RemoteEvalOutcome {
+        throw std::runtime_error("evaluator exploded");
+    };
+    EXPECT_THROW(dse::runDse(o), std::runtime_error)
+        << "non-poison evaluator errors are real errors, not quarantines";
+}
+
+// ---------------------------------------------- real-worker end-to-end ----
+
+/**
+ * Integration against the real `gemini worker` binary (a sibling of this
+ * test executable in the build tree). Skipped when the CLI target was
+ * not built.
+ */
+class WorkerModeTest : public RobustnessTest
+{
+  protected:
+    std::string
+    workerBin()
+    {
+        const fs::path self = common::selfExePath();
+        const fs::path sibling = self.parent_path() / "gemini";
+        return fs::exists(sibling) ? sibling.string() : std::string();
+    }
+
+    void
+    TearDown() override
+    {
+        ::unsetenv("GEMINI_WORKER_BIN");
+        ::unsetenv("GEMINI_FAULT_INJECT");
+        RobustnessTest::TearDown();
+    }
+
+    static api::ExperimentSpec
+    workersSpec(int workers, int max_retries = 2)
+    {
+        api::ExperimentSpec spec = tinySpec();
+        spec.execution.mode = api::ExecutionSpec::Mode::Workers;
+        spec.execution.workers = workers;
+        spec.execution.maxRetries = max_retries;
+        return spec;
+    }
+};
+
+TEST_F(WorkerModeTest, ServiceWinnerBitIdenticalToInProcess)
+{
+    const std::string bin = workerBin();
+    if (bin.empty())
+        GTEST_SKIP() << "gemini CLI not built next to the tests";
+    ::setenv("GEMINI_WORKER_BIN", bin.c_str(), 1);
+
+    api::ExplorationService in_process(2);
+    api::JobHandle ref_job = in_process.submit(tinySpec());
+    const api::ExperimentResult &ref = ref_job.wait();
+    ASSERT_EQ(ref_job.state(), api::JobState::Done);
+
+    api::ExplorationService workers(2);
+    api::JobHandle job = workers.submit(workersSpec(2));
+    const api::ExperimentResult &got = job.wait();
+    ASSERT_EQ(job.state(), api::JobState::Done) << got.error;
+
+    ASSERT_EQ(got.dse.records.size(), ref.dse.records.size());
+    EXPECT_EQ(got.dse.bestIndex, ref.dse.bestIndex);
+    for (std::size_t i = 0; i < ref.dse.records.size(); ++i) {
+        EXPECT_EQ(got.dse.records[i].objective,
+                  ref.dse.records[i].objective)
+            << "candidate " << i;
+        EXPECT_EQ(got.dse.records[i].saIters, ref.dse.records[i].saIters);
+    }
+    EXPECT_EQ(got.dse.stats.poisonedCount(), 0);
+}
+
+TEST_F(WorkerModeTest, CrashingCandidateIsQuarantinedNotFatal)
+{
+    const std::string bin = workerBin();
+    if (bin.empty())
+        GTEST_SKIP() << "gemini CLI not built next to the tests";
+    ::setenv("GEMINI_WORKER_BIN", bin.c_str(), 1);
+    // Workers inherit the environment, so every (re)spawned worker
+    // crashes deterministically on candidate 2 — the retry ladder must
+    // end in quarantine, not in a failed job.
+    ::setenv("GEMINI_FAULT_INJECT", "worker.crash.cand2", 1);
+
+    api::ExplorationService service(2);
+    api::JobHandle job = service.submit(workersSpec(1, /*max_retries=*/1));
+    const api::ExperimentResult &got = job.wait();
+    ::unsetenv("GEMINI_FAULT_INJECT");
+
+    ASSERT_EQ(job.state(), api::JobState::Done) << got.error;
+    ASSERT_GT(got.dse.records.size(), 2u);
+    EXPECT_TRUE(got.dse.records[2].poisoned);
+    EXPECT_FALSE(got.dse.records[2].poisonReason.empty());
+    EXPECT_EQ(got.dse.stats.poisonedCount(), 1);
+    EXPECT_GE(got.dse.bestIndex, 0);
+    EXPECT_NE(got.dse.bestIndex, 2);
+}
+
+TEST_F(WorkerModeTest, MissingWorkerBinaryDegradesToInProcess)
+{
+    ::setenv("GEMINI_WORKER_BIN", "/no/such/worker/binary", 1);
+    api::ExplorationService service(2);
+    api::JobHandle job = service.submit(workersSpec(2));
+    const api::ExperimentResult &got = job.wait();
+    EXPECT_EQ(job.state(), api::JobState::Done)
+        << "degradation, not failure: " << got.error;
+    EXPECT_GE(got.dse.bestIndex, 0);
+}
+
+// ----------------------------------------------------- execution spec ----
+
+using ExecutionSpecTest = RobustnessTest;
+
+TEST_F(ExecutionSpecTest, RoundTripsAndValidates)
+{
+    api::ExperimentSpec spec = tinySpec();
+    spec.execution.mode = api::ExecutionSpec::Mode::Workers;
+    spec.execution.workers = 3;
+    spec.execution.maxRetries = 5;
+    spec.execution.candidateDeadlineSeconds = 1.5;
+    spec.execution.candidateRssMiB = 512;
+    EXPECT_TRUE(spec.validate().empty()) << spec.validate();
+
+    std::string error;
+    const std::optional<api::ExperimentSpec> back =
+        api::ExperimentSpec::fromJsonText(spec.toJson().dump(2), &error);
+    ASSERT_TRUE(back.has_value()) << error;
+    EXPECT_EQ(back->execution.mode, api::ExecutionSpec::Mode::Workers);
+    EXPECT_EQ(back->execution.workers, 3);
+    EXPECT_EQ(back->execution.maxRetries, 5);
+    EXPECT_EQ(back->execution.candidateDeadlineSeconds, 1.5);
+    EXPECT_EQ(back->execution.candidateRssMiB, 512);
+
+    spec.execution.workers = -1;
+    EXPECT_NE(spec.validate().find("execution"), std::string::npos);
+}
+
+TEST_F(ExecutionSpecTest, ExecutionDoesNotChangeTheCanonicalHash)
+{
+    // Like the deadline: execution controls how a run executes, not what
+    // it computes — worker-mode results must hit the in-process cache.
+    api::ExperimentSpec workers = tinySpec();
+    workers.execution.mode = api::ExecutionSpec::Mode::Workers;
+    workers.execution.workers = 7;
+    workers.execution.candidateDeadlineSeconds = 9.0;
+    EXPECT_EQ(workers.canonicalHash(), tinySpec().canonicalHash());
+}
+
+// ------------------------------------------------- store ls / gc audit ----
+
+using StoreAuditTest = ResultStoreTest;
+
+TEST_F(StoreAuditTest, LsCountsPoisonedCandidates)
+{
+    api::ExperimentResult r = doneResult();
+    r.dse.records[0].poisoned = true;
+    r.dse.records[0].poisonReason = "worker crashed";
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+
+    const std::vector<api::StoreEntry> entries = store.list();
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].poisoned, 1);
+    EXPECT_EQ(store.quarantinedFiles(), 0);
+}
+
+TEST_F(StoreAuditTest, GcDryRunReportsWithoutDeleting)
+{
+    const api::ExperimentResult &r = doneResult();
+    api::ResultStore store(dir_);
+    ASSERT_TRUE(store.put(r));
+
+    // One of each victim class: a quarantined record, an orphan temp
+    // file, and a spent journal (its result is stored above).
+    const std::string quarantined = path("bad.result.json.quarantined");
+    const std::string tmp = path("x.result.json.tmp.123");
+    const std::string journal = store.journalPath(r.specHash);
+    for (const std::string &p : {quarantined, tmp, journal})
+        ASSERT_TRUE(common::writeFileAtomic(p, "doomed"));
+    EXPECT_EQ(store.quarantinedFiles(), 1);
+
+    const api::StoreGcStats dry = store.gc(/*dryRun=*/true);
+    EXPECT_EQ(dry.quarantined, 1);
+    EXPECT_EQ(dry.tmpFiles, 1);
+    EXPECT_EQ(dry.journals, 1);
+    EXPECT_EQ(dry.paths.size(), 3u);
+    for (const std::string &p : {quarantined, tmp, journal})
+        EXPECT_TRUE(fs::exists(p)) << p << " deleted by a dry run";
+
+    const api::StoreGcStats real = store.gc();
+    EXPECT_EQ(real.quarantined, 1);
+    EXPECT_EQ(real.journals, 1);
+    for (const std::string &p : {quarantined, tmp, journal})
+        EXPECT_FALSE(fs::exists(p)) << p << " survived gc";
+    EXPECT_EQ(store.quarantinedFiles(), 0);
 }
 
 } // namespace

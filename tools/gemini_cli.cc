@@ -4,11 +4,15 @@
  * loop from a JSON ExperimentSpec, no C++ required.
  *
  *   gemini run <spec.json> [--out DIR] [--store DIR] [--deadline SEC]
- *              [--resume]               execute; write result.json (+ CSVs)
- *   gemini resume <hash|spec.json> --store DIR [--out DIR]
+ *              [--resume] [--workers N] execute; write result.json (+ CSVs)
+ *   gemini resume <hash|spec.json> --store DIR [--out DIR] [--workers N]
  *                                       continue an interrupted run from
  *                                       its rung journal
- *   gemini store ls|gc [--store DIR]    inspect / garbage-collect a store
+ *   gemini store ls|gc [--dry-run] [--store DIR]
+ *                                       inspect / garbage-collect a store
+ *   gemini worker                       supervised-mode worker loop
+ *                                       (spawned by the service, not by
+ *                                       hand; frames on stdin/stdout)
  *   gemini validate <spec.json>         parse + validate, report problems
  *   gemini models                       list model-zoo registry names
  *   gemini presets                      list architecture preset names
@@ -31,6 +35,7 @@
 #include "src/api/service.hh"
 #include "src/api/spec.hh"
 #include "src/api/store.hh"
+#include "src/api/worker.hh"
 #include "src/arch/presets.hh"
 #include "src/common/artifacts.hh"
 #include "src/common/fs_atomic.hh"
@@ -47,14 +52,17 @@ usage(const char *argv0)
         stderr,
         "usage: %s <command> [args]\n"
         "  run <spec.json> [--out DIR] [--store DIR] [--deadline SEC] "
-        "[--resume]\n"
+        "[--resume] [--workers N]\n"
         "                               execute an experiment spec; "
         "write result.json\n"
-        "  resume <hash|spec.json> --store DIR [--out DIR]\n"
+        "  resume <hash|spec.json> --store DIR [--out DIR] [--workers N]\n"
         "                               continue an interrupted run from "
         "its journal\n"
-        "  store ls|gc [--store DIR]    list / garbage-collect stored "
+        "  store ls|gc [--dry-run] [--store DIR]\n"
+        "                               list / garbage-collect stored "
         "results\n"
+        "  worker                       supervised-mode worker loop "
+        "(spawned by the service)\n"
         "  validate <spec.json>         check a spec, report problems\n"
         "  models                       list model-zoo names\n"
         "  presets                      list architecture presets\n"
@@ -65,7 +73,11 @@ usage(const char *argv0)
         "the\n"
         "  best-so-far result flagged \"truncated\" and keeps the rung "
         "journal\n"
-        "  so `resume` can continue with more time.\n",
+        "  so `resume` can continue with more time.\n"
+        "  --workers N evaluates DSE candidates in N supervised worker\n"
+        "  subprocesses (crash isolation + poison quarantine); 0 = one "
+        "per\n"
+        "  pool thread. Winners are bit-identical to in-process runs.\n",
         argv0);
     return 2;
 }
@@ -107,6 +119,25 @@ deadlineArg(int argc, char **argv)
         return v;
     }
     return -1.0;
+}
+
+/** `--workers N` from argv; negative = not given (0 = auto). */
+int
+workersArg(int argc, char **argv)
+{
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") != 0)
+            continue;
+        char *end = nullptr;
+        const long v = std::strtol(argv[i + 1], &end, 10);
+        if (end == argv[i + 1] || *end != '\0' || v < 0) {
+            std::fprintf(stderr, "--workers: expected a count >= 0, got "
+                         "\"%s\"\n", argv[i + 1]);
+            std::exit(2);
+        }
+        return static_cast<int>(v);
+    }
+    return -1;
 }
 
 /** Parse + validate a spec file; nullopt (with diagnostics) on failure. */
@@ -167,6 +198,11 @@ executeSpec(api::ExperimentSpec spec, bool resume, int argc, char **argv)
     const double deadline = deadlineArg(argc, argv);
     if (deadline >= 0.0)
         spec.deadlineSeconds = deadline;
+    const int workers = workersArg(argc, argv);
+    if (workers >= 0) {
+        spec.execution.mode = api::ExecutionSpec::Mode::Workers;
+        spec.execution.workers = workers;
+    }
     if (resume && store_dir.empty()) {
         std::fprintf(stderr, "resume needs --store DIR (or "
                      "GEMINI_STORE_DIR): the rung journal lives in the "
@@ -300,18 +336,31 @@ cmdStore(const std::string &sub, int argc, char **argv)
     api::ResultStore store(store_dir);
     if (sub == "ls") {
         const std::vector<api::StoreEntry> entries = store.list();
-        for (const api::StoreEntry &e : entries)
-            std::printf("0x%016" PRIx64 "  %8" PRIu64 " B%s\n", e.hash,
+        int poisoned = 0;
+        for (const api::StoreEntry &e : entries) {
+            std::printf("0x%016" PRIx64 "  %8" PRIu64 " B%s", e.hash,
                         e.bytes, e.hasJournal ? "  [journal]" : "");
-        std::printf("%zu result(s) in %s\n", entries.size(),
-                    store.dir().c_str());
+            if (e.poisoned > 0)
+                std::printf("  [%d poisoned]", e.poisoned);
+            std::printf("\n");
+            poisoned += e.poisoned;
+        }
+        std::printf("%zu result(s) in %s (%d poisoned candidate(s), "
+                    "%d quarantined file(s))\n",
+                    entries.size(), store.dir().c_str(), poisoned,
+                    store.quarantinedFiles());
         return 0;
     }
     if (sub == "gc") {
-        const api::StoreGcStats stats = store.gc();
-        std::printf("removed %d quarantined, %d temp file(s), %d spent "
+        const bool dry = hasFlag(argc, argv, "--dry-run");
+        const api::StoreGcStats stats = store.gc(dry);
+        for (const std::string &p : stats.paths)
+            std::printf("%s %s\n", dry ? "would remove" : "removed",
+                        p.c_str());
+        std::printf("%s %d quarantined, %d temp file(s), %d spent "
                     "journal(s)\n",
-                    stats.quarantined, stats.tmpFiles, stats.journals);
+                    dry ? "would remove" : "removed", stats.quarantined,
+                    stats.tmpFiles, stats.journals);
         return 0;
     }
     std::fprintf(stderr, "store: unknown subcommand \"%s\" (ls|gc)\n",
@@ -336,6 +385,8 @@ main(int argc, char **argv)
     if (argc < 2)
         return usage(argv[0]);
     const std::string cmd = argv[1];
+    if (cmd == "worker")
+        return api::runWorkerMain();
     if (cmd == "models")
         return printNames(dnn::zoo::available());
     if (cmd == "presets")
