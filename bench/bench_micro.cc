@@ -17,6 +17,7 @@
 
 #include "src/arch/presets.hh"
 #include "src/common/rng.hh"
+#include "src/common/simd.hh"
 #include "src/cost/mc_evaluator.hh"
 #include "src/dnn/zoo.hh"
 #include "src/cost/cost_stack.hh"
@@ -760,6 +761,7 @@ runLargeSa(benchmark::State &state, arch::Topology topology, bool delta,
     cost::CostStack em(w.arch);
     double best = 0.0;
     std::uint64_t applies = 0, rebuilds = 0, alloc_events = 0;
+    std::uint64_t state_allocs = 0, compiler_allocs = 0;
     for (auto _ : state) {
         // Fresh analyzer per run: the walk must pay its own fragment
         // derivations (an analyzer kept across runs would replay the
@@ -780,8 +782,11 @@ runLargeSa(benchmark::State &state, arch::Topology topology, bool delta,
         applies = an.deltaApplies();
         rebuilds = an.deltaRebuilds();
         alloc_events = an.cacheAllocEvents();
+        state_allocs = an.stateAllocEvents();
+        compiler_allocs = an.compilerAllocEvents();
     }
     state.SetItemsProcessed(state.iterations() * kLargeSaBudget);
+    state.SetLabel(common::simdLevelName(common::activeSimdLevel()));
     state.counters["best_cost"] = best;
     state.counters["groups"] =
         static_cast<double>(w.init.groups.size());
@@ -790,6 +795,10 @@ runLargeSa(benchmark::State &state, arch::Topology topology, bool delta,
     state.counters["delta_rebuilds"] = static_cast<double>(rebuilds);
     state.counters["cache_alloc_events"] =
         static_cast<double>(alloc_events);
+    state.counters["state_alloc_events"] =
+        static_cast<double>(state_allocs);
+    state.counters["compiler_alloc_events"] =
+        static_cast<double>(compiler_allocs);
 }
 
 void

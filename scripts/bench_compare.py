@@ -11,7 +11,11 @@ formats are understood:
   normalized by an anchor benchmark measured in the *same* file (default:
   ``BM_SaThroughputSeed``, a frozen verbatim port of the seed-commit hot
   path) — the gate therefore compares machine-independent speedup ratios,
-  not raw numbers.
+  not raw numbers. Benchmarks that report a ``best_cost`` counter are
+  additionally held to *bit-exact* equality with the baseline: the SA
+  walk is seeded, so any optimization that changes the visited costs (FP
+  reassociation, operator reordering, RNG drift) is a correctness bug,
+  not noise.
 
 * the DSE throughput JSON (``BENCH_dse_throughput.json``): the scheduler's
   ``cpu_speedup`` (itself a within-run ratio) must not regress, and
@@ -43,6 +47,35 @@ def google_benchmarks(doc):
         if ips:
             out[b["name"]] = float(ips)
     return out
+
+
+def best_costs(doc):
+    """name -> best_cost for entries that report the counter."""
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        cost = b.get("best_cost")
+        if cost is not None:
+            out[b["name"]] = float(cost)
+    return out
+
+
+def compare_best_costs(base_doc, cur_doc):
+    """Seeded-walk results must be bit-identical run over run."""
+    base = best_costs(base_doc)
+    cur = best_costs(cur_doc)
+    failures = []
+    for name in sorted(set(base) & set(cur)):
+        if cur[name] != base[name]:
+            failures.append(name)
+            print(f"best_cost DIVERGED on {name}: baseline "
+                  f"{base[name]!r} != current {cur[name]!r}")
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) changed best_cost — "
+              "the seeded SA walk is no longer bit-identical")
+        return False
+    return True
 
 
 def compare_google(base_doc, cur_doc, tolerance, anchor):
@@ -77,7 +110,7 @@ def compare_google(base_doc, cur_doc, tolerance, anchor):
               + ", ".join(failures))
         return False
     print(f"\nOK: no benchmark regressed more than {tolerance * 100:.0f}%")
-    return True
+    return compare_best_costs(base_doc, cur_doc)
 
 
 def compare_dse(base_doc, cur_doc, tolerance):

@@ -34,6 +34,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/arena.hh"
 #include "src/common/logging.hh"
 
 namespace gemini::common {
@@ -94,7 +95,7 @@ class FlatWordTable
     clear()
     {
         if (++gen_ == 0) { // stamp wrap: start a fresh epoch
-            std::fill(gens_.begin(), gens_.end(), 0u);
+            gens_.fill(0u);
             gen_ = 1;
         }
         size_ = 0;
@@ -199,17 +200,21 @@ class FlatWordTable
     void
     rehash(std::size_t slots)
     {
-        std::vector<std::uint32_t> old_gens = std::move(gens_);
-        std::vector<std::uint64_t> old_hashes = std::move(hashes_);
-        std::vector<std::uint32_t> old_off = std::move(keyOff_);
-        std::vector<std::uint32_t> old_len = std::move(keyLen_);
-        std::vector<std::uint32_t> old_val = std::move(valIdx_);
+        common::ZeroVec<std::uint32_t> old_gens = std::move(gens_);
+        common::ZeroVec<std::uint64_t> old_hashes = std::move(hashes_);
+        common::ZeroVec<std::uint32_t> old_off = std::move(keyOff_);
+        common::ZeroVec<std::uint32_t> old_len = std::move(keyLen_);
+        common::ZeroVec<std::uint32_t> old_val = std::move(valIdx_);
 
-        gens_.assign(slots, gen_ - 1);
-        hashes_.assign(slots, 0);
-        keyOff_.assign(slots, 0);
-        keyLen_.assign(slots, 0);
-        valIdx_.assign(slots, 0);
+        // Demand-zero metadata: gen_ is never 0 (the wrap handler skips
+        // it), so a zero generation stamp is universally stale and the
+        // other arrays are only read behind a stamp match — no slot
+        // array is written (or faulted in) until a probe lands on it.
+        gens_.resizeZero(slots);
+        hashes_.resizeZero(slots);
+        keyOff_.resizeZero(slots);
+        keyLen_.resizeZero(slots);
+        valIdx_.resizeZero(slots);
 
         const std::size_t mask = slots - 1;
         for (std::size_t i = 0; i < old_gens.size(); ++i) {
@@ -234,12 +239,14 @@ class FlatWordTable
     std::uint32_t gen_ = 1;
     std::uint64_t allocEvents_ = 0;
 
-    // SoA slot metadata (parallel arrays, power-of-two length).
-    std::vector<std::uint32_t> gens_;
-    std::vector<std::uint64_t> hashes_;
-    std::vector<std::uint32_t> keyOff_;
-    std::vector<std::uint32_t> keyLen_;
-    std::vector<std::uint32_t> valIdx_;
+    // SoA slot metadata (parallel arrays, power-of-two length). Backed
+    // by demand-zero storage so an oversized reservation costs only the
+    // pages probes actually touch (see rehash).
+    common::ZeroVec<std::uint32_t> gens_;
+    common::ZeroVec<std::uint64_t> hashes_;
+    common::ZeroVec<std::uint32_t> keyOff_;
+    common::ZeroVec<std::uint32_t> keyLen_;
+    common::ZeroVec<std::uint32_t> valIdx_;
 
     std::vector<std::int64_t> arena_; ///< interned key words
     std::deque<Value> values_;        ///< stable value storage

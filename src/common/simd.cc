@@ -1,0 +1,72 @@
+#include "src/common/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gemini::common {
+
+namespace {
+
+bool
+disabledByEnv()
+{
+    const char *env = std::getenv("GEMINI_DISABLE_SIMD");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+SimdLevel
+detectHardware()
+{
+#if defined(__x86_64__) || defined(_M_X64)
+    if (__builtin_cpu_supports("avx2"))
+        return SimdLevel::Avx2;
+#endif
+    return SimdLevel::Scalar;
+}
+
+SimdLevel &
+activeRef()
+{
+    static SimdLevel level = disabledByEnv() ? SimdLevel::Scalar
+                                             : detectHardware();
+    return level;
+}
+
+} // namespace
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Avx2:
+        return "avx2";
+      case SimdLevel::Scalar:
+        break;
+    }
+    return "scalar";
+}
+
+SimdLevel
+detectedSimdLevel()
+{
+    static const SimdLevel level = detectHardware();
+    return level;
+}
+
+SimdLevel
+activeSimdLevel()
+{
+    return activeRef();
+}
+
+bool
+forceSimdLevel(SimdLevel level)
+{
+    if (level == SimdLevel::Avx2 &&
+        detectedSimdLevel() != SimdLevel::Avx2)
+        return false;
+    activeRef() = level;
+    return true;
+}
+
+} // namespace gemini::common

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Small-buffer vector for hot-path fragment storage: the first N elements
+ * live inline, so the common case (per-layer flow fragments with a couple
+ * dozen links, per-stack DRAM byte tallies) never touches the heap and
+ * reads stay on the owner's cache lines. Larger sizes spill to a heap
+ * buffer, vector-style. Elements must be trivially copyable and
+ * destructible — this is raw storage for PODs, not a general container.
+ */
+
+#ifndef GEMINI_COMMON_SMALL_VEC_HH
+#define GEMINI_COMMON_SMALL_VEC_HH
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gemini::common {
+
+template <typename T, std::size_t N>
+class SmallVec
+{
+    // std::pair of trivials is not formally trivially copyable (its
+    // copy-assignment is user-provided), but element-wise copies below
+    // compile to memcpy all the same; require only what the storage
+    // model actually needs.
+    static_assert(std::is_trivially_copy_constructible_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "SmallVec elements are raw POD storage");
+    static_assert(N > 0, "inline capacity must be positive");
+
+  public:
+    SmallVec() = default;
+    ~SmallVec() { delete[] heap_; }
+
+    SmallVec(const SmallVec &o) { assignRaw(o.data(), o.size_); }
+    SmallVec &
+    operator=(const SmallVec &o)
+    {
+        if (this != &o)
+            assignRaw(o.data(), o.size_);
+        return *this;
+    }
+
+    SmallVec(SmallVec &&o) noexcept { moveFrom(o); }
+    SmallVec &
+    operator=(SmallVec &&o) noexcept
+    {
+        if (this != &o) {
+            delete[] heap_;
+            heap_ = nullptr;
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return heap_ ? cap_ : N; }
+
+    T *data() { return heap_ ? heap_ : inline_; }
+    const T *data() const { return heap_ ? heap_ : inline_; }
+
+    T &operator[](std::size_t i) { return data()[i]; }
+    const T &operator[](std::size_t i) const { return data()[i]; }
+
+    T *begin() { return data(); }
+    T *end() { return data() + size_; }
+    const T *begin() const { return data(); }
+    const T *end() const { return data() + size_; }
+
+    void clear() { size_ = 0; }
+
+    void
+    reserve(std::size_t n)
+    {
+        if (n > capacity())
+            grow(n);
+    }
+
+    /** Size to `n` copies of `v`, discarding previous contents. */
+    void
+    assign(std::size_t n, const T &v)
+    {
+        reserve(n);
+        T *d = data();
+        for (std::size_t i = 0; i < n; ++i)
+            d[i] = v;
+        size_ = n;
+    }
+
+    void
+    push_back(const T &v)
+    {
+        if (size_ == capacity())
+            grow(size_ + 1);
+        data()[size_++] = v;
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity())
+            grow(size_ + 1);
+        T *slot = data() + size_++;
+        *slot = T(std::forward<Args>(args)...);
+        return *slot;
+    }
+
+    bool
+    operator==(const SmallVec &o) const
+    {
+        if (size_ != o.size_)
+            return false;
+        const T *a = data(), *b = o.data();
+        for (std::size_t i = 0; i < size_; ++i)
+            if (!(a[i] == b[i]))
+                return false;
+        return true;
+    }
+
+  private:
+    void
+    assignRaw(const T *src, std::size_t n)
+    {
+        reserve(n);
+        T *d = data();
+        for (std::size_t i = 0; i < n; ++i)
+            d[i] = src[i];
+        size_ = n;
+    }
+
+    void
+    moveFrom(SmallVec &o) noexcept
+    {
+        heap_ = o.heap_;
+        cap_ = o.cap_;
+        size_ = o.size_;
+        if (heap_ == nullptr)
+            for (std::size_t i = 0; i < size_; ++i)
+                inline_[i] = o.inline_[i];
+        o.heap_ = nullptr;
+        o.size_ = 0;
+    }
+
+    void
+    grow(std::size_t need)
+    {
+        std::size_t cap = capacity();
+        while (cap < need)
+            cap *= 2;
+        T *fresh = new T[cap];
+        const T *src = data();
+        for (std::size_t i = 0; i < size_; ++i)
+            fresh[i] = src[i];
+        delete[] heap_;
+        heap_ = fresh;
+        cap_ = cap;
+    }
+
+    T inline_[N];
+    T *heap_ = nullptr;
+    std::size_t cap_ = 0; ///< heap capacity; inline capacity is N
+    std::size_t size_ = 0;
+};
+
+} // namespace gemini::common
+
+#endif // GEMINI_COMMON_SMALL_VEC_HH

@@ -3,6 +3,14 @@
  * Fixed-size worker pool used by the DSE driver: architecture candidates are
  * independent, so exploration is a simple parallel-for over the candidate
  * list (the paper runs its DSE on 80-100 threads).
+ *
+ * The pool is NUMA-topology-aware: node boundaries are read from sysfs
+ * (/sys/devices/system/node/node<N>/cpulist), workers are assigned to
+ * nodes round-robin and, on multi-node hosts, pinned to their node's CPU set,
+ * and every worker owns a node-local bump arena (workerArena()) so
+ * candidate evaluations allocate scratch on the socket that reads it.
+ * Single-node hosts (and non-Linux builds) skip pinning entirely; the
+ * arena and topology accessors still work.
  */
 
 #ifndef GEMINI_COMMON_THREAD_POOL_HH
@@ -12,12 +20,47 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "src/common/arena.hh"
+
 namespace gemini {
+
+/**
+ * Parse a Linux cpulist string ("0-3,8,10-11") into sorted CPU ids.
+ * Whitespace and a trailing newline are tolerated; malformed ranges are
+ * skipped rather than thrown — sysfs is trusted but not depended on.
+ */
+std::vector<int> parseCpuList(std::string_view text);
+
+/** CPU ids per NUMA node, in node-id order. */
+struct NumaTopology
+{
+    std::vector<std::vector<int>> nodeCpus;
+
+    std::size_t nodeCount() const { return nodeCpus.size(); }
+
+    std::size_t
+    cpuCount() const
+    {
+        std::size_t n = 0;
+        for (const auto &node : nodeCpus)
+            n += node.size();
+        return n;
+    }
+};
+
+/**
+ * Read the host's NUMA topology from sysfs. Hosts without the sysfs
+ * node directory (non-Linux, containers with masked sysfs) report one
+ * synthetic node holding every CPU — callers never see zero nodes.
+ */
+NumaTopology detectNumaTopology();
 
 /**
  * A small task-queue thread pool. Tasks are void() callables; waitIdle()
@@ -33,8 +76,27 @@ namespace gemini {
 class ThreadPool
 {
   public:
+    struct Options
+    {
+        /** Worker count; 0 means hardware_concurrency. */
+        std::size_t threads = 0;
+
+        /**
+         * Pin each worker to its NUMA node's CPU set. Only effective on
+         * multi-node hosts — on one node the scheduler already keeps
+         * memory local and pinning would just fight it.
+         */
+        bool pinWorkers = true;
+
+        /** Growth granularity of each worker's node-local arena. */
+        std::size_t arenaChunkBytes = 64 * 1024;
+    };
+
     /** Start `threads` workers (0 means hardware_concurrency). */
     explicit ThreadPool(std::size_t threads = 0);
+
+    /** Start workers per `options` (topology detection + pinning). */
+    explicit ThreadPool(const Options &options);
 
     /** Joins all workers; pending tasks are completed first. */
     ~ThreadPool();
@@ -64,10 +126,35 @@ class ThreadPool
      */
     std::exception_ptr takeTaskError();
 
+    /** NUMA nodes the pool detected at construction (>= 1). */
+    std::size_t numaNodeCount() const { return topology_.nodeCount(); }
+
+    /** Workers successfully pinned to their node's CPU set. */
+    std::size_t pinnedWorkers() const { return pinned_; }
+
+    /** NUMA node worker `w` is assigned to (round-robin). */
+    std::size_t
+    workerNode(std::size_t w) const
+    {
+        return w % topology_.nodeCount();
+    }
+
+    /**
+     * The calling pool worker's node-local scratch arena, or nullptr on
+     * threads outside any pool. Tasks reset() it between work items;
+     * chunks are first-touched by the pinned worker, so on multi-node
+     * hosts the pages land on that worker's node.
+     */
+    static common::BumpArena *workerArena();
+
   private:
-    void workerLoop();
+    void workerLoop(std::size_t worker);
+    void start(const Options &options);
 
     std::vector<std::thread> workers_;
+    std::vector<std::unique_ptr<common::BumpArena>> arenas_;
+    NumaTopology topology_;
+    std::size_t pinned_ = 0;
     std::queue<std::function<void()>> tasks_;
     std::mutex mutex_;
     std::condition_variable taskReady_;

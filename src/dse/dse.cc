@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "src/common/logging.hh"
+#include "src/common/simd.hh"
 #include "src/common/thread_pool.hh"
 #include "src/cost/cost_stack.hh"
 #include "src/dse/journal.hh"
@@ -266,6 +267,10 @@ class MultiFidelityScheduler
         cohorts_.assign(static_cast<std::size_t>(n_rungs), {});
         done_.assign(static_cast<std::size_t>(n_rungs), 0);
         result_.stats.scheduled = true;
+        result_.stats.simdLevel =
+            common::simdLevelName(common::activeSimdLevel());
+        result_.stats.numaNodes = pool_.numaNodeCount();
+        result_.stats.pinnedWorkers = pool_.pinnedWorkers();
         result_.stats.rungs.resize(static_cast<std::size_t>(n_rungs));
         for (int r = 0; r < n_rungs; ++r) {
             DseRungStats &rs = result_.stats.rungs[static_cast<std::size_t>(r)];
@@ -1099,6 +1104,7 @@ runDse(const DseOptions &user_options)
             flat.bestObjective = std::min(flat.bestObjective, rec.objective);
     }
     result.stats.scheduled = false;
+    result.stats.simdLevel = common::simdLevelName(common::activeSimdLevel());
     result.stats.cancelled = options.stop.cancelRequested();
     result.stats.truncated = options.stop.deadlineExpired();
 

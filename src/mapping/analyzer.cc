@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "src/common/logging.hh"
+#include "src/mapping/kernels.hh"
 
 namespace gemini::mapping {
 
@@ -107,6 +108,21 @@ Analyzer::cacheAllocEvents() const
            probeAllocs_;
 }
 
+std::uint64_t
+Analyzer::stateAllocEvents() const
+{
+    std::uint64_t total = 0;
+    for (const auto &state : states_)
+        total += state->allocEvents();
+    return total;
+}
+
+std::uint64_t
+Analyzer::compilerAllocEvents() const
+{
+    return trafficCompiler_.allocEvents();
+}
+
 void
 Analyzer::noteProbeGrowth(const GroupKey &key, std::size_t &watermark) const
 {
@@ -194,10 +210,11 @@ Analyzer::cachedTiles(const LayerGroupMapping &group, std::size_t li) const
         return *hit;
     }
     ++tileMisses_;
-    return tileCache_.insertAt(
+    auto &out = tileCache_.insertAt(
         slot, key.words,
         tiling_.compute(graph_.layer(group.layers[li]), group.schemes[li],
                         group.batchUnit));
+    return out;
 }
 
 const LayerFlows &
@@ -217,10 +234,11 @@ Analyzer::cachedFlows(const LayerGroupMapping &group, std::size_t li,
         return *hit;
     }
     ++flowMisses_;
-    return flowCache_.insertAt(
+    auto &out = flowCache_.insertAt(
         slot, key.words,
         trafficCompiler_.compile(group, li, tiles, num_units,
                                  ofmap_dram_of));
+    return out;
 }
 
 void
@@ -332,9 +350,8 @@ Analyzer::analyzeGroupImpl(const LayerGroupMapping &group,
 }
 
 eval::EvalBreakdown
-Analyzer::assembleBreakdown(const LayerGroupMapping &group,
-                            double core_energy, double max_stage,
-                            double glb_overflow,
+Analyzer::assembleBreakdown(int pipeline_depth, double core_energy,
+                            double max_stage, double glb_overflow,
                             const std::vector<double> &dram_per_unit,
                             double on_chip, double d2d,
                             double max_link_seconds, std::int64_t num_units,
@@ -352,7 +369,7 @@ Analyzer::assembleBreakdown(const LayerGroupMapping &group,
     const double bottleneck =
         std::max({max_stage, max_link_seconds, dram_seconds});
     const double units = static_cast<double>(num_units);
-    r.delay = (units + pipelineDepthOf(group) - 1) * bottleneck;
+    r.delay = (units + pipeline_depth - 1) * bottleneck;
     r.intraTileEnergy = core_energy * units;
     r.nocEnergy = costs.onChipJ(on_chip) * units;
     r.d2dEnergy = costs.d2dJ(d2d) * units;
@@ -396,26 +413,33 @@ Analyzer::evaluateGroupFullMerge(const LayerGroupMapping &group,
     // scratch — per-link totals sum in layer order (identical to the map
     // assembly) and the per-link sums fold in ascending slot order, the
     // canonical order the delta-evaluated state reproduces. No TrafficMap
-    // is materialized.
+    // is materialized. The on-chip/D2D sums are order-dependent and stay
+    // sequential; the bottleneck max batches through the fused SIMD
+    // kernel over the packed (bytes, kind) arrays the drain fills.
     double on_chip = 0.0;
     double d2d = 0.0;
-    double max_link_seconds = 0.0;
     for (std::size_t li = 0; li < n_layers; ++li)
-        for (const auto &[link, bytes] : fs.flows[li]->links)
-            merge_.add(link, bytes);
-    merge_.drainSorted([&](noc::NodeId a, noc::NodeId b, double bytes) {
-        if (noc_.linkKind(a, b) == noc::LinkKind::D2D)
+        merge_.addMany(fs.flows[li]->links.data(),
+                       fs.flows[li]->links.size());
+    linkBytes_.clear();
+    linkKinds_.clear();
+    merge_.drainSlots([&](std::uint64_t slot, double bytes) {
+        const noc::LinkKind kind =
+            noc_.linkKindAt(static_cast<std::size_t>(slot));
+        if (kind == noc::LinkKind::D2D)
             d2d += bytes;
         else
             on_chip += bytes;
-        const double secs = bytes / noc_.linkBandwidthBps(a, b);
-        if (secs > max_link_seconds)
-            max_link_seconds = secs;
+        linkBytes_.push_back(bytes);
+        linkKinds_.push_back(static_cast<std::uint8_t>(kind));
     });
+    const double max_link_seconds = kernels::active().maxSeconds(
+        linkBytes_.data(), linkKinds_.data(), noc_.nocBandwidthBps(),
+        noc_.d2dBandwidthBps(), linkBytes_.size());
 
-    return assembleBreakdown(group, core_energy, max_stage, glb_overflow,
-                             dram_per_unit, on_chip, d2d, max_link_seconds,
-                             fs.numUnits, costs);
+    return assembleBreakdown(pipelineDepthOf(group), core_energy, max_stage,
+                             glb_overflow, dram_per_unit, on_chip, d2d,
+                             max_link_seconds, fs.numUnits, costs);
 }
 
 GroupState &
@@ -450,32 +474,26 @@ Analyzer::stateFor(const LayerGroupMapping &group, std::int64_t batch) const
 }
 
 eval::EvalBreakdown
-Analyzer::evaluateFromState(const LayerGroupMapping &group,
-                            const GroupState &state, std::int64_t num_units,
+Analyzer::evaluateFromState(const GroupState &state, std::int64_t num_units,
                             const cost::CostStack &costs) const
 {
-    double core_energy = 0.0;
-    double max_stage = 0.0;
-    for (const GroupLayerState &entry : state.layers) {
-        core_energy += entry.energyPerUnit;
-        max_stage = std::max(max_stage, entry.stageSeconds);
-    }
+    // Everything here folds packed SoA state: scalar aggregates through
+    // the (bit-identical) SIMD folds, DRAM rows through the elementwise
+    // accumulate kernel, links through the packed fold + tournament root.
+    const GroupState::ScalarFold scalars = state.foldScalars();
+    const double glb_overflow = std::max(scalars.glbOverflow, 0.0);
 
     static thread_local std::vector<double> dram_per_unit;
     dram_per_unit.assign(static_cast<std::size_t>(arch_.dramCount), 0.0);
-    double glb_overflow = 0.0;
-    for (const GroupLayerState &entry : state.layers) {
-        for (int d = 0; d < arch_.dramCount; ++d)
-            dram_per_unit[static_cast<std::size_t>(d)] +=
-                entry.flows.dramBytes[d];
-        glb_overflow = std::max(glb_overflow, entry.flows.glbOverflow);
-    }
-    glb_overflow = std::max(glb_overflow, 0.0);
+    state.accumulateDram(dram_per_unit.data(), dram_per_unit.size());
 
-    const GroupState::LinkFold fold = state.fold(noc_);
-    return assembleBreakdown(group, core_energy, max_stage, glb_overflow,
-                             dram_per_unit, fold.onChipBytes, fold.d2dBytes,
-                             fold.maxLinkSeconds, num_units, costs);
+    const GroupState::LinkFold fold = state.fold();
+    auto out = assembleBreakdown(state.pipelineDepth, scalars.coreEnergy,
+                                 scalars.maxStage, glb_overflow,
+                                 dram_per_unit, fold.onChipBytes,
+                                 fold.d2dBytes, fold.maxLinkSeconds,
+                                 num_units, costs);
+    return out;
 }
 
 eval::EvalBreakdown
@@ -576,7 +594,7 @@ Analyzer::evaluateGroupDelta(const LayerGroupMapping &group,
         deltaChanged_ += changed_.size();
     }
 
-    return evaluateFromState(group, state, num_units, costs);
+    return evaluateFromState(state, num_units, costs);
 }
 
 eval::EvalBreakdown

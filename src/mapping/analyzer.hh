@@ -188,6 +188,28 @@ class Analyzer
      */
     std::uint64_t cacheAllocEvents() const;
 
+    /**
+     * Heap-allocation events inside the resident group states (arena
+     * chunk acquisitions + retained-buffer growth). Constant across a
+     * warmed steady-state delta walk.
+     */
+    std::uint64_t stateAllocEvents() const;
+
+    /** Heap-allocation events inside the traffic compiler's scratch. */
+    std::uint64_t compilerAllocEvents() const;
+
+    /**
+     * Every allocation-accounting counter at once: caches + probes +
+     * resident states + compiler scratch. The steady-state test asserts
+     * this is flat across a warmed delta-evaluation walk.
+     */
+    std::uint64_t
+    totalAllocEvents() const
+    {
+        return cacheAllocEvents() + stateAllocEvents() +
+               compilerAllocEvents();
+    }
+
   private:
     using GroupKey = FragmentKey;
 
@@ -235,7 +257,7 @@ class Analyzer
 
     /** Shared tail of the fused paths: price a folded link/scalar state. */
     eval::EvalBreakdown assembleBreakdown(
-        const LayerGroupMapping &group, double core_energy, double max_stage,
+        int pipeline_depth, double core_energy, double max_stage,
         double glb_overflow, const std::vector<double> &dram_per_unit,
         double on_chip, double d2d, double max_link_seconds,
         std::int64_t num_units, const cost::CostStack &costs) const;
@@ -257,8 +279,7 @@ class Analyzer
                          std::int64_t batch) const;
 
     /** Fold + price a (current) resident state. */
-    eval::EvalBreakdown evaluateFromState(const LayerGroupMapping &group,
-                                          const GroupState &state,
+    eval::EvalBreakdown evaluateFromState(const GroupState &state,
                                           std::int64_t num_units,
                                           const cost::CostStack &costs)
         const;
@@ -310,6 +331,9 @@ class Analyzer
 
     /** Dense merge scratch of the fused cost-accumulation path. */
     mutable DenseLinkAccumulator merge_;
+    /** Packed (bytes, kind) of the drained merge, for the SIMD max. */
+    mutable std::vector<double> linkBytes_;
+    mutable std::vector<std::uint8_t> linkKinds_;
     mutable std::uint64_t cacheHits_ = 0;
     mutable std::uint64_t cacheMisses_ = 0;
     mutable std::uint64_t cacheEvictions_ = 0;

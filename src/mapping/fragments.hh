@@ -22,9 +22,12 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/arena.hh"
 #include "src/common/logging.hh"
+#include "src/common/small_vec.hh"
 #include "src/common/types.hh"
 #include "src/mapping/encoding.hh"
+#include "src/mapping/kernels.hh"
 #include "src/noc/interconnect.hh"
 
 namespace gemini::mapping {
@@ -81,9 +84,14 @@ struct LayerTiles
  */
 struct LayerFlows
 {
-    std::vector<std::pair<noc::LinkKey, double>> links;
-    std::vector<double> dramBytes;  ///< per-stack bytes per unit
-    double glbOverflow = 0.0;       ///< worst piece pressure ratio
+    // Small-buffer storage: a layer's merged link list is a couple dozen
+    // entries and the DRAM tally is one slot per stack, so a compiled
+    // fragment allocates nothing and cached reads stay on the fragment's
+    // own cache lines (the SA hot loop compiles and re-reads these
+    // millions of times per run).
+    common::SmallVec<std::pair<noc::LinkKey, double>, 24> links;
+    common::SmallVec<double, 8> dramBytes; ///< per-stack bytes per unit
+    double glbOverflow = 0.0;              ///< worst piece pressure ratio
 };
 
 /**
@@ -99,10 +107,13 @@ class DenseLinkAccumulator
 {
   public:
     /**
-     * Size for an interconnect's node count (idempotent, zero-fills).
-     * Flat indices span node_count^2, so they are kept in 64-bit; the
-     * guard rejects node counts whose dense table could not be addressed
-     * (or allocated) sanely rather than silently wrapping.
+     * Size for an interconnect's node count (idempotent). Flat indices
+     * span node_count^2, so they are kept in 64-bit; the guard rejects
+     * node counts whose dense table could not be addressed (or
+     * allocated) sanely rather than silently wrapping. The table is
+     * demand-zero storage: the drain discipline restores every dirtied
+     * slot to 0.0, so a matching-size reset with no pending touches is
+     * free, and a fresh sizing maps zero pages without sweeping them.
      */
     void
     reset(std::size_t node_count)
@@ -110,8 +121,13 @@ class DenseLinkAccumulator
         GEMINI_ASSERT(node_count <= kMaxNodes,
                       "DenseLinkAccumulator: node count ", node_count,
                       " exceeds the dense-table limit ", kMaxNodes);
+        if (node_count * node_count != bytes_.size()) {
+            bytes_.resizeZero(node_count * node_count);
+        } else if (!touched_.empty()) {
+            for (std::uint64_t idx : touched_)
+                bytes_[static_cast<std::size_t>(idx)] = 0.0;
+        }
         nodes_ = node_count;
-        bytes_.assign(node_count * node_count, 0.0);
         touched_.clear();
     }
 
@@ -124,6 +140,24 @@ class DenseLinkAccumulator
         if (bytes_[idx] == 0.0)
             touched_.push_back(idx);
         bytes_[idx] += bytes;
+    }
+
+    /**
+     * Merge a fragment's whole link list at once: flat slots batch
+     * through the SIMD index kernel, then accumulate in list order —
+     * bit-identical to add() per entry (same indices, same sum order).
+     */
+    void
+    addMany(const std::pair<noc::LinkKey, double> *links, std::size_t n)
+    {
+        idxScratch_.resize(n);
+        kernels::active().linkSlots(idxScratch_.data(), links, nodes_, n);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto idx = static_cast<std::size_t>(idxScratch_[i]);
+            if (bytes_[idx] == 0.0)
+                touched_.push_back(idxScratch_[i]);
+            bytes_[idx] += links[i].second;
+        }
     }
 
     std::size_t touchedCount() const { return touched_.size(); }
@@ -159,13 +193,33 @@ class DenseLinkAccumulator
         drain(std::forward<Fn>(fn));
     }
 
+    /**
+     * drainSorted without the flat-index round trip: emits (slot, bytes)
+     * in ascending flat-slot order for callers that classify links by
+     * dense slot (linkKindAt) rather than by endpoints.
+     */
+    template <typename Fn>
+    void
+    drainSlots(Fn &&fn)
+    {
+        std::sort(touched_.begin(), touched_.end());
+        for (std::uint64_t idx : touched_) {
+            const auto i = static_cast<std::size_t>(idx);
+            const double bytes = bytes_[i];
+            bytes_[i] = 0.0;
+            fn(idx, bytes);
+        }
+        touched_.clear();
+    }
+
     /** Largest supported node count (dense table of 2^48 slots). */
     static constexpr std::size_t kMaxNodes = std::size_t{1} << 24;
 
   private:
     std::size_t nodes_ = 0;
-    std::vector<double> bytes_;
+    common::ZeroVec<double> bytes_; ///< demand-zero dense table
     std::vector<std::uint64_t> touched_;
+    std::vector<std::uint64_t> idxScratch_; ///< addMany slot batch
 };
 
 } // namespace gemini::mapping

@@ -1,10 +1,10 @@
 /**
  * @file
  * Resident per-group evaluation state for the delta-evaluated SA hot path
- * (Sec. V-B): dense per-link byte totals with per-slot contribution lists,
- * a tournament (max segment) tree over per-link serialization seconds, and
- * per-layer scalar aggregates, all maintained under O(delta) fragment
- * replacement.
+ * (Sec. V-B): dense per-link byte totals with per-slot contribution
+ * arrays, a tournament (max segment) tree over per-link serialization
+ * seconds, and packed per-layer scalar aggregates, all maintained under
+ * O(delta) fragment replacement.
  *
  * Soundness contract (verified bit-for-bit by the differential fuzz test):
  * every aggregate the state reports is a *pure function of the current
@@ -16,17 +16,33 @@
  * which is order-free. Delta application therefore never drifts from a
  * from-scratch re-merge: a changed layer's contributions are unlinked and
  * relinked, and every affected slot is *re-summed from zero* over its
- * (ascending-layer) contribution list rather than adjusted in place —
+ * (ascending-layer) contribution array rather than adjusted in place —
  * floating-point subtract-then-add could not reproduce the reference.
+ *
+ * Layout (PR 8): the nodeCount^2 slot space is only a 4-byte index map;
+ * all hot per-slot state is packed into a dense array with one entry per
+ * slot that ever carried traffic (about a thousand, tens of kilobytes),
+ * so delta surgery and the canonical folds run against L1/L2-resident
+ * lines instead of scattering over a multi-megabyte table. Contributions
+ * live in size-classed slabs bump-allocated from a retained arena
+ * (common/arena.hh) — list surgery is memmove over contiguous entries and
+ * re-summing streams one cache-resident array, so steady-state delta
+ * application performs zero heap allocations (allocEvents() proves it).
+ * The canonical folds are cached per delta (pure functions of the
+ * resident fragment set), and order-free reductions (tournament leaves,
+ * maxima) batch through the runtime-dispatched SIMD kernels
+ * (mapping/kernels.hh), bit-identical to scalar.
  */
 
 #ifndef GEMINI_MAPPING_GROUP_STATE_HH
 #define GEMINI_MAPPING_GROUP_STATE_HH
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "src/common/arena.hh"
 #include "src/dnn/graph.hh"
 #include "src/mapping/fragments.hh"
 #include "src/noc/interconnect.hh"
@@ -34,10 +50,11 @@
 namespace gemini::mapping {
 
 /**
- * Iterative max segment tree over a fixed dense leaf space. Updates are
- * O(log leaves) with an early exit once an ancestor is unchanged; the
- * root read is O(1). Max is order-independent, so the tree is bit-exact
- * against any linear scan of the same leaves.
+ * Iterative max segment tree over a fixed dense leaf space (rounded up
+ * to a power of two so bulk rebuilds vectorize level by level). Point
+ * updates are O(log leaves) with an early exit once an ancestor is
+ * unchanged; the root read is O(1). Max is order-independent, so the
+ * tree is bit-exact against any linear scan of the same leaves.
  */
 class MaxSegTree
 {
@@ -45,24 +62,12 @@ class MaxSegTree
     void
     reset(std::size_t leaves)
     {
-        n_ = leaves > 0 ? leaves : 1;
+        n_ = roundUpPow2(leaves);
         tree_.assign(2 * n_, 0.0);
     }
 
     /** Grow to `leaves`, preserving existing leaf values. */
-    void
-    resizePreserve(std::size_t leaves)
-    {
-        const std::size_t m = leaves > 0 ? leaves : 1;
-        std::vector<double> fresh(2 * m, 0.0);
-        const std::size_t keep = std::min(n_, m);
-        for (std::size_t i = 0; i < keep; ++i)
-            fresh[m + i] = tree_[n_ + i];
-        tree_ = std::move(fresh);
-        n_ = m;
-        for (std::size_t i = m - 1; i >= 1; --i)
-            tree_[i] = std::max(tree_[2 * i], tree_[2 * i + 1]);
-    }
+    void resizePreserve(std::size_t leaves);
 
     std::size_t leaves() const { return n_; }
 
@@ -83,10 +88,27 @@ class MaxSegTree
         }
     }
 
+    /**
+     * Bulk rebuild: leaves [0, count) take `values`, the rest zero, and
+     * every internal level recomputes bottom-up (pairwise max through
+     * the SIMD kernels — O(leaves) total, vs O(count log leaves) point
+     * sets). Requires count <= leaves().
+     */
+    void assign(const double *values, std::size_t count);
+
     /** Max over all leaves (0 when nothing was ever set). */
     double max() const { return tree_[1]; }
 
   private:
+    static std::size_t
+    roundUpPow2(std::size_t v)
+    {
+        std::size_t n = 1;
+        while (n < v)
+            n <<= 1;
+        return n;
+    }
+
     std::size_t n_ = 1;
     std::vector<double> tree_{0.0, 0.0};
 };
@@ -102,9 +124,13 @@ struct GroupLayerState
     std::vector<LayerId> outProducers;
     std::vector<DramSel> producerDrams;
 
-    LayerFlows flows;           ///< owned copy of the layer's fragment
-    double stageSeconds = 0.0;  ///< from the tiling stage
-    double energyPerUnit = 0.0; ///< from the tiling stage
+    /**
+     * Flat slots of the layer's resident link fragment, in the
+     * fragment's (first-touch) emission order — everything unlinking
+     * needs; bytes live in the per-slot contribution slabs and the
+     * scalar aggregates in the owning GroupState's packed arrays.
+     */
+    std::vector<std::uint32_t> linkSlots;
 };
 
 /**
@@ -124,6 +150,14 @@ class GroupState
     bool valid = false;
 
     std::vector<GroupLayerState> layers;
+
+    /**
+     * Longest dependency chain inside the group. A pure function of
+     * graph structure and group membership — both fixed for the life of
+     * this state — so it is computed once per rebuild and never again
+     * (the per-evaluation recomputation was a measured hot spot).
+     */
+    int pipelineDepth = 1;
 
     /** Populate from a complete fragment set (the full-merge fallback). */
     void rebuild(const dnn::Graph &graph, const LayerGroupMapping &group,
@@ -153,65 +187,165 @@ class GroupState
         double d2dBytes = 0.0;
         double maxLinkSeconds = 0.0; ///< tournament-tree root, O(1)
     };
-    LinkFold fold(const noc::InterconnectModel &noc) const;
+    LinkFold fold() const;
+
+    /** Canonical fold of the per-layer scalar aggregates. */
+    struct ScalarFold
+    {
+        double coreEnergy = 0.0;  ///< sum in ascending layer order
+        double maxStage = 0.0;    ///< order-free max (SIMD)
+        double glbOverflow = 0.0; ///< order-free max (SIMD), >= 0
+    };
+    ScalarFold foldScalars() const;
+
+    /**
+     * acc[d] += sum over layers of the layer's per-DRAM bytes, folding
+     * layers in ascending order per stack (the reference order) with the
+     * elementwise-accumulate kernel across stacks.
+     *
+     * All three folds are pure functions of the resident fragment set,
+     * so their results are cached and recomputed only after a rebuild
+     * or delta dirties the state — an SA proposal touches one group,
+     * and every *other* group's evaluation then reads the cache instead
+     * of re-walking hundreds of packed entries. Bit-safety: the cache
+     * holds exactly the bits the walk would produce (for the DRAM fold,
+     * x + 0.0 == x for the non-negative byte totals involved).
+     */
+    void accumulateDram(double *acc, std::size_t dram_count) const;
 
     std::size_t activeLinks() const { return active_.size(); }
 
-  private:
     /**
-     * Compact tournament-tree leaf id of a slot (assigned on first
-     * activation, never reclaimed between rebuilds): the tree spans only
-     * slots that ever carried traffic (a few thousand), not the dense
-     * nodeCount^2 space, so updates stay in cache. Max is order-free, so
-     * leaf numbering cannot affect the result.
+     * Heap-allocation events since construction: contribution-arena
+     * chunk acquisitions plus capacity growth of every retained buffer.
+     * Constant across a warmed steady-state walk — the zero-allocation
+     * test pins exactly that.
      */
-    std::uint32_t compactIdOf(std::size_t slot);
+    std::uint64_t allocEvents() const;
 
-    /**
-     * Contribution node: one layer's bytes on one link slot. Nodes live
-     * in one contiguous pool (freed nodes recycle through a free list),
-     * so per-slot list walks stay within a cache-resident arena.
-     */
-    struct ContribNode
+  private:
+    /** One layer's bytes on one link slot (slab entry). */
+    struct Contrib
     {
         double bytes = 0.0;
-        std::int32_t next = -1;
         std::uint32_t layer = 0;
+        std::uint32_t pad_ = 0;
     };
 
-    std::int32_t allocNode();
+    /** Size classes: class c holds 4 << c entries (4 .. 32M). */
+    static constexpr std::size_t kNumClasses = 24;
 
-    static constexpr std::uint32_t kNoCompact = 0xFFFFFFFFu;
+    static std::uint16_t
+    classFor(std::size_t count)
+    {
+        std::uint16_t c = 0;
+        while ((std::size_t{4} << c) < count)
+            ++c;
+        return c;
+    }
+    static std::size_t classCap(std::uint16_t c) { return std::size_t{4} << c; }
+
+    /** Pop a slab from the class free list or bump the arena. */
+    Contrib *allocSlab(std::uint16_t cls);
+    /** Return a slab to its class free list (next ptr in first entry). */
+    void freeSlab(Contrib *slab, std::uint16_t cls);
 
     /**
-     * Dense per-slot state, consolidated so one delta touch costs one
-     * cache line instead of one miss per parallel array: running total,
-     * contribution-list head, tournament leaf id and the affected flag.
+     * All hot state of one ever-active slot, packed into the dense
+     * array: running total, contribution slab (contiguous, ascending
+     * layer), owning flat slot, and the affected flag. The dense index
+     * doubles as the tournament-tree leaf id (max is order-free, so
+     * first-touch leaf numbering cannot affect the result). Entries are
+     * never reclaimed between rebuilds: a slot whose traffic vanishes
+     * keeps its entry at bytes 0 / len 0 with a 0.0 leaf.
      */
-    struct SlotState
+    struct DenseSlot
     {
-        double bytes = 0.0;            ///< canonical per-slot total
-        std::int32_t head = -1;        ///< contribution list head
-        std::uint32_t compact = kNoCompact; ///< tree leaf id
-        std::uint8_t flag = 0;         ///< affected marker (kWas*)
+        double bytes = 0.0;         ///< canonical per-slot total
+        Contrib *contrib = nullptr; ///< slab of `len` entries
+        std::uint32_t slot = 0;     ///< owning flat slot index
+        std::uint16_t len = 0;      ///< live entries in the slab
+        std::uint16_t capClass = 0; ///< slab size class (valid iff contrib)
+        std::uint8_t flag = 0;      ///< affected marker (kWas*)
+        /**
+         * LinkKind + 1 (0 = not yet stamped). A slot's kind is fixed for
+         * the life of the interconnect, so it is looked up exactly once
+         * per dense entry — not per delta (the kind-table load was a
+         * measured scattered-miss cost in the re-sum loop).
+         */
+        std::uint8_t kindPlus1 = 0;
     };
 
-    std::size_t nodes_ = 0;            ///< interconnect node count
-    std::vector<SlotState> slots_;     ///< dense nodeCount^2 state
-    std::vector<ContribNode> pool_;
-    std::int32_t freeHead_ = -1;
-    std::vector<std::uint32_t> active_; ///< sorted non-empty slots
-    MaxSegTree tree_;                   ///< per-slot seconds, max at root
-    std::uint32_t compactCount_ = 0;
+    /**
+     * Dense index of a slot, creating (and tree-growing for) a fresh
+     * entry on first touch.
+     */
+    std::uint32_t denseIdxOf(std::uint32_t slot);
+
+    /** Account capacity growth of the retained buffers (allocEvents). */
+    void noteCapacities();
+
+    std::size_t nodes_ = 0; ///< interconnect node count
+
+    /**
+     * slot -> dense index + 1 (0 = never touched). The only per-slot
+     * structure spanning the full nodeCount^2 space — 4 bytes per slot,
+     * so even the 264-node mesh maps in a few hundred kilobytes and the
+     * scattered delta lookups stay L2-resident. Rebuilds clear it
+     * sparsely (one write per dense entry), never by sweeping.
+     */
+    common::ZeroVec<std::uint32_t> slotMap_;
+
+    /** Ever-active slots, first-touch order; index == tree leaf id. */
+    std::vector<DenseSlot> dense_;
+
+    common::BumpArena contribArena_{256 * 1024};
+    std::array<Contrib *, kNumClasses> freeHeads_{};
+
+    /**
+     * Sorted non-empty slots — the canonical link-fold order. The fold
+     * walk reads slotMap_ at an ascending stride (prefetch-friendly)
+     * and lands in the L1-resident dense array.
+     */
+    std::vector<std::uint32_t> active_;
+
+    MaxSegTree tree_; ///< per-dense-slot seconds, max at root
+
+    /** Packed per-layer aggregates (SoA; ascending layer order). */
+    std::vector<double> layerEnergy_;
+    std::vector<double> layerStage_;
+    std::vector<double> layerGlb_;
+    std::vector<double> layerDram_; ///< layers x dramStride_, row-major
+    std::size_t dramStride_ = 0;
 
     // Delta scratch (hoisted; zero allocations in steady state).
     static constexpr std::uint8_t kWasEmpty = 1;  ///< affected, was empty
     static constexpr std::uint8_t kWasActive = 2; ///< affected, was active
-    std::vector<std::uint32_t> affected_;
-    std::vector<std::int32_t> tailScratch_;
+
+    std::vector<std::uint32_t> affected_; ///< dense indices this delta
+    std::vector<std::uint32_t> idxScratch_; ///< new-list dense indices
+    std::vector<std::uint32_t> idxOldScratch_; ///< old-list dense indices
+    std::vector<std::uint64_t> denseStamp_; ///< carry-over stamps
+    std::uint64_t stampEpoch_ = 0; ///< bumped once per relinked layer
     std::vector<std::uint32_t> activeAdds_;
     std::vector<std::uint32_t> activeDels_;
     std::vector<std::uint32_t> activeScratch_;
+    std::vector<double> bytesScratch_;
+    std::vector<std::uint8_t> kindScratch_;
+    std::vector<double> secondsScratch_;
+    std::vector<std::uint64_t> slotScratch_;
+
+    /** Allocation accounting: arena events + buffer-capacity growth. */
+    std::uint64_t growthEvents_ = 0;
+    std::size_t capWatermark_ = 0;
+
+    /** Recompute the cached folds if dirty (see accumulateDram docs). */
+    void refreshFolds() const;
+
+    mutable LinkFold cachedLink_;
+    mutable ScalarFold cachedScalar_;
+    mutable std::vector<double> cachedDram_;
+    mutable bool foldsValid_ = false;
 };
 
 } // namespace gemini::mapping

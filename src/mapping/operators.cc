@@ -52,7 +52,8 @@ capsOf(const dnn::Layer &l, std::int64_t batch_unit, std::int64_t &h,
 }
 
 OperatorEffect
-opChangePartition(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
+opChangePartition(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng,
+                  SchemeUndoLog *undo)
 {
     const std::size_t li =
         static_cast<std::size_t>(rng.nextInt(
@@ -67,12 +68,14 @@ opChangePartition(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
         p == ms.part) {
         return {};
     }
+    if (undo != nullptr)
+        undo->snapshot(li, ms);
     ms.part = p;
     return {.applied = true};
 }
 
 OperatorEffect
-opSwapWithinLayer(LayerGroupMapping &g, Rng &rng)
+opSwapWithinLayer(LayerGroupMapping &g, Rng &rng, SchemeUndoLog *undo)
 {
     // Collect layers with at least two cores.
     std::vector<std::size_t> eligible;
@@ -81,21 +84,24 @@ opSwapWithinLayer(LayerGroupMapping &g, Rng &rng)
             eligible.push_back(i);
     if (eligible.empty())
         return {};
-    auto &cg = g.schemes[eligible[static_cast<std::size_t>(rng.nextInt(
-                             static_cast<std::int64_t>(eligible.size())))]]
-                   .coreGroup;
+    const std::size_t li =
+        eligible[static_cast<std::size_t>(rng.nextInt(
+            static_cast<std::int64_t>(eligible.size())))];
+    auto &cg = g.schemes[li].coreGroup;
     const auto i = static_cast<std::size_t>(
         rng.nextInt(static_cast<std::int64_t>(cg.size())));
     auto j = static_cast<std::size_t>(
         rng.nextInt(static_cast<std::int64_t>(cg.size() - 1)));
     if (j >= i)
         ++j;
+    if (undo != nullptr)
+        undo->snapshot(li, g.schemes[li]);
     std::swap(cg[i], cg[j]);
     return {.applied = true};
 }
 
 OperatorEffect
-opSwapAcrossLayers(LayerGroupMapping &g, Rng &rng)
+opSwapAcrossLayers(LayerGroupMapping &g, Rng &rng, SchemeUndoLog *undo)
 {
     if (g.layers.size() < 2)
         return {};
@@ -111,12 +117,17 @@ opSwapAcrossLayers(LayerGroupMapping &g, Rng &rng)
         rng.nextInt(static_cast<std::int64_t>(cga.size())));
     const auto j = static_cast<std::size_t>(
         rng.nextInt(static_cast<std::int64_t>(cgb.size())));
+    if (undo != nullptr) {
+        undo->snapshot(a, g.schemes[a]);
+        undo->snapshot(b, g.schemes[b]);
+    }
     std::swap(cga[i], cgb[j]);
     return {.applied = true};
 }
 
 OperatorEffect
-opMoveCore(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
+opMoveCore(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng,
+           SchemeUndoLog *undo)
 {
     if (g.layers.size() < 2)
         return {};
@@ -150,6 +161,10 @@ opMoveCore(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
     if (pd.count() != n_d || pr.count() != n_r)
         return {};
 
+    if (undo != nullptr) {
+        undo->snapshot(donor, g.schemes[donor]);
+        undo->snapshot(recipient, g.schemes[recipient]);
+    }
     const auto take = static_cast<std::size_t>(
         rng.nextInt(static_cast<std::int64_t>(cg_d.size())));
     const CoreId core = cg_d[take];
@@ -163,7 +178,8 @@ opMoveCore(LayerGroupMapping &g, const dnn::Graph &graph, Rng &rng)
 }
 
 OperatorEffect
-opChangeFlow(LayerGroupMapping &g, const arch::ArchConfig &arch, Rng &rng)
+opChangeFlow(LayerGroupMapping &g, const arch::ArchConfig &arch, Rng &rng,
+             SchemeUndoLog *undo)
 {
     // Collect the managed FD entries of the group.
     struct Slot
@@ -195,6 +211,8 @@ opChangeFlow(LayerGroupMapping &g, const arch::ArchConfig &arch, Rng &rng)
         ++fresh; // skip the current value in the [0, D] range
     GEMINI_ASSERT(fresh >= 0 && fresh <= arch.dramCount,
                   "flow redraw out of range");
+    if (undo != nullptr)
+        undo->snapshot(slot.layer, g.schemes[slot.layer]);
     target = fresh;
     OperatorEffect eff{.applied = true};
     if (slot.field == 2) {
@@ -209,19 +227,19 @@ opChangeFlow(LayerGroupMapping &g, const arch::ArchConfig &arch, Rng &rng)
 OperatorEffect
 applyOperator(SaOperator op, LayerGroupMapping &group,
               const dnn::Graph &graph, const arch::ArchConfig &arch,
-              Rng &rng)
+              Rng &rng, SchemeUndoLog *undo)
 {
     switch (op) {
       case SaOperator::ChangePartition:
-        return opChangePartition(group, graph, rng);
+        return opChangePartition(group, graph, rng, undo);
       case SaOperator::SwapWithinLayer:
-        return opSwapWithinLayer(group, rng);
+        return opSwapWithinLayer(group, rng, undo);
       case SaOperator::SwapAcrossLayers:
-        return opSwapAcrossLayers(group, rng);
+        return opSwapAcrossLayers(group, rng, undo);
       case SaOperator::MoveCore:
-        return opMoveCore(group, graph, rng);
+        return opMoveCore(group, graph, rng, undo);
       case SaOperator::ChangeFlow:
-        return opChangeFlow(group, arch, rng);
+        return opChangeFlow(group, arch, rng, undo);
     }
     GEMINI_PANIC("unknown SA operator");
 }

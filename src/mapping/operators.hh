@@ -10,6 +10,9 @@
 #ifndef GEMINI_MAPPING_OPERATORS_HH
 #define GEMINI_MAPPING_OPERATORS_HH
 
+#include <cstddef>
+#include <vector>
+
 #include "src/arch/arch_config.hh"
 #include "src/common/rng.hh"
 #include "src/dnn/graph.hh"
@@ -40,13 +43,61 @@ struct OperatorEffect
 };
 
 /**
+ * Undo log for operator applications. Every operator mutates at most two
+ * layers' schemes, so snapshotting just those (instead of deep-copying the
+ * whole group before each proposal) makes the SA reject path O(touched
+ * layers). Entries retain their heap buffers across reset(), so a warmed
+ * log allocates nothing in steady state.
+ */
+class SchemeUndoLog
+{
+  public:
+    /** Forget previous snapshots but keep entry capacity. */
+    void reset() { count_ = 0; }
+
+    /** Record `scheme` as layer `layer`'s pre-mutation value. */
+    void
+    snapshot(std::size_t layer, const MappingScheme &scheme)
+    {
+        if (count_ == entries_.size())
+            entries_.emplace_back();
+        entries_[count_].layer = layer;
+        entries_[count_].scheme = scheme;
+        ++count_;
+    }
+
+    /** Restore the snapshotted schemes (reverse order) into `group`. */
+    void
+    restore(LayerGroupMapping &group) const
+    {
+        for (std::size_t i = count_; i-- > 0;)
+            group.schemes[entries_[i].layer] = entries_[i].scheme;
+    }
+
+    std::size_t size() const { return count_; }
+
+  private:
+    struct Entry
+    {
+        std::size_t layer = 0;
+        MappingScheme scheme;
+    };
+    std::vector<Entry> entries_;
+    std::size_t count_ = 0;
+};
+
+/**
  * Apply `op` to `group` with randomness from `rng`. Returns applied=false
  * (and leaves the group untouched) when the drawn transformation is
- * impossible (e.g. OP2 on a group of single-core layers).
+ * impossible (e.g. OP2 on a group of single-core layers). When `undo` is
+ * non-null, the pre-mutation scheme of every layer the operator actually
+ * mutates is snapshotted into it (the caller is expected to reset() it
+ * first); undo->restore() then reverts the application exactly.
  */
 OperatorEffect applyOperator(SaOperator op, LayerGroupMapping &group,
                              const dnn::Graph &graph,
-                             const arch::ArchConfig &arch, Rng &rng);
+                             const arch::ArchConfig &arch, Rng &rng,
+                             SchemeUndoLog *undo = nullptr);
 
 /**
  * Draw a uniformly random valid Partition for `count` parts under the

@@ -150,8 +150,10 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
     GEMINI_ASSERT(!ops.empty(), "operatorMask disables every SA operator");
 
     // Hoisted per-iteration buffers: assignment reuses their capacity, so
-    // the steady-state loop allocates nothing on the reject path.
-    LayerGroupMapping saved;
+    // the steady-state loop allocates nothing on the reject path. The undo
+    // log snapshots only the (at most two) schemes an operator mutates,
+    // replacing the whole-group deep copy per proposal.
+    SchemeUndoLog undo;
     std::vector<std::size_t> touched;
     std::vector<eval::EvalBreakdown> saved_evals;
     std::vector<double> new_contrib_e, new_contrib_d;
@@ -203,9 +205,9 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
         ++local.proposed;
         ++since_best;
 
-        saved = mapping.groups[g];
+        undo.reset();
         const OperatorEffect eff =
-            applyOperator(op, mapping.groups[g], graph_, arch_, rng);
+            applyOperator(op, mapping.groups[g], graph_, arch_, rng, &undo);
         if (!eff.applied) {
             ++local.inapplicable;
             continue;
@@ -282,9 +284,7 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
                 since_best = 0;
             }
         } else {
-            // Swap rather than move so `saved` keeps the rejected
-            // proposal's buffers for reuse by the next iteration.
-            std::swap(mapping.groups[g], saved);
+            undo.restore(mapping.groups[g]);
             for (std::size_t t = 0; t < touched.size(); ++t)
                 evals[touched[t]] = saved_evals[t];
         }

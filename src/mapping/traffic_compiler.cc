@@ -127,6 +127,16 @@ TrafficCompiler::TrafficCompiler(const dnn::Graph &graph,
     : graph_(graph), arch_(arch), noc_(noc)
 {
     merge_.reset(static_cast<std::size_t>(noc_.nodeCount()));
+    // Hoisted reservation: a compiled layer rarely emits more than a few
+    // thousand raw (link, bytes) pairs; growth past this is counted.
+    sink_.reserve(8192);
+    sinkWatermark_ = sink_.capacity();
+}
+
+std::uint64_t
+TrafficCompiler::allocEvents() const
+{
+    return arena_.allocEvents() + growthEvents_;
 }
 
 LayerFlows
@@ -139,11 +149,12 @@ TrafficCompiler::compile(const LayerGroupMapping &group, std::size_t li,
     flows.dramBytes.assign(arch_.dramCount, 0.0);
 
     // Flows accumulate as raw (link, bytes) pairs — no hashing — and the
-    // dense scratch merges duplicates afterwards. The sink is
-    // thread-local so its capacity survives across calls (fragment
-    // computation allocates nothing in steady state).
-    static thread_local noc::InterconnectModel::LinkSink sink;
+    // dense scratch merges duplicates afterwards. The sink is owned (its
+    // capacity is reserved once and survives across calls) so fragment
+    // computation allocates nothing in steady state.
+    noc::InterconnectModel::LinkSink &sink = sink_;
     sink.clear();
+    arena_.reset();
 
     const LayerId layer_id = group.layers[li];
     const dnn::Layer &layer = graph_.layer(layer_id);
@@ -205,11 +216,12 @@ TrafficCompiler::compile(const LayerGroupMapping &group, std::size_t li,
         }
     };
 
-    static thread_local std::vector<double> input_bytes;
     static thread_local std::vector<FlowRequest> requests;
     static thread_local std::vector<noc::NodeId> dsts_scratch;
     static thread_local std::vector<dnn::Region> required_scratch;
-    input_bytes.assign(n_pieces, 0.0);
+    const std::span<double> input_bytes =
+        arena_.allocSpan<double>(n_pieces);
+    std::fill(input_bytes.begin(), input_bytes.end(), 0.0);
 
     // ---- Activation flows (in-group NoC + cross-group/external DRAM) ----
     const std::size_t n_inputs = std::max<std::size_t>(
@@ -311,8 +323,9 @@ TrafficCompiler::compile(const LayerGroupMapping &group, std::size_t li,
     if (layer.hasWeights()) {
         // Cores sharing the same k-chunk receive identical weight slices.
         requests.clear();
-        static thread_local std::vector<double> weight_bytes_of;
-        weight_bytes_of.assign(n_pieces, 0.0);
+        const std::span<double> weight_bytes_of =
+            arena_.allocSpan<double>(n_pieces);
+        std::fill(weight_bytes_of.begin(), weight_bytes_of.end(), 0.0);
         for (std::size_t i = 0; i < n_pieces; ++i) {
             const WorkRegion &p = mine.regions[i];
             const std::int64_t klen = p.region.channels();
@@ -378,13 +391,19 @@ TrafficCompiler::compile(const LayerGroupMapping &group, std::size_t li,
     }
 
     // Merge duplicate links through the dense scratch — no sort, no
-    // hashing; emission in first-touch order is deterministic.
+    // hashing; emission in first-touch order is deterministic. Per-entry
+    // add() beats the batched kernel here: a layer's sink is only a few
+    // dozen entries, below the batch's scratch-setup break-even.
     for (const auto &[link, bytes] : sink)
         merge_.add(link, bytes);
     flows.links.reserve(merge_.touchedCount());
     merge_.drain([&](noc::NodeId from, noc::NodeId to, double bytes) {
         flows.links.emplace_back(noc::makeLink(from, to), bytes);
     });
+    if (sink.capacity() > sinkWatermark_) {
+        ++growthEvents_;
+        sinkWatermark_ = sink.capacity();
+    }
     return flows;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/arch/arch_config.hh"
+#include "src/common/arena.hh"
 #include "src/dnn/graph.hh"
 #include "src/mapping/fragments.hh"
 #include "src/noc/interconnect.hh"
@@ -56,11 +57,30 @@ class TrafficCompiler
                           std::int64_t batch,
                           const OfmapDramLookup &ofmap_dram_of);
 
+    /**
+     * Heap-allocation events in the retained compile scratch (arena
+     * chunk acquisitions + link-sink capacity growth past the hoisted
+     * reservation). Constant once the compiler has warmed up.
+     */
+    std::uint64_t allocEvents() const;
+
   private:
     const dnn::Graph &graph_;
     const arch::ArchConfig &arch_;
     const noc::InterconnectModel &noc_;
     mutable DenseLinkAccumulator merge_;
+
+    /**
+     * Per-call scratch: n_pieces-sized arrays bump-allocate from the
+     * retained arena (reset per compile), and raw (link, bytes) pairs
+     * collect in the owned sink, whose capacity is reserved up front —
+     * the per-proposal small-vector churn of the thread-local era is
+     * gone, and allocEvents() proves steady state stays allocation-free.
+     */
+    mutable common::BumpArena arena_{64 * 1024};
+    mutable noc::InterconnectModel::LinkSink sink_;
+    mutable std::uint64_t growthEvents_ = 0;
+    mutable std::size_t sinkWatermark_ = 0;
 };
 
 } // namespace gemini::mapping

@@ -168,6 +168,14 @@ class InterconnectModel
         return linkKindAt(slot) == LinkKind::D2D ? d2dBps_ : nocBps_;
     }
 
+    /**
+     * The two bandwidth constants behind linkBandwidthAt, for batched
+     * (SIMD) seconds computation over packed kind bytes: every link's
+     * bandwidth is one of exactly these two values.
+     */
+    double nocBandwidthBps() const { return nocBps_; }
+    double d2dBandwidthBps() const { return d2dBps_; }
+
     /** Aggregate per-kind bytes and the bottleneck link time. */
     TrafficStats summarize(const TrafficMap &map) const;
 
