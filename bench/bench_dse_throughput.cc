@@ -11,7 +11,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "src/common/artifacts.hh"
@@ -50,6 +52,50 @@ saItersTotal(const dse::DseResult &r)
     return total;
 }
 
+/**
+ * Fraction of candidates pruned by the analytical bound at the screen,
+ * per distinct value of one sweep axis (selected by `key`). Returned as
+ * ordered (value, pruned, total) rows.
+ */
+struct PruneRow
+{
+    std::string value;
+    int pruned = 0;
+    int total = 0;
+};
+
+template <typename KeyFn>
+std::vector<PruneRow>
+pruneByAxis(const dse::DseResult &r, KeyFn key)
+{
+    std::map<std::string, std::pair<int, int>> acc;
+    for (const auto &rec : r.records) {
+        auto &slot = acc[key(rec)];
+        slot.second += 1;
+        if (rec.prunedByBound)
+            slot.first += 1;
+    }
+    std::vector<PruneRow> rows;
+    for (const auto &[value, counts] : acc)
+        rows.push_back({value, counts.first, counts.second});
+    return rows;
+}
+
+void
+printPruneJson(FILE *json, const char *name,
+               const std::vector<PruneRow> &rows, const char *tail)
+{
+    std::fprintf(json, "    \"%s\": {", name);
+    for (std::size_t i = 0; i < rows.size(); ++i)
+        std::fprintf(json, "%s\"%s\": %.4f", i ? ", " : "",
+                     rows[i].value.c_str(),
+                     rows[i].total > 0
+                         ? static_cast<double>(rows[i].pruned) /
+                               rows[i].total
+                         : 0.0);
+    std::fprintf(json, "}%s\n", tail);
+}
+
 } // namespace
 
 int
@@ -84,6 +130,9 @@ main(int argc, char **argv)
     const RunOutcome flat = runOnce(exhaustive);
 
     // Scheduled: identical final (polish) budget, but only for finalists.
+    // Analytic screening & seeding on top: the closed-form lower bound
+    // prunes at the screen, SA starts from the analytical seed, and
+    // plateaued chains stop early instead of burning their full budget.
     dse::DseOptions scheduled = options;
     scheduled.schedule.enabled = true;
     scheduled.schedule.rungs = 3;
@@ -91,6 +140,13 @@ main(int argc, char **argv)
     scheduled.schedule.baseIters =
         std::max(16, options.mapping.sa.iterations / 16);
     scheduled.schedule.minKeep = 3;
+    scheduled.mapping.analyticSeed = true;
+    // Plateau-aware termination lets the polish rung carry a 2x nominal
+    // budget: chains that stall stop after the window, chains that keep
+    // improving may run past the old fixed budget. Net executed
+    // iterations stay far below the exhaustive driver's.
+    scheduled.mapping.sa.plateauWindow =
+        std::max(256, 3 * options.mapping.sa.iterations / 4);
     const RunOutcome multi = runOnce(scheduled);
 
     const double flat_obj = flat.result.bestIndex >= 0
@@ -126,9 +182,29 @@ main(int argc, char **argv)
                   rs.bestObjective);
     rt.print();
 
-    std::printf("cpu speedup %.2fx, wall speedup %.2fx, objective ratio "
-                "%.4f (<= 1 means scheduled is equal or better)\n",
-                cpu_speedup, wall_speedup, obj_ratio);
+    const long flat_iters = saItersTotal(flat.result);
+    const long multi_iters = saItersTotal(multi.result);
+    const double sa_iters_speedup =
+        multi_iters > 0 ? static_cast<double>(flat_iters) / multi_iters
+                        : 0.0;
+    int screen_pruned = 0;
+    for (const auto &rec : multi.result.records)
+        if (rec.prunedByBound)
+            ++screen_pruned;
+    const double screen_prune_fraction =
+        multi.result.records.empty()
+            ? 0.0
+            : static_cast<double>(screen_pruned) /
+                  multi.result.records.size();
+
+    std::printf("cpu speedup %.2fx, wall speedup %.2fx, sa-iters speedup "
+                "%.2fx, objective ratio %.4f (<= 1 means scheduled is "
+                "equal or better)\n",
+                cpu_speedup, wall_speedup, sa_iters_speedup, obj_ratio);
+    std::printf("screen prune: %d/%zu candidates (%.1f%%) cut by the "
+                "analytical bound\n",
+                screen_pruned, multi.result.records.size(),
+                100.0 * screen_prune_fraction);
     std::printf("targets: cpu speedup >= 3x %s, objective ratio <= 1 %s\n",
                 cpu_speedup >= 3.0 ? "PASS" : "FAIL",
                 obj_ratio <= 1.0 + 1e-9 ? "PASS" : "FAIL");
@@ -181,8 +257,39 @@ main(int argc, char **argv)
                          i + 1 < rungs.size() ? "," : "");
         }
         std::fprintf(json, "    ]\n  },\n");
+        std::fprintf(json, "  \"screen_prune\": {\n");
+        std::fprintf(json, "    \"pruned\": %d,\n", screen_pruned);
+        std::fprintf(json, "    \"total\": %zu,\n",
+                     multi.result.records.size());
+        std::fprintf(json, "    \"fraction\": %.4f,\n",
+                     screen_prune_fraction);
+        printPruneJson(json, "by_macs_per_core",
+                       pruneByAxis(multi.result,
+                                   [](const dse::DseRecord &rec) {
+                                       return std::to_string(
+                                           rec.arch.macsPerCore);
+                                   }),
+                       ",");
+        printPruneJson(json, "by_glb_kib",
+                       pruneByAxis(multi.result,
+                                   [](const dse::DseRecord &rec) {
+                                       return std::to_string(
+                                           rec.arch.glbKiB);
+                                   }),
+                       ",");
+        printPruneJson(json, "by_topology",
+                       pruneByAxis(multi.result,
+                                   [](const dse::DseRecord &rec) {
+                                       return std::string(
+                                           arch::topologyName(
+                                               rec.arch.topology));
+                                   }),
+                       "");
+        std::fprintf(json, "  },\n");
         std::fprintf(json, "  \"cpu_speedup\": %.4f,\n", cpu_speedup);
         std::fprintf(json, "  \"wall_speedup\": %.4f,\n", wall_speedup);
+        std::fprintf(json, "  \"sa_iters_speedup\": %.4f,\n",
+                     sa_iters_speedup);
         std::fprintf(json, "  \"objective_ratio\": %.6f\n", obj_ratio);
         std::fprintf(json, "}\n");
         std::fclose(json);

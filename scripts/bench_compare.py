@@ -130,6 +130,21 @@ def compare_dse(base_doc, cur_doc, tolerance):
         print("FAIL: scheduled driver found a worse design than the "
               "exhaustive one")
         ok = False
+    # SA-iteration efficiency gate (skipped against baselines that predate
+    # the analytical screening & seeding work and lack the column).
+    if "sa_iters_speedup" in base_doc and "sa_iters_speedup" in cur_doc:
+        base_iters = float(base_doc["sa_iters_speedup"])
+        cur_iters = float(cur_doc["sa_iters_speedup"])
+        print(f"dse sa_iters_speedup: baseline {base_iters:.2f}x, "
+              f"current {cur_iters:.2f}x")
+        if cur_iters < base_iters * (1.0 - tolerance):
+            print(f"FAIL: scheduler sa-iteration speedup regressed more "
+                  f"than {tolerance * 100:.0f}%")
+            ok = False
+    elif "sa_iters_speedup" in cur_doc:
+        print(f"dse sa_iters_speedup: current "
+              f"{float(cur_doc['sa_iters_speedup']):.2f}x "
+              f"(baseline lacks the column; gate skipped)")
     if ok:
         print("OK: DSE throughput within tolerance")
     return ok

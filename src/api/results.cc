@@ -320,6 +320,8 @@ saStatsToJson(const mapping::SaStats &s)
     v.set("final_cost", s.finalCost);
     v.set("chains", s.chains);
     v.set("best_chain", s.bestChain);
+    v.set("iters_run", s.itersRun);
+    v.set("best_iteration", s.bestIteration);
     return v;
 }
 
@@ -337,6 +339,9 @@ saStatsFromJson(const Value &v, const std::string &path,
     r.getDouble("final_cost", s.finalCost);
     r.getInt("chains", s.chains);
     r.getInt("best_chain", s.bestChain);
+    // Optional keys (absent in pre-plateau files): defaults hold.
+    r.getInt("iters_run", s.itersRun);
+    r.getInt("best_iteration", s.bestIteration);
     if (!r.finish())
         return false;
     out = s;
@@ -428,6 +433,11 @@ dseRecordToJson(const dse::DseRecord &rec)
     v.set("poison_reason", rec.poisonReason);
     v.set("sa_iters", rec.saIters);
     v.set("eval_seconds", rec.evalSeconds);
+    v.set("bound_compute_s", rec.boundComputeSeconds);
+    v.set("bound_dram_s", rec.boundDramSeconds);
+    v.set("bound_noc_s", rec.boundNocSeconds);
+    v.set("bound_refetch_bytes", rec.boundRefetchBytes);
+    v.set("seeded_analytic", rec.seededAnalytic);
     return v;
 }
 
@@ -474,6 +484,12 @@ dseRecordFromJson(const Value &v, const std::string &path,
     r.getString("poison_reason", rec.poisonReason);
     r.getInt("sa_iters", rec.saIters);
     r.getDouble("eval_seconds", rec.evalSeconds);
+    // Bound decomposition + seed flag (absent in pre-analytical files).
+    r.getDouble("bound_compute_s", rec.boundComputeSeconds);
+    r.getDouble("bound_dram_s", rec.boundDramSeconds);
+    r.getDouble("bound_noc_s", rec.boundNocSeconds);
+    r.getDouble("bound_refetch_bytes", rec.boundRefetchBytes);
+    r.getBool("seeded_analytic", rec.seededAnalytic);
     if (!r.finish())
         return false;
     out = std::move(rec);

@@ -123,6 +123,7 @@ readSchedule(const Value &v, const std::string &path, dse::DseSchedule &s,
     r.getDouble("keep_fraction", s.keepFraction);
     r.getInt("base_iters", s.baseIters);
     r.getBool("lower_bound_prune", s.lowerBoundPrune);
+    r.getBool("analytic_bound", s.analyticBound);
     r.getInt("min_keep", s.minKeep);
     r.getInt("polish_chains", s.polishChains);
     return r.finish();
@@ -141,6 +142,7 @@ readSa(const Value &v, const std::string &path, mapping::SaOptions &sa,
     r.getBool("incremental_cost", sa.incrementalCost);
     r.getInt("reheat_interval", sa.reheatInterval);
     r.getInt("operator_mask", sa.operatorMask);
+    r.getInt("plateau_window", sa.plateauWindow);
     return r.finish();
 }
 
@@ -155,6 +157,7 @@ readMapping(const Value &v, const std::string &path,
     r.getInt("analyzer_cache_entries", m.analyzerCacheEntries);
     r.getBool("delta_eval", m.deltaEval);
     r.getInt("max_group_layers", m.maxGroupLayers);
+    r.getBool("analytic_seed", m.analyticSeed);
     r.getIntList("batch_units", m.batchUnits);
     if (const Value *sa = r.child("sa")) {
         if (!readSa(*sa, path + ".sa", m.sa, error))
@@ -342,6 +345,7 @@ scheduleToJson(const dse::DseSchedule &s)
     v.set("keep_fraction", s.keepFraction);
     v.set("base_iters", s.baseIters);
     v.set("lower_bound_prune", s.lowerBoundPrune);
+    v.set("analytic_bound", s.analyticBound);
     v.set("min_keep", static_cast<std::uint64_t>(s.minKeep));
     v.set("polish_chains", s.polishChains);
     return v;
@@ -359,6 +363,7 @@ mappingToJson(const mapping::MappingOptions &m)
     sa.set("incremental_cost", m.sa.incrementalCost);
     sa.set("reheat_interval", m.sa.reheatInterval);
     sa.set("operator_mask", m.sa.operatorMask);
+    sa.set("plateau_window", m.sa.plateauWindow);
 
     Value v = Value::object();
     v.set("batch", m.batch);
@@ -369,6 +374,7 @@ mappingToJson(const mapping::MappingOptions &m)
           static_cast<std::uint64_t>(m.analyzerCacheEntries));
     v.set("delta_eval", m.deltaEval);
     v.set("max_group_layers", m.maxGroupLayers);
+    v.set("analytic_seed", m.analyticSeed);
     Value units = Value::array();
     for (const std::int64_t u : m.batchUnits)
         units.push(u);
@@ -664,6 +670,8 @@ ExperimentSpec::validate() const
     if ((mapping.sa.operatorMask & 0x1Fu) == 0)
         complain("mapping.sa.operator_mask: at least one of the five "
                  "operator bits must be set");
+    if (mapping.sa.plateauWindow < 0)
+        complain("mapping.sa.plateau_window: must be >= 0 (0 = off)");
     if (mapping.maxGroupLayers < 1)
         complain("mapping.max_group_layers: must be >= 1");
     if (mapping.saThreads < 0)

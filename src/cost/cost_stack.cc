@@ -55,40 +55,18 @@ CostStack::dseObjective(double mc_total, double energy_geo,
 double
 CostStack::dseObjectiveLowerBound(
     const std::vector<const dnn::Graph *> &models, std::int64_t batch,
-    double mc_total, double alpha, double beta, double gamma) const
+    double mc_total, double alpha, double beta, double gamma,
+    int maxGroupLayers, BoundComponents *components) const
 {
     if (alpha < 0.0 || beta < 0.0 || gamma < 0.0)
         return 0.0; // bound only monotone for non-negative exponents
-    const arch::ArchConfig &cfg = config();
-    const arch::TechParams &tech = energy_.tech();
-    const double b = static_cast<double>(batch);
-    const double peak_macs_per_sec = static_cast<double>(cfg.coreCount()) *
-                                     cfg.macsPerCore * cfg.freqGHz * 1e9;
-    const double dram_bps = cfg.dramBwGBps * 1e9;
-
-    double log_delay = 0.0;
-    double log_energy = 0.0;
-    for (const dnn::Graph *g : models) {
-        const double macs = static_cast<double>(g->totalMacs()) * b;
-        double out_volume = 0.0;
-        for (const dnn::Layer &l : g->layers())
-            if (l.isOutput)
-                out_volume += static_cast<double>(l.ofmapVolume());
-        const double dram_bytes =
-            static_cast<double>(g->totalWeightBytes()) + b * out_volume;
-        const double delay_lb =
-            std::max(macs / peak_macs_per_sec, dram_bytes / dram_bps);
-        const double energy_lb =
-            macs * tech.macJ + dram_bytes * tech.dramJPerByte;
-        log_delay += std::log(std::max(delay_lb, 1e-300));
-        log_energy += std::log(std::max(energy_lb, 1e-300));
-    }
-    const double n = static_cast<double>(models.size());
-    const double delay_geo = std::exp(log_delay / n);
-    const double energy_geo = std::exp(log_energy / n);
-    return 0.999 *
-           dseObjective(mc_total, energy_geo, delay_geo, alpha, beta,
-                        gamma);
+    const AnalyticBoundResult lb = analyticLowerBound(
+        config(), energy_.tech(), models, batch, maxGroupLayers);
+    if (components != nullptr)
+        *components = lb.components;
+    return kBoundSlack * dseObjective(mc_total, lb.energyGeoJoules,
+                                      lb.delayGeoSeconds, alpha, beta,
+                                      gamma);
 }
 
 } // namespace gemini::cost

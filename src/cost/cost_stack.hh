@@ -21,12 +21,30 @@
 
 #include "src/arch/arch_config.hh"
 #include "src/arch/tech_params.hh"
+#include "src/cost/analytic_bound.hh"
 #include "src/cost/mc_evaluator.hh"
 #include "src/dnn/graph.hh"
 #include "src/eval/breakdown.hh"
 #include "src/eval/energy_model.hh"
 
 namespace gemini::cost {
+
+/**
+ * Slack applied to the DSE objective lower bound before it is compared
+ * against achieved objectives. Every term of the analytical bound is a
+ * true mathematical floor, but the achieved side is assembled by long FP
+ * folds (per-link seconds, per-group energy sums, log-space geomeans)
+ * whose rounding depends on summation order, while the bound's own
+ * shorter folds round differently: two exact real numbers within a few
+ * ULPs of each other can land on either side after ~1e3-element folds
+ * (relative error up to ~n * eps ~ 1e3 * 2^-52 ~ 2e-13, plus pow/exp
+ * library slop). 0.1% headroom is ~9 orders of magnitude above that
+ * worst case, cheap (it weakens the prune threshold negligibly), and
+ * keeps the prune provably on the safe side of FP noise. The slack band
+ * is asserted empty in tests/test_dse.cc (no evaluated record may score
+ * inside [bound, bound / kBoundSlack)).
+ */
+inline constexpr double kBoundSlack = 0.999;
 
 class CostStack
 {
@@ -97,21 +115,23 @@ class CostStack
 
     /**
      * Workload-independent DSE objective lower bound of the bound
-     * architecture. MC is exact. Per model, any mapping must (a) execute
-     * every MAC, so delay is at least total MACs over the peak MAC rate
-     * and energy at least MACs times the unit MAC energy, and (b) move
-     * the compulsory DRAM traffic — each layer's weights at least once
-     * plus every network-output element once per batch sample — so delay
-     * is also at least those bytes over the aggregate DRAM bandwidth,
-     * with the matching DRAM energy floor. (External-input reads are
-     * compulsory too but strided kernels may skip input pixels, so they
-     * are left out to keep the bound sound; see DESIGN.md.) A 0.1% safety
-     * margin absorbs summation-order noise. Returns 0 (trivial bound)
-     * for negative exponents, where the bound is not monotone.
+     * architecture. MC is exact; the delay/energy floors come from
+     * cost::analyticLowerBound — a per-layer compute/DRAM/NoC model
+     * folded over every feasible contiguous layer-group segmentation by
+     * dynamic programming (provably <= every achievable evaluation on
+     * all topology backends; see analytic_bound.hh and DESIGN.md
+     * "Analytical bounds and seeding"). `maxGroupLayers` is the mapping
+     * engine's segment-length cap; <= 0 falls back to the pre-analytical
+     * whole-model roofline. `components`, when non-null, receives the
+     * explanatory decomposition recorded per DseRecord. The result is
+     * scaled by kBoundSlack (FP fold-order headroom). Returns 0 (trivial
+     * bound) for negative exponents, where the bound is not monotone.
      */
     double dseObjectiveLowerBound(
         const std::vector<const dnn::Graph *> &models, std::int64_t batch,
-        double mc_total, double alpha, double beta, double gamma) const;
+        double mc_total, double alpha, double beta, double gamma,
+        int maxGroupLayers = 12,
+        BoundComponents *components = nullptr) const;
 
   private:
     eval::EnergyModel energy_;

@@ -107,6 +107,30 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 }
 
 /**
+ * Fill a record's objective lower bound plus its explanatory components.
+ * schedule.analyticBound selects the per-layer segmentation-DP bound
+ * (maxGroupLayers caps the DP, mirroring the partitioner) or the legacy
+ * whole-model roofline (maxGroupLayers <= 0 fallback inside the stack).
+ */
+void
+fillLowerBound(DseRecord &rec, const cost::CostStack &stack,
+               const DseOptions &options)
+{
+    cost::BoundComponents comps;
+    const int max_group_layers = options.schedule.analyticBound
+                                     ? options.mapping.maxGroupLayers
+                                     : 0;
+    rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
+        options.models, options.mapping.batch, rec.mc.total(),
+        options.alpha, options.beta, options.gamma, max_group_layers,
+        &comps);
+    rec.boundComputeSeconds = comps.computeSeconds;
+    rec.boundDramSeconds = comps.dramSeconds;
+    rec.boundNocSeconds = comps.nocSeconds;
+    rec.boundRefetchBytes = comps.refetchBytes;
+}
+
+/**
  * Run fn(i) for i in [0, count). With no external pool this is a plain
  * owned-pool parallelFor; with one (the API service's shared pool) the
  * work is chunked by an atomic cursor over `external->threadCount()`
@@ -596,9 +620,7 @@ class MultiFidelityScheduler
         const cost::CostStack stack(cfg, opts_.mapping.tech,
                                     opts_.costParams);
         rec.mc = stack.mcBreakdown();
-        rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
-            opts_.models, opts_.mapping.batch, rec.mc.total(), opts_.alpha,
-            opts_.beta, opts_.gamma);
+        fillLowerBound(rec, stack, opts_);
 
         CandState &st = states_[i];
         if (remote_) {
@@ -630,6 +652,8 @@ class MultiFidelityScheduler
                 explorers_.collect(engine, seeded);
                 st.mappings.push_back(std::move(res.mapping));
                 rec.perModel.push_back(res.total);
+                rec.seededAnalytic =
+                    rec.seededAnalytic || res.seededAnalytic;
             }
         }
         finishRecord(rec, opts_);
@@ -683,6 +707,8 @@ class MultiFidelityScheduler
             }
             st.mappings = std::move(out.mappings);
             rec.perModel = std::move(out.perModel);
+            // The worker protocol does not ship SaStats back, so remote
+            // records charge the budgeted (upper-bound) iterations.
             rec.saIters += iters * chains *
                            static_cast<int>(opts_.models.size());
         } else {
@@ -697,7 +723,10 @@ class MultiFidelityScheduler
                 mapping::MappingResult res = engine.runFrom(st.mappings[m]);
                 st.mappings[m] = std::move(res.mapping);
                 rec.perModel[m] = res.total;
-                rec.saIters += iters * chains;
+                // Actual executed iterations (all chains): with plateau
+                // termination this undercuts the rung budget, and it is
+                // still deterministic for any thread count.
+                rec.saIters += res.saStats.itersRun;
             }
         }
         finishRecord(rec, opts_);
@@ -930,9 +959,7 @@ evaluateCandidateRemote(const arch::ArchConfig &cfg,
     const cost::CostStack stack(cfg, options.mapping.tech,
                                 options.costParams);
     rec.mc = stack.mcBreakdown();
-    rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
-        options.models, options.mapping.batch, rec.mc.total(),
-        options.alpha, options.beta, options.gamma);
+    fillLowerBound(rec, stack, options);
 
     RemoteEvalRequest rq;
     rq.index = index;
@@ -968,17 +995,15 @@ evaluateCandidate(const arch::ArchConfig &cfg, const DseOptions &options)
     const cost::CostStack stack(cfg, options.mapping.tech,
                                 options.costParams);
     rec.mc = stack.mcBreakdown();
-    rec.objectiveLowerBound = stack.dseObjectiveLowerBound(
-        options.models, options.mapping.batch, rec.mc.total(),
-        options.alpha, options.beta, options.gamma);
+    fillLowerBound(rec, stack, options);
 
     for (const dnn::Graph *model : options.models) {
         mapping::MappingEngine engine(*model, cfg, options.mapping);
         const mapping::MappingResult result = engine.run();
         rec.perModel.push_back(result.total);
+        rec.seededAnalytic = rec.seededAnalytic || result.seededAnalytic;
         if (options.mapping.runSa)
-            rec.saIters += options.mapping.sa.iterations *
-                           std::max(1, options.mapping.sa.chains);
+            rec.saIters += result.saStats.itersRun;
     }
     finishRecord(rec, options);
     return rec;

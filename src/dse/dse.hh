@@ -101,6 +101,15 @@ struct DseSchedule
     std::size_t minKeep = 4;
 
     /**
+     * Use the per-layer segmentation-DP analytical bound (GLB-forced
+     * refetch + NoC ingress cut + per-layer rooflines) as the screen
+     * prune oracle. false reverts to the pre-analytical whole-model
+     * peak-MACs/compulsory-DRAM roofline — strictly weaker but cheaper;
+     * both are sound, so this only changes how hard the screen prunes.
+     */
+    bool analyticBound = true;
+
+    /**
      * Annealing chains of the polish rung (the effective count is the
      * larger of this and SaOptions::chains). Finalists are few, so
      * best-of-K polish costs little and recovers the quality a harsh
@@ -350,10 +359,29 @@ struct DseRecord
 
     /**
      * Workload-independent objective lower bound (MC exact; energy/delay
-     * from compulsory MACs and DRAM traffic at peak bandwidth). No
-     * mapping of this architecture can score below it.
+     * from the analytical per-layer segmentation-DP floors, see
+     * cost::analyticLowerBound). No mapping of this architecture can
+     * score below it.
      */
     double objectiveLowerBound = 0.0;
+
+    /**
+     * Explanatory decomposition of the bound (geomean across models):
+     * the binding floor says *why* a candidate was pruned. Seconds are
+     * comparable to each other and to delayGeo; refetch is the DRAM
+     * traffic proven beyond the naive weights+outputs compulsory set.
+     */
+    double boundComputeSeconds = 0.0;
+    double boundDramSeconds = 0.0;
+    double boundNocSeconds = 0.0;
+    double boundRefetchBytes = 0.0;
+
+    /**
+     * The mapping engine's SA started from the closed-form analytic
+     * seed (MappingOptions::analyticSeed) rather than the plain stripe
+     * T-Map for at least one model (result provenance).
+     */
+    bool seededAnalytic = false;
 
     /**
      * Deepest rung this candidate was evaluated at: 0 = screen,
@@ -374,7 +402,12 @@ struct DseRecord
     bool poisoned = false;
     std::string poisonReason;
 
-    /** Total SA iterations spent on this candidate (all rungs, models). */
+    /**
+     * Total SA iterations actually executed for this candidate (all
+     * rungs, models and chains). With plateau-aware termination
+     * (SaOptions::plateauWindow) this can be well below the budgeted
+     * rung iterations; it is still deterministic for any thread count.
+     */
     int saIters = 0;
 
     /** CPU-seconds spent evaluating this candidate. */

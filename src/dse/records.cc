@@ -10,8 +10,9 @@ recordsTable(const DseResult &result)
                   "mc_total", "mc_silicon", "mc_dram", "mc_package",
                   "delay_geo_s", "energy_geo_j", "objective", "norm_edp",
                   "norm_mc", "feasible", "best", "rung", "pruned_bound",
-                  "poisoned", "obj_lower_bound", "sa_iters",
-                  "eval_seconds"});
+                  "poisoned", "obj_lower_bound", "bound_compute_s",
+                  "bound_dram_s", "bound_noc_s", "bound_refetch_bytes",
+                  "seeded_analytic", "sa_iters", "eval_seconds"});
     const DseRecord *best = result.bestIndex >= 0
                                 ? &result.records[static_cast<std::size_t>(
                                       result.bestIndex)]
@@ -32,8 +33,10 @@ recordsTable(const DseResult &result)
                    r.feasible ? 1 : 0,
                    static_cast<int>(i) == result.bestIndex ? 1 : 0,
                    r.rungReached, r.prunedByBound ? 1 : 0,
-                   r.poisoned ? 1 : 0, r.objectiveLowerBound, r.saIters,
-                   r.evalSeconds);
+                   r.poisoned ? 1 : 0, r.objectiveLowerBound,
+                   r.boundComputeSeconds, r.boundDramSeconds,
+                   r.boundNocSeconds, r.boundRefetchBytes,
+                   r.seededAnalytic ? 1 : 0, r.saIters, r.evalSeconds);
     }
     return csv;
 }

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Closed-form analytical initial solution for one layer group (the "seed"
+ * half of the analytical screening & seeding optimization).
+ *
+ * The stripe heuristic picks each layer's Partition by a fixed spatial-
+ * first preference, blind to DRAM traffic and GLB residency. This module
+ * instead scores every feasible Partition of the layer's core allocation
+ * with the same closed-form per-layer model that powers the DSE lower
+ * bound (cost::analyticLowerBound): exact halo-aware input-read volume
+ * per piece, weight traffic under the evaluator's GLB-residency rule
+ * (weights stream once iff the per-core tile footprint fits the GLB),
+ * and a per-piece compute roofline over the MAC array and vector lanes.
+ * The minimum-score factorization becomes the seed — a GOMA-style
+ * analytical mapping that SA then refines. Core counts per layer are
+ * FLOP-proportional like the stripe baseline, so seeds stay valid
+ * (disjoint core groups covering at most the mesh).
+ *
+ * The seed is a heuristic, not a bound: MappingEngine guards it with a
+ * full-cost comparison against the stripe mapping per group, so enabling
+ * MappingOptions::analyticSeed can never start SA from a worse state.
+ */
+
+#ifndef GEMINI_MAPPING_ANALYTIC_SEED_HH
+#define GEMINI_MAPPING_ANALYTIC_SEED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/arch_config.hh"
+#include "src/arch/tech_params.hh"
+#include "src/common/types.hh"
+#include "src/dnn/graph.hh"
+#include "src/mapping/encoding.hh"
+
+namespace gemini::mapping {
+
+/**
+ * Closed-form score of mapping `layer` with Partition `part` on `cores`
+ * cores: estimated per-pipeline-unit seconds of DRAM traffic (halo-exact
+ * input reads, residency-modelled weight streams) plus the compute
+ * roofline of the largest piece. Lower is better. Exposed for tests.
+ */
+double analyticPartitionScore(const dnn::Graph &graph, LayerId layer,
+                              const Partition &part,
+                              std::int64_t batch_unit, std::int64_t batch,
+                              const arch::ArchConfig &arch,
+                              const arch::TechParams &tech);
+
+/**
+ * Build the analytical seed LMS of one layer group: FLOP-proportional
+ * core allocation, per-layer minimum-score Partition, contiguous core
+ * assignment, and the same FD pattern as the stripe heuristic (managed
+ * entries interleaved over all DRAMs). The result always satisfies
+ * checkGroupValid for the given architecture.
+ */
+LayerGroupMapping analyticSeedGroup(const dnn::Graph &graph,
+                                    const arch::ArchConfig &arch,
+                                    const arch::TechParams &tech,
+                                    const std::vector<LayerId> &layers,
+                                    std::int64_t batch_unit,
+                                    std::int64_t batch);
+
+} // namespace gemini::mapping
+
+#endif // GEMINI_MAPPING_ANALYTIC_SEED_HH

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.hh"
 #include "src/common/thread_pool.hh"
+#include "src/mapping/analytic_seed.hh"
 
 namespace gemini::mapping {
 
@@ -45,8 +46,72 @@ MappingEngine::run()
     GEMINI_ASSERT(err.empty(), "partitioner produced invalid mapping: ",
                   err);
 
+    if (options_.analyticSeed)
+        applyAnalyticSeed(result);
+
     optimizeInto(result);
     return result;
+}
+
+void
+MappingEngine::applyAnalyticSeed(MappingResult &result)
+{
+    // Both seeds use the identical FD pattern (managed entries
+    // interleaved), so ofmapDramOf lookups — the only cross-group
+    // coupling — agree between the two mappings and per-group
+    // breakdowns can be mixed freely.
+    LpMapping analytic = result.mapping;
+    for (std::size_t g = 0; g < analytic.groups.size(); ++g)
+        analytic.groups[g] = analyticSeedGroup(
+            graph_, arch_, options_.tech, result.mapping.groups[g].layers,
+            result.mapping.groups[g].batchUnit, options_.batch);
+    const std::string err = checkMappingValid(graph_, arch_, analytic);
+    GEMINI_ASSERT(err.empty(), "analytic seed produced invalid mapping: ",
+                  err);
+
+    const std::vector<eval::EvalBreakdown> stripe_evals =
+        sa_.evaluateAll(result.mapping);
+    const std::vector<eval::EvalBreakdown> analytic_evals =
+        sa_.evaluateAll(analytic);
+
+    // Per-group greedy pick by penalized scalar contribution, then a
+    // whole-mapping guard: the hybrid is adopted only if its full SA cost
+    // does not exceed the stripe seed's, so the start state (and with it
+    // SA's best-of-walk guarantee) never regresses.
+    LpMapping hybrid = result.mapping;
+    std::vector<eval::EvalBreakdown> hybrid_evals = stripe_evals;
+    bool any_analytic = false;
+    for (std::size_t g = 0; g < hybrid.groups.size(); ++g) {
+        double se, sd, ae, ad;
+        cost::CostStack::saContribution(stripe_evals[g], se, sd);
+        cost::CostStack::saContribution(analytic_evals[g], ae, ad);
+        const double s_cost = cost::CostStack::saScalar(
+            se, sd, options_.beta, options_.gamma);
+        const double a_cost = cost::CostStack::saScalar(
+            ae, ad, options_.beta, options_.gamma);
+        if (a_cost < s_cost) {
+            hybrid.groups[g] = analytic.groups[g];
+            hybrid_evals[g] = analytic_evals[g];
+            any_analytic = true;
+        }
+    }
+    if (!any_analytic)
+        return;
+    // Adopt the hybrid only on a clear analytical win: between two
+    // near-equal starts, SA trajectory noise is percent-level, so a
+    // marginally better seed can still land in a slightly worse basin.
+    // Requiring a 2% whole-mapping improvement keeps near-ties on the
+    // stripe trajectory and reserves the seed for candidates where the
+    // closed-form model finds a genuinely better layout.
+    constexpr double kSeedAdoptionMargin = 0.98;
+    const double stripe_cost = cost::CostStack::saCost(
+        stripe_evals, options_.beta, options_.gamma);
+    const double hybrid_cost = cost::CostStack::saCost(
+        hybrid_evals, options_.beta, options_.gamma);
+    if (hybrid_cost <= kSeedAdoptionMargin * stripe_cost) {
+        result.mapping = std::move(hybrid);
+        result.seededAnalytic = true;
+    }
 }
 
 MappingResult
@@ -174,11 +239,13 @@ MappingEngine::runSaChains(MappingResult &result)
     merged.finalCost = best_cost;
     merged.chains = chains;
     merged.bestChain = static_cast<int>(best);
+    merged.bestIteration = stats[best].bestIteration;
     for (const SaStats &s : stats) {
         merged.proposed += s.proposed;
         merged.inapplicable += s.inapplicable;
         merged.accepted += s.accepted;
         merged.improved += s.improved;
+        merged.itersRun += s.itersRun;
     }
     result.saStats = merged;
 }

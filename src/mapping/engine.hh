@@ -70,6 +70,16 @@ struct MappingOptions
     int maxGroupLayers = 12;
     std::vector<std::int64_t> batchUnits; // empty = auto
 
+    /**
+     * Derive a closed-form analytical initial solution per layer group
+     * (mapping::analyticSeed) and start SA from whichever of stripe /
+     * analytic scores better per group. Off by default so existing runs
+     * stay bit-identical; the DSE scheduler and benches enable it. The
+     * comparison is per group (group contributions are additive in the
+     * E and D sums), so the seed is never worse than plain stripe.
+     */
+    bool analyticSeed = false;
+
     arch::TechParams tech;
 
     /**
@@ -90,6 +100,12 @@ struct MappingResult
     std::vector<eval::EvalBreakdown> groups;
     eval::EvalBreakdown total;
     SaStats saStats; ///< zeros when runSa was false
+
+    /**
+     * True when MappingOptions::analyticSeed replaced at least one
+     * group's stripe scheme with the closed-form analytical seed.
+     */
+    bool seededAnalytic = false;
 
     Seconds delay() const { return total.delay; }
     Joules energy() const { return total.totalEnergy(); }
@@ -149,6 +165,13 @@ class MappingEngine
   private:
     /** Shared tail of run()/runFrom(): optional SA + final evaluation. */
     void optimizeInto(MappingResult &result);
+    /**
+     * Replace groups of the partitioner's stripe mapping with the
+     * closed-form analytical seed wherever it scores better, guarded by
+     * a whole-mapping cost comparison so the start state never regresses
+     * (see mapping::analyticSeedGroup). Sets result.seededAnalytic.
+     */
+    void applyAnalyticSeed(MappingResult &result);
     /**
      * Run sa.chains independent Metropolis chains from `result.mapping`
      * (serially or over a saThreads-wide pool) and keep the best-of-K

@@ -167,10 +167,19 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
             ? std::max(64, options.iterations / 8)
             : options.reheatInterval;
     int since_best = 0;
+    // Plateau counter: reset only by a new global best, never by a basin
+    // hop — reheats consume since_best, so a separate counter is needed
+    // for a chain that keeps hopping without ever improving.
+    int since_improve = 0;
+    int iters_run = 0;
 
     const double t_ratio =
         options.tEnd / std::max(options.tStart, 1e-12);
     for (int iter = 0; iter < options.iterations; ++iter) {
+        if (options.plateauWindow > 0 &&
+            since_improve >= options.plateauWindow)
+            break;
+        ++iters_run;
         if (reheat_interval > 0 && since_best >= reheat_interval) {
             // Basin hop: resume the walk from the best state. Only groups
             // that drifted from the snapshot need restoring.
@@ -204,6 +213,7 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
             rng.nextInt(static_cast<std::int64_t>(ops.size())))];
         ++local.proposed;
         ++since_best;
+        ++since_improve;
 
         undo.reset();
         const OperatorEffect eff =
@@ -282,6 +292,8 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
                 }
                 dirty_groups.clear();
                 since_best = 0;
+                since_improve = 0;
+                local.bestIteration = iter;
             }
         } else {
             undo.restore(mapping.groups[g]);
@@ -292,6 +304,7 @@ SaEngine::optimize(LpMapping &mapping, const SaOptions &options,
 
     mapping = std::move(best_mapping);
     local.finalCost = best_cost;
+    local.itersRun = iters_run;
     if (stats)
         *stats = local;
     return best_evals;

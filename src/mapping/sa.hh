@@ -68,6 +68,16 @@ struct SaOptions
      */
     unsigned operatorMask = 0x1F;
 
+    /**
+     * Plateau-aware early termination: stop a chain after this many
+     * consecutive iterations without a new global best. Distinct from
+     * reheatInterval — basin hops restart the walk but do NOT reset this
+     * counter, so a chain that keeps reheating without ever improving
+     * still terminates. 0 (default) disables; the full `iterations`
+     * budget is spent. SaStats::itersRun reports what actually ran.
+     */
+    int plateauWindow = 0;
+
     bool
     operatorEnabled(int op) const
     {
@@ -86,6 +96,15 @@ struct SaStats
     double finalCost = 0.0; ///< best cost over all chains
     int chains = 1;         ///< chains that ran
     int bestChain = 0;      ///< chain whose mapping was kept
+
+    /**
+     * Iterations actually executed (summed over chains). Equals the
+     * iteration budget unless SaOptions::plateauWindow cut a chain short.
+     */
+    std::int64_t itersRun = 0;
+
+    /** Iteration index at which the kept chain last improved its best. */
+    int bestIteration = 0;
 };
 
 /**

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "src/arch/presets.hh"
+#include "src/cost/cost_stack.hh"
 #include "src/dnn/zoo.hh"
 #include "src/dse/candidates.hh"
 #include "src/dse/dse.hh"
@@ -341,6 +342,13 @@ TEST_F(SchedulerTest, LowerBoundIsSoundOnEveryEvaluatedCandidate)
             continue;
         // No achievable mapping may score below the bound.
         EXPECT_LE(rec.objectiveLowerBound, rec.objective * (1.0 + 1e-9))
+            << rec.arch.toString();
+        // The kBoundSlack headroom must never be load-bearing: no
+        // achieved objective may land inside [bound, bound / kBoundSlack)
+        // — that band existing non-empty would mean the *unslacked*
+        // analytical floor exceeded a real mapping's score.
+        EXPECT_GE(rec.objective * cost::kBoundSlack,
+                  rec.objectiveLowerBound * (1.0 - 1e-12))
             << rec.arch.toString();
     }
 }
