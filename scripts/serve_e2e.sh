@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Serving-layer end-to-end differential: start the exploration daemon,
+# submit jobs for two tenants over HTTP, SIGKILL the daemon mid-run, and
+# verify a restarted daemon resumes the interrupted work from its rung
+# journals to the exact winner an uninterrupted in-process `gemini run`
+# produces. This is crash_resume_e2e.sh pushed across the network
+# boundary — real child process, real sockets, real kill -9.
+#
+# Usage: serve_e2e.sh [BUILD_DIR] [SPEC] [SPEC2]
+#   BUILD_DIR  directory containing the `gemini` binary (default: build)
+#   SPEC       tenant alice's spec (default: examples/specs/dse_crash_demo.json)
+#   SPEC2      tenant bob's spec   (default: examples/specs/dse_mini.json)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+spec="${2:-$repo_root/examples/specs/dse_crash_demo.json}"
+spec2="${3:-$repo_root/examples/specs/dse_mini.json}"
+gemini="$build_dir/gemini"
+work="$(mktemp -d "${TMPDIR:-/tmp}/gemini_serve_e2e.XXXXXX")"
+daemon_pid=""
+
+cleanup() {
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+[ -x "$gemini" ] || { echo "no gemini binary at $gemini" >&2; exit 1; }
+
+start_daemon() { # $1 = generation tag
+    rm -f "$work/port"
+    "$gemini" serve --store "$work/store" --port 0 \
+        --port-file "$work/port" --jobs 2 \
+        > "$work/serve$1.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 1 100); do
+        [ -s "$work/port" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    [ -s "$work/port" ] || {
+        echo "daemon generation $1 never came up:" >&2
+        cat "$work/serve$1.log" >&2
+        exit 1
+    }
+    server="http://127.0.0.1:$(cat "$work/port")"
+    echo "daemon generation $1: pid $daemon_pid at $server"
+}
+
+echo "== reference run (in-process, no daemon)"
+"$gemini" run "$spec" --store "$work/store_ref" --out "$work/out_ref" \
+    > "$work/ref.log" 2>&1
+grep '^winner:' "$work/ref.log"
+
+echo "== daemon generation 1: two tenants submit concurrently"
+start_daemon 1
+"$gemini" submit "$spec" --server "$server" --tenant alice \
+    | tee "$work/submit_alice.log"
+"$gemini" submit "$spec2" --server "$server" --tenant bob --weight 2 \
+    | tee "$work/submit_bob.log"
+alice_id=$(sed -n 's/^job \([^ ]*\) .*/\1/p' "$work/submit_alice.log")
+[ -n "$alice_id" ] || { echo "no job id from submit" >&2; exit 1; }
+
+echo "== SIGKILL the daemon once alice's run has journaled a rung"
+# -s, not -e: the journal file exists from the moment the run starts;
+# a *record* in it proves there is real progress to resume.
+alice_journal="$work/store/${alice_id%%-*}.journal"
+for _ in $(seq 1 200); do
+    [ -s "$alice_journal" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -9 "$daemon_pid" 2>/dev/null; then
+    echo "killed pid $daemon_pid (journals left orphaned in $work/store)"
+else
+    echo "daemon exited before the kill landed" >&2
+    cat "$work/serve1.log" >&2
+    exit 1
+fi
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+ls -l "$work/store/"
+
+echo "== daemon generation 2: recovery picks the journals back up"
+start_daemon 2
+# Resubmitting attaches to the recovered job (admission dedup) — or to
+# its cached result if the first run finished before the kill — then
+# --wait follows it to a terminal state.
+"$gemini" submit "$spec" --server "$server" --tenant alice --wait
+"$gemini" submit "$spec2" --server "$server" --tenant bob --wait
+grep 'resumed' "$work/serve2.log" || true
+"$gemini" result "$alice_id" --server "$server" --out "$work/out_resume"
+
+echo "== differential: resumed winner vs in-process reference winner"
+python3 - "$work/out_ref/result.json" "$work/out_resume/result.json" <<'EOF'
+import json, sys
+
+def winner(path):
+    with open(path) as f:
+        d = json.load(f)
+    dse = d["dse"]
+    best = dict(dse["records"][dse["best_index"]])
+    best.pop("eval_seconds", None)  # wall-clock metadata, not a decision
+    return dse["best_index"], best
+
+ref_idx, ref = winner(sys.argv[1])
+got_idx, got = winner(sys.argv[2])
+if ref_idx != got_idx:
+    sys.exit(f"best_index differs: ref {ref_idx} vs resumed {got_idx}")
+if ref != got:
+    for k in sorted(set(ref) | set(got)):
+        if ref.get(k) != got.get(k):
+            print(f"  field {k}: ref {ref.get(k)} vs resumed {got.get(k)}")
+    sys.exit("resumed winner record differs from reference")
+print(f"OK: identical winner (index {ref_idx}, "
+      f"objective {ref['objective']!r})")
+EOF
+
+echo "== graceful SIGTERM shutdown and store hygiene"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+if ls "$work/store/"*.journal >/dev/null 2>&1; then
+    echo "journal still present after both jobs completed" >&2
+    exit 1
+fi
+echo "PASS"

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The REST face of the exploration daemon (`gemini serve`): a thin,
+ * stateless translation layer between HTTP and the JobScheduler. All
+ * job state lives in the scheduler (and durably in the ResultStore);
+ * the daemon only parses, routes, and serializes.
+ *
+ * Endpoints (all JSON; errors are {"error": "..."} with a 4xx/5xx):
+ *
+ *   GET    /healthz                liveness + queue gauges
+ *   POST   /v1/jobs                admit an ExperimentSpec; 202 on a
+ *                                  fresh admission, 200 when admission
+ *                                  dedup answered instantly (cache hit
+ *                                  or attached to an active duplicate)
+ *   GET    /v1/jobs                every known job, submission order
+ *   GET    /v1/jobs/{id}           status + DseStats summary
+ *   GET    /v1/jobs/{id}/result    the full ExperimentResult document
+ *                                  (the same JSON `gemini run` writes)
+ *   GET    /v1/jobs/{id}/events    chunked NDJSON stream of progress
+ *                                  events; replays from `?after=N`,
+ *                                  then follows live until terminal
+ *   DELETE /v1/jobs/{id}           cooperative cancel
+ *
+ * POST body: either a bare ExperimentSpec object or a wrapper
+ * {"spec": {...}, "tenant": "...", "priority": N, "weight": N,
+ * "resume": bool}; query parameters of the same names override the
+ * wrapper (curl ergonomics: POST the spec file, put identity in the
+ * URL).
+ */
+
+#ifndef GEMINI_API_DAEMON_HH
+#define GEMINI_API_DAEMON_HH
+
+#include <string>
+
+#include "src/api/scheduler.hh"
+#include "src/net/server.hh"
+
+namespace gemini::api {
+
+struct DaemonOptions
+{
+    net::ServerOptions server;
+
+    /**
+     * Event-stream long-poll granularity: how often a streaming handler
+     * wakes to notice server shutdown or a broken peer.
+     */
+    double eventPollSeconds = 0.25;
+};
+
+/**
+ * Binds an HttpServer to a JobScheduler. The scheduler (and everything
+ * under it) must outlive the daemon; stopping the daemon stops the HTTP
+ * side only — the caller owns scheduler drain/cancel policy (the serve
+ * CLI stops the server first, then the scheduler, so in-flight jobs
+ * journal their rungs before the process exits).
+ */
+class Daemon
+{
+  public:
+    explicit Daemon(JobScheduler &scheduler, DaemonOptions options = {});
+
+    Daemon(const Daemon &) = delete;
+    Daemon &operator=(const Daemon &) = delete;
+
+    /** Bind + listen. False (with message) on failure. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (after start()). */
+    int port() const { return server_.port(); }
+
+    /** Stop serving HTTP (idempotent; also runs at destruction). */
+    void stop() { server_.stop(); }
+
+    net::HttpServer &server() { return server_; }
+
+  private:
+    void handle(const net::HttpRequest &request, net::ResponseWriter &w);
+
+    void handleSubmit(const net::HttpRequest &request,
+                      net::ResponseWriter &w);
+    void handleStatus(const std::string &id, net::ResponseWriter &w);
+    void handleResult(const std::string &id, net::ResponseWriter &w);
+    void handleEvents(const net::HttpRequest &request, const std::string &id,
+                      net::ResponseWriter &w);
+    void handleCancel(const std::string &id, net::ResponseWriter &w);
+    void handleList(net::ResponseWriter &w);
+    void handleHealth(net::ResponseWriter &w);
+
+    JobScheduler &scheduler_;
+    DaemonOptions options_;
+    net::HttpServer server_;
+};
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_DAEMON_HH

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Multi-tenant fair-share job scheduling in front of the
+ * ExplorationService. Each tenant owns a queue ordered by (priority
+ * descending, submission order); across tenants a weighted
+ * deficit-round-robin dispenses a bounded number of concurrent jobs
+ * into the service — a tenant with weight 3 dispatches three jobs for
+ * every one of a weight-1 tenant while both have work pending, and an
+ * idle tenant's unused share never accumulates (its deficit resets when
+ * its queue drains, the classic DRR starvation guard).
+ *
+ * Determinism contract: dispatch order is a pure function of the
+ * submission sequence (tenants, priorities, weights) — no wall clock,
+ * no thread scheduling — so with maxConcurrentJobs = 1 the *completion*
+ * order is reproducible at any service thread count. The scheduler
+ * tests assert exactly this.
+ *
+ * Admission dedup: a submission whose result is already known (the
+ * service's spec-hash cache or the durable ResultStore) completes
+ * instantly as a Done job without consuming a queue slot; a submission
+ * identical to a still-active job of the same tenant attaches to that
+ * job instead of queueing a duplicate (`deduped`).
+ *
+ * Every job records its rung-granular progress events with 1-based
+ * sequence numbers — the daemon's event stream replays and follows this
+ * log, so a watcher that reconnects mid-run sees the exact same
+ * deterministic sequence an uninterrupted watcher saw.
+ *
+ * Crash recovery: recoverInterrupted() re-admits every orphan rung
+ * journal in the store (spec from the sidecar, tenant/priority/weight
+ * from the job meta) with resume semantics — a SIGKILLed daemon's
+ * restart continues its tenants' work from the last completed rung.
+ */
+
+#ifndef GEMINI_API_SCHEDULER_HH
+#define GEMINI_API_SCHEDULER_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/service.hh"
+#include "src/api/store.hh"
+
+namespace gemini::api {
+
+struct SchedulerOptions
+{
+    /** Jobs running inside the service at once (the fair-share slots). */
+    int maxConcurrentJobs = 1;
+
+    /** DRR quantum added per visit, scaled by the tenant's weight. */
+    int quantum = 1;
+
+    /**
+     * Admit but do not dispatch until resume() is called. Lets a batch
+     * of submissions land as one atomic scheduling round — the fairness
+     * tests build their queues this way, and a daemon could use it to
+     * finish crash recovery before the first dispatch.
+     */
+    bool startPaused = false;
+};
+
+/** One admission request: who, how urgent, what. */
+struct JobRequest
+{
+    std::string tenant = "default"; ///< [A-Za-z0-9._-]{1,64}
+    int priority = 0; ///< higher runs earlier *within* the tenant
+    int weight = 1;   ///< DRR share *across* tenants (>= 1)
+    bool resume = false; ///< continue from the store's rung journal
+    ExperimentSpec spec;
+};
+
+/** A job's externally visible state (REST status payloads). */
+struct JobInfo
+{
+    std::string id; ///< "<16-hex-spec-hash>-<tenant>"
+    std::uint64_t specHash = 0;
+    std::string tenant;
+    std::string name; ///< spec.name
+    int priority = 0;
+    int weight = 1;
+    JobState state = JobState::Queued;
+    bool deduped = false;   ///< this submit attached to an existing job
+    bool fromCache = false; ///< served by admission dedup, never ran
+    std::uint64_t submitSeq = 0;   ///< global admission order (1-based)
+    std::uint64_t dispatchSeq = 0; ///< global dispatch order (0 = queued)
+    std::size_t queuePosition = 0; ///< jobs ahead in the tenant queue
+    std::uint64_t events = 0;      ///< progress events recorded so far
+    std::string error; ///< terminal failure message (Failed only)
+};
+
+/** One recorded progress event (seq is 1-based and per job). */
+struct JobEvent
+{
+    std::uint64_t seq = 0;
+    ProgressEvent event;
+};
+
+class JobScheduler
+{
+  public:
+    /** The service (and its optional store) must outlive the scheduler. */
+    explicit JobScheduler(ExplorationService &service,
+                          SchedulerOptions options = {});
+
+    /** stop(cancelJobs = true) + join. */
+    ~JobScheduler();
+
+    JobScheduler(const JobScheduler &) = delete;
+    JobScheduler &operator=(const JobScheduler &) = delete;
+
+    /**
+     * Admit a job. Returns its info — possibly already Done (admission
+     * dedup) or attached to an active duplicate (`deduped`) — or
+     * nullopt with an actionable message for an invalid tenant, weight,
+     * or spec. Admission is synchronous and cheap; the run is not.
+     */
+    std::optional<JobInfo> submit(JobRequest request, std::string *error);
+
+    std::optional<JobInfo> info(const std::string &id);
+
+    /** Every known job, ordered by submission. */
+    std::vector<JobInfo> list();
+
+    /**
+     * Cancel a job: a queued one leaves the queue immediately (terminal
+     * Cancelled, no result); a running one is cancelled cooperatively
+     * and drains to a valid partial result. False = unknown id.
+     */
+    bool cancel(const std::string &id);
+
+    /** The terminal result; nullptr while running or cancelled-unrun. */
+    std::shared_ptr<const ExperimentResult> result(const std::string &id);
+
+    /** Events with seq > afterSeq recorded so far. */
+    std::vector<JobEvent> events(const std::string &id,
+                                 std::uint64_t afterSeq);
+
+    /**
+     * Block until events past afterSeq exist, the job is terminal, or
+     * the timeout lapses — the long-poll behind the NDJSON stream.
+     */
+    std::vector<JobEvent> waitEvents(const std::string &id,
+                                     std::uint64_t afterSeq,
+                                     double timeoutSeconds);
+
+    /**
+     * Block until the job is terminal (timeout < 0 = forever). True if
+     * terminal on return.
+     */
+    bool wait(const std::string &id, double timeoutSeconds = -1.0);
+
+    /**
+     * Re-admit interrupted runs found in the store (orphan journals)
+     * with resume semantics. Returns how many jobs were re-admitted.
+     */
+    int recoverInterrupted();
+
+    /** Start dispatching (no-op unless startPaused). */
+    void resume();
+
+    /**
+     * Stop admitting and dispatching. With cancelJobs, queued jobs are
+     * cancelled and running ones cancelled cooperatively; otherwise the
+     * queues drain normally. Blocks until no job is running. Idempotent.
+     */
+    void stop(bool cancelJobs);
+
+    bool stopping() const;
+
+    std::size_t pendingJobs();
+    std::size_t runningJobs();
+
+  private:
+    struct Job
+    {
+        JobRequest request;
+        std::string id;
+        std::uint64_t hash = 0;
+        std::string canonical;
+        JobState state = JobState::Queued;
+        std::uint64_t submitSeq = 0;
+        std::uint64_t dispatchSeq = 0;
+        JobHandle handle; ///< valid once dispatched
+        /// Cancel raced ahead of dispatch: apply it once the handle
+        /// exists (dispatch hands off to the service outside the lock).
+        bool cancelRequested = false;
+        std::shared_ptr<const ExperimentResult> result;
+        std::vector<ProgressEvent> events;
+        std::string error;
+    };
+
+    struct Tenant
+    {
+        int weight = 1;
+        int deficit = 0;
+        std::deque<std::shared_ptr<Job>> queue;
+    };
+
+    bool terminalLocked(const Job &job) const
+    {
+        return job.state == JobState::Done ||
+               job.state == JobState::Failed ||
+               job.state == JobState::Cancelled;
+    }
+
+    std::shared_ptr<Job> findLocked(const std::string &id);
+    JobInfo infoLocked(const Job &job) const;
+
+    /** Dispatch while slots are free; the DRR core. Mutex held. */
+    void pumpLocked();
+    void dispatchLocked(const std::shared_ptr<Job> &job);
+    void finishJobLocked(const std::shared_ptr<Job> &job);
+    void reapWaitersLocked(std::vector<std::thread> &joinable);
+
+    ExplorationService &service_;
+    SchedulerOptions options_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_; ///< any job/event state change
+    bool stopping_ = false;
+    bool paused_ = false;
+
+    std::map<std::string, std::shared_ptr<Job>> jobs_; ///< by id
+    std::vector<std::shared_ptr<Job>> bySubmit_;
+    std::map<std::string, Tenant> tenants_;
+    std::vector<std::string> rotation_; ///< tenants with pending work
+    std::size_t cursor_ = 0;            ///< DRR position in rotation_
+    int running_ = 0;
+    std::uint64_t submitCounter_ = 0;
+    std::uint64_t dispatchCounter_ = 0;
+
+    struct Waiter
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::vector<Waiter> waiters_;
+};
+
+/** "<16-hex>-<tenant>" (the job-id convention, shared with the CLI). */
+std::string jobId(std::uint64_t specHash, const std::string &tenant);
+
+/** Tenant grammar guard: [A-Za-z0-9._-]{1,64}. */
+bool validTenantName(const std::string &tenant);
+
+} // namespace gemini::api
+
+#endif // GEMINI_API_SCHEDULER_HH

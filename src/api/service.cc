@@ -577,6 +577,32 @@ ExplorationService::runJobBody(const std::shared_ptr<JobHandle::Shared> &job,
     }
 }
 
+std::shared_ptr<const ExperimentResult>
+ExplorationService::lookupCached(const ExperimentSpec &spec)
+{
+    const std::string canonical = spec.canonicalText();
+    const std::uint64_t hash = common::json::fnv1a64(canonical);
+    std::shared_ptr<const ExperimentResult> found;
+    {
+        std::lock_guard lock(mu_);
+        const auto hit = cache_.find(hash);
+        if (hit != cache_.end() && hit->second.canonicalSpec == canonical)
+            found = hit->second.result;
+    }
+    if (!found && store_) {
+        found = store_->get(hash, canonical);
+        if (found) {
+            std::lock_guard lock(mu_);
+            cache_.emplace(hash, CacheEntry{canonical, found});
+        }
+    }
+    if (!found)
+        return nullptr;
+    auto marked = std::make_shared<ExperimentResult>(*found);
+    marked->fromCache = true;
+    return marked;
+}
+
 std::size_t
 ExplorationService::cacheSize() const
 {

@@ -215,6 +215,15 @@ class ExplorationService
     /** The persistent store, if this service was built with one. */
     const std::shared_ptr<ResultStore> &store() const { return store_; }
 
+    /**
+     * Peek the result cache (memory, then store) without running
+     * anything: the scheduler's admission dedup. A store hit warms the
+     * in-memory cache. The returned copy carries fromCache = true;
+     * nullptr on miss.
+     */
+    std::shared_ptr<const ExperimentResult>
+    lookupCached(const ExperimentSpec &spec);
+
     /** Completed results held by the spec-hash cache. */
     std::size_t cacheSize() const;
 

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
 #include "src/api/json_reader.hh"
 #include "src/common/fault_injection.hh"
@@ -147,13 +148,67 @@ class ResultStore::DirLock
 #endif
 };
 
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+ResultStore::ResultStore(std::string dir, StoreOwnership ownership)
+    : dir_(std::move(dir))
 {
     std::error_code ec;
     fs::create_directories(dir_, ec);
     GEMINI_ASSERT(!ec, "cannot create store directory ", dir_, ": ",
                   ec.message());
     lockPath_ = (fs::path(dir_) / ".lock").string();
+    ownerPath_ = (fs::path(dir_) / ".owner").string();
+    if (ownership != StoreOwnership::Exclusive)
+        return;
+
+#ifdef GEMINI_HAVE_FLOCK
+    // Lifetime ownership claim: flock follows the open file description,
+    // so a second exclusive opener — another process, or another
+    // instance in this one — fails immediately instead of blocking, and
+    // the lock evaporates with the fd on any exit, including SIGKILL
+    // (no stale-lockfile recovery dance).
+    ownerFd_ = ::open(ownerPath_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                      0644);
+    if (ownerFd_ < 0)
+        throw std::runtime_error("result store " + dir_ +
+                                 ": cannot open " + ownerPath_ + ": " +
+                                 std::strerror(errno));
+    if (::flock(ownerFd_, LOCK_EX | LOCK_NB) != 0) {
+        // Surface WHO holds it: the owner stamped its pid into the file.
+        char buf[32] = {0};
+        const ssize_t n = ::pread(ownerFd_, buf, sizeof buf - 1, 0);
+        ::close(ownerFd_);
+        ownerFd_ = -1;
+        std::string holder = "another process";
+        if (n > 0) {
+            const long pid = std::strtol(buf, nullptr, 10);
+            if (pid > 0)
+                holder = "pid " + std::to_string(pid);
+        }
+        throw std::runtime_error(
+            "result store " + dir_ + " is locked by " + holder + " (" +
+            ownerPath_ + "); stop that daemon or point this one at a "
+            "different --store directory");
+    }
+    // Claimed: stamp our pid for the next contender's error message.
+    const std::string pid = std::to_string(::getpid()) + "\n";
+    if (::ftruncate(ownerFd_, 0) != 0 ||
+        ::pwrite(ownerFd_, pid.data(), pid.size(), 0) < 0)
+        GEMINI_WARN("store: cannot stamp pid into ", ownerPath_, ": ",
+                    std::strerror(errno));
+#else
+    GEMINI_WARN("store: exclusive ownership unsupported on this "
+                "platform; continuing shared");
+#endif
+}
+
+ResultStore::~ResultStore()
+{
+#ifdef GEMINI_HAVE_FLOCK
+    if (ownerFd_ >= 0) {
+        ::flock(ownerFd_, LOCK_UN);
+        ::close(ownerFd_);
+    }
+#endif
 }
 
 std::string
@@ -172,6 +227,12 @@ std::string
 ResultStore::journalPath(std::uint64_t hash) const
 {
     return (fs::path(dir_) / (hashHex(hash) + ".journal")).string();
+}
+
+std::string
+ResultStore::metaPath(std::uint64_t hash) const
+{
+    return (fs::path(dir_) / (hashHex(hash) + ".meta.json")).string();
 }
 
 std::shared_ptr<const ExperimentResult>
@@ -347,7 +408,8 @@ ResultStore::gc(bool dryRun)
 
     StoreGcStats stats;
     std::error_code ec;
-    std::vector<fs::path> doomed_quarantined, doomed_tmp, doomed_journals;
+    std::vector<fs::path> doomed_quarantined, doomed_tmp, doomed_journals,
+        doomed_metas;
     for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
         const std::string name = de.path().filename().string();
         if (name.size() > 12 &&
@@ -363,6 +425,14 @@ ResultStore::gc(bool dryRun)
                                             ".result.json";
             if (fs::exists(fs::path(dir_) / result_file))
                 doomed_journals.push_back(de.path());
+        } else if (name.size() == 16 + 10 &&
+                   name.compare(16, 10, ".meta.json") == 0) {
+            // Same spent-vs-resumable rule as journals: a meta whose
+            // result is stored has served its recovery purpose.
+            const std::string result_file = name.substr(0, 16) +
+                                            ".result.json";
+            if (fs::exists(fs::path(dir_) / result_file))
+                doomed_metas.push_back(de.path());
         }
     }
     const auto removeAll = [&](const std::vector<fs::path> &paths) {
@@ -382,6 +452,7 @@ ResultStore::gc(bool dryRun)
     stats.quarantined = removeAll(doomed_quarantined);
     stats.tmpFiles = removeAll(doomed_tmp);
     stats.journals = removeAll(doomed_journals);
+    stats.metaFiles = removeAll(doomed_metas);
     return stats;
 }
 
@@ -392,6 +463,51 @@ ResultStore::removeJournal(std::uint64_t hash)
     DirLock dirLock(lockPath_);
     std::error_code ec;
     fs::remove(journalPath(hash), ec);
+}
+
+std::vector<std::uint64_t>
+ResultStore::orphanJournals()
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::vector<std::uint64_t> orphans;
+    std::error_code ec;
+    for (const fs::directory_entry &de : fs::directory_iterator(dir_, ec)) {
+        const std::string name = de.path().filename().string();
+        if (name.size() != 16 + 8 || name.compare(16, 8, ".journal") != 0)
+            continue;
+        const std::string hex = name.substr(0, 16);
+        char *end = nullptr;
+        const std::uint64_t hash = std::strtoull(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + hex.size())
+            continue;
+        if (!fs::exists(fs::path(dir_) / (hex + ".result.json")))
+            orphans.push_back(hash);
+    }
+    std::sort(orphans.begin(), orphans.end());
+    return orphans;
+}
+
+void
+ResultStore::putJobMeta(std::uint64_t hash, const Value &meta)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::string error;
+    if (!common::writeFileAtomic(metaPath(hash), meta.dump(2) + "\n",
+                                 &error))
+        GEMINI_WARN("store: ", error);
+}
+
+std::optional<Value>
+ResultStore::loadJobMeta(std::uint64_t hash)
+{
+    std::lock_guard lock(mu_);
+    DirLock dirLock(lockPath_);
+    std::string text;
+    if (!readFile(metaPath(hash), text))
+        return std::nullopt;
+    return common::json::parse(text, nullptr);
 }
 
 } // namespace gemini::api

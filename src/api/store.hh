@@ -24,7 +24,12 @@
  * Concurrency: every operation takes an advisory file lock on
  * `<dir>/.lock` (plus an in-process mutex), so two services — or two
  * processes — sharing one store directory serialize their accesses
- * instead of corrupting each other's publishes.
+ * instead of corrupting each other's publishes. A long-lived daemon
+ * additionally opens the store *exclusively* (StoreOwnership::Exclusive):
+ * a pid-stamped flock on `<dir>/.owner` held for the store's lifetime,
+ * so a second daemon pointed at the same directory fails fast with a
+ * "locked by pid N" error instead of the two silently interleaving
+ * scheduling decisions.
  */
 
 #ifndef GEMINI_API_STORE_HH
@@ -57,14 +62,31 @@ struct StoreGcStats
     int quarantined = 0; ///< corrupt records previously renamed aside
     int tmpFiles = 0;    ///< temp files orphaned by crashed publishes
     int journals = 0;    ///< journals of runs whose result is stored
+    int metaFiles = 0;   ///< job metas of runs whose result is stored
     std::vector<std::string> paths; ///< every victim, for reporting
+};
+
+/** How a ResultStore claims its directory (see the file comment). */
+enum class StoreOwnership
+{
+    Shared,   ///< per-operation locking only (CLI runs, tests)
+    Exclusive ///< plus a lifetime pid-stamped lock (the serve daemon)
 };
 
 class ResultStore
 {
   public:
-    /** Open (creating if needed) the store at `dir`. */
-    explicit ResultStore(std::string dir);
+    /**
+     * Open (creating if needed) the store at `dir`. Exclusive ownership
+     * throws std::runtime_error naming the holding pid when another
+     * process (or another store instance in this one) already owns the
+     * directory.
+     */
+    explicit ResultStore(std::string dir,
+                         StoreOwnership ownership = StoreOwnership::Shared);
+
+    /** Releases the ownership lock, if exclusive. */
+    ~ResultStore();
 
     const std::string &dir() const { return dir_; }
 
@@ -110,14 +132,34 @@ class ResultStore
     /** Delete the journal for `hash` (after its result is stored). */
     void removeJournal(std::uint64_t hash);
 
+    /**
+     * Hashes with a rung journal but no stored result: runs a crashed
+     * or killed process left mid-flight. The serve daemon resumes these
+     * on startup (sorted, so recovery order is deterministic).
+     */
+    std::vector<std::uint64_t> orphanJournals();
+
+    /**
+     * Scheduler-side job metadata (tenant, priority, weight) published
+     * next to the spec sidecar as `<hash>.meta.json`, so a restarted
+     * daemon re-admits recovered jobs under their original identity.
+     * Best-effort, like putSpec.
+     */
+    void putJobMeta(std::uint64_t hash, const common::json::Value &meta);
+
+    std::optional<common::json::Value> loadJobMeta(std::uint64_t hash);
+
   private:
     class DirLock;
 
     std::string resultPath(std::uint64_t hash) const;
     std::string specPath(std::uint64_t hash) const;
+    std::string metaPath(std::uint64_t hash) const;
 
     std::string dir_;
     std::string lockPath_;
+    std::string ownerPath_;
+    int ownerFd_ = -1; ///< held open for the lifetime when exclusive
     std::mutex mu_; ///< serializes in-process access; DirLock handles
                     ///< cross-process
 };

@@ -1,0 +1,259 @@
+#include "src/net/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace gemini::net {
+
+namespace {
+
+void
+setTimeouts(int fd, double seconds)
+{
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+}
+
+bool
+sendAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        const ssize_t n =
+            ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+/** Deliver every complete line buffered in `body`, consuming them. */
+bool
+drainLines(std::string &body,
+           const std::function<bool(std::string_view line)> &onLine)
+{
+    std::size_t start = 0;
+    bool keepGoing = true;
+    for (;;) {
+        const std::size_t nl = body.find('\n', start);
+        if (nl == std::string::npos)
+            break;
+        if (!onLine(std::string_view(body).substr(start, nl - start))) {
+            keepGoing = false;
+            start = nl + 1;
+            break;
+        }
+        start = nl + 1;
+    }
+    body.erase(0, start);
+    return keepGoing;
+}
+
+} // namespace
+
+std::optional<std::pair<std::string, int>>
+parseHttpUrl(const std::string &url, std::string *error)
+{
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "server URL \"" + url + "\": " + why;
+        return std::nullopt;
+    };
+    std::string_view rest = url;
+    if (rest.rfind("http://", 0) == 0)
+        rest.remove_prefix(7);
+    else if (rest.find("://") != std::string_view::npos)
+        return fail("only http:// is supported");
+    // Tolerate a path suffix; the daemon's routes are absolute anyway.
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string_view::npos)
+        rest = rest.substr(0, slash);
+    if (rest.empty())
+        return fail("missing host");
+    const std::size_t colon = rest.rfind(':');
+    std::string host(rest.substr(0, colon));
+    int port = 80;
+    if (colon != std::string_view::npos) {
+        const std::string portText(rest.substr(colon + 1));
+        char *end = nullptr;
+        const long p = std::strtol(portText.c_str(), &end, 10);
+        if (portText.empty() || *end != '\0' || p < 1 || p > 65535)
+            return fail("invalid port \"" + portText + "\"");
+        port = static_cast<int>(p);
+    }
+    if (host.empty())
+        return fail("missing host");
+    return std::make_pair(std::move(host), port);
+}
+
+HttpClient::HttpClient(std::string host, int port, double timeoutSeconds,
+                       HttpLimits limits)
+    : host_(std::move(host)), port_(port), timeoutSeconds_(timeoutSeconds),
+      limits_(limits)
+{
+}
+
+int
+HttpClient::connect(std::string *error) const
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo *res = nullptr;
+    const int gai = ::getaddrinfo(host_.c_str(),
+                                  std::to_string(port_).c_str(), &hints,
+                                  &res);
+    if (gai != 0) {
+        if (error)
+            *error = "cannot resolve " + host_ + ": " + gai_strerror(gai);
+        return -1;
+    }
+    int fd = -1;
+    for (addrinfo *ai = res; ai; ai = ai->ai_next) {
+        fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                      ai->ai_protocol);
+        if (fd < 0)
+            continue;
+        setTimeouts(fd, timeoutSeconds_);
+        if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0)
+            break;
+        ::close(fd);
+        fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0 && error)
+        *error = "cannot connect to " + host_ + ":" +
+                 std::to_string(port_) + ": " + std::strerror(errno);
+    if (fd >= 0) {
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    }
+    return fd;
+}
+
+std::optional<HttpResponse>
+HttpClient::request(const std::string &method, const std::string &target,
+                    const std::string &body, std::string *error)
+{
+    const int fd = connect(error);
+    if (fd < 0)
+        return std::nullopt;
+
+    std::string wire = method + " " + target + " HTTP/1.1\r\n";
+    wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+    wire += "Connection: close\r\n";
+    if (!body.empty())
+        wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n";
+    wire += body;
+    if (!sendAll(fd, wire)) {
+        if (error)
+            *error = "send failed: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    HttpParser parser(HttpParser::Kind::Response, limits_);
+    char buf[16 * 1024];
+    while (parser.needsInput()) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = "receive failed: " +
+                         std::string(std::strerror(errno));
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0)
+            break;
+        parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    }
+    ::close(fd);
+    if (!parser.done()) {
+        if (error)
+            *error = parser.failed()
+                         ? "malformed response: " + parser.error()
+                         : "connection closed mid-response";
+        return std::nullopt;
+    }
+    HttpResponse response;
+    response.status = parser.responseStatus();
+    response.headers = parser.responseHeaders();
+    response.body = std::move(parser.responseBody());
+    return response;
+}
+
+std::optional<int>
+HttpClient::stream(const std::string &target,
+                   const std::function<bool(std::string_view line)> &onLine,
+                   std::string *error)
+{
+    const int fd = connect(error);
+    if (fd < 0)
+        return std::nullopt;
+
+    std::string wire = "GET " + target + " HTTP/1.1\r\n";
+    wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+    wire += "Connection: close\r\nAccept: application/x-ndjson\r\n\r\n";
+    if (!sendAll(fd, wire)) {
+        if (error)
+            *error = "send failed: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return std::nullopt;
+    }
+
+    // Follow the body as it arrives: the parser accumulates decoded
+    // bytes (chunked or fixed framing) in its body buffer; every feed is
+    // followed by a line-drain so the callback sees events live, not
+    // only when the response completes.
+    HttpParser parser(HttpParser::Kind::Response, limits_);
+    char buf[16 * 1024];
+    bool abandoned = false;
+    while (parser.needsInput()) {
+        const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = "receive failed: " +
+                         std::string(std::strerror(errno));
+            ::close(fd);
+            return std::nullopt;
+        }
+        if (n == 0)
+            break;
+        parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+        if (!drainLines(parser.responseBody(), onLine)) {
+            abandoned = true;
+            break;
+        }
+    }
+    ::close(fd);
+    if (!abandoned && !parser.done()) {
+        if (error)
+            *error = parser.failed()
+                         ? "malformed response: " + parser.error()
+                         : "connection closed mid-stream";
+        return std::nullopt;
+    }
+    if (!abandoned && !parser.responseBody().empty())
+        onLine(parser.responseBody()); // unterminated final line
+    return parser.responseStatus();
+}
+
+} // namespace gemini::net

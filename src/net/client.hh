@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal blocking HTTP/1.1 client for the `gemini` CLI's daemon
+ * commands (submit/status/result/cancel/watch). One connection per
+ * request — the CLI makes a handful of calls, not a million — with the
+ * same strict bounded HttpParser the server uses on the other side.
+ * stream() additionally decodes a chunked newline-delimited body
+ * incrementally, invoking the line callback as events arrive (the
+ * `watch` command follows a running job this way).
+ */
+
+#ifndef GEMINI_NET_CLIENT_HH
+#define GEMINI_NET_CLIENT_HH
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/net/http.hh"
+
+namespace gemini::net {
+
+/** "http://host[:port]" -> (host, port). Nullopt + message otherwise. */
+std::optional<std::pair<std::string, int>>
+parseHttpUrl(const std::string &url, std::string *error = nullptr);
+
+class HttpClient
+{
+  public:
+    HttpClient(std::string host, int port, double timeoutSeconds = 30.0,
+               HttpLimits limits = {});
+
+    /**
+     * One request/response round trip on a fresh connection. Nullopt
+     * with a message on connect/transport/parse failure; HTTP error
+     * statuses are returned as responses, not failures.
+     */
+    std::optional<HttpResponse>
+    request(const std::string &method, const std::string &target,
+            const std::string &body = "", std::string *error = nullptr);
+
+    /**
+     * Issue a GET and deliver the response body line by line as bytes
+     * arrive (chunked or fixed-length framing alike). The callback
+     * returns false to abandon the stream. On success returns the
+     * response status; nullopt + message on transport failure. The
+     * trailing line of a body that does not end in '\n' is delivered
+     * when the stream ends.
+     */
+    std::optional<int>
+    stream(const std::string &target,
+           const std::function<bool(std::string_view line)> &onLine,
+           std::string *error = nullptr);
+
+  private:
+    int connect(std::string *error) const;
+
+    std::string host_;
+    int port_;
+    double timeoutSeconds_;
+    HttpLimits limits_;
+};
+
+} // namespace gemini::net
+
+#endif // GEMINI_NET_CLIENT_HH

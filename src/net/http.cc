@@ -1,0 +1,535 @@
+#include "src/net/http.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace gemini::net {
+
+namespace {
+
+bool
+isTokenChar(char c)
+{
+    // RFC 9110 token: visible ASCII minus delimiters.
+    static const std::string_view extra = "!#$%&'*+-.^_`|~";
+    return std::isalnum(static_cast<unsigned char>(c)) ||
+           extra.find(c) != std::string_view::npos;
+}
+
+bool
+isToken(std::string_view s)
+{
+    if (s.empty())
+        return false;
+    return std::all_of(s.begin(), s.end(), isTokenChar);
+}
+
+int
+hexDigit(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+/** Strip optional ASCII whitespace from both ends of a header value. */
+std::string_view
+trimmed(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+const std::string *
+findHeader(const std::vector<std::pair<std::string, std::string>> &headers,
+           std::string_view name)
+{
+    for (const auto &[k, v] : headers)
+        if (iequals(k, name))
+            return &v;
+    return nullptr;
+}
+
+} // namespace
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+bool
+percentDecode(std::string_view in, std::string &out, bool plusAsSpace)
+{
+    out.clear();
+    out.reserve(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const char c = in[i];
+        if (c == '%') {
+            if (i + 2 >= in.size())
+                return false;
+            const int hi = hexDigit(in[i + 1]);
+            const int lo = hexDigit(in[i + 2]);
+            if (hi < 0 || lo < 0)
+                return false;
+            out.push_back(static_cast<char>((hi << 4) | lo));
+            i += 2;
+        } else if (plusAsSpace && c == '+') {
+            out.push_back(' ');
+        } else {
+            out.push_back(c);
+        }
+    }
+    return true;
+}
+
+const std::string *
+HttpRequest::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+std::string
+HttpRequest::queryParam(std::string_view key, std::string_view fallback) const
+{
+    for (const auto &[k, v] : query)
+        if (k == key)
+            return v;
+    return std::string(fallback);
+}
+
+const std::string *
+HttpResponse::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 201: return "Created";
+      case 202: return "Accepted";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 408: return "Request Timeout";
+      case 409: return "Conflict";
+      case 413: return "Content Too Large";
+      case 422: return "Unprocessable Content";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 501: return "Not Implemented";
+      case 503: return "Service Unavailable";
+      case 505: return "HTTP Version Not Supported";
+      default: return "Unknown";
+    }
+}
+
+std::string
+HttpResponse::serializeHead() const
+{
+    std::string head = "HTTP/1.1 " + std::to_string(status) + " " +
+                       (reason.empty() ? statusReason(status)
+                                       : reason.c_str());
+    head += "\r\n";
+    for (const auto &[k, v] : headers)
+        head += k + ": " + v + "\r\n";
+    head += "\r\n";
+    return head;
+}
+
+std::string
+HttpResponse::serialize() const
+{
+    HttpResponse withLength = *this;
+    if (!withLength.header("Content-Length") &&
+        !withLength.header("Transfer-Encoding"))
+        withLength.setHeader("Content-Length",
+                             std::to_string(body.size()));
+    std::string text = withLength.serializeHead();
+    text += body;
+    return text;
+}
+
+HttpResponse
+jsonResponse(int status, const std::string &jsonText)
+{
+    HttpResponse r;
+    r.status = status;
+    r.setHeader("Content-Type", "application/json");
+    r.body = jsonText;
+    if (r.body.empty() || r.body.back() != '\n')
+        r.body += '\n';
+    return r;
+}
+
+HttpParser::HttpParser(Kind kind, HttpLimits limits)
+    : kind_(kind), limits_(limits)
+{
+}
+
+void
+HttpParser::reset()
+{
+    state_ = State::StartLine;
+    error_.clear();
+    errorStatus_ = 400;
+    line_.clear();
+    headerBytes_ = 0;
+    bodyRemaining_ = 0;
+    trailerLines_ = 0;
+    sawContentLength_ = false;
+    chunked_ = false;
+    request_ = HttpRequest();
+    responseStatus_ = 0;
+}
+
+bool
+HttpParser::fail(int status, std::string message)
+{
+    state_ = State::Error;
+    errorStatus_ = status;
+    error_ = std::move(message);
+    return false;
+}
+
+bool
+HttpParser::parseTarget()
+{
+    const std::string &target = request_.target;
+    const std::size_t qmark = target.find('?');
+    const std::string_view rawPath =
+        std::string_view(target).substr(0, qmark);
+    if (!percentDecode(rawPath, request_.path))
+        return fail(400, "request target: invalid percent-encoding");
+    if (qmark != std::string::npos) {
+        std::string_view qs = std::string_view(target).substr(qmark + 1);
+        while (!qs.empty()) {
+            const std::size_t amp = qs.find('&');
+            const std::string_view pair = qs.substr(0, amp);
+            qs = amp == std::string_view::npos ? std::string_view()
+                                               : qs.substr(amp + 1);
+            if (pair.empty())
+                continue;
+            const std::size_t eq = pair.find('=');
+            std::string key, value;
+            if (!percentDecode(pair.substr(0, eq), key, true) ||
+                (eq != std::string_view::npos &&
+                 !percentDecode(pair.substr(eq + 1), value, true)))
+                return fail(400, "query string: invalid percent-encoding");
+            request_.query.emplace_back(std::move(key), std::move(value));
+        }
+    }
+    return true;
+}
+
+bool
+HttpParser::parseStartLine(std::string_view line)
+{
+    if (kind_ == Kind::Response) {
+        // status-line: HTTP/1.x SP 3DIGIT SP reason
+        if (line.rfind("HTTP/1.", 0) != 0 || line.size() < 12 ||
+            line[8] != ' ')
+            return fail(400, "malformed status line");
+        const int minor = line[7] - '0';
+        if (minor != 0 && minor != 1)
+            return fail(505, "unsupported HTTP version");
+        request_.versionMinor = minor;
+        int status = 0;
+        for (int i = 9; i < 12; ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(line[i])))
+                return fail(400, "malformed status code");
+            status = status * 10 + (line[i] - '0');
+        }
+        if (line.size() > 12 && line[12] != ' ')
+            return fail(400, "malformed status line");
+        responseStatus_ = status;
+        request_.keepAlive = minor >= 1;
+        return true;
+    }
+
+    // request-line: METHOD SP request-target SP HTTP/1.x
+    const std::size_t sp1 = line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        line.find(' ', sp2 + 1) != std::string_view::npos)
+        return fail(400, "malformed request line");
+    const std::string_view method = line.substr(0, sp1);
+    const std::string_view target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::string_view version = line.substr(sp2 + 1);
+    if (!isToken(method))
+        return fail(400, "method is not a valid token");
+    if (target.empty())
+        return fail(400, "empty request target");
+    if (version == "HTTP/1.1")
+        request_.versionMinor = 1;
+    else if (version == "HTTP/1.0")
+        request_.versionMinor = 0;
+    else if (version.rfind("HTTP/", 0) == 0)
+        return fail(505, "unsupported HTTP version \"" +
+                             std::string(version) + "\"");
+    else
+        return fail(400, "malformed request line (missing HTTP version)");
+    request_.method = std::string(method);
+    request_.target = std::string(target);
+    request_.keepAlive = request_.versionMinor >= 1;
+    return parseTarget();
+}
+
+bool
+HttpParser::parseHeaderLine(std::string_view line)
+{
+    if (line.front() == ' ' || line.front() == '\t')
+        return fail(400, "obsolete header line folding is not supported");
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos)
+        return fail(400, "header line without a colon");
+    const std::string_view name = line.substr(0, colon);
+    if (!isToken(name))
+        return fail(400, "header name is not a valid token (whitespace "
+                         "before the colon?)");
+    const std::string_view value = trimmed(line.substr(colon + 1));
+    if (request_.headers.size() >= limits_.maxHeaders)
+        return fail(431, "too many header fields (limit " +
+                             std::to_string(limits_.maxHeaders) + ")");
+    request_.headers.emplace_back(std::string(name), std::string(value));
+    return true;
+}
+
+bool
+HttpParser::finishHeaders()
+{
+    const std::string *te = request_.header("Transfer-Encoding");
+    const std::string *cl = request_.header("Content-Length");
+    if (te && cl)
+        return fail(400, "both Transfer-Encoding and Content-Length "
+                         "(request smuggling vector)");
+    if (te) {
+        if (!iequals(trimmed(*te), "chunked"))
+            return fail(501, "unsupported Transfer-Encoding \"" + *te +
+                                 "\" (only \"chunked\")");
+        chunked_ = true;
+    }
+    if (cl) {
+        // Exactly one Content-Length header with one decimal value.
+        int seen = 0;
+        for (const auto &[k, v] : request_.headers) {
+            (void)v;
+            if (iequals(k, "Content-Length"))
+                ++seen;
+        }
+        if (seen > 1)
+            return fail(400, "multiple Content-Length headers");
+        const std::string_view digits = trimmed(*cl);
+        if (digits.empty() ||
+            !std::all_of(digits.begin(), digits.end(), [](char c) {
+                return std::isdigit(static_cast<unsigned char>(c));
+            }))
+            return fail(400, "Content-Length is not a decimal number");
+        std::size_t length = 0;
+        for (const char c : digits) {
+            if (length > (limits_.maxBodyBytes + 9) / 10)
+                return fail(413, "Content-Length exceeds the body limit");
+            length = length * 10 + static_cast<std::size_t>(c - '0');
+        }
+        if (length > limits_.maxBodyBytes)
+            return fail(413, "body of " + std::to_string(length) +
+                                 " bytes exceeds the limit of " +
+                                 std::to_string(limits_.maxBodyBytes));
+        sawContentLength_ = true;
+        bodyRemaining_ = length;
+    }
+
+    if (const std::string *conn = request_.header("Connection")) {
+        if (iequals(trimmed(*conn), "close"))
+            request_.keepAlive = false;
+        else if (iequals(trimmed(*conn), "keep-alive"))
+            request_.keepAlive = true;
+    }
+
+    if (chunked_) {
+        state_ = State::ChunkSize;
+    } else if (bodyRemaining_ > 0) {
+        request_.body.reserve(bodyRemaining_);
+        state_ = State::FixedBody;
+    } else if (kind_ == Kind::Response && !sawContentLength_ &&
+               responseStatus_ != 204) {
+        // A response with neither framing header would be EOF-delimited;
+        // the daemon never sends one and the client refuses to guess.
+        return fail(400, "response without Content-Length or chunked "
+                         "framing");
+    } else {
+        state_ = State::Done;
+    }
+    return true;
+}
+
+std::size_t
+HttpParser::feed(std::string_view data)
+{
+    std::size_t consumed = 0;
+    while (consumed < data.size() && state_ != State::Done &&
+           state_ != State::Error) {
+        const std::string_view rest = data.substr(consumed);
+
+        // Body-data states copy in bulk; everything else is line-based.
+        if (state_ == State::FixedBody || state_ == State::ChunkData) {
+            const std::size_t take =
+                std::min(rest.size(), bodyRemaining_);
+            request_.body.append(rest.data(), take);
+            bodyRemaining_ -= take;
+            consumed += take;
+            if (bodyRemaining_ == 0)
+                state_ = state_ == State::FixedBody ? State::Done
+                                                    : State::ChunkDataEnd;
+            continue;
+        }
+
+        const std::size_t nl = rest.find('\n');
+        const std::size_t lineLimit =
+            state_ == State::StartLine ? limits_.maxStartLineBytes
+                                       : limits_.maxHeaderBytes;
+        const auto lineTooLong = [&] {
+            fail(431, std::string(state_ == State::StartLine
+                                      ? "start line exceeds "
+                                      : "header block exceeds ") +
+                          std::to_string(lineLimit) + " bytes");
+        };
+        if (nl == std::string_view::npos) {
+            // No full line yet: buffer, but never beyond the limit.
+            if (line_.size() + rest.size() > lineLimit) {
+                lineTooLong();
+                return consumed;
+            }
+            line_.append(rest);
+            consumed += rest.size();
+            continue;
+        }
+        if (line_.size() + nl + 1 > lineLimit) {
+            lineTooLong();
+            return consumed;
+        }
+        line_.append(rest.substr(0, nl));
+        consumed += nl + 1;
+        if (line_.empty() || line_.back() != '\r') {
+            fail(400, "bare LF line ending (CRLF required)");
+            return consumed;
+        }
+        line_.pop_back();
+        std::string line;
+        line.swap(line_);
+
+        switch (state_) {
+          case State::StartLine:
+            if (line.empty())
+                continue; // tolerate leading blank lines (RFC 9112 §2.2)
+            if (!parseStartLine(line))
+                return consumed;
+            state_ = State::Headers;
+            break;
+
+          case State::Headers:
+            headerBytes_ += line.size() + 2;
+            if (headerBytes_ > limits_.maxHeaderBytes) {
+                fail(431, "header block exceeds " +
+                              std::to_string(limits_.maxHeaderBytes) +
+                              " bytes");
+                return consumed;
+            }
+            if (line.empty()) {
+                if (!finishHeaders())
+                    return consumed;
+            } else if (!parseHeaderLine(line)) {
+                return consumed;
+            }
+            break;
+
+          case State::ChunkSize: {
+            // chunk-size [;extensions] — size is hex, required.
+            const std::string_view sizePart =
+                std::string_view(line).substr(0, line.find(';'));
+            const std::string_view digits = trimmed(sizePart);
+            if (digits.empty()) {
+                fail(400, "chunked encoding: empty chunk size");
+                return consumed;
+            }
+            std::size_t size = 0;
+            for (const char c : digits) {
+                const int d = hexDigit(c);
+                if (d < 0) {
+                    fail(400, "chunked encoding: invalid chunk size \"" +
+                                  std::string(digits) + "\"");
+                    return consumed;
+                }
+                if (size > limits_.maxBodyBytes) {
+                    fail(413, "chunked encoding: chunk size exceeds the "
+                              "body limit");
+                    return consumed;
+                }
+                size = (size << 4) | static_cast<std::size_t>(d);
+            }
+            if (request_.body.size() + size > limits_.maxBodyBytes) {
+                fail(413, "chunked body exceeds the limit of " +
+                              std::to_string(limits_.maxBodyBytes) +
+                              " bytes");
+                return consumed;
+            }
+            if (size == 0) {
+                state_ = State::ChunkTrailer;
+            } else {
+                bodyRemaining_ = size;
+                state_ = State::ChunkData;
+            }
+            break;
+          }
+
+          case State::ChunkDataEnd:
+            if (!line.empty()) {
+                fail(400, "chunked encoding: chunk data not followed by "
+                          "CRLF");
+                return consumed;
+            }
+            state_ = State::ChunkSize;
+            break;
+
+          case State::ChunkTrailer:
+            // Trailer fields are accepted syntactically and discarded;
+            // the empty line ends the message.
+            if (line.empty()) {
+                state_ = State::Done;
+            } else if (++trailerLines_ > limits_.maxHeaders) {
+                fail(431, "too many trailer fields");
+                return consumed;
+            }
+            break;
+
+          case State::FixedBody:
+          case State::ChunkData:
+          case State::Done:
+          case State::Error:
+            break; // unreachable: handled before the line scan
+        }
+    }
+    return consumed;
+}
+
+} // namespace gemini::net

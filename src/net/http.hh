@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Dependency-free HTTP/1.1 message layer for the serving subsystem:
+ * request/response structs and a strict incremental parser with hard
+ * bounds on every dimension an untrusted peer controls (start-line
+ * bytes, header count and bytes, body bytes, chunk framing). The parser
+ * is push-based — feed() consumes bytes as they arrive off a socket and
+ * stops exactly at the end of one message, so pipelined requests are
+ * handled by take + reset + feeding the remainder — and never throws:
+ * malformed input parks it in a failed state carrying the HTTP status
+ * the server should answer with (400/413/431/501/505).
+ *
+ * Scope: HTTP/1.0 and 1.1, fixed Content-Length and chunked
+ * transfer-coding bodies. No obs-folding, no multiple Content-Length
+ * values, no Transfer-Encoding other than a single "chunked" — those
+ * are request-smuggling vectors, rejected outright rather than
+ * normalized. The same state machine parses responses for the client
+ * side (status line instead of request line).
+ */
+
+#ifndef GEMINI_NET_HTTP_HH
+#define GEMINI_NET_HTTP_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gemini::net {
+
+/** Bounds enforced while parsing one message from an untrusted peer. */
+struct HttpLimits
+{
+    std::size_t maxStartLineBytes = 8 * 1024;
+    std::size_t maxHeaderBytes = 16 * 1024; ///< all header lines combined
+    std::size_t maxHeaders = 64;
+    std::size_t maxBodyBytes = 16 * 1024 * 1024;
+};
+
+/** Case-insensitive ASCII compare (header names, token values). */
+bool iequals(std::string_view a, std::string_view b);
+
+/**
+ * Decode %XX escapes (and, when `plusAsSpace`, '+' as ' ' — query
+ * strings only). Returns false on a truncated or non-hex escape.
+ */
+bool percentDecode(std::string_view in, std::string &out,
+                   bool plusAsSpace = false);
+
+struct HttpRequest
+{
+    std::string method;  ///< e.g. "GET" (token, case-sensitive)
+    std::string target;  ///< raw request-target as sent
+    std::string path;    ///< decoded path, query stripped
+    std::vector<std::pair<std::string, std::string>> query; ///< decoded
+    int versionMinor = 1; ///< HTTP/1.<minor>
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool keepAlive = true; ///< resolved from version + Connection header
+
+    /** Header value by case-insensitive name; nullptr when absent. */
+    const std::string *header(std::string_view name) const;
+
+    /** First query parameter named `key`, else `fallback`. */
+    std::string queryParam(std::string_view key,
+                           std::string_view fallback = "") const;
+};
+
+struct HttpResponse
+{
+    int status = 200;
+    std::string reason; ///< empty = canonical reason for `status`
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    const std::string *header(std::string_view name) const;
+
+    void
+    setHeader(std::string name, std::string value)
+    {
+        headers.emplace_back(std::move(name), std::move(value));
+    }
+
+    /**
+     * Wire form with Content-Length spliced in (unless a
+     * Transfer-Encoding header is already present — streamed responses
+     * serialize their head separately; see serializeHead).
+     */
+    std::string serialize() const;
+
+    /** Status + headers + blank line only (chunked streaming). */
+    std::string serializeHead() const;
+};
+
+/** Canonical reason phrase ("Not Found", ...); "Unknown" off-registry. */
+const char *statusReason(int status);
+
+/** A JSON convenience response (application/json body + trailing \n). */
+HttpResponse jsonResponse(int status, const std::string &jsonText);
+
+class HttpParser
+{
+  public:
+    enum class Kind
+    {
+        Request, ///< parse request line + message
+        Response ///< parse status line + message (client side)
+    };
+
+    explicit HttpParser(Kind kind = Kind::Request, HttpLimits limits = {});
+
+    /**
+     * Consume bytes. Returns how many were taken — all of them until the
+     * message completes; once done() (or failed()) no further byte is
+     * consumed, and the caller owns the remainder (the next pipelined
+     * message). Call reset() after taking the message to continue.
+     */
+    std::size_t feed(std::string_view data);
+
+    /** A full message is parsed and ready to take. */
+    bool done() const { return state_ == State::Done; }
+
+    /** The input violated the grammar or a limit; see error(). */
+    bool failed() const { return state_ == State::Error; }
+
+    /** True while neither done nor failed (more input needed). */
+    bool needsInput() const { return !done() && !failed(); }
+
+    const std::string &error() const { return error_; }
+
+    /** The HTTP status a server should answer a failed() parse with. */
+    int errorStatus() const { return errorStatus_; }
+
+    /** The parsed request (valid once done(); Kind::Request). */
+    HttpRequest &request() { return request_; }
+
+    /** Response status code (valid once done(); Kind::Response). */
+    int responseStatus() const { return responseStatus_; }
+
+    /** Headers/body of a parsed response (valid once done()). */
+    const std::vector<std::pair<std::string, std::string>> &
+    responseHeaders() const
+    {
+        return request_.headers;
+    }
+    std::string &responseBody() { return request_.body; }
+
+    /** Ready the parser for the next message on the same connection. */
+    void reset();
+
+  private:
+    enum class State
+    {
+        StartLine,
+        Headers,
+        FixedBody,
+        ChunkSize,
+        ChunkData,
+        ChunkDataEnd, ///< the CRLF that closes a chunk's data
+        ChunkTrailer,
+        Done,
+        Error
+    };
+
+    bool fail(int status, std::string message);
+    bool parseStartLine(std::string_view line);
+    bool parseHeaderLine(std::string_view line);
+    bool finishHeaders();
+    bool parseTarget();
+
+    Kind kind_;
+    HttpLimits limits_;
+    State state_ = State::StartLine;
+    std::string error_;
+    int errorStatus_ = 400;
+
+    std::string line_;           ///< partial line accumulator
+    std::size_t headerBytes_ = 0;
+    std::size_t bodyRemaining_ = 0; ///< fixed body / current chunk left
+    std::size_t trailerLines_ = 0;
+    bool sawContentLength_ = false;
+    bool chunked_ = false;
+
+    HttpRequest request_; ///< doubles as response storage (headers/body)
+    int responseStatus_ = 0;
+};
+
+} // namespace gemini::net
+
+#endif // GEMINI_NET_HTTP_HH

@@ -1,0 +1,354 @@
+#include "src/net/server.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "src/common/fault_injection.hh"
+#include "src/common/logging.hh"
+
+namespace gemini::net {
+
+namespace fault = common::fault;
+
+namespace {
+
+void
+setRecvTimeout(int fd, double seconds)
+{
+    timeval tv;
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>((seconds - tv.tv_sec) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- writer --
+
+bool
+ResponseWriter::serverStopping() const
+{
+    return server_.stopping();
+}
+
+bool
+ResponseWriter::writeAll(std::string_view data)
+{
+    if (broken_)
+        return false;
+    ++writeSerial_;
+    if (fault::shouldFail("net.write") ||
+        fault::shouldFail("net.write." + std::to_string(writeSerial_))) {
+        broken_ = true;
+        return false;
+    }
+    while (!data.empty()) {
+        const ssize_t n =
+            ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            broken_ = true;
+            return false;
+        }
+        data.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+}
+
+bool
+ResponseWriter::send(const HttpResponse &response)
+{
+    responded_ = true;
+    return writeAll(response.serialize());
+}
+
+bool
+ResponseWriter::beginStream(HttpResponse head)
+{
+    responded_ = true;
+    streaming_ = true;
+    head.setHeader("Transfer-Encoding", "chunked");
+    return writeAll(head.serializeHead());
+}
+
+bool
+ResponseWriter::writeChunk(std::string_view data)
+{
+    if (data.empty())
+        return !broken_;
+    char size[32];
+    std::snprintf(size, sizeof size, "%zx\r\n", data.size());
+    std::string frame = size;
+    frame.append(data);
+    frame += "\r\n";
+    return writeAll(frame);
+}
+
+bool
+ResponseWriter::endStream()
+{
+    streaming_ = false;
+    return writeAll("0\r\n\r\n");
+}
+
+// ---------------------------------------------------------------- server --
+
+HttpServer::HttpServer(HttpHandler handler, ServerOptions options)
+    : handler_(std::move(handler)), options_(std::move(options))
+{
+}
+
+HttpServer::~HttpServer()
+{
+    stop();
+}
+
+bool
+HttpServer::start(std::string *error)
+{
+    const auto fail = [&](const std::string &what) {
+        if (error)
+            *error = what + ": " + std::strerror(errno);
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listenFd_ < 0)
+        return fail("socket");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+    if (::inet_pton(AF_INET, options_.bindAddress.c_str(),
+                    &addr.sin_addr) != 1) {
+        errno = EINVAL;
+        return fail("bind address \"" + options_.bindAddress + "\"");
+    }
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0)
+        return fail("bind " + options_.bindAddress + ":" +
+                    std::to_string(options_.port));
+    if (::listen(listenFd_, options_.backlog) != 0)
+        return fail("listen");
+
+    socklen_t len = sizeof addr;
+    if (::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                      &len) != 0)
+        return fail("getsockname");
+    port_ = ntohs(addr.sin_port);
+
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    const int workers = std::max(1, options_.threads);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+    return true;
+}
+
+void
+HttpServer::stop()
+{
+    bool expected = false;
+    if (!stopping_.compare_exchange_strong(expected, true)) {
+        // Second caller (e.g. the destructor after an explicit stop):
+        // everything below already ran or is running; just join.
+        if (acceptThread_.joinable())
+            acceptThread_.join();
+        for (std::thread &t : workers_)
+            if (t.joinable())
+                t.join();
+        return;
+    }
+
+    // Closing the listen socket makes the blocked accept() return.
+    if (listenFd_ >= 0)
+        ::shutdown(listenFd_, SHUT_RDWR);
+
+    {
+        std::lock_guard lock(mu_);
+        // Queued-but-unserved connections are dropped outright; active
+        // ones get a socket shutdown so their blocked reads return.
+        for (const int fd : pending_)
+            ::close(fd);
+        pending_.clear();
+        for (const int fd : active_)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    queueCv_.notify_all();
+
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &t : workers_)
+        if (t.joinable())
+            t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+}
+
+void
+HttpServer::acceptLoop()
+{
+    while (!stopping()) {
+        const int fd = ::accept4(listenFd_, nullptr, nullptr, SOCK_CLOEXEC);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            if (stopping())
+                break;
+            if (errno == EMFILE || errno == ENFILE) {
+                // Out of descriptors: shed load instead of spinning.
+                GEMINI_WARN("http: accept: ", std::strerror(errno));
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(50));
+                continue;
+            }
+            break; // listen socket is gone
+        }
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        if (fault::shouldFail("net.accept")) {
+            // Injected connection-level failure: the peer sees an
+            // immediate close, exactly like an overloaded kernel
+            // dropping the connection post-handshake.
+            ::close(fd);
+            continue;
+        }
+        {
+            std::lock_guard lock(mu_);
+            if (stopping()) {
+                ::close(fd);
+                break;
+            }
+            pending_.push_back(fd);
+        }
+        queueCv_.notify_one();
+    }
+}
+
+void
+HttpServer::workerLoop()
+{
+    for (;;) {
+        int fd = -1;
+        {
+            std::unique_lock lock(mu_);
+            queueCv_.wait(lock, [this] {
+                return stopping() || !pending_.empty();
+            });
+            if (pending_.empty())
+                return; // stopping and drained
+            fd = pending_.front();
+            pending_.pop_front();
+            active_.push_back(fd);
+        }
+        serveConnection(fd);
+        unregisterConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+HttpServer::unregisterConnection(int fd)
+{
+    std::lock_guard lock(mu_);
+    active_.erase(std::remove(active_.begin(), active_.end(), fd),
+                  active_.end());
+}
+
+void
+HttpServer::serveConnection(int fd)
+{
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    // The timeout doubles as the shutdown poll interval: a blocked read
+    // wakes at least this often to notice stop(). Capped so shutdown
+    // latency stays bounded even with long keep-alive patience.
+    setRecvTimeout(fd, std::min(options_.idleTimeoutSeconds, 0.25));
+
+    HttpParser parser(HttpParser::Kind::Request, options_.limits);
+    std::string pending; ///< bytes read but not yet consumed (pipelining)
+    const auto idleLimit = std::chrono::duration<double>(
+        options_.idleTimeoutSeconds);
+    auto lastActivity = std::chrono::steady_clock::now();
+
+    for (;;) {
+        if (pending.empty()) {
+            char buf[16 * 1024];
+            const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+            if (n < 0) {
+                if (errno == EINTR)
+                    continue;
+                if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                    if (stopping())
+                        return;
+                    if (std::chrono::steady_clock::now() - lastActivity >
+                        idleLimit)
+                        return; // keep-alive patience exhausted
+                    continue;
+                }
+                return; // connection error
+            }
+            if (n == 0)
+                return; // peer closed
+            if (fault::shouldFail("net.read"))
+                return; // injected read failure: drop the connection
+            pending.assign(buf, static_cast<std::size_t>(n));
+            lastActivity = std::chrono::steady_clock::now();
+        }
+
+        const std::size_t consumed = parser.feed(pending);
+        pending.erase(0, consumed);
+
+        if (parser.failed()) {
+            // Strictness is the contract: answer with the parser's
+            // status and drop the connection (its framing is unknown).
+            ResponseWriter writer(*this, fd);
+            writer.send(jsonResponse(
+                parser.errorStatus(),
+                "{\"error\":\"" + parser.error() + "\"}"));
+            return;
+        }
+        if (!parser.done())
+            continue; // torn frame: need more bytes
+
+        HttpRequest request = std::move(parser.request());
+        parser.reset();
+
+        ResponseWriter writer(*this, fd);
+        try {
+            handler_(request, writer);
+        } catch (const std::exception &e) {
+            if (!writer.responded())
+                writer.send(jsonResponse(
+                    500, std::string("{\"error\":\"") + e.what() +
+                             "\"}"));
+            else
+                writer.broken_ = true; // half-written response: drop
+        }
+        if (!writer.responded())
+            writer.send(jsonResponse(500, "{\"error\":\"handler sent no "
+                                          "response\"}"));
+        if (writer.broken() || !request.keepAlive || stopping())
+            return;
+        lastActivity = std::chrono::steady_clock::now();
+    }
+}
+
+} // namespace gemini::net

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * A dependency-free blocking HTTP/1.1 server: one accept thread feeds a
+ * fixed pool of connection workers over a queue; each worker owns one
+ * connection at a time and serves keep-alive/pipelined requests through
+ * the strict bounded HttpParser. No epoll, no timers wheel — the daemon
+ * serves tens of clients, not millions of sockets, and blocking threads
+ * keep every failure path (slow peer, torn frame, injected fault) a
+ * straight line.
+ *
+ * Handlers answer through a ResponseWriter, either one-shot
+ * (send(response)) or as a chunked stream (beginStream / writeChunk /
+ * endStream) — the event-watch endpoint streams newline-delimited JSON
+ * this way. Write failures (peer gone, injected net.write fault) turn
+ * the writer inert and report false so streaming handlers can stop
+ * early; the connection is dropped afterwards.
+ *
+ * Shutdown contract: stop() closes the listen socket (unblocking
+ * accept), marks the server stopping — long-lived streaming handlers
+ * must poll stopping() — shuts down every active connection socket
+ * (unblocking reads), drains the queue, and joins all threads. It is
+ * idempotent and also runs from the destructor.
+ *
+ * Fault-injection sites (see common/fault_injection.hh):
+ *   net.accept      an accepted connection is destroyed immediately
+ *   net.read        a socket read fails; the connection is dropped
+ *   net.write       a socket write fails; the connection is dropped
+ *   net.write.<k>   same, but only the k-th write of any connection
+ *                   (1-based), for deterministic torn-response tests
+ */
+
+#ifndef GEMINI_NET_SERVER_HH
+#define GEMINI_NET_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/net/http.hh"
+
+namespace gemini::net {
+
+struct ServerOptions
+{
+    std::string bindAddress = "127.0.0.1";
+    int port = 0; ///< 0 = ephemeral; see HttpServer::port() once started
+    int threads = 4; ///< connection workers (concurrent connections)
+    int backlog = 64;
+    HttpLimits limits;
+
+    /**
+     * Keep-alive patience: a connection idle longer than this between
+     * requests is closed. Also the granularity at which blocked reads
+     * notice a server shutdown.
+     */
+    double idleTimeoutSeconds = 30.0;
+};
+
+class HttpServer;
+
+/** The handler's reply channel; owned by the connection worker. */
+class ResponseWriter
+{
+  public:
+    /** One-shot response. False when the connection is already dead. */
+    bool send(const HttpResponse &response);
+
+    /**
+     * Start a chunked response (Transfer-Encoding spliced in). The
+     * stream owns the connection until endStream(); keep-alive continues
+     * afterwards if the request allowed it.
+     */
+    bool beginStream(HttpResponse head);
+
+    /** One chunk (never empty — empty means end in chunked framing). */
+    bool writeChunk(std::string_view data);
+
+    /** Terminal zero-chunk. */
+    bool endStream();
+
+    /** A response was (at least partially) written for this request. */
+    bool responded() const { return responded_; }
+
+    /** True once a write failed; the stream is inert from then on. */
+    bool broken() const { return broken_; }
+
+    /** The owning server is shutting down; streams should end now. */
+    bool serverStopping() const;
+
+  private:
+    friend class HttpServer;
+    ResponseWriter(HttpServer &server, int fd) : server_(server), fd_(fd) {}
+
+    bool writeAll(std::string_view data);
+
+    HttpServer &server_;
+    int fd_;
+    int writeSerial_ = 0; ///< per-connection write index (fault site .<k>)
+    bool responded_ = false;
+    bool streaming_ = false;
+    bool broken_ = false;
+};
+
+using HttpHandler =
+    std::function<void(const HttpRequest &, ResponseWriter &)>;
+
+class HttpServer
+{
+  public:
+    explicit HttpServer(HttpHandler handler, ServerOptions options = {});
+
+    /** Stops and joins (see stop()). */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind + listen + spawn threads. False (with message) on failure. */
+    bool start(std::string *error = nullptr);
+
+    /** The bound port (after start(); resolves port 0 to the real one). */
+    int port() const { return port_; }
+
+    bool started() const { return listenFd_ >= 0 || stopping_; }
+
+    /** Graceful shutdown: unblock and join everything. Idempotent. */
+    void stop();
+
+    bool stopping() const
+    {
+        return stopping_.load(std::memory_order_relaxed);
+    }
+
+    /** Connections accepted so far (observability, tests). */
+    std::uint64_t connectionsAccepted() const
+    {
+        return accepted_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    friend class ResponseWriter;
+
+    void acceptLoop();
+    void workerLoop();
+    void serveConnection(int fd);
+
+    /** Drop a finished connection from the live-fd set stop() tracks. */
+    void unregisterConnection(int fd);
+
+    HttpHandler handler_;
+    ServerOptions options_;
+
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<std::uint64_t> accepted_{0};
+
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable queueCv_;
+    std::deque<int> pending_;     ///< accepted fds awaiting a worker
+    std::vector<int> active_;     ///< fds currently owned by workers
+};
+
+} // namespace gemini::net
+
+#endif // GEMINI_NET_SERVER_HH

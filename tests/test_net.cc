@@ -1,0 +1,532 @@
+/**
+ * @file
+ * Tests for the dependency-free HTTP layer: the strict bounded parser
+ * against torn frames, oversized inputs, request-smuggling vectors,
+ * invalid chunked encodings and a deterministic byte-noise fuzz sweep;
+ * the blocking server/client pair over loopback (keep-alive,
+ * pipelining, chunked streaming); and the net.* fault-injection sites.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/fault_injection.hh"
+#include "src/net/client.hh"
+#include "src/net/http.hh"
+#include "src/net/server.hh"
+
+namespace gemini::net {
+namespace {
+
+namespace fault = common::fault;
+
+// ---------------------------------------------------------- parser -----
+
+HttpParser
+parse(std::string_view wire, HttpLimits limits = {})
+{
+    HttpParser p(HttpParser::Kind::Request, limits);
+    p.feed(wire);
+    return p;
+}
+
+TEST(HttpParser, ParsesASimpleGet)
+{
+    HttpParser p = parse("GET /v1/jobs?tenant=a+b&x=%2F HTTP/1.1\r\n"
+                         "Host: localhost\r\n"
+                         "\r\n");
+    ASSERT_TRUE(p.done()) << p.error();
+    EXPECT_EQ(p.request().method, "GET");
+    EXPECT_EQ(p.request().path, "/v1/jobs");
+    EXPECT_EQ(p.request().queryParam("tenant"), "a b"); // '+' in query
+    EXPECT_EQ(p.request().queryParam("x"), "/");        // %2F decoded
+    EXPECT_TRUE(p.request().keepAlive);
+    ASSERT_NE(p.request().header("host"), nullptr) << "case-insensitive";
+    EXPECT_EQ(*p.request().header("HOST"), "localhost");
+}
+
+TEST(HttpParser, TornFramesByteByByteMatchOneShot)
+{
+    const std::string wire = "POST /a HTTP/1.1\r\n"
+                             "Content-Length: 5\r\n"
+                             "\r\n"
+                             "hello";
+    HttpParser whole = parse(wire);
+    ASSERT_TRUE(whole.done());
+
+    HttpParser torn;
+    for (char c : wire) {
+        ASSERT_FALSE(torn.failed()) << torn.error();
+        EXPECT_EQ(torn.feed(std::string_view(&c, 1)), 1u);
+    }
+    ASSERT_TRUE(torn.done());
+    EXPECT_EQ(torn.request().body, whole.request().body);
+    EXPECT_EQ(torn.request().path, whole.request().path);
+}
+
+TEST(HttpParser, PipelinedRequestsStopAtMessageEnd)
+{
+    const std::string two = "GET /first HTTP/1.1\r\n\r\n"
+                            "GET /second HTTP/1.1\r\n\r\n";
+    HttpParser p;
+    const std::size_t consumed = p.feed(two);
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.request().path, "/first");
+    EXPECT_LT(consumed, two.size()) << "must not eat the next request";
+
+    p.reset();
+    EXPECT_EQ(p.feed(std::string_view(two).substr(consumed)),
+              two.size() - consumed);
+    ASSERT_TRUE(p.done());
+    EXPECT_EQ(p.request().path, "/second");
+}
+
+TEST(HttpParser, ChunkedBodyReassembles)
+{
+    HttpParser p = parse("POST /x HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n"
+                         "\r\n"
+                         "4\r\nWiki\r\n"
+                         "5;ext=1\r\npedia\r\n"
+                         "0\r\n\r\n");
+    ASSERT_TRUE(p.done()) << p.error();
+    EXPECT_EQ(p.request().body, "Wikipedia");
+}
+
+TEST(HttpParser, OversizedHeadersAre431)
+{
+    HttpLimits limits;
+    limits.maxStartLineBytes = 64;
+    HttpParser p =
+        parse("GET /" + std::string(200, 'a') + " HTTP/1.1\r\n\r\n",
+              limits);
+    EXPECT_TRUE(p.failed());
+    EXPECT_EQ(p.errorStatus(), 431);
+
+    limits = {};
+    limits.maxHeaders = 2;
+    HttpParser q = parse("GET / HTTP/1.1\r\n"
+                         "A: 1\r\nB: 2\r\nC: 3\r\n\r\n",
+                         limits);
+    EXPECT_TRUE(q.failed());
+    EXPECT_EQ(q.errorStatus(), 431);
+
+    limits = {};
+    limits.maxHeaderBytes = 32;
+    HttpParser r = parse("GET / HTTP/1.1\r\nLong: " +
+                             std::string(100, 'x') + "\r\n\r\n",
+                         limits);
+    EXPECT_TRUE(r.failed());
+    EXPECT_EQ(r.errorStatus(), 431);
+}
+
+TEST(HttpParser, OversizedBodiesAre413)
+{
+    HttpLimits limits;
+    limits.maxBodyBytes = 8;
+    HttpParser fixed = parse("POST / HTTP/1.1\r\n"
+                             "Content-Length: 9\r\n\r\n",
+                             limits);
+    EXPECT_TRUE(fixed.failed());
+    EXPECT_EQ(fixed.errorStatus(), 413);
+
+    // Chunked bodies have no up-front length; the limit trips as the
+    // chunks accumulate.
+    HttpParser chunked = parse("POST / HTTP/1.1\r\n"
+                               "Transfer-Encoding: chunked\r\n\r\n"
+                               "6\r\nabcdef\r\n"
+                               "6\r\nghijkl\r\n",
+                               limits);
+    EXPECT_TRUE(chunked.failed());
+    EXPECT_EQ(chunked.errorStatus(), 413);
+}
+
+TEST(HttpParser, SmugglingVectorsAreRejected)
+{
+    // Transfer-Encoding + Content-Length is the classic smuggle.
+    HttpParser both = parse("POST / HTTP/1.1\r\n"
+                            "Content-Length: 4\r\n"
+                            "Transfer-Encoding: chunked\r\n\r\n");
+    EXPECT_TRUE(both.failed());
+    EXPECT_EQ(both.errorStatus(), 400);
+
+    HttpParser twice = parse("POST / HTTP/1.1\r\n"
+                             "Content-Length: 4\r\n"
+                             "Content-Length: 5\r\n\r\n");
+    EXPECT_TRUE(twice.failed());
+
+    HttpParser junkLength = parse("POST / HTTP/1.1\r\n"
+                                  "Content-Length: 4x\r\n\r\n");
+    EXPECT_TRUE(junkLength.failed());
+
+    HttpParser gzip = parse("POST / HTTP/1.1\r\n"
+                            "Transfer-Encoding: gzip\r\n\r\n");
+    EXPECT_TRUE(gzip.failed());
+    EXPECT_EQ(gzip.errorStatus(), 501);
+
+    HttpParser folded = parse("GET / HTTP/1.1\r\n"
+                              "A: 1\r\n continued\r\n\r\n");
+    EXPECT_TRUE(folded.failed()) << "obs-fold";
+
+    HttpParser bareLf = parse("GET / HTTP/1.1\nHost: x\n\n");
+    EXPECT_TRUE(bareLf.failed()) << "bare LF line endings";
+}
+
+TEST(HttpParser, InvalidChunkedEncodingFails)
+{
+    HttpParser badSize = parse("POST / HTTP/1.1\r\n"
+                               "Transfer-Encoding: chunked\r\n\r\n"
+                               "zz\r\n");
+    EXPECT_TRUE(badSize.failed());
+
+    HttpParser badEnd = parse("POST / HTTP/1.1\r\n"
+                              "Transfer-Encoding: chunked\r\n\r\n"
+                              "4\r\nWikiXX\r\n");
+    EXPECT_TRUE(badEnd.failed()) << "chunk data must end with CRLF";
+    EXPECT_EQ(badEnd.errorStatus(), 400);
+}
+
+TEST(HttpParser, UnsupportedVersionsAre505)
+{
+    HttpParser two = parse("GET / HTTP/2.0\r\n\r\n");
+    EXPECT_TRUE(two.failed());
+    EXPECT_EQ(two.errorStatus(), 505);
+}
+
+TEST(HttpParser, KeepAliveResolution)
+{
+    EXPECT_TRUE(parse("GET / HTTP/1.1\r\n\r\n").request().keepAlive);
+    EXPECT_FALSE(parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                     .request()
+                     .keepAlive);
+    EXPECT_FALSE(parse("GET / HTTP/1.0\r\n\r\n").request().keepAlive);
+    EXPECT_TRUE(parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                    .request()
+                    .keepAlive);
+}
+
+TEST(HttpParser, ResponsesParseIncludingChunked)
+{
+    HttpParser p(HttpParser::Kind::Response);
+    p.feed("HTTP/1.1 200 OK\r\n"
+           "Transfer-Encoding: chunked\r\n\r\n"
+           "3\r\nabc\r\n0\r\n\r\n");
+    ASSERT_TRUE(p.done()) << p.error();
+    EXPECT_EQ(p.responseStatus(), 200);
+    EXPECT_EQ(p.responseBody(), "abc");
+
+    HttpParser noLength(HttpParser::Kind::Response);
+    noLength.feed("HTTP/1.1 204 No Content\r\n\r\n");
+    ASSERT_TRUE(noLength.done()) << "204 has no body by definition";
+}
+
+/**
+ * Deterministic byte-noise fuzz: the parser must never crash and must
+ * consume every buffer either to completion, to an error, or asking for
+ * more input. Xorshift keeps the stream reproducible (no Date/rand).
+ */
+TEST(HttpParser, ByteNoiseFuzzNeverCrashes)
+{
+    std::uint64_t state = 0x9e3779b97f4a7c15ull;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    int failed = 0;
+    for (int round = 0; round < 200; ++round) {
+        std::string noise;
+        const std::size_t len = 1 + next() % 300;
+        for (std::size_t i = 0; i < len; ++i)
+            noise.push_back(static_cast<char>(next() & 0xff));
+        HttpParser p;
+        const std::size_t consumed = p.feed(noise);
+        if (p.failed()) {
+            ++failed;
+            EXPECT_GE(p.errorStatus(), 400);
+            EXPECT_LE(p.errorStatus(), 505);
+        } else {
+            EXPECT_EQ(consumed, noise.size());
+        }
+    }
+    EXPECT_GT(failed, 0) << "noise should trip the grammar sometimes";
+}
+
+/** Random-split framing: any partition of a valid request parses alike. */
+TEST(HttpParser, RandomSplitsAreFramingInvariant)
+{
+    const std::string wire = "POST /v1/jobs?tenant=t HTTP/1.1\r\n"
+                             "Content-Type: application/json\r\n"
+                             "Transfer-Encoding: chunked\r\n\r\n"
+                             "7\r\n{\"a\":1}\r\n0\r\n\r\n";
+    std::uint64_t state = 42;
+    auto next = [&state] {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        return state;
+    };
+    for (int round = 0; round < 100; ++round) {
+        HttpParser p;
+        std::size_t at = 0;
+        while (at < wire.size() && p.needsInput()) {
+            const std::size_t n =
+                std::min(wire.size() - at, 1 + next() % 11);
+            ASSERT_EQ(p.feed(std::string_view(wire).substr(at, n)), n);
+            at += n;
+        }
+        ASSERT_TRUE(p.done()) << p.error();
+        EXPECT_EQ(p.request().body, "{\"a\":1}");
+        EXPECT_EQ(p.request().queryParam("tenant"), "t");
+    }
+}
+
+// ---------------------------------------------------- server/client ----
+
+class NetServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        fault::reset();
+    }
+
+    void
+    TearDown() override
+    {
+        fault::reset();
+    }
+
+    /** An echo server: method + path + body back as plain text. */
+    std::unique_ptr<HttpServer>
+    echoServer(ServerOptions options = {})
+    {
+        auto server = std::make_unique<HttpServer>(
+            [](const HttpRequest &rq, ResponseWriter &w) {
+                if (rq.path == "/stream") {
+                    HttpResponse head;
+                    head.setHeader("Content-Type", "text/plain");
+                    if (!w.beginStream(std::move(head)))
+                        return;
+                    w.writeChunk("line one\n");
+                    w.writeChunk("line two\n");
+                    w.endStream();
+                    return;
+                }
+                if (rq.path == "/boom")
+                    throw std::runtime_error("handler exploded");
+                HttpResponse r;
+                r.setHeader("Content-Type", "text/plain");
+                r.body = rq.method + " " + rq.path + " " + rq.body;
+                w.send(r);
+            },
+            options);
+        std::string error;
+        EXPECT_TRUE(server->start(&error)) << error;
+        return server;
+    }
+
+    /** Raw socket round trip: send bytes, read until the peer closes. */
+    static std::string
+    rawExchange(int port, const std::string &bytes)
+    {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(static_cast<std::uint16_t>(port));
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        EXPECT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+                  static_cast<ssize_t>(bytes.size()));
+        ::shutdown(fd, SHUT_WR);
+        std::string out;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::read(fd, buf, sizeof buf);
+            if (n <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+        ::close(fd);
+        return out;
+    }
+};
+
+TEST_F(NetServerTest, RoundTripAndKeepAlive)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port());
+    std::string error;
+    const auto response =
+        client.request("POST", "/hello", "payload", &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->status, 200);
+    EXPECT_EQ(response->body, "POST /hello payload");
+    EXPECT_GE(server->connectionsAccepted(), 1u);
+}
+
+TEST_F(NetServerTest, PipelinedRequestsOnOneConnection)
+{
+    auto server = echoServer();
+    const std::string wire = "GET /a HTTP/1.1\r\n\r\n"
+                             "GET /b HTTP/1.1\r\nConnection: close\r\n\r\n";
+    const std::string out = rawExchange(server->port(), wire);
+    // Both responses arrive, in order, on the same connection.
+    EXPECT_NE(out.find("GET /a "), std::string::npos);
+    EXPECT_NE(out.find("GET /b "), std::string::npos);
+    EXPECT_LT(out.find("GET /a "), out.find("GET /b "));
+    EXPECT_EQ(server->connectionsAccepted(), 1u);
+}
+
+TEST_F(NetServerTest, ParseFailureAnswersWithErrorStatus)
+{
+    ServerOptions options;
+    options.limits.maxStartLineBytes = 64;
+    auto server = echoServer(options);
+    const std::string out = rawExchange(
+        server->port(), "GET /" + std::string(300, 'a') + " HTTP/1.1\r\n\r\n");
+    EXPECT_NE(out.find("431"), std::string::npos) << out;
+
+    const std::string smuggle =
+        rawExchange(server->port(), "POST / HTTP/1.1\r\n"
+                                    "Content-Length: 4\r\n"
+                                    "Transfer-Encoding: chunked\r\n\r\n");
+    EXPECT_NE(smuggle.find("400"), std::string::npos) << smuggle;
+}
+
+TEST_F(NetServerTest, HandlerExceptionBecomes500)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port());
+    std::string error;
+    const auto response = client.request("GET", "/boom", "", &error);
+    ASSERT_TRUE(response.has_value()) << error;
+    EXPECT_EQ(response->status, 500);
+}
+
+TEST_F(NetServerTest, ChunkedStreamDeliversLines)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port());
+    std::vector<std::string> lines;
+    std::string error;
+    const auto status = client.stream(
+        "/stream",
+        [&](std::string_view line) {
+            lines.emplace_back(line);
+            return true;
+        },
+        &error);
+    ASSERT_TRUE(status.has_value()) << error;
+    EXPECT_EQ(*status, 200);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], "line one");
+    EXPECT_EQ(lines[1], "line two");
+}
+
+TEST_F(NetServerTest, StopUnblocksEverything)
+{
+    auto server = echoServer();
+    const int port = server->port();
+    server->stop();
+    server->stop(); // idempotent
+    HttpClient client("127.0.0.1", port, /*timeoutSeconds=*/2.0);
+    std::string error;
+    EXPECT_FALSE(client.request("GET", "/x", "", &error).has_value())
+        << "stopped server must not answer";
+}
+
+// ------------------------------------------------- fault injection -----
+
+TEST_F(NetServerTest, AcceptFaultDropsTheConnection)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port(), /*timeoutSeconds=*/2.0);
+    std::string error;
+    fault::configure("net.accept=1");
+    EXPECT_FALSE(client.request("GET", "/x", "", &error).has_value());
+    // The next connection (hit 2) is accepted normally.
+    const auto ok = client.request("GET", "/x", "", &error);
+    ASSERT_TRUE(ok.has_value()) << error;
+    EXPECT_EQ(ok->status, 200);
+}
+
+TEST_F(NetServerTest, ReadFaultDropsTheConnection)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port(), /*timeoutSeconds=*/2.0);
+    std::string error;
+    fault::configure("net.read=1");
+    EXPECT_FALSE(client.request("GET", "/x", "", &error).has_value());
+    fault::reset();
+    EXPECT_TRUE(client.request("GET", "/x", "", &error).has_value())
+        << error;
+}
+
+TEST_F(NetServerTest, WriteFaultTearsTheResponse)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port(), /*timeoutSeconds=*/2.0);
+    std::string error;
+    fault::configure("net.write=1");
+    EXPECT_FALSE(client.request("GET", "/x", "", &error).has_value());
+    fault::reset();
+    EXPECT_TRUE(client.request("GET", "/x", "", &error).has_value())
+        << error;
+}
+
+TEST_F(NetServerTest, NthWriteFaultTearsMidStream)
+{
+    auto server = echoServer();
+    HttpClient client("127.0.0.1", server->port(), /*timeoutSeconds=*/2.0);
+    // Stream writes: 1 = head, 2 = first chunk, 3 = second chunk.
+    fault::configure("net.write.3");
+    std::vector<std::string> lines;
+    std::string error;
+    const auto status = client.stream(
+        "/stream",
+        [&](std::string_view line) {
+            lines.emplace_back(line);
+            return true;
+        },
+        &error);
+    // The stream tore after the first chunk: transport error, but the
+    // delivered prefix is intact and ordered.
+    EXPECT_FALSE(status.has_value());
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "line one");
+}
+
+TEST(HttpUrl, ParseHttpUrl)
+{
+    std::string error;
+    auto hp = parseHttpUrl("http://127.0.0.1:8080", &error);
+    ASSERT_TRUE(hp.has_value()) << error;
+    EXPECT_EQ(hp->first, "127.0.0.1");
+    EXPECT_EQ(hp->second, 8080);
+
+    hp = parseHttpUrl("http://localhost");
+    ASSERT_TRUE(hp.has_value());
+    EXPECT_EQ(hp->second, 80);
+
+    EXPECT_FALSE(parseHttpUrl("https://x", &error).has_value())
+        << "TLS is out of scope and must say so";
+    EXPECT_FALSE(parseHttpUrl("ftp://x").has_value());
+    EXPECT_FALSE(parseHttpUrl("http://x:notaport").has_value());
+}
+
+} // namespace
+} // namespace gemini::net

@@ -17,6 +17,15 @@
  *   gemini models                       list model-zoo registry names
  *   gemini presets                      list architecture preset names
  *
+ *   gemini serve [--port N] --store DIR [--jobs N] [--bind ADDR]
+ *                                       HTTP exploration daemon with
+ *                                       multi-tenant fair-share scheduling
+ *   gemini submit <spec.json> --server URL [--tenant T] [--priority N]
+ *                 [--weight N] [--resume] [--wait]
+ *   gemini status|result|cancel|watch <job-id> --server URL
+ *                                       client commands against a daemon
+ *                                       (see tools/gemini_serve_cmds.cc)
+ *
  * Artifacts route through common/artifacts (--out DIR or GEMINI_OUT_DIR;
  * default: the current directory), matching every bench harness. The
  * store directory comes from --store or GEMINI_STORE_DIR. result.json is
@@ -32,6 +41,7 @@
 #include <string>
 
 #include "src/api/results.hh"
+#include "tools/gemini_serve_cmds.hh"
 #include "src/api/service.hh"
 #include "src/api/spec.hh"
 #include "src/api/store.hh"
@@ -66,6 +76,18 @@ usage(const char *argv0)
         "  validate <spec.json>         check a spec, report problems\n"
         "  models                       list model-zoo names\n"
         "  presets                      list architecture presets\n"
+        "  serve [--port N] --store DIR [--jobs N] [--bind ADDR] "
+        "[--port-file P]\n"
+        "                               run the HTTP exploration daemon\n"
+        "  submit <spec.json> --server URL [--tenant T] [--priority N]\n"
+        "         [--weight N] [--resume] [--wait]\n"
+        "                               admit a job on a daemon\n"
+        "  status <job-id> --server URL    job state + stats\n"
+        "  result <job-id> --server URL [--out DIR]\n"
+        "                               fetch a finished job's result.json\n"
+        "  cancel <job-id> --server URL    cooperative cancel\n"
+        "  watch  <job-id> --server URL [--after N]\n"
+        "                               stream progress events (NDJSON)\n"
         "\n"
         "  --store DIR defaults to the GEMINI_STORE_DIR environment "
         "variable.\n"
@@ -418,6 +440,29 @@ main(int argc, char **argv)
             return 2;
         }
         return cmdStore(argv[2], argc, argv);
+    }
+    if (cmd == "serve")
+        return cli::cmdServe(argc, argv);
+    if (cmd == "submit") {
+        if (argc < 3 || argv[2][0] == '-') {
+            std::fprintf(stderr, "submit: missing spec file\n");
+            return 2;
+        }
+        return cli::cmdSubmit(argv[2], argc, argv);
+    }
+    if (cmd == "status" || cmd == "result" || cmd == "cancel" ||
+        cmd == "watch") {
+        if (argc < 3 || argv[2][0] == '-') {
+            std::fprintf(stderr, "%s: missing job id\n", cmd.c_str());
+            return 2;
+        }
+        if (cmd == "status")
+            return cli::cmdStatus(argv[2], argc, argv);
+        if (cmd == "result")
+            return cli::cmdResult(argv[2], argc, argv);
+        if (cmd == "cancel")
+            return cli::cmdCancel(argv[2], argc, argv);
+        return cli::cmdWatch(argv[2], argc, argv);
     }
     return usage(argv[0]);
 }

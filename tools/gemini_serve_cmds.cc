@@ -1,0 +1,370 @@
+#include "tools/gemini_serve_cmds.hh"
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unistd.h>
+
+#include "src/api/daemon.hh"
+#include "src/api/scheduler.hh"
+#include "src/api/service.hh"
+#include "src/api/store.hh"
+#include "src/common/artifacts.hh"
+#include "src/common/fs_atomic.hh"
+#include "src/common/json.hh"
+#include "src/net/client.hh"
+
+namespace gemini::cli {
+
+namespace {
+
+/** `--flag VALUE` from argv; nullptr when absent. */
+const char *
+argValue(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *flag)
+{
+    for (int i = 2; i < argc; ++i)
+        if (std::strcmp(argv[i], flag) == 0)
+            return true;
+    return false;
+}
+
+long
+intArg(int argc, char **argv, const char *flag, long fallback)
+{
+    const char *raw = argValue(argc, argv, flag);
+    if (!raw)
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(raw, &end, 10);
+    if (end == raw || *end != '\0') {
+        std::fprintf(stderr, "%s: expected an integer, got \"%s\"\n", flag,
+                     raw);
+        std::exit(2);
+    }
+    return v;
+}
+
+/** `--server URL` (or GEMINI_SERVER_URL) -> a connected-on-use client. */
+std::optional<net::HttpClient>
+clientFromArgs(int argc, char **argv)
+{
+    const char *url = argValue(argc, argv, "--server");
+    if (!url)
+        url = std::getenv("GEMINI_SERVER_URL");
+    if (!url) {
+        std::fprintf(stderr, "missing --server URL (or GEMINI_SERVER_URL); "
+                             "e.g. --server http://127.0.0.1:8080\n");
+        return std::nullopt;
+    }
+    std::string error;
+    const auto hostPort = net::parseHttpUrl(url, &error);
+    if (!hostPort) {
+        std::fprintf(stderr, "--server: %s\n", error.c_str());
+        return std::nullopt;
+    }
+    return net::HttpClient(hostPort->first, hostPort->second);
+}
+
+/** Print {"error": ...} bodies human-first; fall back to the raw body. */
+void
+printHttpError(const char *what, const net::HttpResponse &response)
+{
+    std::string message = response.body;
+    if (const auto parsed = common::json::parse(response.body))
+        if (const auto *e = parsed->find("error"); e && e->isString())
+            message = e->asString();
+    while (!message.empty() && message.back() == '\n')
+        message.pop_back();
+    std::fprintf(stderr, "%s: HTTP %d: %s\n", what, response.status,
+                 message.c_str());
+}
+
+std::string
+jsonString(const common::json::Value &v, const char *key)
+{
+    const auto *f = v.find(key);
+    return f && f->isString() ? f->asString() : std::string();
+}
+
+} // namespace
+
+int
+cmdServe(int argc, char **argv)
+{
+    // Block the shutdown signals before any thread exists so every pool
+    // and server thread inherits the mask and sigwait() below is the
+    // only consumer.
+    sigset_t mask;
+    sigemptyset(&mask);
+    sigaddset(&mask, SIGINT);
+    sigaddset(&mask, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+    const char *storeArg = argValue(argc, argv, "--store");
+    if (!storeArg)
+        storeArg = std::getenv("GEMINI_STORE_DIR");
+    if (!storeArg || *storeArg == '\0') {
+        std::fprintf(stderr,
+                     "serve needs --store DIR (or GEMINI_STORE_DIR): the "
+                     "daemon's jobs, journals and results live there\n");
+        return 2;
+    }
+
+    std::shared_ptr<api::ResultStore> store;
+    try {
+        store = std::make_shared<api::ResultStore>(
+            storeArg, api::StoreOwnership::Exclusive);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "serve: %s\n", e.what());
+        return 1;
+    }
+
+    api::ExplorationService service(
+        static_cast<int>(intArg(argc, argv, "--service-threads", 0)),
+        store);
+    api::SchedulerOptions sopts;
+    sopts.maxConcurrentJobs =
+        static_cast<int>(intArg(argc, argv, "--jobs", 1));
+    api::JobScheduler scheduler(service, sopts);
+
+    const int recovered = scheduler.recoverInterrupted();
+    if (recovered > 0)
+        std::fprintf(stderr,
+                     "[gemini] resumed %d interrupted job(s) from %s\n",
+                     recovered, store->dir().c_str());
+
+    api::DaemonOptions dopts;
+    if (const char *bind = argValue(argc, argv, "--bind"))
+        dopts.server.bindAddress = bind;
+    dopts.server.port = static_cast<int>(intArg(argc, argv, "--port", 0));
+    dopts.server.threads =
+        static_cast<int>(intArg(argc, argv, "--http-threads", 4));
+    api::Daemon daemon(scheduler, dopts);
+
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "serve: %s\n", error.c_str());
+        return 1;
+    }
+
+    // Machine-readable endpoint line (the e2e script scrapes it); an
+    // optional --port-file avoids scraping entirely.
+    std::printf("listening on http://%s:%d (store %s, pid %d)\n",
+                dopts.server.bindAddress.c_str(), daemon.port(),
+                store->dir().c_str(), static_cast<int>(::getpid()));
+    std::fflush(stdout);
+    if (const char *portFile = argValue(argc, argv, "--port-file")) {
+        if (!common::writeFileAtomic(
+                portFile, std::to_string(daemon.port()) + "\n", &error))
+            std::fprintf(stderr, "serve: --port-file: %s\n", error.c_str());
+    }
+
+    int sig = 0;
+    sigwait(&mask, &sig);
+    std::fprintf(stderr,
+                 "[gemini] caught %s; draining (jobs journal their rungs "
+                 "and resume on restart)\n",
+                 sig == SIGTERM ? "SIGTERM" : "SIGINT");
+
+    // Order matters: stop HTTP first (no new work, streams end), then
+    // cancel jobs cooperatively — cancelled runs keep their rung
+    // journals, which is exactly what a restarted daemon resumes from.
+    daemon.stop();
+    scheduler.stop(/*cancelJobs=*/true);
+    return 0;
+}
+
+int
+cmdSubmit(const std::string &specPath, int argc, char **argv)
+{
+    std::string error;
+    const std::optional<api::ExperimentSpec> spec =
+        api::ExperimentSpec::fromFile(specPath, &error);
+    if (!spec) {
+        std::fprintf(stderr, "%s: %s\n", specPath.c_str(), error.c_str());
+        return 1;
+    }
+    const std::string problems = spec->validate();
+    if (!problems.empty()) {
+        std::fprintf(stderr, "%s: invalid spec:\n%s\n", specPath.c_str(),
+                     problems.c_str());
+        return 1;
+    }
+
+    auto client = clientFromArgs(argc, argv);
+    if (!client)
+        return 2;
+
+    common::json::Value wrapper = common::json::Value::object();
+    wrapper.set("spec", spec->toJson());
+    if (const char *tenant = argValue(argc, argv, "--tenant"))
+        wrapper.set("tenant", std::string(tenant));
+    wrapper.set("priority",
+                static_cast<int>(intArg(argc, argv, "--priority", 0)));
+    wrapper.set("weight",
+                static_cast<int>(intArg(argc, argv, "--weight", 1)));
+    wrapper.set("resume", hasFlag(argc, argv, "--resume"));
+
+    const auto response =
+        client->request("POST", "/v1/jobs", wrapper.dump(), &error);
+    if (!response) {
+        std::fprintf(stderr, "submit: %s\n", error.c_str());
+        return 1;
+    }
+    if (response->status != 200 && response->status != 202) {
+        printHttpError("submit", *response);
+        return 1;
+    }
+    const auto info = common::json::parse(response->body);
+    if (!info) {
+        std::fprintf(stderr, "submit: unparseable response body\n");
+        return 1;
+    }
+    const std::string id = jsonString(*info, "id");
+    std::printf("job %s %s (state %s)\n", id.c_str(),
+                response->status == 202 ? "admitted" : "answered instantly",
+                jsonString(*info, "state").c_str());
+
+    if (!hasFlag(argc, argv, "--wait"))
+        return 0;
+    for (;;) {
+        const auto status =
+            client->request("GET", "/v1/jobs/" + id, "", &error);
+        if (!status) {
+            std::fprintf(stderr, "submit --wait: %s\n", error.c_str());
+            return 1;
+        }
+        if (status->status != 200) {
+            printHttpError("submit --wait", *status);
+            return 1;
+        }
+        const auto body = common::json::parse(status->body);
+        const std::string state = body ? jsonString(*body, "state") : "";
+        if (state == "done") {
+            std::printf("job %s done\n", id.c_str());
+            return 0;
+        }
+        if (state == "failed" || state == "cancelled") {
+            std::fprintf(stderr, "job %s %s\n", id.c_str(), state.c_str());
+            return state == "failed" ? 1 : 4;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+}
+
+int
+cmdStatus(const std::string &id, int argc, char **argv)
+{
+    auto client = clientFromArgs(argc, argv);
+    if (!client)
+        return 2;
+    std::string error;
+    const auto response =
+        client->request("GET", "/v1/jobs/" + id, "", &error);
+    if (!response) {
+        std::fprintf(stderr, "status: %s\n", error.c_str());
+        return 1;
+    }
+    if (response->status != 200) {
+        printHttpError("status", *response);
+        return 1;
+    }
+    std::printf("%s", response->body.c_str());
+    return 0;
+}
+
+int
+cmdResult(const std::string &id, int argc, char **argv)
+{
+    auto client = clientFromArgs(argc, argv);
+    if (!client)
+        return 2;
+    std::string error;
+    const auto response =
+        client->request("GET", "/v1/jobs/" + id + "/result", "", &error);
+    if (!response) {
+        std::fprintf(stderr, "result: %s\n", error.c_str());
+        return 1;
+    }
+    if (response->status != 200) {
+        printHttpError("result", *response);
+        return 1;
+    }
+    const std::string outDir = common::artifactDir(argc, argv);
+    const std::string path = common::artifactPath(outDir, "result.json");
+    std::string body = response->body;
+    if (body.empty() || body.back() != '\n')
+        body += '\n';
+    if (!common::writeFileAtomic(path, body, &error)) {
+        std::fprintf(stderr, "result: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("result  -> %s\n", path.c_str());
+    return 0;
+}
+
+int
+cmdCancel(const std::string &id, int argc, char **argv)
+{
+    auto client = clientFromArgs(argc, argv);
+    if (!client)
+        return 2;
+    std::string error;
+    const auto response =
+        client->request("DELETE", "/v1/jobs/" + id, "", &error);
+    if (!response) {
+        std::fprintf(stderr, "cancel: %s\n", error.c_str());
+        return 1;
+    }
+    if (response->status != 200) {
+        printHttpError("cancel", *response);
+        return 1;
+    }
+    std::printf("%s", response->body.c_str());
+    return 0;
+}
+
+int
+cmdWatch(const std::string &id, int argc, char **argv)
+{
+    auto client = clientFromArgs(argc, argv);
+    if (!client)
+        return 2;
+    std::string target = "/v1/jobs/" + id + "/events";
+    if (const char *after = argValue(argc, argv, "--after"))
+        target += std::string("?after=") + after;
+    std::string error;
+    const auto status = client->stream(
+        target,
+        [](std::string_view line) {
+            std::fwrite(line.data(), 1, line.size(), stdout);
+            std::fputc('\n', stdout);
+            std::fflush(stdout);
+            return true;
+        },
+        &error);
+    if (!status) {
+        std::fprintf(stderr, "watch: %s\n", error.c_str());
+        return 1;
+    }
+    if (*status != 200) {
+        std::fprintf(stderr, "watch: HTTP %d\n", *status);
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace gemini::cli

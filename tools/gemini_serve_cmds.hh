@@ -1,0 +1,25 @@
+/**
+ * @file
+ * The daemon-facing half of the `gemini` CLI: `serve` runs the HTTP
+ * exploration daemon; submit/status/result/cancel/watch talk to one
+ * over the wire. Split from gemini_cli.cc so the local-execution and
+ * client/server command sets stay independently readable.
+ */
+
+#ifndef GEMINI_TOOLS_GEMINI_SERVE_CMDS_HH
+#define GEMINI_TOOLS_GEMINI_SERVE_CMDS_HH
+
+#include <string>
+
+namespace gemini::cli {
+
+int cmdServe(int argc, char **argv);
+int cmdSubmit(const std::string &specPath, int argc, char **argv);
+int cmdStatus(const std::string &id, int argc, char **argv);
+int cmdResult(const std::string &id, int argc, char **argv);
+int cmdCancel(const std::string &id, int argc, char **argv);
+int cmdWatch(const std::string &id, int argc, char **argv);
+
+} // namespace gemini::cli
+
+#endif // GEMINI_TOOLS_GEMINI_SERVE_CMDS_HH
